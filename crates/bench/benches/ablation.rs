@@ -1,0 +1,20 @@
+//! Criterion bench regenerating the §5.2 speculation ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tms_bench::{ablation, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let rows = ablation::run(&cfg);
+    println!("\n{}", ablation::render(&rows));
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("speculation_on_vs_off", |b| {
+        b.iter(|| ablation::run(&cfg).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench regenerating Figure 4 (TMS-over-SMS speedups on the
+//! quad-core SpMT simulator). The full population is expensive; the
+//! bench times one benchmark and prints a reduced-population figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tms_bench::runner::{schedule_both, simulate, speedup_pct};
+use tms_bench::ExperimentConfig;
+use tms_workloads::specfp_profiles;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+
+    // Reduced regeneration: 4 loops per benchmark, quick iterations.
+    println!("\n== Figure 4 (reduced: ≤4 loops per benchmark) ==");
+    for p in specfp_profiles() {
+        let loops = p.generate(cfg.seed);
+        let mut sms = 0u64;
+        let mut tms = 0u64;
+        for ddg in loops.iter().take(4) {
+            let r = schedule_both(ddg, &cfg);
+            sms += simulate(ddg, &r.sms, &cfg).total_cycles;
+            tms += simulate(ddg, &r.tms, &cfg).total_cycles;
+        }
+        println!("  {:<9} loop speedup {:+6.1}%", p.name, speedup_pct(sms, tms));
+    }
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    let art = specfp_profiles().into_iter().find(|p| p.name == "art").unwrap();
+    let loops = art.generate(cfg.seed);
+    let runs: Vec<_> = loops.iter().map(|l| schedule_both(l, &cfg)).collect();
+    g.bench_function("simulate_art_population_both", |b| {
+        b.iter(|| {
+            loops
+                .iter()
+                .zip(&runs)
+                .map(|(l, r)| {
+                    simulate(l, &r.sms, &cfg).total_cycles
+                        + simulate(l, &r.tms, &cfg).total_cycles
+                })
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

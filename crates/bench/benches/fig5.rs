@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 5 (TMS vs single-threaded code
+//! on the DOACROSS suite).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tms_bench::{fig5, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let rows = fig5::run(&cfg);
+    println!("\n{}", fig5::render(&rows));
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("doacross_vs_single_threaded", |b| {
+        b.iter(|| fig5::run(&cfg).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

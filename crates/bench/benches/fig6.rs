@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 6 (sync stalls, SEND/RECV
+//! increase and communication overhead, TMS vs SMS).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tms_bench::{fig6, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let rows = fig6::run(&cfg);
+    println!("\n{}", fig6::render(&rows));
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("doacross_sync_comparison", |b| {
+        b.iter(|| fig6::run(&cfg).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the thread-granularity sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tms_bench::{granularity, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let rows = granularity::run(&cfg);
+    println!("\n{}", granularity::render(&rows));
+
+    let mut g = c.benchmark_group("granularity");
+    g.sample_size(10);
+    g.bench_function("unroll_sweep", |b| b.iter(|| granularity::run(&cfg).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

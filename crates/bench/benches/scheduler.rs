@@ -1,0 +1,62 @@
+//! Microbenchmarks of the schedulers and simulator themselves —
+//! throughput of SMS, TMS and the SpMT engine on representative loops.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tms_bench::ExperimentConfig;
+use tms_core::cost::CostModel;
+use tms_core::{schedule_sms, schedule_tms, TmsConfig};
+use tms_machine::{ArchParams, MachineModel};
+use tms_sim::simulate_spmt;
+use tms_workloads::{doacross_suite, figure1};
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let cfg = ExperimentConfig::quick();
+
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(20);
+
+    let fig1 = figure1();
+    g.bench_function("sms_figure1", |b| {
+        b.iter(|| schedule_sms(&fig1, &machine).unwrap().schedule.ii())
+    });
+    g.bench_function("tms_figure1", |b| {
+        b.iter(|| {
+            schedule_tms(&fig1, &machine, &model, &TmsConfig::default())
+                .unwrap()
+                .ii
+        })
+    });
+
+    for l in doacross_suite(cfg.seed) {
+        if l.benchmark != "art" && l.benchmark != "equake" {
+            continue;
+        }
+        g.bench_with_input(
+            BenchmarkId::new("tms", l.ddg.name()),
+            &l.ddg,
+            |b, ddg| {
+                b.iter(|| {
+                    schedule_tms(ddg, &machine, &model, &TmsConfig::default())
+                        .unwrap()
+                        .ii
+                })
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+    let sms = schedule_sms(&fig1, &machine).unwrap().schedule;
+    let sim_cfg = cfg.sim();
+    g.bench_function("spmt_figure1_64iters", |b| {
+        b.iter(|| simulate_spmt(&fig1, &sms, &sim_cfg).stats.total_cycles)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

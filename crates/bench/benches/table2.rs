@@ -1,0 +1,33 @@
+//! Criterion bench regenerating Table 2 (scheduling metrics, SMS vs
+//! TMS). Times one benchmark population's full schedule sweep; prints
+//! the regenerated rows once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tms_bench::{table2, ExperimentConfig};
+use tms_workloads::specfp_profiles;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+
+    // Print the regenerated table once per bench invocation.
+    let rows = table2::run(&cfg);
+    println!("\n{}", table2::render(&rows));
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    // Time the smallest population (art: 10 loops) as the unit of work.
+    let art = specfp_profiles().into_iter().find(|p| p.name == "art").unwrap();
+    g.bench_function("schedule_art_population", |b| {
+        b.iter(|| {
+            let loops = art.generate(cfg.seed);
+            loops
+                .iter()
+                .map(|l| tms_bench::runner::schedule_both(l, &cfg).tms_metrics.ii)
+                .sum::<u32>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Table 3 (the DOACROSS suite's
+//! TMS-scheduled metrics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tms_bench::{table3, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let rows = table3::run(&cfg);
+    println!("\n{}", table3::render(&rows));
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("doacross_suite_metrics", |b| {
+        b.iter(|| table3::run(&cfg).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerate the §5.2 speculation ablation (P_max = 0 synchronises
+//! every inter-thread memory dependence).
+
+use tms_bench::report::write_json;
+use tms_bench::{ablation, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = ablation::run(&cfg);
+    print!("{}", ablation::render(&rows));
+    if let Some(p) = write_json("ablation", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

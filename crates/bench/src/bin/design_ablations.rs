@@ -1,0 +1,13 @@
+//! Ablations of the reproduction's design choices (DESIGN.md §5).
+
+use tms_bench::report::write_json;
+use tms_bench::{design_ablations, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = design_ablations::run(&cfg);
+    print!("{}", design_ablations::render(&rows));
+    if let Some(p) = write_json("design_ablations", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 4: speedups of TMS over SMS on the quad-core
+//! SpMT simulator.
+
+use tms_bench::report::write_json;
+use tms_bench::{fig4, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = fig4::run(&cfg);
+    print!("{}", fig4::render(&rows));
+    if let Some(p) = write_json("fig4", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 5: TMS vs single-threaded code on the DOACROSS
+//! suite.
+
+use tms_bench::report::write_json;
+use tms_bench::{fig5, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = fig5::run(&cfg);
+    print!("{}", fig5::render(&rows));
+    if let Some(p) = write_json("fig5", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerate Figure 6: synchronisation stalls, SEND/RECV increase and
+//! communication overhead, TMS vs SMS.
+
+use tms_bench::report::write_json;
+use tms_bench::{fig6, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = fig6::run(&cfg);
+    print!("{}", fig6::render(&rows));
+    if let Some(p) = write_json("fig6", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

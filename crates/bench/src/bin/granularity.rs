@@ -1,0 +1,13 @@
+//! Thread-granularity (unrolling) sweep — the §6 extension.
+
+use tms_bench::report::write_json;
+use tms_bench::{granularity, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = granularity::run(&cfg);
+    print!("{}", granularity::render(&rows));
+    if let Some(p) = write_json("granularity", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

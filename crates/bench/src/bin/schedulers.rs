@@ -1,0 +1,13 @@
+//! IMS vs SMS vs TMS scheduler comparison.
+
+use tms_bench::report::write_json;
+use tms_bench::{schedulers, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = schedulers::run(&cfg);
+    print!("{}", schedulers::render(&rows));
+    if let Some(p) = write_json("schedulers", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,8 @@
+//! Print Table 1 (the simulated architecture).
+
+use tms_bench::{table1, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    print!("{}", table1::render(&cfg));
+}

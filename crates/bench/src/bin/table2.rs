@@ -1,0 +1,14 @@
+//! Regenerate Table 2: SMS vs TMS scheduling metrics over the
+//! SPECfp2000-calibrated 778-loop population.
+
+use tms_bench::report::write_json;
+use tms_bench::{table2, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = table2::run(&cfg);
+    print!("{}", table2::render(&rows));
+    if let Some(p) = write_json("table2", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

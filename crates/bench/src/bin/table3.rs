@@ -1,0 +1,13 @@
+//! Regenerate Table 3: the selected DOACROSS loops.
+
+use tms_bench::report::write_json;
+use tms_bench::{table3, ExperimentConfig};
+
+fn main() {
+    let cfg = ExperimentConfig::default();
+    let rows = table3::run(&cfg);
+    print!("{}", table3::render(&rows));
+    if let Some(p) = write_json("table3", &rows) {
+        eprintln!("wrote {}", p.display());
+    }
+}

@@ -1,0 +1,172 @@
+//! Ablations of this reproduction's own design choices (DESIGN.md §5),
+//! beyond the paper's §5.2 speculation ablation:
+//!
+//! * **stage bound** — TMS without the `⌈LDP/II⌉ + slack` stage cap
+//!   (shows the degenerate scatter: small C_delay, exploding
+//!   SEND/RECV pairs and MaxLive);
+//! * **candidate thinning** — dense vs thinned `(II, C_delay)` grids
+//!   (cost-key quality vs search effort);
+//! * **Definition 3** — C2 without the *preserved* test (every
+//!   inter-thread memory dependence counts toward `P_max`, so the
+//!   scheduler over-synchronises).
+
+use crate::config::ExperimentConfig;
+use crate::report::render_table;
+use crate::runner::simulate;
+use serde::{Deserialize, Serialize};
+use tms_core::cost::CostModel;
+use tms_core::{schedule_tms, LoopMetrics, TmsConfig};
+use tms_workloads::doacross_suite;
+
+/// One (loop, variant) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationVariantRow {
+    /// Loop name.
+    pub loop_name: String,
+    /// Variant label.
+    pub variant: String,
+    /// TMS II.
+    pub ii: u32,
+    /// Achieved C_delay.
+    pub c_delay: u32,
+    /// Kernel stages.
+    pub stages: u32,
+    /// MaxLive.
+    pub max_live: u32,
+    /// SEND/RECV pairs per kernel iteration (static plan).
+    pub pairs: u32,
+    /// Simulated total cycles.
+    pub cycles: u64,
+}
+
+fn variants() -> Vec<(&'static str, TmsConfig)> {
+    vec![
+        ("default", TmsConfig::default()),
+        (
+            "no-stage-cap",
+            TmsConfig {
+                max_extra_stages: 1000,
+                ..TmsConfig::default()
+            },
+        ),
+        (
+            "dense-candidates",
+            TmsConfig {
+                dense_candidates: true,
+                ..TmsConfig::default()
+            },
+        ),
+        (
+            "sync-all (Pmax=0)",
+            TmsConfig::no_speculation(),
+        ),
+    ]
+}
+
+/// Run every variant over the DOACROSS suite.
+pub fn run(cfg: &ExperimentConfig) -> Vec<AblationVariantRow> {
+    run_filtered(cfg, &|_| true)
+}
+
+/// Run over the loops selected by `keep` (tests use small subsets —
+/// the dense-candidate variant is expensive on the 100+-instruction
+/// loops).
+pub fn run_filtered(
+    cfg: &ExperimentConfig,
+    keep: &dyn Fn(&str) -> bool,
+) -> Vec<AblationVariantRow> {
+    let machine = cfg.machine();
+    let arch = cfg.arch();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let mut rows = Vec::new();
+    for l in doacross_suite(cfg.seed) {
+        if !keep(l.ddg.name()) {
+            continue;
+        }
+        for (name, tms_cfg) in variants() {
+            let Ok(r) = schedule_tms(&l.ddg, &machine, &model, &tms_cfg) else {
+                continue;
+            };
+            let m = LoopMetrics::compute(&l.ddg, &machine, &r.schedule, &arch.costs);
+            let s = simulate(&l.ddg, &r.schedule, cfg);
+            rows.push(AblationVariantRow {
+                loop_name: l.ddg.name().to_string(),
+                variant: name.to_string(),
+                ii: m.ii,
+                c_delay: m.c_delay,
+                stages: m.stage_count,
+                max_live: m.max_live,
+                pairs: m.send_recv_pairs,
+                cycles: s.total_cycles,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the comparison.
+pub fn render(rows: &[AblationVariantRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.loop_name.clone(),
+                r.variant.clone(),
+                r.ii.to_string(),
+                r.c_delay.to_string(),
+                r.stages.to_string(),
+                r.max_live.to_string(),
+                r.pairs.to_string(),
+                r.cycles.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Design-choice ablations over the DOACROSS suite",
+        &[
+            "Loop", "variant", "II", "C_delay", "stages", "MaxLive", "pairs", "cycles",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_schedule_the_art_loops() {
+        let cfg = ExperimentConfig {
+            n_iter: 48,
+            ..ExperimentConfig::default()
+        };
+        let rows = run_filtered(&cfg, &|n| n.starts_with("art"));
+        // 4 art loops × 4 variants.
+        assert_eq!(rows.len(), 16);
+    }
+
+    #[test]
+    fn stage_cap_limits_stage_count() {
+        let cfg = ExperimentConfig {
+            n_iter: 48,
+            ..ExperimentConfig::default()
+        };
+        let rows = run_filtered(&cfg, &|n| n == "art.L0" || n == "art.L1");
+        for l in ["art.L0", "art.L1"] {
+            let dflt = rows
+                .iter()
+                .find(|r| r.loop_name == l && r.variant == "default")
+                .unwrap();
+            let wild = rows
+                .iter()
+                .find(|r| r.loop_name == l && r.variant == "no-stage-cap")
+                .unwrap();
+            assert!(
+                dflt.stages <= wild.stages,
+                "{l}: cap should not raise stages ({} vs {})",
+                dflt.stages,
+                wild.stages
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Figure 6 — synchronisation behaviour of TMS vs SMS on the selected
+//! DOACROSS loops:
+//!
+//! * **(a)** normalised synchronisation stalls (cycles committed
+//!   threads spend blocked at a RECV) — TMS reduces stalls by more
+//!   than 50% on art/equake/fma3d, less on recurrence-bound lucas;
+//! * **(b)** % increase in dynamic SEND/RECV pairs under TMS — the
+//!   price of the extra stages/copies;
+//! * **(c)** communication overhead (stalls + `C_reg_com` × pairs) —
+//!   still a net reduction under TMS.
+
+use crate::config::ExperimentConfig;
+use crate::report::{pct, render_table};
+use crate::runner::{schedule_both, simulate};
+use serde::{Deserialize, Serialize};
+use tms_workloads::doacross_suite;
+
+/// One benchmark set's bars across Figure 6 (a), (b), (c).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Source benchmark.
+    pub benchmark: String,
+    /// SMS sync stall cycles (committed threads).
+    pub sms_stall: u64,
+    /// TMS sync stall cycles (committed threads).
+    pub tms_stall: u64,
+    /// SMS dynamic SEND/RECV pairs.
+    pub sms_pairs: u64,
+    /// TMS dynamic SEND/RECV pairs.
+    pub tms_pairs: u64,
+    /// SMS communication overhead (stalls + C_reg_com × pairs).
+    pub sms_comm: u64,
+    /// TMS communication overhead.
+    pub tms_comm: u64,
+}
+
+impl Fig6Row {
+    /// (a): TMS stalls normalised to SMS (1.0 = no change).
+    pub fn stall_ratio(&self) -> f64 {
+        if self.sms_stall == 0 {
+            if self.tms_stall == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.tms_stall as f64 / self.sms_stall as f64
+        }
+    }
+
+    /// (b): % increase in SEND/RECV pairs under TMS.
+    pub fn pair_increase_pct(&self) -> f64 {
+        if self.sms_pairs == 0 {
+            0.0
+        } else {
+            (self.tms_pairs as f64 / self.sms_pairs as f64 - 1.0) * 100.0
+        }
+    }
+
+    /// (c): TMS communication overhead normalised to SMS.
+    pub fn comm_ratio(&self) -> f64 {
+        if self.sms_comm == 0 {
+            1.0
+        } else {
+            self.tms_comm as f64 / self.sms_comm as f64
+        }
+    }
+}
+
+/// Run the Figure 6 experiment.
+pub fn run(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
+    let suite = doacross_suite(cfg.seed);
+    let c_reg_com = cfg.arch().costs.c_reg_com;
+    ["art", "equake", "lucas", "fma3d"]
+        .iter()
+        .map(|&bench| {
+            let loops: Vec<_> = suite.iter().filter(|l| l.benchmark == bench).collect();
+            let mut row = Fig6Row {
+                benchmark: bench.to_string(),
+                sms_stall: 0,
+                tms_stall: 0,
+                sms_pairs: 0,
+                tms_pairs: 0,
+                sms_comm: 0,
+                tms_comm: 0,
+            };
+            for l in &loops {
+                let r = schedule_both(&l.ddg, cfg);
+                let s = simulate(&l.ddg, &r.sms, cfg);
+                let t = simulate(&l.ddg, &r.tms, cfg);
+                row.sms_stall += s.sync_stall_cycles;
+                row.tms_stall += t.sync_stall_cycles;
+                row.sms_pairs += s.send_recv_pairs;
+                row.tms_pairs += t.send_recv_pairs;
+                row.sms_comm += s.communication_overhead(c_reg_com);
+                row.tms_comm += t.communication_overhead(c_reg_com);
+            }
+            row
+        })
+        .collect()
+}
+
+/// Render the three series.
+pub fn render(rows: &[Fig6Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                r.sms_stall.to_string(),
+                r.tms_stall.to_string(),
+                format!("{:.2}", r.stall_ratio()),
+                pct(r.pair_increase_pct()),
+                format!("{:.2}", r.comm_ratio()),
+            ]
+        })
+        .collect();
+    render_table(
+        "Figure 6: Synchronisation of TMS vs SMS (a: stalls, b: SEND/RECV increase, c: comm overhead)",
+        &[
+            "Benchmark",
+            "SMS stalls",
+            "TMS stalls",
+            "(a) TMS/SMS stalls",
+            "(b) pair increase",
+            "(c) TMS/SMS comm",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tms_reduces_stalls_on_speculable_sets() {
+        let cfg = ExperimentConfig {
+            n_iter: 64,
+            ..ExperimentConfig::default()
+        };
+        let rows = run(&cfg);
+        for b in ["art", "equake", "fma3d"] {
+            let r = rows.iter().find(|r| r.benchmark == b).unwrap();
+            assert!(
+                r.tms_stall <= r.sms_stall,
+                "{b}: TMS stalls {} > SMS {}",
+                r.tms_stall,
+                r.sms_stall
+            );
+        }
+    }
+
+    #[test]
+    fn ratios_and_render() {
+        let r = Fig6Row {
+            benchmark: "x".into(),
+            sms_stall: 100,
+            tms_stall: 40,
+            sms_pairs: 10,
+            tms_pairs: 13,
+            sms_comm: 130,
+            tms_comm: 79,
+        };
+        assert!((r.stall_ratio() - 0.4).abs() < 1e-12);
+        assert!((r.pair_increase_pct() - 30.0).abs() < 1e-9);
+        assert!((r.comm_ratio() - 79.0 / 130.0).abs() < 1e-12);
+        let t = render(&[r]);
+        assert!(t.contains("Figure 6"));
+        assert!(t.contains("0.40"));
+    }
+
+    #[test]
+    fn zero_baselines_are_guarded() {
+        let r = Fig6Row {
+            benchmark: "z".into(),
+            sms_stall: 0,
+            tms_stall: 0,
+            sms_pairs: 0,
+            tms_pairs: 0,
+            sms_comm: 0,
+            tms_comm: 0,
+        };
+        assert_eq!(r.stall_ratio(), 1.0);
+        assert_eq!(r.pair_increase_pct(), 0.0);
+        assert_eq!(r.comm_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Thread-granularity study — the paper's §6 extension, realised.
+//!
+//! Unrolling by `f` makes one SpMT thread execute `f` original
+//! iterations: SEND/RECV chains amortise over more work but threads
+//! lengthen (less TLP). This experiment sweeps unroll factors over the
+//! small loops that want it (the paper unrolls art's 11-instruction
+//! loops ×4) and a larger DOACROSS loop that does not, reporting the
+//! modelled and simulated cycles per *original* iteration.
+
+use crate::config::ExperimentConfig;
+use crate::report::render_table;
+use serde::{Deserialize, Serialize};
+use tms_core::cost::CostModel;
+use tms_core::{schedule_tms, TmsConfig};
+use tms_ddg::{unroll, Ddg, DdgBuilder, OpClass};
+use tms_sim::simulate_spmt;
+use tms_workloads::doacross_suite;
+
+/// One (loop, factor) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GranularityRow {
+    /// Loop name.
+    pub loop_name: String,
+    /// Unroll factor.
+    pub factor: u32,
+    /// TMS II of the unrolled kernel.
+    pub ii: u32,
+    /// Achieved C_delay of the unrolled kernel.
+    pub c_delay: u32,
+    /// Cost-model estimate, cycles per original iteration.
+    pub modelled_per_iter: f64,
+    /// Simulated cycles per original iteration.
+    pub simulated_per_iter: f64,
+    /// Dynamic SEND/RECV pairs per original iteration.
+    pub pairs_per_iter: f64,
+}
+
+/// A 4-instruction reduction — so fine-grained that the fixed
+/// per-thread costs (spawn, commit, one sync chain) dominate at factor
+/// 1; the case unrolling exists for.
+pub fn tiny_reduction() -> Ddg {
+    let mut b = DdgBuilder::new("reduce-tiny");
+    let ld = b.inst("ld", OpClass::Load);
+    let acc = b.inst("acc+=", OpClass::FpAdd);
+    let ix = b.inst("i++", OpClass::IntAlu);
+    let br = b.inst("br", OpClass::Branch);
+    b.reg_flow(ld, acc, 0);
+    b.reg_flow(acc, acc, 1);
+    b.reg_flow(ix, ix, 1);
+    b.reg_flow(ix, ld, 1);
+    b.reg_flow(ix, br, 0);
+    b.build().expect("reduce-tiny")
+}
+
+/// An 11-instruction art-style loop (the size the paper unrolls ×4).
+pub fn small_art_loop() -> Ddg {
+    let mut b = DdgBuilder::new("art-small");
+    let ld_w = b.inst("ld w", OpClass::Load);
+    let ld_x = b.inst("ld x", OpClass::Load);
+    let mul = b.inst("w*x", OpClass::FpMul);
+    let acc = b.inst("acc+=", OpClass::FpAdd);
+    let cmp = b.inst("cmp", OpClass::IntAlu);
+    let sel = b.inst("sel", OpClass::IntAlu);
+    let st = b.inst("st y", OpClass::Store);
+    let i1 = b.inst("i++", OpClass::IntAlu);
+    let j1 = b.inst("j++", OpClass::IntAlu);
+    let adr = b.inst("adr", OpClass::IntAlu);
+    let brc = b.inst("br", OpClass::Branch);
+    b.reg_flow(ld_w, mul, 0);
+    b.reg_flow(ld_x, mul, 0);
+    b.reg_flow(mul, acc, 0);
+    b.reg_flow(acc, acc, 1);
+    b.reg_flow(acc, cmp, 0);
+    b.reg_flow(cmp, sel, 0);
+    b.reg_flow(sel, st, 0);
+    b.reg_flow(i1, i1, 1);
+    b.reg_flow(i1, ld_w, 1);
+    b.reg_flow(j1, j1, 1);
+    b.reg_flow(j1, ld_x, 1);
+    b.reg_flow(adr, st, 0);
+    b.reg_flow(i1, adr, 1);
+    b.reg_flow(cmp, brc, 0);
+    b.mem_flow(st, ld_x, 1, 0.01);
+    b.build().expect("art-small")
+}
+
+/// Run the granularity sweep.
+pub fn run(cfg: &ExperimentConfig) -> Vec<GranularityRow> {
+    let machine = cfg.machine();
+    let arch = cfg.arch();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let mut rows = Vec::new();
+
+    let mut loops: Vec<Ddg> = vec![tiny_reduction(), small_art_loop()];
+    if let Some(eq) = doacross_suite(cfg.seed)
+        .into_iter()
+        .find(|l| l.benchmark == "equake")
+    {
+        loops.push(eq.ddg);
+    }
+
+    for ddg in &loops {
+        for f in [1u32, 2, 4, 8] {
+            // Keep unrolled bodies at a schedulable size: beyond ~160
+            // instructions the search cost explodes without adding
+            // insight (large loops never want large factors anyway).
+            if ddg.num_insts() as u32 * f > 160 {
+                continue;
+            }
+            let Ok(unrolled) = unroll(ddg, f) else { continue };
+            let Ok(r) = schedule_tms(&unrolled, &machine, &model, &TmsConfig::default()) else {
+                continue;
+            };
+            let metrics = tms_core::LoopMetrics::compute(
+                &unrolled,
+                &machine,
+                &r.schedule,
+                &arch.costs,
+            );
+            // n_iter original iterations = n_iter / f unrolled ones.
+            let mut sim = cfg.sim();
+            sim.n_iter = (cfg.n_iter / f as u64).max(8);
+            let out = simulate_spmt(&unrolled, &r.schedule, &sim);
+            let orig_iters = (sim.n_iter * f as u64) as f64;
+            rows.push(GranularityRow {
+                loop_name: ddg.name().to_string(),
+                factor: f,
+                ii: r.ii,
+                c_delay: metrics.c_delay,
+                modelled_per_iter: model.f(r.ii, r.c_delay_threshold) / f as f64,
+                simulated_per_iter: out.stats.total_cycles as f64 / orig_iters,
+                pairs_per_iter: out.stats.send_recv_pairs as f64 / orig_iters,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the sweep.
+pub fn render(rows: &[GranularityRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.loop_name.clone(),
+                r.factor.to_string(),
+                r.ii.to_string(),
+                r.c_delay.to_string(),
+                format!("{:.2}", r.modelled_per_iter),
+                format!("{:.2}", r.simulated_per_iter),
+                format!("{:.2}", r.pairs_per_iter),
+            ]
+        })
+        .collect();
+    render_table(
+        "Thread granularity (unrolling) sweep — cycles per ORIGINAL iteration",
+        &[
+            "Loop",
+            "factor",
+            "II",
+            "C_delay",
+            "model/iter",
+            "sim/iter",
+            "pairs/iter",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_loop_has_eleven_instructions() {
+        assert_eq!(small_art_loop().num_insts(), 11);
+    }
+
+    #[test]
+    fn sweep_produces_rows_and_unrolling_amortises_communication() {
+        let cfg = ExperimentConfig {
+            n_iter: 64,
+            ..ExperimentConfig::default()
+        };
+        let rows = run(&cfg);
+        assert!(rows.len() >= 4);
+        // For the small loop, pairs per original iteration must not
+        // grow with the factor (communication amortises).
+        let small: Vec<_> = rows
+            .iter()
+            .filter(|r| r.loop_name == "art-small")
+            .collect();
+        let f1 = small.iter().find(|r| r.factor == 1).unwrap();
+        let f4 = small.iter().find(|r| r.factor == 4).unwrap();
+        assert!(
+            f4.pairs_per_iter <= f1.pairs_per_iter + 0.5,
+            "pairs/iter grew: {} -> {}",
+            f1.pairs_per_iter,
+            f4.pairs_per_iter
+        );
+    }
+
+    #[test]
+    fn render_contains_factors() {
+        let rows = vec![GranularityRow {
+            loop_name: "x".into(),
+            factor: 4,
+            ii: 12,
+            c_delay: 5,
+            modelled_per_iter: 3.5,
+            simulated_per_iter: 4.1,
+            pairs_per_iter: 0.75,
+        }];
+        let t = render(&rows);
+        assert!(t.contains("granularity"));
+        assert!(t.contains("4"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Plain-text table rendering and JSON result dumping.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Render a table with a header row and aligned columns.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let line = |out: &mut String, cells: &[String]| {
+        let mut parts = Vec::with_capacity(ncol);
+        for (i, c) in cells.iter().enumerate().take(ncol) {
+            parts.push(format!("{:>w$}", c, w = widths[i]));
+        }
+        let _ = writeln!(out, "| {} |", parts.join(" | "));
+    };
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    line(&mut out, &sep);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Format a float with one decimal, the paper's table style.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a percentage with one decimal and a `%`.
+pub fn pct(x: f64) -> String {
+    format!("{x:.1}%")
+}
+
+/// Write any serialisable result set as pretty JSON under
+/// `results/<name>.json` (directory created on demand). Returns the
+/// path written. Failures are reported, not fatal — the printed tables
+/// are the primary artifact.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<std::path::PathBuf> {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => std::fs::write(&path, s).ok().map(|_| path),
+        Err(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            "T",
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("| longer | 22 |"));
+        // Header padded to the widest cell.
+        assert!(t.contains("|   name |  v |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f1(3.167), "3.2");
+        assert_eq!(pct(27.96), "28.0%");
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared per-loop runner: schedule with both schedulers, compute
+//! metrics, optionally simulate.
+
+use crate::config::ExperimentConfig;
+use tms_core::cost::CostModel;
+use tms_core::metrics::LoopMetrics;
+use tms_core::schedule::Schedule;
+use tms_core::{schedule_sms, schedule_tms, TmsConfig};
+use tms_ddg::Ddg;
+use tms_sim::{simulate_sequential, simulate_spmt, SimStats};
+
+/// Both schedulers' results on one loop.
+#[derive(Debug, Clone)]
+pub struct LoopRun {
+    /// SMS schedule.
+    pub sms: Schedule,
+    /// SMS metrics.
+    pub sms_metrics: LoopMetrics,
+    /// TMS schedule.
+    pub tms: Schedule,
+    /// TMS metrics.
+    pub tms_metrics: LoopMetrics,
+    /// Whether TMS fell back to the SMS schedule.
+    pub tms_fell_back: bool,
+}
+
+/// Schedule `ddg` with SMS and TMS under `cfg`.
+pub fn schedule_both(ddg: &Ddg, cfg: &ExperimentConfig) -> LoopRun {
+    schedule_both_with(ddg, cfg, &TmsConfig::default())
+}
+
+/// Schedule with an explicit TMS configuration (used by the ablation).
+pub fn schedule_both_with(ddg: &Ddg, cfg: &ExperimentConfig, tms_cfg: &TmsConfig) -> LoopRun {
+    let machine = cfg.machine();
+    let arch = cfg.arch();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let sms = schedule_sms(ddg, &machine).expect("SMS must schedule every workload loop");
+    let tms = schedule_tms(ddg, &machine, &model, tms_cfg).expect("TMS must schedule");
+    let sms_metrics = LoopMetrics::compute(ddg, &machine, &sms.schedule, &arch.costs);
+    let tms_metrics = LoopMetrics::compute(ddg, &machine, &tms.schedule, &arch.costs);
+    LoopRun {
+        sms: sms.schedule,
+        sms_metrics,
+        tms: tms.schedule,
+        tms_metrics,
+        tms_fell_back: tms.fell_back_to_sms,
+    }
+}
+
+/// Simulated cycles of a schedule on the SpMT system.
+pub fn simulate(ddg: &Ddg, schedule: &Schedule, cfg: &ExperimentConfig) -> SimStats {
+    simulate_spmt(ddg, schedule, &cfg.sim()).stats
+}
+
+/// Simulated cycles of the single-threaded baseline.
+pub fn simulate_single(ddg: &Ddg, cfg: &ExperimentConfig) -> u64 {
+    simulate_sequential(ddg, &cfg.machine(), &cfg.sim()).total_cycles
+}
+
+/// Speedup of `base` over `new` expressed as a percentage gain
+/// (`50.0` means "1.5× faster", matching the paper's figures).
+pub fn speedup_pct(base_cycles: u64, new_cycles: u64) -> f64 {
+    if new_cycles == 0 {
+        return 0.0;
+    }
+    (base_cycles as f64 / new_cycles as f64 - 1.0) * 100.0
+}
+
+/// Amdahl-weighted program speedup from a loop speedup and coverage:
+/// the loops are `coverage` of execution; the rest is unchanged.
+pub fn program_speedup_pct(loop_speedup_pct: f64, coverage: f64) -> f64 {
+    let s = 1.0 + loop_speedup_pct / 100.0;
+    if s <= 0.0 {
+        return 0.0;
+    }
+    let t_new = (1.0 - coverage) + coverage / s;
+    (1.0 / t_new - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_workloads::figure1;
+
+    #[test]
+    fn schedules_figure1_both_ways() {
+        let cfg = ExperimentConfig::quick();
+        let run = schedule_both(&figure1(), &cfg);
+        assert!(run.sms_metrics.ii >= 8);
+        assert!(run.tms_metrics.ii >= 8);
+        assert!(
+            run.tms_metrics.c_delay <= run.sms_metrics.c_delay,
+            "TMS C_delay {} must not exceed SMS {}",
+            run.tms_metrics.c_delay,
+            run.sms_metrics.c_delay
+        );
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert!((speedup_pct(150, 100) - 50.0).abs() < 1e-9);
+        assert!((speedup_pct(100, 100) - 0.0).abs() < 1e-9);
+        assert_eq!(speedup_pct(100, 0), 0.0);
+    }
+
+    #[test]
+    fn program_speedup_amdahl() {
+        // 100% loop speedup over 50% coverage → 1/(0.5 + 0.25) − 1 = 33%.
+        let p = program_speedup_pct(100.0, 0.5);
+        assert!((p - 100.0 / 3.0).abs() < 1e-6);
+        // Zero coverage → zero program effect.
+        assert!(program_speedup_pct(100.0, 0.0).abs() < 1e-9);
+        // Zero loop speedup → zero program speedup.
+        assert!(program_speedup_pct(0.0, 0.8).abs() < 1e-9);
+    }
+}

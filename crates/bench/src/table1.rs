@@ -1,0 +1,21 @@
+//! Table 1 — the simulated architecture (an input, printed for
+//! completeness and cross-checked against the paper's constants).
+
+use crate::config::ExperimentConfig;
+
+/// Render Table 1.
+pub fn render(cfg: &ExperimentConfig) -> String {
+    format!("== Table 1: Architecture simulated ==\n{}\n", cfg.arch().table1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_constants() {
+        let t = render(&ExperimentConfig::default());
+        assert!(t.contains("SEND/RECV Latency      | 3"));
+        assert!(t.contains("Invalidation Overhead  | 15"));
+    }
+}

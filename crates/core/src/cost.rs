@@ -1,0 +1,256 @@
+//! The paper's §4.2 cost model.
+//!
+//! Approximates the execution time of a modulo-scheduled loop on an
+//! SpMT multicore as `T = T_nomiss + T_mis_spec` with
+//!
+//! ```text
+//! T_nomiss   = max(C_spn, C_ci, C_delay, T_lb / ncore) · N      (eq. 2)
+//! T_lb       = II + C_ci + max(C_spn, C_delay)
+//! P_M        = 1 − Π_{e ∈ M} (1 − p_e)                          (eq. 3)
+//! T_mis_spec = (II + C_inv − max(0, C_delay − C_spn)) · P_M · N
+//! ```
+//!
+//! plus Definition 2's synchronisation delay `sync(x, y)` and
+//! Definition 3's *preserved* test for speculated memory dependences.
+
+use serde::{Deserialize, Serialize};
+use tms_machine::CostConstants;
+
+/// Definition 2: synchronisation delay of an inter-iteration register
+/// dependence `x → y` given the kernel rows of both ends.
+///
+/// `sync(x,y) = issue_slot(x)%II − issue_slot(y)%II + lat(x) + C_reg_com`
+///
+/// Negative values mean the value arrives before the consumer's slot —
+/// no stall. Callers clamp when aggregating into `C_delay`.
+#[inline]
+pub fn sync_delay(row_x: i64, row_y: i64, lat_x: u32, costs: &CostConstants) -> i64 {
+    row_x - row_y + lat_x as i64 + costs.c_reg_com as i64
+}
+
+/// Definition 3 (reconstructed — see DESIGN.md §5): an inter-iteration
+/// memory dependence `x → y` with kernel distance `δ ≥ 1` is
+/// *preserved* by a synchronised register dependence `u → v` when
+///
+/// * `u` issues earlier than `x` within the kernel
+///   (`row(u) < row(x)`), and
+/// * the per-thread skew the synchronisation enforces covers the
+///   memory dependence across its `δ` thread hops:
+///   `δ · sync(u,v) ≥ row(x) + lat(x) − row(y)`.
+#[inline]
+pub fn preserves(
+    sync_uv: i64,
+    row_u: i64,
+    row_x: i64,
+    row_y: i64,
+    lat_x: u32,
+    d_ker_xy: i64,
+) -> bool {
+    debug_assert!(d_ker_xy >= 1);
+    row_u < row_x && d_ker_xy * sync_uv >= row_x + lat_x as i64 - row_y
+}
+
+/// Equation 3: combined misspeculation probability of a set of
+/// independent speculated dependences.
+pub fn misspec_probability(probs: impl IntoIterator<Item = f64>) -> f64 {
+    let surviving: f64 = probs.into_iter().map(|p| 1.0 - p).product();
+    1.0 - surviving
+}
+
+/// The per-iteration cost `F(II, C_delay) = T_nomiss / N` of Figure 3
+/// line 4, kept in exact integer arithmetic as `F · ncore`
+/// (`ncore` is the only denominator that appears).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CostKey(pub i64);
+
+/// The cost model, parameterised by the machine constants and core
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Machine cost constants (Table 1).
+    pub costs: CostConstants,
+    /// Number of cores executing the loop.
+    pub ncore: u32,
+}
+
+impl CostModel {
+    /// Build from architecture parameters.
+    pub fn new(costs: CostConstants, ncore: u32) -> Self {
+        assert!(ncore >= 1);
+        CostModel { costs, ncore }
+    }
+
+    /// `T_lb = II + C_ci + max(C_spn, C_delay)` — the lower bound on
+    /// one thread's execution time.
+    pub fn t_lb(&self, ii: u32, c_delay: u32) -> i64 {
+        ii as i64 + self.costs.c_ci as i64 + (self.costs.c_spn.max(c_delay)) as i64
+    }
+
+    /// `F(II, C_delay) · ncore` as an exactly comparable integer key.
+    pub fn cost_key(&self, ii: u32, c_delay: u32) -> CostKey {
+        let n = self.ncore as i64;
+        let serial = [
+            self.costs.c_spn as i64 * n,
+            self.costs.c_ci as i64 * n,
+            c_delay as i64 * n,
+            self.t_lb(ii, c_delay),
+        ];
+        CostKey(serial.into_iter().max().unwrap())
+    }
+
+    /// `F(II, C_delay)` in cycles-per-iteration (floating point, for
+    /// reports; ordering decisions use [`CostModel::cost_key`]).
+    pub fn f(&self, ii: u32, c_delay: u32) -> f64 {
+        self.cost_key(ii, c_delay).0 as f64 / self.ncore as f64
+    }
+
+    /// Equation 2: execution time without misspeculation for `n_iter`
+    /// iterations.
+    pub fn t_nomiss(&self, ii: u32, c_delay: u32, n_iter: u64) -> f64 {
+        self.f(ii, c_delay) * n_iter as f64
+    }
+
+    /// Misspeculation overhead: penalty per squash times the expected
+    /// number of squashes `P_M · N`.
+    ///
+    /// Penalty = `II + C_inv − max(0, C_delay − C_spn)`: the squashed
+    /// thread wasted `II` issue cycles plus the invalidation, but its
+    /// re-execution no longer waits on register values, recovering
+    /// whatever part of `C_delay` exceeded the spawn overhead.
+    pub fn t_mis_spec(&self, ii: u32, c_delay: u32, p_m: f64, n_iter: u64) -> f64 {
+        let gain = (c_delay as i64 - self.costs.c_spn as i64).max(0);
+        let penalty = (ii as i64 + self.costs.c_inv as i64 - gain).max(0) as f64;
+        penalty * p_m * n_iter as f64
+    }
+
+    /// Total estimated execution time `T = T_nomiss + T_mis_spec`.
+    pub fn total(&self, ii: u32, c_delay: u32, p_m: f64, n_iter: u64) -> f64 {
+        self.t_nomiss(ii, c_delay, n_iter) + self.t_mis_spec(ii, c_delay, p_m, n_iter)
+    }
+
+    /// Candidate `(II, C_delay)` pairs within the paper's bounds,
+    /// sorted by increasing cost key (then II, then C_delay). This is
+    /// the exact-arithmetic equivalent of Figure 3's iterative
+    /// `F_min++` sweep over every pair with `F(II, C_delay) = F_min`.
+    pub fn candidates(&self, mii: u32, ii_max: u32, c_delay_max: u32) -> Vec<(u32, u32, CostKey)> {
+        let cd_min = self.costs.min_c_delay();
+        let cd_hi = c_delay_max.max(cd_min);
+        let mut v: Vec<(u32, u32, CostKey)> = Vec::new();
+        for ii in mii..=ii_max.max(mii) {
+            for cd in cd_min..=cd_hi {
+                v.push((ii, cd, self.cost_key(ii, cd)));
+            }
+        }
+        v.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(ncore: u32) -> CostModel {
+        CostModel::new(CostConstants::icpp2008(), ncore)
+    }
+
+    #[test]
+    fn sync_matches_paper_sms_example() {
+        // sync(n6, n0) = 7%8 − 0%8 + 1 + 3 = 11 (§4.1, SMS schedule).
+        let c = CostConstants::icpp2008();
+        assert_eq!(sync_delay(7, 0, 1, &c), 11);
+        // TMS places n6 at cycle 1: sync = 1 − 0 + 1 + 3 = 5.
+        assert_eq!(sync_delay(1, 0, 1, &c), 5);
+    }
+
+    #[test]
+    fn sync_can_be_negative_when_value_arrives_early() {
+        let c = CostConstants::icpp2008();
+        assert!(sync_delay(0, 9, 1, &c) < 0);
+    }
+
+    #[test]
+    fn misspec_probability_combines_independently() {
+        assert!(misspec_probability([]).abs() < 1e-12);
+        assert!((misspec_probability([0.5]) - 0.5).abs() < 1e-12);
+        assert!((misspec_probability([0.5, 0.5]) - 0.75).abs() < 1e-12);
+        assert!((misspec_probability([1.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_lb_and_f_follow_equation_two() {
+        let m = model(4);
+        // II=8, C_delay=4: T_lb = 8 + 2 + max(3,4) = 14.
+        assert_eq!(m.t_lb(8, 4), 14);
+        // F = max(3, 2, 4, 14/4) = 4.
+        assert!((m.f(8, 4) - 4.0).abs() < 1e-12);
+        // With C_delay=20 the serial part dominates: F = 20.
+        assert!((m.f(8, 20) - 20.0).abs() < 1e-12);
+        // With 1 core F = T_lb = II + C_ci + max(C_spn, C_delay).
+        let m1 = model(1);
+        assert!((m1.f(8, 4) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_key_orders_like_f() {
+        let m = model(4);
+        let a = m.cost_key(8, 4);
+        let b = m.cost_key(8, 20);
+        assert!(a < b);
+        assert!(m.f(8, 4) < m.f(8, 20));
+    }
+
+    #[test]
+    fn mis_spec_penalty_reduced_by_ready_values() {
+        let m = model(4);
+        // C_delay=10, C_spn=3: re-execution gains 7 cycles.
+        let with_gain = m.t_mis_spec(8, 10, 0.5, 100);
+        let no_gain = m.t_mis_spec(8, 3, 0.5, 100);
+        assert!(with_gain < no_gain);
+        // penalty = 8 + 15 − 7 = 16; 0.5 · 100 squashes → 800.
+        assert!((with_gain - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_probability_costs_nothing() {
+        let m = model(4);
+        assert_eq!(m.t_mis_spec(8, 4, 0.0, 1000), 0.0);
+        assert!((m.total(8, 4, 0.0, 10) - m.t_nomiss(8, 4, 10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidates_sorted_by_cost() {
+        let m = model(4);
+        let cands = m.candidates(8, 12, 12);
+        assert!(!cands.is_empty());
+        for w in cands.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+        // The cheapest candidate uses the smallest (II, C_delay).
+        assert_eq!(cands[0].0, 8);
+        assert_eq!(cands[0].1, m.costs.min_c_delay());
+        // All C_delay values start at the Definition-2 minimum.
+        assert!(cands.iter().all(|c| c.1 >= m.costs.min_c_delay()));
+    }
+
+    #[test]
+    fn candidate_c_delay_respects_caller_cap() {
+        let m = model(4);
+        let cands = m.candidates(8, 10, 15);
+        assert!(cands.iter().all(|&(_, cd, _)| cd <= 15));
+        assert!(cands.iter().any(|&(_, cd, _)| cd == 15));
+    }
+
+    #[test]
+    fn preserves_requires_earlier_producer_and_enough_skew() {
+        // sync(u,v)=6, memory dep x(row 5, lat 1) -> y(row 0), δ=1:
+        // need 6 ≥ 5 + 1 − 0 = 6 ✓ with row(u)=0 < row(x)=5.
+        assert!(preserves(6, 0, 5, 0, 1, 1));
+        // Insufficient skew.
+        assert!(!preserves(5, 0, 5, 0, 1, 1));
+        // Producer not earlier than x.
+        assert!(!preserves(10, 6, 5, 0, 1, 1));
+        // Larger δ multiplies the skew.
+        assert!(preserves(3, 0, 5, 0, 1, 2));
+    }
+}

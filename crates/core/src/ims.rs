@@ -1,0 +1,232 @@
+//! Iterative Modulo Scheduling (Rau, MICRO-27) — the paper's reference
+//! [15] and the classic alternative to SMS.
+//!
+//! IMS differs from SMS in two ways: operations are prioritised by
+//! *height* alone (no swing ordering, no lifetime minimisation), and
+//! scheduling is operation-driven with unbounded ejection — an
+//! operation that finds no free slot takes `max(early start, previous
+//! slot + 1)` and evicts whatever blocks it, with a budget bounding the
+//! churn. The paper adopts SMS instead because it "finds the best
+//! schedules in general" (Codina et al. [3]); this implementation lets
+//! the benches substantiate that choice: IMS matches SMS on II but
+//! tends to produce longer lifetimes (larger MaxLive).
+
+use crate::schedule::{PartialSchedule, Schedule};
+use crate::sms::SchedError;
+use crate::window::force_floor;
+use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
+use tms_ddg::{Ddg, InstId};
+use tms_machine::{mii, MachineModel, ResourceClass};
+
+/// Result of running IMS on a loop.
+#[derive(Debug, Clone)]
+pub struct ImsResult {
+    /// The final schedule.
+    pub schedule: Schedule,
+    /// The minimum II.
+    pub mii: u32,
+}
+
+/// Height-ordered priority list (ties broken by id for determinism).
+fn priority_order(ddg: &Ddg) -> Vec<InstId> {
+    let prio = AcyclicPriorities::compute(ddg);
+    let mut order: Vec<InstId> = ddg.inst_ids().collect();
+    order.sort_by(|&a, &b| {
+        prio.height[b.index()]
+            .cmp(&prio.height[a.index()])
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Attempt IMS at a fixed `ii`.
+fn try_ims(ddg: &Ddg, machine: &MachineModel, ii: u32) -> Option<Schedule> {
+    let frames = TimeFrames::compute(ddg, ii)?;
+    let mut ps = PartialSchedule::new(ddg, ii, machine);
+    let order = priority_order(ddg);
+    let mut pos = vec![usize::MAX; ddg.num_insts()];
+    for (i, &n) in order.iter().enumerate() {
+        pos[n.index()] = i;
+    }
+    let mut earliest: Vec<i64> = vec![i64::MIN; ddg.num_insts()];
+    let mut budget = (ddg.num_insts() * 12).max(120);
+
+    while let Some(&v) = order.iter().find(|&&n| !ps.is_placed(n)) {
+        // Early start from placed predecessors (transitive); IMS has no
+        // upper bound — violated successors get ejected.
+        let es = force_floor(ddg, &ps, &frames, v);
+        let slot = (es..es + ii as i64).find(|&c| ps.fits(ddg, v, c));
+        match slot {
+            Some(c) => {
+                ps.place(ddg, v, c);
+                eject_violated(ddg, &mut ps, v, ii);
+            }
+            None => {
+                if budget == 0 {
+                    return None;
+                }
+                budget -= 1;
+                let c = es.max(earliest[v.index()]);
+                earliest[v.index()] = c + 1;
+                evict_row(ddg, &mut ps, v, c, &pos);
+                if !ps.fits(ddg, v, c) {
+                    return None;
+                }
+                ps.place(ddg, v, c);
+                eject_violated(ddg, &mut ps, v, ii);
+            }
+        }
+    }
+    Some(ps.finish(ddg))
+}
+
+/// Eject placed neighbours whose dependence with `v` is violated.
+fn eject_violated(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, ii: u32) {
+    let iil = ii as i64;
+    loop {
+        let victim = ddg.edges().iter().find_map(|e| {
+            if e.src != v && e.dst != v {
+                return None;
+            }
+            let (Some(ts), Some(td)) = (ps.time(e.src), ps.time(e.dst)) else {
+                return None;
+            };
+            if td < ts + e.delay - iil * e.distance as i64 {
+                Some(if e.src == v { e.dst } else { e.src })
+            } else {
+                None
+            }
+        });
+        match victim {
+            Some(n) if n != v => ps.remove(ddg, n),
+            _ => break,
+        }
+    }
+}
+
+/// Evict the lowest-priority occupants of `cycle`'s row until `v` fits.
+fn evict_row(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, cycle: i64, pos: &[usize]) {
+    let class = ResourceClass::for_op(ddg.inst(v).op);
+    while !ps.fits(ddg, v, cycle) {
+        let occupants: Vec<InstId> = ps.placed_in_row(cycle).collect();
+        let victim = occupants
+            .iter()
+            .copied()
+            .filter(|&n| ResourceClass::for_op(ddg.inst(n).op) == class)
+            .max_by_key(|&n| pos[n.index()])
+            .or_else(|| occupants.iter().copied().max_by_key(|&n| pos[n.index()]));
+        match victim {
+            Some(n) => ps.remove(ddg, n),
+            None => return,
+        }
+    }
+}
+
+/// Run IMS: iterate II upward from MII until a schedule exists.
+pub fn schedule_ims(ddg: &Ddg, machine: &MachineModel) -> Result<ImsResult, SchedError> {
+    let m = mii(ddg, machine);
+    if m == u32::MAX {
+        return Err(SchedError::Unschedulable {
+            loop_name: ddg.name().to_string(),
+        });
+    }
+    let ceiling = crate::sms::ii_search_ceiling(ddg, m);
+    for ii in m..=ceiling {
+        if let Some(schedule) = try_ims(ddg, machine, ii) {
+            debug_assert!(schedule.check_legal(ddg).is_none());
+            debug_assert!(schedule.check_resources(ddg, machine));
+            return Ok(ImsResult { schedule, mii: m });
+        }
+    }
+    Err(SchedError::NoScheduleFound {
+        loop_name: ddg.name().to_string(),
+        ii_tried: ceiling,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetimes::max_live;
+    use crate::sms::schedule_sms;
+    use tms_ddg::{DdgBuilder, OpClass};
+
+    fn machine() -> MachineModel {
+        MachineModel::icpp2008()
+    }
+
+    #[test]
+    fn schedules_chain_at_mii() {
+        let mut b = DdgBuilder::new("chain");
+        let l = b.inst("ld", OpClass::Load);
+        let m = b.inst("mul", OpClass::FpMul);
+        let s = b.inst("st", OpClass::Store);
+        b.reg_flow(l, m, 0);
+        b.reg_flow(m, s, 0);
+        let g = b.build().unwrap();
+        let r = schedule_ims(&g, &machine()).unwrap();
+        assert_eq!(r.schedule.ii(), 1);
+        assert!(r.schedule.check_legal(&g).is_none());
+    }
+
+    #[test]
+    fn respects_recurrences() {
+        let mut b = DdgBuilder::new("rec");
+        let a = b.inst_lat("acc", OpClass::FpAdd, 2);
+        let x = b.inst("x", OpClass::Load);
+        b.reg_flow(x, a, 0);
+        b.reg_flow(a, a, 1);
+        let g = b.build().unwrap();
+        let r = schedule_ims(&g, &machine()).unwrap();
+        assert_eq!(r.schedule.ii(), 2);
+        assert!(r.schedule.check_resources(&g, &machine()));
+    }
+
+    #[test]
+    fn handles_resource_saturation() {
+        let mut b = DdgBuilder::new("mul5");
+        for i in 0..5 {
+            b.inst(format!("m{i}"), OpClass::FpMul);
+        }
+        let g = b.build().unwrap();
+        let r = schedule_ims(&g, &machine()).unwrap();
+        assert_eq!(r.schedule.ii(), 5);
+    }
+
+    #[test]
+    fn matches_sms_ii_on_workloads_but_not_lifetimes() {
+        // Codina et al.'s finding, which the paper cites to justify
+        // SMS: both reach comparable IIs; SMS wins on register
+        // pressure. Verify II parity on a spread of loops and that
+        // MaxLive never strongly favours IMS.
+        let mut sms_maxlive_total = 0u64;
+        let mut ims_maxlive_total = 0u64;
+        for seed in 0..8u64 {
+            let spec = tms_workloads::LoopSpec::basic("cmp", 18 + (seed as u32 % 9), seed);
+            let g = tms_workloads::generate_loop(&spec);
+            let sms = schedule_sms(&g, &machine()).unwrap();
+            let ims = schedule_ims(&g, &machine()).unwrap();
+            assert!(
+                (ims.schedule.ii() as i64 - sms.schedule.ii() as i64).abs() <= 2,
+                "seed {seed}: IMS II {} vs SMS II {}",
+                ims.schedule.ii(),
+                sms.schedule.ii()
+            );
+            sms_maxlive_total += max_live(&g, &sms.schedule) as u64;
+            ims_maxlive_total += max_live(&g, &ims.schedule) as u64;
+        }
+        assert!(
+            sms_maxlive_total <= ims_maxlive_total + 4,
+            "SMS should not lose the lifetime comparison: {sms_maxlive_total} vs {ims_maxlive_total}"
+        );
+    }
+
+    #[test]
+    fn figure1_schedules_at_mii() {
+        let g = tms_workloads::figure1();
+        let r = schedule_ims(&g, &machine()).unwrap();
+        assert_eq!(r.mii, 8);
+        assert!(r.schedule.ii() <= 10);
+        assert!(r.schedule.check_legal(&g).is_none());
+    }
+}

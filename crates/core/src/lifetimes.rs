@@ -1,0 +1,195 @@
+//! Register lifetimes and the MaxLive metric.
+//!
+//! MaxLive — "the number of scalar live ranges that are simultaneously
+//! live at a program point" (§5) — is computed over the kernel: a value
+//! defined at cycle `t_u` and last read at `max_v (t_v + II·d(u,v))`
+//! overlaps kernel cycle `r` once for every concurrent iteration whose
+//! copy of the range covers `r`.
+
+use crate::schedule::Schedule;
+use tms_ddg::{Ddg, InstId};
+
+/// One register live range in the flat schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveRange {
+    /// Producing instruction.
+    pub producer: InstId,
+    /// Definition cycle (the producer's issue slot).
+    pub start: i64,
+    /// Last-use cycle: `max` over register-flow consumers of
+    /// `t(consumer) + II·distance`. Equals `start` for dead values.
+    pub end: i64,
+}
+
+impl LiveRange {
+    /// Length of the range in cycles.
+    pub fn len(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Whether the value is never consumed through a register.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Compute the live range of every register-producing instruction.
+pub fn live_ranges(ddg: &Ddg, schedule: &Schedule) -> Vec<LiveRange> {
+    let ii = schedule.ii() as i64;
+    ddg.inst_ids()
+        .map(|u| {
+            let start = schedule.time(u);
+            let end = ddg
+                .succ_edges(u)
+                .filter(|(_, e)| e.is_register_flow())
+                .map(|(_, e)| schedule.time(e.dst) + ii * e.distance as i64)
+                .max()
+                .unwrap_or(start)
+                .max(start);
+            LiveRange {
+                producer: u,
+                start,
+                end,
+            }
+        })
+        .collect()
+}
+
+/// MaxLive over the kernel.
+///
+/// For kernel cycle `r ∈ [0, II)`, a range `[start, end)` of length `L`
+/// contributes one live value for each `k ≥ 0` with
+/// `start + ((r − start) mod II) + k·II < end`; summing over all ranges
+/// and maximising over `r` yields MaxLive.
+pub fn max_live(ddg: &Ddg, schedule: &Schedule) -> u32 {
+    let ii = schedule.ii() as i64;
+    let ranges = live_ranges(ddg, schedule);
+    let mut best = 0i64;
+    for r in 0..ii {
+        let mut live = 0i64;
+        for lr in &ranges {
+            let l = lr.len();
+            if l == 0 {
+                continue;
+            }
+            let off = (r - lr.start).rem_euclid(ii);
+            // Overlapping copies: ceil((L − off) / II) clamped at 0.
+            let remaining = l - off;
+            if remaining > 0 {
+                live += (remaining + ii - 1) / ii;
+            }
+        }
+        best = best.max(live);
+    }
+    best as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::{DdgBuilder, OpClass};
+
+    fn sched(g: &Ddg, ii: u32, times: Vec<i64>) -> Schedule {
+        Schedule::from_times(g, ii, times)
+    }
+
+    #[test]
+    fn dead_value_has_empty_range() {
+        let mut b = DdgBuilder::new("dead");
+        b.inst("a", OpClass::IntAlu);
+        let g = b.build().unwrap();
+        let s = sched(&g, 1, vec![0]);
+        let r = live_ranges(&g, &s);
+        assert!(r[0].is_empty());
+        assert_eq!(max_live(&g, &s), 0);
+    }
+
+    #[test]
+    fn simple_chain_single_value() {
+        let mut b = DdgBuilder::new("c");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        let g = b.build().unwrap();
+        // II=2, a at 0, c at 1: one value live 1 cycle.
+        let s = sched(&g, 2, vec![0, 1]);
+        let r = live_ranges(&g, &s);
+        assert_eq!(r[0].start, 0);
+        assert_eq!(r[0].end, 1);
+        assert_eq!(max_live(&g, &s), 1);
+    }
+
+    #[test]
+    fn long_lifetime_overlaps_iterations() {
+        let mut b = DdgBuilder::new("long");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        let g = b.build().unwrap();
+        // II=2 but the consumer reads 5 cycles later: the value from
+        // up to 3 concurrent iterations is live at once.
+        let s = sched(&g, 2, vec![0, 5]);
+        assert_eq!(max_live(&g, &s), 3);
+    }
+
+    #[test]
+    fn loop_carried_use_extends_lifetime() {
+        let mut b = DdgBuilder::new("lc");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        b.reg_flow(a, c, 2);
+        let g = b.build().unwrap();
+        // II=4: range [0, 1 + 8) = 9 cycles => ceil(9/4) = 3 copies at
+        // some kernel cycle.
+        let s = sched(&g, 4, vec![0, 1]);
+        let r = live_ranges(&g, &s);
+        assert_eq!(r[0].end, 1 + 8);
+        assert_eq!(max_live(&g, &s), 3);
+    }
+
+    #[test]
+    fn max_over_consumers_counts() {
+        let mut b = DdgBuilder::new("two-uses");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        let d = b.inst("d", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        b.reg_flow(a, d, 1);
+        let g = b.build().unwrap();
+        let s = sched(&g, 3, vec![0, 1, 2]);
+        let r = live_ranges(&g, &s);
+        // end = max(1, 2 + 3) = 5.
+        assert_eq!(r[0].end, 5);
+    }
+
+    #[test]
+    fn disjoint_values_sum_at_shared_cycle() {
+        let mut b = DdgBuilder::new("sum");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        let x = b.inst("x", OpClass::FpAdd);
+        let y = b.inst("y", OpClass::FpAdd);
+        b.reg_flow(a, x, 0);
+        b.reg_flow(c, y, 0);
+        let g = b.build().unwrap();
+        // Both values live during cycle 1 (II=4).
+        let s = sched(&g, 4, vec![0, 0, 2, 2]);
+        assert_eq!(max_live(&g, &s), 2);
+    }
+
+    #[test]
+    fn max_live_invariant_under_kernel_rotation() {
+        // Shifting the whole schedule by one cycle must not change
+        // MaxLive (the kernel is cyclic).
+        let mut b = DdgBuilder::new("rot");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        let d = b.inst("d", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        b.reg_flow(a, d, 1);
+        let g = b.build().unwrap();
+        let m0 = max_live(&g, &sched(&g, 3, vec![0, 2, 4]));
+        let m1 = max_live(&g, &sched(&g, 3, vec![1, 3, 5]));
+        assert_eq!(m0, m1);
+    }
+}

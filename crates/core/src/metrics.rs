@@ -1,0 +1,241 @@
+//! Loop-level metrics: the quantities Tables 2 and 3 report.
+
+use crate::cost::{misspec_probability, preserves, sync_delay};
+use crate::lifetimes::max_live;
+use crate::postpass::CommPlan;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use tms_ddg::analysis::AcyclicPriorities;
+use tms_ddg::mii::recurrence_info;
+use tms_ddg::scc::SccDecomposition;
+use tms_ddg::Ddg;
+use tms_machine::{mii, res_ii, CostConstants, MachineModel};
+
+/// Achieved `C_delay` of a finished schedule: the largest Definition-2
+/// synchronisation delay over all inter-thread register flow
+/// dependences (0 when the kernel has none).
+///
+/// Multi-hop dependences (kernel distance > 1) are approximated by the
+/// same formula on the end rows — after the copy post-pass the relay
+/// chain's per-hop delay is bounded by it.
+pub fn achieved_c_delay(ddg: &Ddg, schedule: &Schedule, costs: &CostConstants) -> u32 {
+    let mut worst = 0i64;
+    for e in ddg.edges() {
+        if !e.is_register_flow() || schedule.d_ker(e) < 1 {
+            continue;
+        }
+        let s = sync_delay(
+            schedule.row(e.src) as i64,
+            schedule.row(e.dst) as i64,
+            ddg.inst(e.src).latency,
+            costs,
+        );
+        worst = worst.max(s);
+    }
+    worst.max(0) as u32
+}
+
+/// Combined misspeculation probability of the kernel (eq. 3 over the
+/// non-preserved inter-thread memory flow dependences, per Def. 3).
+pub fn kernel_misspec_prob(ddg: &Ddg, schedule: &Schedule, costs: &CostConstants) -> f64 {
+    // Synchronised register dependences available to preserve memory
+    // dependences: (sync, producer row) pairs.
+    let r_all: Vec<(i64, i64)> = ddg
+        .edges()
+        .iter()
+        .filter(|e| e.is_register_flow() && schedule.d_ker(e) >= 1)
+        .map(|e| {
+            (
+                sync_delay(
+                    schedule.row(e.src) as i64,
+                    schedule.row(e.dst) as i64,
+                    ddg.inst(e.src).latency,
+                    costs,
+                ),
+                schedule.row(e.src) as i64,
+            )
+        })
+        .collect();
+
+    let probs = ddg.edges().iter().filter_map(|e| {
+        if !e.is_memory_flow() {
+            return None;
+        }
+        let d_ker = schedule.d_ker(e);
+        if d_ker < 1 {
+            return None;
+        }
+        let rx = schedule.row(e.src) as i64;
+        let ry = schedule.row(e.dst) as i64;
+        let lat = ddg.inst(e.src).latency;
+        let kept = r_all
+            .iter()
+            .any(|&(s, ru)| preserves(s, ru, rx, ry, lat, d_ker));
+        (!kept).then_some(e.prob)
+    });
+    misspec_probability(probs)
+}
+
+/// Everything Tables 2/3 report about one scheduled loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoopMetrics {
+    /// Loop name.
+    pub name: String,
+    /// Instruction count.
+    pub num_insts: usize,
+    /// Number of *recurrence* SCCs (multi-node components or self
+    /// loops — singleton non-recurrent nodes are not counted, matching
+    /// how Table 3 reports "#SCC" for fine-grained loops).
+    pub num_sccs: usize,
+    /// Resource-constrained II bound.
+    pub res_ii: u32,
+    /// Recurrence-constrained II bound.
+    pub rec_ii: u32,
+    /// `MII = max(ResII, RecII)`.
+    pub mii: u32,
+    /// Longest dependence path (§5 metric).
+    pub ldp: i64,
+    /// Achieved initiation interval.
+    pub ii: u32,
+    /// MaxLive over the kernel.
+    pub max_live: u32,
+    /// Achieved `C_delay`.
+    pub c_delay: u32,
+    /// Kernel stages.
+    pub stage_count: u32,
+    /// Relay copies inserted by the post-pass.
+    pub num_copies: u32,
+    /// SEND/RECV pairs per kernel iteration.
+    pub send_recv_pairs: u32,
+    /// Combined misspeculation probability of the kernel (eq. 3).
+    pub misspec_prob: f64,
+}
+
+impl LoopMetrics {
+    /// Compute every metric for a finished schedule.
+    pub fn compute(
+        ddg: &Ddg,
+        machine: &MachineModel,
+        schedule: &Schedule,
+        costs: &CostConstants,
+    ) -> Self {
+        let scc = SccDecomposition::compute(ddg);
+        let rec = recurrence_info(ddg, &scc);
+        let prio = AcyclicPriorities::compute(ddg);
+        let plan = CommPlan::build(ddg, schedule);
+        LoopMetrics {
+            name: ddg.name().to_string(),
+            num_insts: ddg.num_insts(),
+            num_sccs: scc.recurrence_components(ddg).count(),
+            res_ii: res_ii(ddg, machine),
+            rec_ii: rec.rec_ii,
+            mii: mii(ddg, machine),
+            ldp: prio.ldp,
+            ii: schedule.ii(),
+            max_live: max_live(ddg, schedule),
+            c_delay: achieved_c_delay(ddg, schedule, costs),
+            stage_count: schedule.stage_count(),
+            num_copies: plan.num_copies,
+            send_recv_pairs: plan.send_recv_pairs,
+            misspec_prob: kernel_misspec_prob(ddg, schedule, costs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sms::schedule_sms;
+    use tms_ddg::{DdgBuilder, OpClass};
+    use tms_machine::ArchParams;
+
+    fn costs() -> CostConstants {
+        ArchParams::icpp2008().costs
+    }
+
+    #[test]
+    fn c_delay_zero_without_inter_thread_deps() {
+        let mut b = DdgBuilder::new("doall");
+        let l = b.inst("ld", OpClass::Load);
+        let s = b.inst("st", OpClass::Store);
+        b.reg_flow(l, s, 0);
+        let g = b.build().unwrap();
+        // Both in stage 0 (II=4): the dependence stays intra-thread.
+        let sch = Schedule::from_times(&g, 4, vec![0, 3]);
+        assert_eq!(achieved_c_delay(&g, &sch, &costs()), 0);
+        assert_eq!(kernel_misspec_prob(&g, &sch, &costs()), 0.0);
+    }
+
+    #[test]
+    fn c_delay_matches_paper_formula() {
+        // Producer at row 7 (lat 1) feeding row 0 next iteration:
+        // sync = 7 − 0 + 1 + 3 = 11 — the paper's SMS number.
+        let mut b = DdgBuilder::new("n6n0");
+        let n0 = b.inst("n0", OpClass::IntAlu);
+        let n6 = b.inst("n6", OpClass::IntAlu);
+        b.reg_flow(n6, n0, 1);
+        let g = b.build().unwrap();
+        let sch = Schedule::from_times(&g, 8, vec![0, 7]);
+        assert_eq!(achieved_c_delay(&g, &sch, &costs()), 11);
+    }
+
+    #[test]
+    fn misspec_prob_counts_unpreserved_memory_deps() {
+        let mut b = DdgBuilder::new("spec");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, 1, 0.3);
+        let g = b.build().unwrap();
+        // No synchronised register deps — nothing can preserve it.
+        let sch = Schedule::from_times(&g, 4, vec![0, 1]);
+        let p = kernel_misspec_prob(&g, &sch, &costs());
+        assert!((p - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preserved_memory_dep_costs_nothing() {
+        // A serialising register dependence (large sync) makes the
+        // memory dependence preserved per Definition 3. All times stay
+        // in stage 0 (II = 8) so kernel distances equal edge distances.
+        let mut b = DdgBuilder::new("kept");
+        let u = b.inst("u", OpClass::IntAlu);
+        let v = b.inst("v", OpClass::IntAlu);
+        let st = b.inst_lat("st", OpClass::Store, 1);
+        let ld = b.inst("ld", OpClass::Load);
+        b.reg_flow(u, v, 1);
+        b.mem_flow(st, ld, 1, 0.9);
+        let g = b.build().unwrap();
+        // u row 2, v row 0: sync = 2 − 0 + 1 + 3 = 6. Memory dep st
+        // (row 7, lat 1) → ld (row 0), δ = 1: preservation needs
+        // row(u)=2 < row(st)=7 ✓ but 6 < 7 + 1 − 0 = 8 → NOT kept.
+        let sch = Schedule::from_times(&g, 8, vec![2, 0, 7, 0]);
+        let p = kernel_misspec_prob(&g, &sch, &costs());
+        assert!((p - 0.9).abs() < 1e-12);
+        // Slower producer row: u row 5 → sync = 5 + 1 + 3 = 9 ≥ 8 ✓.
+        let sch = Schedule::from_times(&g, 8, vec![5, 0, 7, 0]);
+        let p = kernel_misspec_prob(&g, &sch, &costs());
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn metrics_struct_is_coherent() {
+        let mut b = DdgBuilder::new("loop");
+        let a = b.inst_lat("acc", OpClass::FpAdd, 2);
+        let x = b.inst("x", OpClass::Load);
+        let s = b.inst("s", OpClass::Store);
+        b.reg_flow(x, a, 0);
+        b.reg_flow(a, a, 1);
+        b.reg_flow(a, s, 0);
+        b.mem_flow(s, x, 1, 0.05);
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let r = schedule_sms(&g, &m).unwrap();
+        let lm = LoopMetrics::compute(&g, &m, &r.schedule, &costs());
+        assert_eq!(lm.num_insts, 3);
+        assert_eq!(lm.mii, lm.res_ii.max(lm.rec_ii));
+        assert!(lm.ii >= lm.mii);
+        assert!(lm.stage_count >= 1);
+        assert!(lm.ldp >= 1);
+        assert!((0.0..=1.0).contains(&lm.misspec_prob));
+    }
+}

@@ -1,0 +1,190 @@
+//! The modulo reservation table (MRT).
+//!
+//! A schedule at initiation interval `II` may place at most
+//! `units(class)` operations of each functional-unit class — and at
+//! most `issue_width` operations in total — in each of the `II` modulo
+//! rows. Non-pipelined units (occupancy > 1) keep their unit busy for
+//! several consecutive rows. The MRT tracks row occupancy as
+//! instructions are placed and removed during the iterative scheduling
+//! process.
+
+use tms_ddg::OpClass;
+use tms_machine::{MachineModel, ResourceClass};
+
+/// Occupancy of the `II` modulo rows of a partial schedule.
+#[derive(Debug, Clone)]
+pub struct Mrt {
+    ii: u32,
+    machine: MachineModel,
+    /// `used[row * 5 + class]` — unit-cycles of `class` busy in `row`.
+    used: Vec<u32>,
+    /// Operations issued in each row (issue-width accounting).
+    row_total: Vec<u32>,
+}
+
+impl Mrt {
+    /// An empty table for the given `II` and machine.
+    pub fn new(ii: u32, machine: &MachineModel) -> Self {
+        assert!(ii >= 1, "II must be at least 1");
+        Mrt {
+            ii,
+            machine: machine.clone(),
+            used: vec![0; ii as usize * ResourceClass::ALL.len()],
+            row_total: vec![0; ii as usize],
+        }
+    }
+
+    /// The II this table was built for.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Modulo row of an absolute issue cycle (cycles may be negative
+    /// while a schedule is under construction).
+    #[inline]
+    pub fn row_of(&self, cycle: i64) -> usize {
+        cycle.rem_euclid(self.ii as i64) as usize
+    }
+
+    /// Rows an op of `class` occupies when issued at `cycle`: the issue
+    /// row plus `occupancy − 1` successors (modulo II), clamped so a
+    /// slow unit at small II simply occupies every row once.
+    fn occupied_rows(&self, class: ResourceClass, cycle: i64) -> Vec<usize> {
+        let occ = self.machine.occupancy_of(class).min(self.ii) as i64;
+        (0..occ).map(|k| self.row_of(cycle + k)).collect()
+    }
+
+    /// Whether an operation of class `op` can issue at `cycle` without
+    /// oversubscribing a unit (across its whole occupancy) or the issue
+    /// width (at the issue row).
+    pub fn can_place(&self, op: OpClass, cycle: i64) -> bool {
+        let class = ResourceClass::for_op(op);
+        if self.row_total[self.row_of(cycle)] >= self.machine.issue_width {
+            return false;
+        }
+        let units = self.machine.units_of(class);
+        self.occupied_rows(class, cycle)
+            .into_iter()
+            .all(|row| self.used[row * ResourceClass::ALL.len() + class.index()] < units)
+    }
+
+    /// Reserve a slot. Panics if the slot would be oversubscribed —
+    /// callers must check [`Mrt::can_place`] first.
+    pub fn place(&mut self, op: OpClass, cycle: i64) {
+        assert!(self.can_place(op, cycle), "MRT slot oversubscribed");
+        let class = ResourceClass::for_op(op);
+        for row in self.occupied_rows(class, cycle) {
+            self.used[row * ResourceClass::ALL.len() + class.index()] += 1;
+        }
+        let issue_row = self.row_of(cycle);
+        self.row_total[issue_row] += 1;
+    }
+
+    /// Release a previously reserved slot.
+    pub fn remove(&mut self, op: OpClass, cycle: i64) {
+        let class = ResourceClass::for_op(op);
+        for row in self.occupied_rows(class, cycle) {
+            let cell = &mut self.used[row * ResourceClass::ALL.len() + class.index()];
+            assert!(*cell > 0, "removing empty unit slot");
+            *cell -= 1;
+        }
+        let issue_row = self.row_of(cycle);
+        let total = &mut self.row_total[issue_row];
+        assert!(*total > 0, "removing empty issue slot");
+        *total -= 1;
+    }
+
+    /// Operations currently issued in `row`.
+    pub fn row_occupancy(&self, row: usize) -> u32 {
+        self.row_total[row]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mrt(ii: u32) -> Mrt {
+        Mrt::new(ii, &MachineModel::icpp2008())
+    }
+
+    #[test]
+    fn unit_saturation_blocks_placement() {
+        let mut m = mrt(4);
+        // One FpMulDiv unit: a second FP multiply in the same row must
+        // be rejected; a different row is fine.
+        assert!(m.can_place(OpClass::FpMul, 0));
+        m.place(OpClass::FpMul, 0);
+        assert!(!m.can_place(OpClass::FpMul, 0));
+        assert!(!m.can_place(OpClass::FpMul, 4)); // same modulo row
+        assert!(m.can_place(OpClass::FpMul, 1));
+    }
+
+    #[test]
+    fn issue_width_blocks_row() {
+        let mut m = mrt(2);
+        // Fill row 0 to the 4-wide issue limit with mixed classes.
+        m.place(OpClass::IntAlu, 0);
+        m.place(OpClass::IntAlu, 0);
+        m.place(OpClass::Load, 0);
+        m.place(OpClass::Load, 0);
+        assert_eq!(m.row_occupancy(0), 4);
+        assert!(!m.can_place(OpClass::FpAdd, 0), "width exhausted");
+        assert!(m.can_place(OpClass::FpAdd, 1));
+    }
+
+    #[test]
+    fn negative_cycles_map_to_rows() {
+        let m = mrt(4);
+        assert_eq!(m.row_of(-1), 3);
+        assert_eq!(m.row_of(-4), 0);
+        assert_eq!(m.row_of(7), 3);
+    }
+
+    #[test]
+    fn remove_frees_the_slot() {
+        let mut m = mrt(3);
+        m.place(OpClass::FpMul, 5); // row 2
+        assert!(!m.can_place(OpClass::FpMul, 2));
+        m.remove(OpClass::FpMul, 5);
+        assert!(m.can_place(OpClass::FpMul, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscribed")]
+    fn double_place_panics() {
+        let mut m = mrt(1);
+        m.place(OpClass::FpMul, 0);
+        m.place(OpClass::FpMul, 0);
+    }
+
+    #[test]
+    fn non_pipelined_unit_occupies_following_rows() {
+        // Figure 1's machine: the FP multiplier is busy 4 cycles.
+        let mut m = Mrt::new(8, &MachineModel::figure1_example());
+        m.place(OpClass::FpMul, 1);
+        // The unit is busy rows 1–4; any issue whose 4-row occupancy
+        // overlaps them is rejected (row 0 covers 0–3, rows 2–4 start
+        // inside the busy span).
+        for row in 0..5 {
+            assert!(!m.can_place(OpClass::FpMul, row), "row {row} overlaps");
+        }
+        assert!(m.can_place(OpClass::FpMul, 5)); // occupies 5,6,7,0
+        // The busy unit does not consume issue width in later rows.
+        assert_eq!(m.row_occupancy(2), 0);
+        m.remove(OpClass::FpMul, 1);
+        assert!(m.can_place(OpClass::FpMul, 2));
+    }
+
+    #[test]
+    fn occupancy_wraps_modulo_ii() {
+        // Occupancy 4 at II 3: every row gets covered (clamped), so a
+        // second multiply cannot fit anywhere.
+        let mut m = Mrt::new(3, &MachineModel::figure1_example());
+        assert!(m.can_place(OpClass::FpMul, 0));
+        m.place(OpClass::FpMul, 0);
+        for row in 0..3 {
+            assert!(!m.can_place(OpClass::FpMul, row));
+        }
+    }
+}

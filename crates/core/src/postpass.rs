@@ -1,0 +1,196 @@
+//! Post-scheduling passes (§3 / end of §4.3 of the paper):
+//!
+//! * **modulo variable expansion via copies** — every inter-iteration
+//!   register dependence whose kernel distance exceeds 1 is relayed
+//!   through copy instructions so that all communicated distances
+//!   become exactly 1 (values then always move between adjacent cores
+//!   on the ring);
+//! * **SEND/RECV insertion** — one SEND/RECV pair per producer per
+//!   thread hop; dependences sharing a producer share the communication
+//!   (the paper's n6→n0 / n6→n6 example).
+
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use tms_ddg::{Ddg, InstId};
+
+/// One synchronised communication: a producer whose value must reach
+/// `hops` successive threads.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Communication {
+    /// The producing instruction.
+    pub producer: InstId,
+    /// Kernel row at which the value becomes available
+    /// (`row(producer)`; the SEND issues as soon after as possible).
+    pub send_row: u32,
+    /// How many consecutive threads ahead the value must travel —
+    /// `max d_ker` over the producer's inter-thread register consumers.
+    pub hops: u32,
+    /// Consumers in later threads: `(consumer, d_ker)` pairs.
+    pub consumers: Vec<(InstId, u32)>,
+}
+
+/// The complete communication plan of a scheduled loop.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CommPlan {
+    /// One entry per producer with at least one inter-thread register
+    /// consumer.
+    pub communications: Vec<Communication>,
+    /// Relay copy instructions inserted: `Σ max(hops − 1, 0)`.
+    pub num_copies: u32,
+    /// SEND/RECV pairs executed per kernel iteration: `Σ hops` — the
+    /// original SEND plus one re-SEND per relay copy.
+    pub send_recv_pairs: u32,
+}
+
+impl CommPlan {
+    /// Build the plan from a finished schedule.
+    ///
+    /// Only register **flow** dependences with kernel distance ≥ 1 are
+    /// synchronised; intra-thread dependences need no communication and
+    /// memory dependences are speculated, not synchronised.
+    pub fn build(ddg: &Ddg, schedule: &Schedule) -> Self {
+        let mut communications: Vec<Communication> = Vec::new();
+        for u in ddg.inst_ids() {
+            let mut consumers: Vec<(InstId, u32)> = Vec::new();
+            let mut hops = 0u32;
+            for (_, e) in ddg.succ_edges(u) {
+                if !e.is_register_flow() {
+                    continue;
+                }
+                let d_ker = schedule.d_ker(e);
+                if d_ker >= 1 {
+                    let d = d_ker as u32;
+                    consumers.push((e.dst, d));
+                    hops = hops.max(d);
+                }
+            }
+            if hops >= 1 {
+                consumers.sort();
+                consumers.dedup();
+                communications.push(Communication {
+                    producer: u,
+                    send_row: schedule.row(u),
+                    hops,
+                    consumers,
+                });
+            }
+        }
+        let num_copies = communications.iter().map(|c| c.hops.saturating_sub(1)).sum();
+        let send_recv_pairs = communications.iter().map(|c| c.hops).sum();
+        CommPlan {
+            communications,
+            num_copies,
+            send_recv_pairs,
+        }
+    }
+
+    /// Producers that communicate.
+    pub fn num_producers(&self) -> usize {
+        self.communications.len()
+    }
+
+    /// After this pass, every communicated register dependence travels
+    /// hop by hop — distances are all 1 (the paper's §3 invariant).
+    /// Exposed as a checkable predicate for tests.
+    pub fn all_distances_unit(&self) -> bool {
+        // By construction each Communication moves one hop at a time;
+        // the invariant can only break if a consumer records a hop
+        // count above the producer's.
+        self.communications
+            .iter()
+            .all(|c| c.consumers.iter().all(|&(_, d)| d <= c.hops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::{DdgBuilder, OpClass};
+
+    #[test]
+    fn shared_producer_uses_one_communication() {
+        // n6 -> n0 (d=1) and n6 -> n6 (d=1): one SEND/RECV pair.
+        let mut b = DdgBuilder::new("share");
+        let n0 = b.inst("n0", OpClass::IntAlu);
+        let n6 = b.inst("n6", OpClass::IntAlu);
+        b.reg_flow(n6, n0, 1);
+        b.reg_flow(n6, n6, 1);
+        let g = b.build().unwrap();
+        let s = Schedule::from_times(&g, 8, vec![0, 1]);
+        let plan = CommPlan::build(&g, &s);
+        assert_eq!(plan.num_producers(), 1);
+        assert_eq!(plan.send_recv_pairs, 1);
+        assert_eq!(plan.num_copies, 0);
+        assert_eq!(plan.communications[0].consumers.len(), 2);
+    }
+
+    #[test]
+    fn multi_hop_dependence_needs_relays() {
+        let mut b = DdgBuilder::new("far");
+        let p = b.inst("p", OpClass::IntAlu);
+        let q = b.inst("q", OpClass::IntAlu);
+        b.reg_flow(p, q, 3);
+        let g = b.build().unwrap();
+        let s = Schedule::from_times(&g, 4, vec![0, 1]); // same stage
+        let plan = CommPlan::build(&g, &s);
+        assert_eq!(plan.communications[0].hops, 3);
+        assert_eq!(plan.num_copies, 2);
+        assert_eq!(plan.send_recv_pairs, 3);
+        assert!(plan.all_distances_unit());
+    }
+
+    #[test]
+    fn intra_thread_dependences_need_no_communication() {
+        let mut b = DdgBuilder::new("intra");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        let g = b.build().unwrap();
+        let s = Schedule::from_times(&g, 2, vec![0, 1]);
+        let plan = CommPlan::build(&g, &s);
+        assert_eq!(plan.num_producers(), 0);
+        assert_eq!(plan.send_recv_pairs, 0);
+    }
+
+    #[test]
+    fn pipelined_distance_folds_into_stage() {
+        // d=1 but the consumer sits one stage earlier: d_ker = 0 — the
+        // paper's n8 -> n5 case. No communication needed.
+        let mut b = DdgBuilder::new("fold");
+        let n8 = b.inst("n8", OpClass::IntAlu);
+        let n5 = b.inst("n5", OpClass::IntAlu);
+        b.reg_flow(n8, n5, 1);
+        let g = b.build().unwrap();
+        let s = Schedule::from_times(&g, 4, vec![4, 1]); // stages 1, 0
+        let plan = CommPlan::build(&g, &s);
+        assert_eq!(plan.num_producers(), 0);
+    }
+
+    #[test]
+    fn memory_dependences_are_not_synchronised() {
+        let mut b = DdgBuilder::new("mem");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, 1, 0.5);
+        let g = b.build().unwrap();
+        let s = Schedule::from_times(&g, 2, vec![0, 1]);
+        let plan = CommPlan::build(&g, &s);
+        assert_eq!(plan.num_producers(), 0);
+    }
+
+    #[test]
+    fn two_producers_two_pairs() {
+        let mut b = DdgBuilder::new("two");
+        let p1 = b.inst("p1", OpClass::IntAlu);
+        let p2 = b.inst("p2", OpClass::IntAlu);
+        let c1 = b.inst("c1", OpClass::IntAlu);
+        let c2 = b.inst("c2", OpClass::IntAlu);
+        b.reg_flow(p1, c1, 1);
+        b.reg_flow(p2, c2, 1);
+        let g = b.build().unwrap();
+        let s = Schedule::from_times(&g, 4, vec![0, 1, 2, 3]);
+        let plan = CommPlan::build(&g, &s);
+        assert_eq!(plan.num_producers(), 2);
+        assert_eq!(plan.send_recv_pairs, 2);
+    }
+}

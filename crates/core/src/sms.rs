@@ -1,0 +1,360 @@
+//! Swing modulo scheduling (SMS) — the baseline the paper builds on —
+//! and the shared scheduling engine that TMS plugs into.
+//!
+//! The engine walks the SMS node order, computes each node's scheduling
+//! window and places it at the first candidate cycle that is (a)
+//! resource-feasible in the MRT and (b) accepted by a [`SlotPolicy`].
+//! SMS's policy accepts everything (pure "lifetime-minimal" placement);
+//! TMS's policy (in [`crate::tms`]) adds the C1/C2 thread-sensitivity
+//! checks of Figure 3 — exactly how the paper describes TMS "dropping
+//! into" SMS.
+
+use crate::order::sms_order;
+use crate::schedule::{PartialSchedule, Schedule};
+use crate::window::window_of;
+use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
+use tms_ddg::{Ddg, InstId};
+use tms_machine::{mii, MachineModel};
+
+/// Per-slot admission control: the hook that turns SMS into TMS.
+pub trait SlotPolicy {
+    /// May `v` be placed at `cycle` given the current partial schedule?
+    /// Resource feasibility has already been checked.
+    fn accept(&self, ddg: &Ddg, ps: &PartialSchedule, v: InstId, cycle: i64) -> bool;
+}
+
+/// SMS's policy: any resource-feasible slot in the window is fine.
+pub struct AcceptAll;
+
+impl SlotPolicy for AcceptAll {
+    #[inline]
+    fn accept(&self, _ddg: &Ddg, _ps: &PartialSchedule, _v: InstId, _cycle: i64) -> bool {
+        true
+    }
+}
+
+/// Why scheduling failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// No II up to the configured bound admitted a schedule.
+    NoScheduleFound {
+        /// The loop that failed.
+        loop_name: String,
+        /// Largest II tried.
+        ii_tried: u32,
+    },
+    /// The machine lacks a unit class the loop requires.
+    Unschedulable {
+        /// The loop that failed.
+        loop_name: String,
+    },
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::NoScheduleFound { loop_name, ii_tried } => {
+                write!(f, "no schedule for '{loop_name}' up to II={ii_tried}")
+            }
+            SchedError::Unschedulable { loop_name } => {
+                write!(f, "'{loop_name}' needs units the machine lacks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Attempt to schedule `ddg` at a fixed `ii` under `policy`, using the
+/// supplied node `order`. Returns `None` if any node finds no slot.
+///
+/// When every slot of a non-empty window is resource-blocked, the
+/// engine falls back to Rau-style **ejection**: the node takes the
+/// window's preferred slot and the lowest-priority occupants of that
+/// modulo row are unscheduled and retried later. This handles the
+/// width-1 `Both` windows that tight recurrences produce, where
+/// increasing II alone can never resolve the conflict (zero-distance
+/// chains keep their relative positions at every II). A budget bounds
+/// the ejection churn; on exhaustion the II is rejected as usual.
+pub fn try_schedule(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    ii: u32,
+    order: &[InstId],
+    policy: &dyn SlotPolicy,
+) -> Option<Schedule> {
+    let frames = TimeFrames::compute(ddg, ii)?;
+    let mut ps = PartialSchedule::new(ddg, ii, machine);
+    // Priority of each node = its position in the SMS order.
+    let mut pos = vec![usize::MAX; ddg.num_insts()];
+    for (i, &n) in order.iter().enumerate() {
+        pos[n.index()] = i;
+    }
+    let mut eject_budget = (ddg.num_insts() * 10).max(100);
+    // Monotone forced-slot floor per node (IMS forward progress).
+    let mut earliest: Vec<i64> = vec![i64::MIN; ddg.num_insts()];
+    while let Some(&v) = order.iter().find(|&&n| !ps.is_placed(n)) {
+        let w = window_of(ddg, &ps, &frames, v);
+        let slot = w
+            .cycles
+            .iter()
+            .copied()
+            .find(|&c| ps.fits(ddg, v, c) && policy.accept(ddg, &ps, v, c));
+        match slot {
+            Some(c) => ps.place(ddg, v, c),
+            None => {
+                if eject_budget == 0 {
+                    return None;
+                }
+                eject_budget -= 1;
+                // IMS forced placement: take a slot at or after the
+                // window's lower bound (the predecessor-derived floor
+                // when the window is empty), never earlier than the
+                // last forced slot for v plus one (guaranteed
+                // progress), ejecting whoever is in the way — both the
+                // row's resource occupants and any neighbour whose
+                // dependence the forced slot violates. Violations
+                // against non-adjacent placed nodes surface as empty
+                // windows of the nodes in between, which then force in
+                // turn — the cascade terminates because every floor is
+                // monotone and the budget is finite.
+                let lb = w
+                    .cycles
+                    .iter()
+                    .min()
+                    .copied()
+                    .unwrap_or_else(|| crate::window::force_floor(ddg, &ps, &frames, v));
+                let floor = lb.max(earliest[v.index()]);
+                let c = (floor..floor + ii as i64)
+                    .find(|&x| policy.accept(ddg, &ps, v, x))?;
+                earliest[v.index()] = c + 1;
+                eject_row_conflicts(ddg, &mut ps, v, c, &pos);
+                if !ps.fits(ddg, v, c) {
+                    return None;
+                }
+                ps.place(ddg, v, c);
+                eject_violated_neighbours(ddg, &mut ps, v, ii);
+            }
+        }
+    }
+    Some(ps.finish(ddg))
+}
+
+/// After a forced placement of `v`, unschedule every placed neighbour
+/// whose dependence with `v` the new slot violates; they will be
+/// rescheduled on a later pass.
+fn eject_violated_neighbours(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, ii: u32) {
+    let iil = ii as i64;
+    loop {
+        let victim = ddg.edges().iter().find_map(|e| {
+            if e.src != v && e.dst != v {
+                return None;
+            }
+            let (Some(ts), Some(td)) = (ps.time(e.src), ps.time(e.dst)) else {
+                return None;
+            };
+            if td < ts + e.delay - iil * e.distance as i64 {
+                Some(if e.src == v { e.dst } else { e.src })
+            } else {
+                None
+            }
+        });
+        match victim {
+            Some(n) if n != v => ps.remove(ddg, n),
+            // A violated self-edge means the II itself is too small;
+            // leave it for the legality check to reject.
+            _ => break,
+        }
+    }
+}
+
+/// Unschedule the lowest-priority occupants of `cycle`'s modulo row
+/// until `v` fits there: first same-resource-class ops, then (if the
+/// issue width still blocks) any op.
+fn eject_row_conflicts(
+    ddg: &Ddg,
+    ps: &mut PartialSchedule,
+    v: InstId,
+    cycle: i64,
+    pos: &[usize],
+) {
+    use tms_machine::ResourceClass;
+    let class = ResourceClass::for_op(ddg.inst(v).op);
+    while !ps.fits(ddg, v, cycle) {
+        let occupants: Vec<InstId> = ps.placed_in_row(cycle).collect();
+        // Prefer evicting an op of the same class; otherwise anything
+        // (the issue width is the blocker).
+        let victim = occupants
+            .iter()
+            .copied()
+            .filter(|&n| ResourceClass::for_op(ddg.inst(n).op) == class)
+            .max_by_key(|&n| pos[n.index()])
+            .or_else(|| occupants.iter().copied().max_by_key(|&n| pos[n.index()]));
+        match victim {
+            Some(n) => ps.remove(ddg, n),
+            None => return, // row empty yet still unfit: impossible
+        }
+    }
+}
+
+/// Result of running SMS on a loop.
+#[derive(Debug, Clone)]
+pub struct SmsResult {
+    /// The final schedule.
+    pub schedule: Schedule,
+    /// The minimum II (`max(ResII, RecII)`).
+    pub mii: u32,
+    /// The SMS node order used (TMS reuses it).
+    pub order: Vec<InstId>,
+    /// Longest dependence path of the loop.
+    pub ldp: i64,
+}
+
+/// A sane II search ceiling: the flat critical path plus total latency
+/// always admits a trivial schedule, so searching beyond it is wasted.
+pub fn ii_search_ceiling(ddg: &Ddg, start: u32) -> u32 {
+    let ldp = AcyclicPriorities::compute(ddg).ldp;
+    (start as u64 + ldp as u64 + ddg.total_latency() + ddg.num_insts() as u64)
+        .min(u32::MAX as u64) as u32
+}
+
+/// Run SMS: iteratively increase II from MII until a schedule exists
+/// (Figure 3 with the boxed TMS lines removed).
+pub fn schedule_sms(ddg: &Ddg, machine: &MachineModel) -> Result<SmsResult, SchedError> {
+    let m = mii(ddg, machine);
+    if m == u32::MAX {
+        return Err(SchedError::Unschedulable {
+            loop_name: ddg.name().to_string(),
+        });
+    }
+    let order = sms_order(ddg);
+    let ldp = AcyclicPriorities::compute(ddg).ldp;
+    let ceiling = ii_search_ceiling(ddg, m);
+    for ii in m..=ceiling {
+        if let Some(schedule) = try_schedule(ddg, machine, ii, &order, &AcceptAll) {
+            debug_assert!(schedule.check_legal(ddg).is_none());
+            debug_assert!(schedule.check_resources(ddg, machine));
+            return Ok(SmsResult {
+                schedule,
+                mii: m,
+                order,
+                ldp,
+            });
+        }
+    }
+    Err(SchedError::NoScheduleFound {
+        loop_name: ddg.name().to_string(),
+        ii_tried: ceiling,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::{DdgBuilder, OpClass};
+
+    fn machine() -> MachineModel {
+        MachineModel::icpp2008()
+    }
+
+    #[test]
+    fn schedules_simple_chain_at_mii() {
+        let mut b = DdgBuilder::new("chain");
+        let l = b.inst("ld", OpClass::Load);
+        let m = b.inst("mul", OpClass::FpMul);
+        let s = b.inst("st", OpClass::Store);
+        b.reg_flow(l, m, 0);
+        b.reg_flow(m, s, 0);
+        let g = b.build().unwrap();
+        let r = schedule_sms(&g, &machine()).unwrap();
+        assert_eq!(r.schedule.ii(), 1);
+        assert!(r.schedule.check_legal(&g).is_none());
+        assert!(r.schedule.check_resources(&g, &machine()));
+    }
+
+    #[test]
+    fn recurrence_forces_ii() {
+        let mut b = DdgBuilder::new("rec");
+        let a = b.inst_lat("acc", OpClass::FpAdd, 2);
+        let x = b.inst("x", OpClass::Load);
+        b.reg_flow(x, a, 0);
+        b.reg_flow(a, a, 1);
+        let g = b.build().unwrap();
+        let r = schedule_sms(&g, &machine()).unwrap();
+        assert_eq!(r.mii, 2);
+        assert_eq!(r.schedule.ii(), 2);
+    }
+
+    #[test]
+    fn resource_pressure_forces_ii() {
+        // Five independent FP multiplies on one unit: II = 5.
+        let mut b = DdgBuilder::new("fpmul5");
+        for i in 0..5 {
+            b.inst(format!("m{i}"), OpClass::FpMul);
+        }
+        let g = b.build().unwrap();
+        let r = schedule_sms(&g, &machine()).unwrap();
+        assert_eq!(r.schedule.ii(), 5);
+        assert!(r.schedule.check_resources(&g, &machine()));
+    }
+
+    #[test]
+    fn schedule_is_legal_on_dense_graph() {
+        let mut b = DdgBuilder::new("dense");
+        let n: Vec<_> = (0..8)
+            .map(|i| {
+                b.inst_lat(
+                    format!("n{i}"),
+                    if i % 2 == 0 { OpClass::FpAdd } else { OpClass::FpMul },
+                    1 + (i % 3) as u32,
+                )
+            })
+            .collect();
+        for i in 0..7 {
+            b.reg_flow(n[i], n[i + 1], 0);
+        }
+        b.reg_flow(n[4], n[1], 1);
+        b.reg_flow(n[7], n[0], 2);
+        b.mem_flow(n[6], n[2], 1, 0.1);
+        let g = b.build().unwrap();
+        let r = schedule_sms(&g, &machine()).unwrap();
+        assert!(r.schedule.check_legal(&g).is_none(), "illegal schedule");
+        assert!(r.schedule.check_resources(&g, &machine()));
+    }
+
+    #[test]
+    fn unschedulable_machine_reports_error() {
+        let mut b = DdgBuilder::new("fp");
+        b.inst("f", OpClass::FpAdd);
+        let g = b.build().unwrap();
+        let no_fp = MachineModel {
+            units: [2, 1, 0, 1, 2],
+            ..MachineModel::icpp2008()
+        };
+        assert!(matches!(
+            schedule_sms(&g, &no_fp),
+            Err(SchedError::Unschedulable { .. })
+        ));
+    }
+
+    #[test]
+    fn sms_minimises_distance_to_consumer() {
+        // The motivating-example shape: a producer whose only scheduled
+        // neighbour is its next-iteration consumer gets pushed to the
+        // latest slot of its window (closest in time to the consumer).
+        let mut b = DdgBuilder::new("close");
+        let cons = b.inst_lat("cons", OpClass::FpAdd, 8); // fixes II=8
+        let prod = b.inst("prod", OpClass::IntAlu);
+        b.reg_flow(cons, cons, 1); // recurrence: RecII 8
+        b.reg_flow(prod, cons, 1);
+        let g = b.build().unwrap();
+        let r = schedule_sms(&g, &machine()).unwrap();
+        assert_eq!(r.schedule.ii(), 8);
+        // cons is ordered first (recurrence); prod's window is
+        // successor-bounded and scanned downward, so prod lands as late
+        // as possible: t(cons) − 1 + 8 = t(cons) + 7.
+        let tc = r.schedule.time(InstId(0));
+        let tp = r.schedule.time(InstId(1));
+        assert_eq!(tp - tc, 7, "SMS should pick the latest window slot");
+    }
+}

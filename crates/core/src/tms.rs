@@ -1,0 +1,504 @@
+//! Thread-sensitive modulo scheduling (TMS) — Figure 3 of the paper.
+//!
+//! TMS wraps the SMS engine with two additions:
+//!
+//! 1. an outer enumeration of `(II, C_delay)` pairs in increasing
+//!    cost-model order (the `F_min++` loop), and
+//! 2. a [`SlotPolicy`] that admits a slot only if the new
+//!    inter-iteration register dependences stay within the current
+//!    `C_delay` budget (condition **C1**) and the accumulated
+//!    misspeculation frequency of non-preserved inter-iteration memory
+//!    dependences stays within `P_max` (condition **C2**).
+
+use crate::cost::{misspec_probability, preserves, sync_delay, CostKey, CostModel};
+use crate::order::sms_order;
+use crate::schedule::{PartialSchedule, Schedule};
+use crate::sms::{ii_search_ceiling, schedule_sms, try_schedule, SchedError, SlotPolicy};
+use tms_ddg::analysis::AcyclicPriorities;
+use tms_ddg::{Ddg, InstId};
+use tms_machine::{mii, CostConstants, MachineModel};
+
+/// Tunables of the TMS search.
+#[derive(Debug, Clone)]
+pub struct TmsConfig {
+    /// `P_max` values to try per `(II, C_delay)` candidate, in order.
+    /// Figure 3 treats `P_max` as a tunable parameter in `[0,1]`; the
+    /// paper tries several and keeps the best schedule.
+    pub p_max_values: Vec<f64>,
+    /// Upper bound on II. Defaults to `max(MII, LDP)` — the paper notes
+    /// II "can be bounded by the longest critical path in the DDG".
+    pub ii_max: Option<u32>,
+    /// Upper bound on the `C_delay` threshold. Defaults to
+    /// `II_max + max latency + C_reg_com` — the largest Definition-2
+    /// sync any schedule at `II_max` can produce. (The paper suggests
+    /// `II/ncore` as a bound, but its own Table 3 contains loops —
+    /// lucas — whose `C_delay` is close to II; the cost ordering makes
+    /// large thresholds naturally last, so a generous cap is safe.)
+    pub c_delay_max: Option<u32>,
+    /// Safety cap on the number of `(II, C_delay, P_max)` attempts.
+    pub max_attempts: usize,
+    /// Try every integer `C_delay` candidate. When false (default) the
+    /// grid is thinned for large thresholds — dense near the minimum,
+    /// stride 2 beyond `min+8`, stride 4 beyond `min+24` — trading an
+    /// `F` within one stride of optimal for an order of magnitude fewer
+    /// attempts on recurrence-bound loops.
+    pub dense_candidates: bool,
+    /// If no candidate admits a schedule, fall back to plain SMS
+    /// (always succeeds when the loop is schedulable at all).
+    pub allow_sms_fallback: bool,
+    /// Stage-count slack accepted beyond the dependence-forced minimum
+    /// `⌈LDP / II⌉`. Without a bound the search can satisfy a small
+    /// `C_delay` by scattering instructions across many stages — every
+    /// split dependence individually synchronises cheaply, but the
+    /// schedule drowns in SEND/RECV pairs and register copies. The
+    /// paper's TMS instead trades II up ("TMS exhibits a larger II but
+    /// a much smaller C_delay", §5.1) and only "slightly larger"
+    /// MaxLive; bounding stages forces the same trade.
+    pub max_extra_stages: u32,
+}
+
+impl Default for TmsConfig {
+    fn default() -> Self {
+        TmsConfig {
+            p_max_values: vec![0.01, 0.05, 0.20],
+            ii_max: None,
+            c_delay_max: None,
+            max_attempts: 200_000,
+            dense_candidates: false,
+            allow_sms_fallback: true,
+            max_extra_stages: 2,
+        }
+    }
+}
+
+impl TmsConfig {
+    /// Configuration for the speculation ablation of §5.2: a `P_max`
+    /// of exactly 0 forbids any non-preserved speculated dependence, so
+    /// every inter-thread memory dependence must end up synchronised
+    /// (preserved) in the schedule.
+    pub fn no_speculation() -> Self {
+        TmsConfig {
+            p_max_values: vec![0.0],
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of a TMS run.
+#[derive(Debug, Clone)]
+pub struct TmsResult {
+    /// The accepted schedule.
+    pub schedule: Schedule,
+    /// Minimum II of the loop.
+    pub mii: u32,
+    /// Longest dependence path of the loop.
+    pub ldp: i64,
+    /// II of the accepted schedule.
+    pub ii: u32,
+    /// The `C_delay` threshold the accepted candidate used.
+    pub c_delay_threshold: u32,
+    /// The `P_max` the accepted candidate used.
+    pub p_max: f64,
+    /// Cost key (`F · ncore`) of the accepted schedule, computed from
+    /// its *achieved* `C_delay` (≤ the candidate threshold).
+    pub cost_key: CostKey,
+    /// True if every thread-sensitive candidate failed and the result
+    /// is the plain SMS schedule.
+    pub fell_back_to_sms: bool,
+}
+
+/// The TMS slot admission policy (conditions C1 and C2 of Figure 3).
+pub struct TmsPolicy<'a> {
+    costs: &'a CostConstants,
+    c_delay: u32,
+    p_max: f64,
+}
+
+impl<'a> TmsPolicy<'a> {
+    /// Policy for one `(C_delay, P_max)` candidate.
+    pub fn new(costs: &'a CostConstants, c_delay: u32, p_max: f64) -> Self {
+        TmsPolicy {
+            costs,
+            c_delay,
+            p_max,
+        }
+    }
+
+    /// Issue time of `n` under the tentative placement of `v` at `c`.
+    #[inline]
+    fn time_with(ps: &PartialSchedule, v: InstId, c: i64, n: InstId) -> Option<i64> {
+        if n == v {
+            Some(c)
+        } else {
+            ps.time(n)
+        }
+    }
+}
+
+impl SlotPolicy for TmsPolicy<'_> {
+    fn accept(&self, ddg: &Ddg, ps: &PartialSchedule, v: InstId, c: i64) -> bool {
+        let ii = ps.ii() as i64;
+        // Rows and stages are normalisation-dependent (the final
+        // schedule shifts its minimum time to 0); anchoring the
+        // provisional values to the running minimum keeps the C1/C2
+        // checks consistent with the final kernel unless a later
+        // placement dips below the current minimum — the post-search
+        // verification in `schedule_tms` catches that residual case.
+        let base = ps.min_time().map_or(c, |m| m.min(c));
+        let stage = move |t: i64| (t - base).div_euclid(ii);
+        let row = move |t: i64| (t - base).rem_euclid(ii);
+
+        // --- C1: every NEW inter-iteration register dependence formed
+        // by placing v must synchronise within C_delay (Definition 2).
+        let mut v_adds_mem_dep = false;
+        for e in ddg.edges() {
+            if e.src != v && e.dst != v {
+                continue;
+            }
+            let (Some(ts), Some(td)) = (
+                Self::time_with(ps, v, c, e.src),
+                Self::time_with(ps, v, c, e.dst),
+            ) else {
+                continue;
+            };
+            let d_ker = e.distance as i64 + stage(td) - stage(ts);
+            if d_ker < 1 {
+                continue; // intra-thread in the kernel
+            }
+            if e.is_register_flow() {
+                let s = sync_delay(row(ts), row(td), ddg.inst(e.src).latency, self.costs);
+                if s > self.c_delay as i64 {
+                    return false;
+                }
+            } else if e.is_memory_flow() {
+                v_adds_mem_dep = true;
+            }
+        }
+
+        // --- C2: only checked when v introduces a new speculated
+        // dependence (M_v ≠ ∅ in Figure 3).
+        if !v_adds_mem_dep {
+            return true;
+        }
+
+        // R_all: all inter-iteration register flow dependences among
+        // placed ∪ {v}, as (sync, producer-row) pairs for Definition 3.
+        let mut r_all: Vec<(i64, i64)> = Vec::new();
+        for e in ddg.edges() {
+            if !e.is_register_flow() {
+                continue;
+            }
+            let (Some(ts), Some(td)) = (
+                Self::time_with(ps, v, c, e.src),
+                Self::time_with(ps, v, c, e.dst),
+            ) else {
+                continue;
+            };
+            let d_ker = e.distance as i64 + stage(td) - stage(ts);
+            if d_ker >= 1 {
+                let s = sync_delay(row(ts), row(td), ddg.inst(e.src).latency, self.costs);
+                r_all.push((s, row(ts)));
+            }
+        }
+
+        // M_all: non-preserved inter-iteration memory flow dependences
+        // among placed ∪ {v}.
+        let mut probs: Vec<f64> = Vec::new();
+        for e in ddg.edges() {
+            if !e.is_memory_flow() {
+                continue;
+            }
+            let (Some(ts), Some(td)) = (
+                Self::time_with(ps, v, c, e.src),
+                Self::time_with(ps, v, c, e.dst),
+            ) else {
+                continue;
+            };
+            let d_ker = e.distance as i64 + stage(td) - stage(ts);
+            if d_ker < 1 {
+                continue;
+            }
+            let (rx, ry) = (row(ts), row(td));
+            let lat_x = ddg.inst(e.src).latency;
+            let kept = r_all
+                .iter()
+                .any(|&(s_uv, row_u)| preserves(s_uv, row_u, rx, ry, lat_x, d_ker));
+            if !kept {
+                probs.push(e.prob);
+            }
+        }
+        misspec_probability(probs) <= self.p_max
+    }
+}
+
+/// Thinned `(II, C_delay)` candidate grid, sorted by cost key: dense
+/// `C_delay` values near the Definition-2 minimum, stride 2 beyond
+/// `min+8`, stride 4 beyond `min+24` (the maximum is always included).
+fn thinned_candidates(
+    model: &CostModel,
+    mii: u32,
+    ii_max: u32,
+    cd_max: u32,
+) -> Vec<(u32, u32, CostKey)> {
+    let cd_min = model.costs.min_c_delay();
+    let cd_hi = cd_max.max(cd_min);
+    let mut cds: Vec<u32> = Vec::new();
+    let mut cd = cd_min;
+    while cd <= cd_hi {
+        cds.push(cd);
+        cd += if cd < cd_min + 8 {
+            1
+        } else if cd < cd_min + 24 {
+            2
+        } else {
+            4
+        };
+    }
+    if *cds.last().unwrap() != cd_hi {
+        cds.push(cd_hi);
+    }
+    let mut v: Vec<(u32, u32, CostKey)> = Vec::new();
+    for ii in mii..=ii_max.max(mii) {
+        for &cd in &cds {
+            v.push((ii, cd, model.cost_key(ii, cd)));
+        }
+    }
+    v.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+    v
+}
+
+/// Run TMS on a loop.
+///
+/// Candidates `(II, C_delay)` are visited in increasing `F` (exact
+/// integer cost keys), each tried with every configured `P_max`; the
+/// first success is, by construction, a minimum-`F` schedule — the
+/// equivalent of Figure 3's iterative `F_min` increase.
+pub fn schedule_tms(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    model: &CostModel,
+    config: &TmsConfig,
+) -> Result<TmsResult, SchedError> {
+    let m = mii(ddg, machine);
+    if m == u32::MAX {
+        return Err(SchedError::Unschedulable {
+            loop_name: ddg.name().to_string(),
+        });
+    }
+    let order = sms_order(ddg);
+    let ldp = AcyclicPriorities::compute(ddg).ldp;
+
+    // SMS runs first: its II floors the candidate ceiling (on loops
+    // where ejection pressure pushes SMS well past both MII and LDP, a
+    // ceiling of max(MII, LDP) would leave TMS no feasible candidate at
+    // all), and its schedule is the ready-made fallback.
+    let sms = schedule_sms(ddg, machine)?;
+    let ii_max = config
+        .ii_max
+        .unwrap_or((ldp as u32).max(m).max(sms.schedule.ii() + 2));
+    let max_lat = ddg.insts().iter().map(|i| i.latency).max().unwrap_or(1);
+    let cd_max = config
+        .c_delay_max
+        .unwrap_or(ii_max + max_lat + model.costs.c_reg_com);
+    let candidates = if config.dense_candidates {
+        model.candidates(m, ii_max, cd_max)
+    } else {
+        thinned_candidates(model, m, ii_max, cd_max)
+    };
+
+    let mut attempts = 0usize;
+    for &(ii, c_delay, key) in &candidates {
+        for &p_max in &config.p_max_values {
+            attempts += 1;
+            if attempts > config.max_attempts {
+                break;
+            }
+            let policy = TmsPolicy::new(&model.costs, c_delay, p_max);
+            if let Some(schedule) = try_schedule(ddg, machine, ii, &order, &policy) {
+                debug_assert!(schedule.check_legal(ddg).is_none());
+                debug_assert!(schedule.check_resources(ddg, machine));
+                // Post-search verification on the *normalised* kernel:
+                // the incremental C1/C2 checks run against provisional
+                // stages; reject candidates whose final kernel exceeds
+                // the thresholds they were accepted under.
+                let achieved = crate::metrics::achieved_c_delay(ddg, &schedule, &model.costs);
+                let p_m = crate::metrics::kernel_misspec_prob(ddg, &schedule, &model.costs);
+                let min_stages = (ldp as u32).div_ceil(ii.max(1)).max(1);
+                if achieved > c_delay
+                    || p_m > p_max + 1e-12
+                    || schedule.stage_count() > min_stages + config.max_extra_stages
+                {
+                    continue;
+                }
+                let _ = key;
+                return Ok(TmsResult {
+                    schedule,
+                    mii: m,
+                    ldp,
+                    ii,
+                    c_delay_threshold: c_delay,
+                    p_max,
+                    cost_key: model.cost_key(ii, achieved),
+                    fell_back_to_sms: false,
+                });
+            }
+        }
+        if attempts > config.max_attempts {
+            break;
+        }
+    }
+
+    if config.allow_sms_fallback {
+        let ii = sms.schedule.ii();
+        let achieved = crate::metrics::achieved_c_delay(ddg, &sms.schedule, &model.costs);
+        let key = model.cost_key(ii, achieved);
+        Ok(TmsResult {
+            schedule: sms.schedule,
+            mii: m,
+            ldp,
+            ii,
+            c_delay_threshold: achieved,
+            p_max: 1.0,
+            cost_key: key,
+            fell_back_to_sms: true,
+        })
+    } else {
+        Err(SchedError::NoScheduleFound {
+            loop_name: ddg.name().to_string(),
+            ii_tried: ii_search_ceiling(ddg, m),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::achieved_c_delay;
+    use tms_ddg::{DdgBuilder, OpClass};
+    use tms_machine::ArchParams;
+
+    fn machine() -> MachineModel {
+        MachineModel::icpp2008()
+    }
+
+    fn model(ncore: u32) -> CostModel {
+        CostModel::new(ArchParams::icpp2008().costs, ncore)
+    }
+
+    /// A loop shaped like the motivating example: a long recurrence
+    /// fixing II, plus a producer feeding the next iteration's start.
+    fn motivating_shape() -> Ddg {
+        let mut b = DdgBuilder::new("shape");
+        let n0 = b.inst_lat("n0", OpClass::Load, 3);
+        let n1 = b.inst_lat("n1", OpClass::IntAlu, 1);
+        let n2 = b.inst_lat("n2", OpClass::IntAlu, 1);
+        let n4 = b.inst_lat("n4", OpClass::IntAlu, 2);
+        let n5 = b.inst_lat("n5", OpClass::Store, 1);
+        let n6 = b.inst_lat("n6", OpClass::IntAlu, 1);
+        b.reg_flow(n0, n1, 0);
+        b.reg_flow(n1, n2, 0);
+        b.reg_flow(n2, n4, 0);
+        b.reg_flow(n4, n5, 0);
+        // As in Figure 1, the recurrence closes through a *memory*
+        // dependence with small probability — that is exactly what TMS
+        // speculates on. RecII is still 8 (modulo scheduling respects
+        // memory dependences regardless of probability).
+        b.mem_flow(n5, n0, 1, 0.01);
+        b.reg_flow(n6, n0, 1); // cross-thread register dependence
+        b.reg_flow(n6, n6, 1);
+        b.mem_flow(n5, n2, 1, 0.02);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tms_reduces_sync_delay_vs_sms() {
+        let g = motivating_shape();
+        let costs = ArchParams::icpp2008().costs;
+        let sms = schedule_sms(&g, &machine()).unwrap();
+        let tms = schedule_tms(&g, &machine(), &model(2), &TmsConfig::default()).unwrap();
+        assert!(!tms.fell_back_to_sms);
+        let sms_cd = achieved_c_delay(&g, &sms.schedule, &costs);
+        let tms_cd = achieved_c_delay(&g, &tms.schedule, &costs);
+        assert!(
+            tms_cd < sms_cd,
+            "TMS C_delay {tms_cd} should beat SMS {sms_cd}"
+        );
+    }
+
+    #[test]
+    fn tms_schedule_is_legal() {
+        let g = motivating_shape();
+        let r = schedule_tms(&g, &machine(), &model(4), &TmsConfig::default()).unwrap();
+        assert!(r.schedule.check_legal(&g).is_none());
+        assert!(r.schedule.check_resources(&g, &machine()));
+    }
+
+    #[test]
+    fn tms_honours_its_own_threshold() {
+        let g = motivating_shape();
+        let costs = ArchParams::icpp2008().costs;
+        let r = schedule_tms(&g, &machine(), &model(4), &TmsConfig::default()).unwrap();
+        if !r.fell_back_to_sms {
+            let achieved = achieved_c_delay(&g, &r.schedule, &costs);
+            assert!(
+                achieved <= r.c_delay_threshold,
+                "achieved {achieved} > threshold {}",
+                r.c_delay_threshold
+            );
+        }
+    }
+
+    #[test]
+    fn doall_loop_schedules_with_minimal_c_delay() {
+        // No loop-carried register deps at all: any C_delay works, so
+        // TMS should accept the very first (cheapest) candidate.
+        let mut b = DdgBuilder::new("doall");
+        let l = b.inst("ld", OpClass::Load);
+        let m = b.inst("mul", OpClass::FpMul);
+        let s = b.inst("st", OpClass::Store);
+        b.reg_flow(l, m, 0);
+        b.reg_flow(m, s, 0);
+        let g = b.build().unwrap();
+        let model = model(4);
+        let r = schedule_tms(&g, &machine(), &model, &TmsConfig::default()).unwrap();
+        assert!(!r.fell_back_to_sms);
+        assert_eq!(r.c_delay_threshold, model.costs.min_c_delay());
+    }
+
+    #[test]
+    fn zero_p_max_synchronises_everything() {
+        // With P_max = 0 any non-preserved speculated dependence is
+        // rejected; the loop below can only be scheduled by making the
+        // memory dependence preserved (or falling back to SMS whose
+        // serialising delays preserve it accidentally).
+        let g = motivating_shape();
+        let r = schedule_tms(
+            &g,
+            &machine(),
+            &model(4),
+            &TmsConfig::no_speculation(),
+        )
+        .unwrap();
+        // Whatever path was taken, the result must be legal.
+        assert!(r.schedule.check_legal(&g).is_none());
+    }
+
+    #[test]
+    fn tms_cost_never_worse_than_sms_cost() {
+        let g = motivating_shape();
+        let costs = ArchParams::icpp2008().costs;
+        let model = model(4);
+        let sms = schedule_sms(&g, &machine()).unwrap();
+        let sms_key = model.cost_key(
+            sms.schedule.ii(),
+            achieved_c_delay(&g, &sms.schedule, &costs),
+        );
+        let tms = schedule_tms(&g, &machine(), &model, &TmsConfig::default()).unwrap();
+        assert!(
+            tms.cost_key <= sms_key,
+            "TMS key {:?} worse than SMS {:?}",
+            tms.cost_key,
+            sms_key
+        );
+    }
+}

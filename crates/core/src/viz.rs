@@ -1,0 +1,143 @@
+//! Schedule visualisation: Gantt-style kernel tables and DOT export of
+//! the kernel with its inter-thread dependences.
+
+use crate::postpass::CommPlan;
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+use tms_ddg::Ddg;
+use tms_machine::ResourceClass;
+
+/// Render the kernel as a row × resource Gantt table: one line per
+/// modulo row, instructions grouped under the functional-unit class
+/// they occupy, annotated with their stage.
+pub fn kernel_gantt(ddg: &Ddg, schedule: &Schedule) -> String {
+    let classes = ResourceClass::ALL;
+    let headers = ["int", "muldiv", "fpadd", "fpmul", "mem"];
+    // Collect cell text per (row, class).
+    let ii = schedule.ii() as usize;
+    let mut cells: Vec<Vec<Vec<String>>> = vec![vec![Vec::new(); classes.len()]; ii];
+    for n in ddg.inst_ids() {
+        let inst = ddg.inst(n);
+        let class = ResourceClass::for_op(inst.op);
+        cells[schedule.row(n) as usize][class.index()]
+            .push(format!("{}·s{}", inst.name, schedule.stage(n)));
+    }
+    let mut widths = [0usize; 5];
+    for row in &cells {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.join(" ").len()).max(headers[c].len());
+        }
+    }
+    let mut out = String::new();
+    let _ = write!(out, "row |");
+    for (c, h) in headers.iter().enumerate() {
+        let _ = write!(out, " {:<w$} |", h, w = widths[c]);
+    }
+    out.push('\n');
+    let _ = write!(out, "----+");
+    for w in widths {
+        let _ = write!(out, "{}+", "-".repeat(w + 2));
+    }
+    out.push('\n');
+    for (r, row) in cells.iter().enumerate() {
+        let _ = write!(out, "{r:>3} |");
+        for (c, cell) in row.iter().enumerate() {
+            let _ = write!(out, " {:<w$} |", cell.join(" "), w = widths[c]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// DOT rendering of the *scheduled kernel*: nodes carry `row/stage`
+/// labels, intra-thread dependences are solid, inter-thread register
+/// dependences (the synchronised SEND/RECV traffic) are bold red with
+/// their hop count, speculated inter-thread memory dependences dashed
+/// orange with their probability.
+pub fn kernel_dot(ddg: &Ddg, schedule: &Schedule) -> String {
+    let plan = CommPlan::build(ddg, schedule);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}-kernel\" {{", ddg.name());
+    let _ = writeln!(out, "  rankdir=TB; node [shape=record, fontname=\"monospace\"];");
+    for i in ddg.insts() {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{{{}|row {} · s{}}}\"];",
+            i.id,
+            i.name.replace('"', "'"),
+            schedule.row(i.id),
+            schedule.stage(i.id)
+        );
+    }
+    for e in ddg.edges() {
+        let d_ker = schedule.d_ker(e);
+        if e.is_register_flow() && d_ker >= 1 {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [color=red, penwidth=2, label=\"sync ×{d_ker}\"];",
+                e.src, e.dst
+            );
+        } else if e.is_memory_flow() && d_ker >= 1 {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [color=orange, style=dashed, label=\"spec p={:.2}\"];",
+                e.src, e.dst, e.prob
+            );
+        } else {
+            let _ = writeln!(out, "  {} -> {};", e.src, e.dst);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  label=\"II={} stages={} SEND/RECV pairs={}\"; labelloc=b;",
+        schedule.ii(),
+        schedule.stage_count(),
+        plan.send_recv_pairs
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sms::schedule_sms;
+    use tms_ddg::{DdgBuilder, OpClass};
+    use tms_machine::MachineModel;
+
+    fn scheduled() -> (Ddg, Schedule) {
+        let mut b = DdgBuilder::new("viz");
+        let ld = b.inst("ld", OpClass::Load);
+        let f = b.inst("mul", OpClass::FpMul);
+        let st = b.inst("st", OpClass::Store);
+        let ind = b.inst("i++", OpClass::IntAlu);
+        b.reg_flow(ld, f, 0);
+        b.reg_flow(f, st, 0);
+        b.reg_flow(ind, ind, 1);
+        b.reg_flow(ind, ld, 1);
+        b.mem_flow(st, ld, 2, 0.1);
+        let g = b.build().unwrap();
+        let s = schedule_sms(&g, &MachineModel::icpp2008()).unwrap().schedule;
+        (g, s)
+    }
+
+    #[test]
+    fn gantt_has_one_line_per_row_plus_header() {
+        let (g, s) = scheduled();
+        let txt = kernel_gantt(&g, &s);
+        let lines = txt.lines().count();
+        assert_eq!(lines, 2 + s.ii() as usize);
+        assert!(txt.contains("fpmul"));
+        assert!(txt.contains("mul·s"));
+    }
+
+    #[test]
+    fn dot_marks_sync_and_spec_edges() {
+        let (g, s) = scheduled();
+        let dot = kernel_dot(&g, &s);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("sync ×"), "carried register deps marked");
+        assert!(dot.contains("spec p=0.10"), "speculated deps marked");
+        assert!(dot.contains("II="));
+    }
+}

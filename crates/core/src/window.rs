@@ -1,0 +1,284 @@
+//! Scheduling windows.
+//!
+//! SMS assigns each node a window of `II` consecutive cycles derived
+//! from its already-placed neighbours, scanned in a direction that
+//! keeps the node as close as possible to them (the "lifetime-minimal"
+//! strategy the paper's §4.1 example illustrates with n6's window
+//! `[7,0]`).
+//!
+//! One refinement over the textbook formulation: bounds are computed as
+//! longest paths from (and to) *scheduled* nodes **through unscheduled
+//! ones**, not just over direct edges. A direct-edge-only early start
+//! can admit slots that are transitively infeasible — e.g. a memory
+//! chord `n5 → n2` inside a tight recurrence lets `n2` sit cycles
+//! before the position the recurrence itself forces, painting the
+//! remaining recurrence nodes into an empty window at *every* II. The
+//! transitive bounds collapse to the classic ES/LS whenever only direct
+//! neighbours constrain the node, so SMS behaviour is unchanged on the
+//! common path.
+
+use crate::schedule::PartialSchedule;
+use tms_ddg::analysis::TimeFrames;
+use tms_ddg::{Ddg, InstId};
+
+/// The candidate cycles for one node, in the order SMS tries them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Window {
+    /// Candidate issue cycles, first-preference first.
+    pub cycles: Vec<i64>,
+    /// Which neighbour sides were already placed (for diagnostics).
+    pub kind: WindowKind,
+}
+
+/// How a window was derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// Only predecessors placed — scan upward from the early start.
+    PredsOnly,
+    /// Only successors placed — scan downward from the late start.
+    SuccsOnly,
+    /// Both sides placed — bounded window scanned upward.
+    Both,
+    /// Nothing placed — seeded from ASAP, scanned upward.
+    Free,
+}
+
+/// Longest-path lower bound on `t(v)` from scheduled nodes through
+/// unscheduled intermediates: `max` over paths `p : u ⤳ v` with `u`
+/// scheduled and interior nodes unscheduled of
+/// `t(u) + Σ_e (delay(e) − II·distance(e))`.
+fn lower_bound(ddg: &Ddg, ps: &PartialSchedule, v: InstId) -> Option<i64> {
+    let ii = ps.ii() as i64;
+    let n = ddg.num_insts();
+    let mut dist: Vec<Option<i64>> = ddg.inst_ids().map(|u| ps.time(u)).collect();
+    // v participates as an unscheduled node (its entry starts None).
+    for _ in 0..=n {
+        let mut changed = false;
+        for e in ddg.edges() {
+            if ps.is_placed(e.dst) {
+                continue; // scheduled times are fixed
+            }
+            if let Some(ds) = dist[e.src.index()] {
+                let cand = ds + e.delay - ii * e.distance as i64;
+                if dist[e.dst.index()].is_none_or(|d| cand > d) {
+                    dist[e.dst.index()] = Some(cand);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist[v.index()]
+}
+
+/// Symmetric upper bound on `t(v)` toward scheduled successors.
+fn upper_bound(ddg: &Ddg, ps: &PartialSchedule, v: InstId) -> Option<i64> {
+    let ii = ps.ii() as i64;
+    let n = ddg.num_insts();
+    let mut dist: Vec<Option<i64>> = ddg.inst_ids().map(|u| ps.time(u)).collect();
+    for _ in 0..=n {
+        let mut changed = false;
+        for e in ddg.edges() {
+            if ps.is_placed(e.src) {
+                continue;
+            }
+            if let Some(dd) = dist[e.dst.index()] {
+                let cand = dd - e.delay + ii * e.distance as i64;
+                if dist[e.src.index()].is_none_or(|d| cand < d) {
+                    dist[e.src.index()] = Some(cand);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist[v.index()]
+}
+
+/// The floor for a *forced* (IMS-style) placement of `v`: the
+/// transitive lower bound from placed predecessors, or `v`'s ASAP frame
+/// when nothing upstream is placed. Upper bounds are deliberately
+/// ignored — forcing past them is the point; violated successors get
+/// ejected and rescheduled.
+pub fn force_floor(ddg: &Ddg, ps: &PartialSchedule, frames: &TimeFrames, v: InstId) -> i64 {
+    lower_bound(ddg, ps, v).unwrap_or(frames.asap[v.index()])
+}
+
+/// Compute the scheduling window of `v` against the partial schedule.
+///
+/// * early start `ES` — the transitive lower bound (direct form:
+///   `max over placed preds u of t(u) + delay − II·d`)
+/// * late start `LS` — the transitive upper bound (direct form:
+///   `min over placed succs w of t(w) − delay + II·d`)
+///
+/// Windows never exceed `II` candidates: any legal modulo row appears
+/// exactly once among `II` consecutive cycles.
+pub fn window_of(ddg: &Ddg, ps: &PartialSchedule, frames: &TimeFrames, v: InstId) -> Window {
+    let ii = ps.ii() as i64;
+    let early = lower_bound(ddg, ps, v);
+    let late = upper_bound(ddg, ps, v);
+
+    match (early, late) {
+        (Some(es), None) => Window {
+            cycles: (es..es + ii).collect(),
+            kind: WindowKind::PredsOnly,
+        },
+        (None, Some(ls)) => Window {
+            cycles: (ls - ii + 1..=ls).rev().collect(),
+            kind: WindowKind::SuccsOnly,
+        },
+        (Some(es), Some(ls)) => Window {
+            cycles: (es..=ls.min(es + ii - 1)).collect(),
+            kind: WindowKind::Both,
+        },
+        (None, None) => {
+            let asap = frames.asap[v.index()];
+            Window {
+                cycles: (asap..asap + ii).collect(),
+                kind: WindowKind::Free,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::{DdgBuilder, OpClass};
+    use tms_machine::MachineModel;
+
+    #[test]
+    fn preds_only_scans_upward() {
+        let mut b = DdgBuilder::new("w");
+        let a = b.inst_lat("a", OpClass::FpMul, 4);
+        let c = b.inst("c", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let frames = TimeFrames::compute(&g, 4).unwrap();
+        let mut ps = PartialSchedule::new(&g, 4, &m);
+        ps.place(&g, a, 0);
+        let w = window_of(&g, &ps, &frames, c);
+        assert_eq!(w.kind, WindowKind::PredsOnly);
+        assert_eq!(w.cycles, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn succs_only_scans_downward_like_paper_n6() {
+        // Reproduce n6's window [7,0] from the motivating example:
+        // unit-latency n6 feeds n0 (placed at 0) across distance 1 with
+        // II=8: LS = 0 - 1 + 8 = 7, window scanned 7,6,...,0.
+        let mut b = DdgBuilder::new("n6");
+        let n0 = b.inst("n0", OpClass::IntAlu);
+        let n6 = b.inst("n6", OpClass::IntAlu);
+        b.reg_flow(n6, n0, 1);
+        b.reg_flow(n6, n6, 1);
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let frames = TimeFrames::compute(&g, 8).unwrap();
+        let mut ps = PartialSchedule::new(&g, 8, &m);
+        ps.place(&g, n0, 0);
+        let w = window_of(&g, &ps, &frames, n6);
+        assert_eq!(w.kind, WindowKind::SuccsOnly);
+        assert_eq!(w.cycles, vec![7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn both_sides_bound_the_window() {
+        let mut b = DdgBuilder::new("both");
+        let a = b.inst("a", OpClass::IntAlu); // lat 1
+        let v = b.inst("v", OpClass::IntAlu); // lat 1
+        let z = b.inst("z", OpClass::IntAlu);
+        b.reg_flow(a, v, 0);
+        b.reg_flow(v, z, 0);
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let frames = TimeFrames::compute(&g, 4).unwrap();
+        let mut ps = PartialSchedule::new(&g, 4, &m);
+        ps.place(&g, a, 0);
+        ps.place(&g, z, 3);
+        let w = window_of(&g, &ps, &frames, v);
+        assert_eq!(w.kind, WindowKind::Both);
+        assert_eq!(w.cycles, vec![1, 2]);
+    }
+
+    #[test]
+    fn infeasible_both_window_is_empty() {
+        let mut b = DdgBuilder::new("infeasible");
+        let a = b.inst_lat("a", OpClass::FpDiv, 12);
+        let v = b.inst("v", OpClass::IntAlu);
+        let z = b.inst("z", OpClass::IntAlu);
+        b.reg_flow(a, v, 0);
+        b.reg_flow(v, z, 0);
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let frames = TimeFrames::compute(&g, 4).unwrap();
+        let mut ps = PartialSchedule::new(&g, 4, &m);
+        ps.place(&g, a, 0);
+        ps.place(&g, z, 3); // v needs >= 12 but <= 2 — impossible
+        let w = window_of(&g, &ps, &frames, v);
+        assert!(w.cycles.is_empty());
+    }
+
+    #[test]
+    fn free_window_starts_at_asap() {
+        let mut b = DdgBuilder::new("free");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let frames = TimeFrames::compute(&g, 2).unwrap();
+        let ps = PartialSchedule::new(&g, 2, &m);
+        let w = window_of(&g, &ps, &frames, c);
+        assert_eq!(w.kind, WindowKind::Free);
+        assert_eq!(w.cycles, vec![1, 2]);
+    }
+
+    #[test]
+    fn self_dependence_does_not_constrain_own_slot() {
+        let mut b = DdgBuilder::new("self");
+        let a = b.inst_lat("a", OpClass::FpAdd, 4);
+        b.reg_flow(a, a, 1);
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let frames = TimeFrames::compute(&g, 4).unwrap();
+        let ps = PartialSchedule::new(&g, 4, &m);
+        let w = window_of(&g, &ps, &frames, a);
+        assert_eq!(w.kind, WindowKind::Free);
+        assert_eq!(w.cycles.len(), 4);
+    }
+
+    #[test]
+    fn transitive_bound_tightens_chorded_recurrence() {
+        // Tight recurrence n0(3) -> n1(1) -> n2(1) -> n4(2) -> n5(1)
+        // -> n0 (d=1) at II=8, plus a memory chord n5 -> n2 (d=1).
+        // With n5 at 7 and n4 at 5 placed, n2's direct-edge ES would be
+        // 0 (the chord), but the recurrence transitively forces 4.
+        let mut b = DdgBuilder::new("chord");
+        let n0 = b.inst_lat("n0", OpClass::Load, 3);
+        let n1 = b.inst_lat("n1", OpClass::IntAlu, 1);
+        let n2 = b.inst_lat("n2", OpClass::IntAlu, 1);
+        let n4 = b.inst_lat("n4", OpClass::IntAlu, 2);
+        let n5 = b.inst_lat("n5", OpClass::Store, 1);
+        b.reg_flow(n0, n1, 0);
+        b.reg_flow(n1, n2, 0);
+        b.reg_flow(n2, n4, 0);
+        b.reg_flow(n4, n5, 0);
+        b.reg_flow(n5, n0, 1);
+        b.mem_flow(n5, n2, 1, 0.02);
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let frames = TimeFrames::compute(&g, 8).unwrap();
+        let mut ps = PartialSchedule::new(&g, 8, &m);
+        ps.place(&g, n5, 7);
+        ps.place(&g, n4, 5);
+        let w = window_of(&g, &ps, &frames, n2);
+        assert_eq!(w.kind, WindowKind::Both);
+        assert_eq!(w.cycles, vec![4], "recurrence forces exactly cycle 4");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests on the schedulers: legality, resource feasibility,
+//! kernel invariants and the TMS guarantees, over randomly generated
+//! loops (via the seeded workload generator, which only produces valid
+//! DDGs).
+
+use proptest::prelude::*;
+use tms_core::cost::CostModel;
+use tms_core::lifetimes::max_live;
+use tms_core::metrics::{achieved_c_delay, kernel_misspec_prob};
+use tms_core::postpass::CommPlan;
+use tms_core::schedule::Schedule;
+use tms_core::{schedule_sms, schedule_tms, TmsConfig};
+use tms_ddg::Ddg;
+use tms_machine::{ArchParams, MachineModel};
+
+/// Strategy: loop specs spanning DOALL bodies, register and memory
+/// recurrences, inductions and speculable dependences.
+fn arb_loop() -> impl Strategy<Value = Ddg> {
+    (
+        4u32..40,          // instruction budget
+        0u32..3,           // recurrences
+        2u32..20,          // recurrence latency target
+        prop::bool::ANY,   // memory-carried?
+        0u32..3,           // inductions
+        0u32..3,           // speculable mem deps
+        0u64..u64::MAX / 2, // seed
+    )
+        .prop_map(|(n, nrec, lat, mem, ind, memdeps, seed)| {
+            use tms_workloads::{generate_loop, LoopSpec, RecurrenceSpec};
+            let mut spec = LoopSpec::basic("prop", n, seed);
+            for r in 0..nrec {
+                spec.recurrences.push(RecurrenceSpec {
+                    len: 1 + (r + 1).min(4),
+                    latency: lat,
+                    through_memory: mem && r % 2 == 0,
+                    prob: if mem { 0.05 } else { 1.0 },
+                });
+            }
+            spec.carried_reg_deps = ind;
+            spec.carried_mem_deps = memdeps;
+            generate_loop(&spec)
+        })
+}
+
+fn machine() -> MachineModel {
+    MachineModel::icpp2008()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sms_is_legal_feasible_and_at_least_mii(ddg in arb_loop()) {
+        let r = schedule_sms(&ddg, &machine()).expect("SMS must schedule");
+        prop_assert!(r.schedule.check_legal(&ddg).is_none());
+        prop_assert!(r.schedule.check_resources(&ddg, &machine()));
+        prop_assert!(r.schedule.ii() >= r.mii);
+    }
+
+    #[test]
+    fn kernel_distances_are_nonnegative_for_flow_deps(ddg in arb_loop()) {
+        let r = schedule_sms(&ddg, &machine()).expect("SMS must schedule");
+        for (e, d_ker) in r.schedule.kernel_deps(&ddg) {
+            if e.is_register_flow() || e.is_memory_flow() {
+                prop_assert!(
+                    d_ker >= 0,
+                    "flow dep {} has kernel distance {d_ker}", e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tms_is_legal_and_never_costlier_than_sms(ddg in arb_loop()) {
+        let arch = ArchParams::icpp2008();
+        let model = CostModel::new(arch.costs, arch.ncore);
+        let sms = schedule_sms(&ddg, &machine()).unwrap();
+        let tms = schedule_tms(&ddg, &machine(), &model, &TmsConfig::default()).unwrap();
+        prop_assert!(tms.schedule.check_legal(&ddg).is_none());
+        prop_assert!(tms.schedule.check_resources(&ddg, &machine()));
+        let sms_key = model.cost_key(
+            sms.schedule.ii(),
+            achieved_c_delay(&ddg, &sms.schedule, &arch.costs),
+        );
+        prop_assert!(
+            tms.cost_key <= sms_key,
+            "TMS {:?} vs SMS {:?}", tms.cost_key, sms_key
+        );
+    }
+
+    #[test]
+    fn tms_thresholds_hold_on_the_final_kernel(ddg in arb_loop()) {
+        let arch = ArchParams::icpp2008();
+        let model = CostModel::new(arch.costs, arch.ncore);
+        let tms = schedule_tms(&ddg, &machine(), &model, &TmsConfig::default()).unwrap();
+        if !tms.fell_back_to_sms {
+            let cd = achieved_c_delay(&ddg, &tms.schedule, &arch.costs);
+            let pm = kernel_misspec_prob(&ddg, &tms.schedule, &arch.costs);
+            prop_assert!(cd <= tms.c_delay_threshold);
+            prop_assert!(pm <= tms.p_max + 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_live_is_rotation_invariant(ddg in arb_loop()) {
+        let r = schedule_sms(&ddg, &machine()).unwrap();
+        let ii = r.schedule.ii();
+        let shifted: Vec<i64> = ddg
+            .inst_ids()
+            .map(|n| r.schedule.time(n) + ii as i64)
+            .collect();
+        let rot = Schedule::from_times(&ddg, ii, shifted);
+        prop_assert_eq!(max_live(&ddg, &r.schedule), max_live(&ddg, &rot));
+    }
+
+    #[test]
+    fn comm_plan_is_consistent(ddg in arb_loop()) {
+        let r = schedule_sms(&ddg, &machine()).unwrap();
+        let plan = CommPlan::build(&ddg, &r.schedule);
+        prop_assert!(plan.all_distances_unit());
+        // Pair count = Σ hops; copies = Σ (hops − 1).
+        let hops: u32 = plan.communications.iter().map(|c| c.hops).sum();
+        let copies: u32 = plan
+            .communications
+            .iter()
+            .map(|c| c.hops.saturating_sub(1))
+            .sum();
+        prop_assert_eq!(plan.send_recv_pairs, hops);
+        prop_assert_eq!(plan.num_copies, copies);
+        // Every communicated dependence is a register flow dep with
+        // kernel distance >= 1.
+        for comm in &plan.communications {
+            prop_assert!(comm.hops >= 1);
+            for &(_, d) in &comm.consumers {
+                prop_assert!(d >= 1 && d <= comm.hops);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_is_monotone(
+        ii in 1u32..200,
+        cd in 4u32..200,
+        ncore in 1u32..9,
+        p in 0.0f64..1.0,
+    ) {
+        let model = CostModel::new(ArchParams::icpp2008().costs, ncore);
+        // F grows (weakly) in both II and C_delay.
+        prop_assert!(model.cost_key(ii, cd) <= model.cost_key(ii + 1, cd));
+        prop_assert!(model.cost_key(ii, cd) <= model.cost_key(ii, cd + 1));
+        // Total time grows with misspeculation probability.
+        let t1 = model.total(ii, cd, p * 0.5, 1000);
+        let t2 = model.total(ii, cd, p, 1000);
+        prop_assert!(t2 >= t1 - 1e-9);
+        // And more cores never increase the no-miss estimate.
+        let wider = CostModel::new(ArchParams::icpp2008().costs, ncore + 1);
+        prop_assert!(wider.f(ii, cd) <= model.f(ii, cd) + 1e-9);
+    }
+}

@@ -1,0 +1,208 @@
+//! Ergonomic construction of dependence graphs.
+
+use crate::edge::{DepKind, DepType, Edge};
+use crate::graph::{Ddg, DdgError};
+use crate::inst::{InstId, Instruction, OpClass};
+
+/// Builder for [`Ddg`]s.
+///
+/// ```
+/// use tms_ddg::{DdgBuilder, OpClass};
+///
+/// let mut b = DdgBuilder::new("daxpy");
+/// let ld_x = b.inst("ld x[i]", OpClass::Load);
+/// let ld_y = b.inst("ld y[i]", OpClass::Load);
+/// let mul = b.inst("a*x", OpClass::FpMul);
+/// let add = b.inst("+y", OpClass::FpAdd);
+/// let st = b.inst("st y[i]", OpClass::Store);
+/// b.reg_flow(ld_x, mul, 0);
+/// b.reg_flow(mul, add, 0);
+/// b.reg_flow(ld_y, add, 0);
+/// b.reg_flow(add, st, 0);
+/// let ddg = b.build().unwrap();
+/// assert_eq!(ddg.num_insts(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DdgBuilder {
+    name: String,
+    insts: Vec<Instruction>,
+    edges: Vec<Edge>,
+}
+
+impl DdgBuilder {
+    /// Start building a graph with the given loop name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DdgBuilder {
+            name: name.into(),
+            insts: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add an instruction with its class's default latency.
+    pub fn inst(&mut self, name: impl Into<String>, op: OpClass) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(Instruction::new(id, name, op));
+        id
+    }
+
+    /// Add an instruction with an explicit latency.
+    pub fn inst_lat(&mut self, name: impl Into<String>, op: OpClass, latency: u32) -> InstId {
+        let id = InstId(self.insts.len() as u32);
+        self.insts
+            .push(Instruction::with_latency(id, name, op, latency));
+        id
+    }
+
+    /// Number of instructions added so far.
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Add a register flow dependence with the producer's latency as the
+    /// scheduling delay.
+    pub fn reg_flow(&mut self, src: InstId, dst: InstId, distance: u32) {
+        let delay = self.insts[src.index()].latency as i64;
+        self.edges.push(Edge {
+            src,
+            dst,
+            kind: DepKind::Register,
+            ty: DepType::Flow,
+            distance,
+            delay,
+            prob: 1.0,
+        });
+    }
+
+    /// Add a register anti dependence (delay 1).
+    pub fn reg_anti(&mut self, src: InstId, dst: InstId, distance: u32) {
+        self.edges.push(Edge {
+            src,
+            dst,
+            kind: DepKind::Register,
+            ty: DepType::Anti,
+            distance,
+            delay: 1,
+            prob: 1.0,
+        });
+    }
+
+    /// Add a register output dependence (delay 1).
+    pub fn reg_output(&mut self, src: InstId, dst: InstId, distance: u32) {
+        self.edges.push(Edge {
+            src,
+            dst,
+            kind: DepKind::Register,
+            ty: DepType::Output,
+            distance,
+            delay: 1,
+            prob: 1.0,
+        });
+    }
+
+    /// Add a memory flow dependence with probability `prob`.
+    ///
+    /// Scheduling delay is the producer's latency, matching how a store
+    /// must complete before a dependent load in the same thread.
+    pub fn mem_flow(&mut self, src: InstId, dst: InstId, distance: u32, prob: f64) {
+        let delay = self.insts[src.index()].latency as i64;
+        self.edges.push(Edge {
+            src,
+            dst,
+            kind: DepKind::Memory,
+            ty: DepType::Flow,
+            distance,
+            delay,
+            prob,
+        });
+    }
+
+    /// Add a memory anti dependence with probability `prob` (delay 1).
+    pub fn mem_anti(&mut self, src: InstId, dst: InstId, distance: u32, prob: f64) {
+        self.edges.push(Edge {
+            src,
+            dst,
+            kind: DepKind::Memory,
+            ty: DepType::Anti,
+            distance,
+            delay: 1,
+            prob,
+        });
+    }
+
+    /// Add a memory output dependence with probability `prob` (delay 1).
+    pub fn mem_output(&mut self, src: InstId, dst: InstId, distance: u32, prob: f64) {
+        self.edges.push(Edge {
+            src,
+            dst,
+            kind: DepKind::Memory,
+            ty: DepType::Output,
+            distance,
+            delay: 1,
+            prob,
+        });
+    }
+
+    /// Add a fully explicit edge.
+    pub fn edge(&mut self, e: Edge) {
+        self.edges.push(e);
+    }
+
+    /// Validate and build the graph.
+    pub fn build(self) -> Result<Ddg, DdgError> {
+        Ddg::from_parts(self.name, self.insts, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_delay_is_producer_latency() {
+        let mut b = DdgBuilder::new("t");
+        let m = b.inst("m", OpClass::FpMul); // latency 4
+        let a = b.inst("a", OpClass::FpAdd);
+        b.reg_flow(m, a, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.edges()[0].delay, 4);
+    }
+
+    #[test]
+    fn anti_and_output_have_unit_delay() {
+        let mut b = DdgBuilder::new("t");
+        let m = b.inst("m", OpClass::FpMul);
+        let a = b.inst("a", OpClass::FpAdd);
+        b.reg_anti(m, a, 1);
+        b.reg_output(m, a, 1);
+        b.mem_anti(m, a, 1, 0.3);
+        b.mem_output(m, a, 1, 0.3);
+        let g = b.build().unwrap();
+        for e in g.edges() {
+            assert_eq!(e.delay, 1);
+        }
+    }
+
+    #[test]
+    fn explicit_latency_respected() {
+        let mut b = DdgBuilder::new("t");
+        let m = b.inst_lat("m", OpClass::IntMul, 9);
+        let a = b.inst("a", OpClass::IntAlu);
+        b.reg_flow(m, a, 0);
+        let g = b.build().unwrap();
+        assert_eq!(g.inst(m).latency, 9);
+        assert_eq!(g.edges()[0].delay, 9);
+    }
+
+    #[test]
+    fn mem_flow_keeps_probability() {
+        let mut b = DdgBuilder::new("t");
+        let s = b.inst("st", OpClass::Store);
+        let l = b.inst("ld", OpClass::Load);
+        b.mem_flow(s, l, 2, 0.05);
+        let g = b.build().unwrap();
+        let e = &g.edges()[0];
+        assert_eq!(e.distance, 2);
+        assert!((e.prob - 0.05).abs() < 1e-12);
+    }
+}

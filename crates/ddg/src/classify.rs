@@ -1,0 +1,193 @@
+//! Loop parallelism classification.
+//!
+//! The paper's headline claim is about **DOACROSS** loops — loops whose
+//! iterations are coupled by loop-carried dependences and therefore
+//! resist classic DOALL parallelisation. This module classifies a DDG
+//! by the structure of its carried dependences, which the workloads
+//! tests use to validate the suite and the CLI exposes to users.
+
+use crate::graph::Ddg;
+use crate::mii::recurrence_info;
+use crate::scc::SccDecomposition;
+use serde::{Deserialize, Serialize};
+
+/// How a loop's iterations depend on one another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopClass {
+    /// No loop-carried dependences at all (beyond none): iterations are
+    /// fully independent.
+    Doall,
+    /// Carried dependences exist but only trivial unit-latency
+    /// self-recurrences (induction variables): iterations are
+    /// independent once inductions are rewritten — effectively DOALL
+    /// for a parallelising compiler.
+    DoallWithInductions,
+    /// A genuine cross-iteration dependence cycle exists and it is
+    /// carried through registers with certainty: iterations must
+    /// synchronise (TMS can pipeline but not speculate it away).
+    DoacrossRegister,
+    /// The binding cross-iteration cycle runs through memory with
+    /// probability < 1: speculation can break it — the loops TMS is
+    /// designed for.
+    DoacrossSpeculativeMemory,
+}
+
+impl LoopClass {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            LoopClass::Doall => "DOALL",
+            LoopClass::DoallWithInductions => "DOALL+ind",
+            LoopClass::DoacrossRegister => "DOACROSS(reg)",
+            LoopClass::DoacrossSpeculativeMemory => "DOACROSS(spec-mem)",
+        }
+    }
+}
+
+/// Classification details.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Classification {
+    /// The class.
+    pub class: LoopClass,
+    /// Recurrence-constrained II of the full graph.
+    pub rec_ii: u32,
+    /// Recurrence-constrained II of the register-only subgraph (what
+    /// remains binding if every memory dependence is speculated away).
+    pub reg_rec_ii: u32,
+    /// Number of recurrence SCCs (multi-node or self-loop).
+    pub n_recurrences: usize,
+    /// Number of loop-carried memory flow dependences with
+    /// probability < 1.
+    pub n_speculable: usize,
+}
+
+/// Classify `ddg`.
+pub fn classify(ddg: &Ddg) -> Classification {
+    let scc = SccDecomposition::compute(ddg);
+    let rec = recurrence_info(ddg, &scc);
+    let n_recurrences = scc.recurrence_components(ddg).count();
+
+    // Register-only subgraph: what speculation cannot remove.
+    let reg_only = Ddg::from_parts(
+        ddg.name(),
+        ddg.insts().to_vec(),
+        ddg.edges()
+            .iter()
+            .filter(|e| e.kind == crate::edge::DepKind::Register)
+            .cloned()
+            .collect(),
+    )
+    .expect("register subgraph of a valid DDG is valid");
+    let scc_reg = SccDecomposition::compute(&reg_only);
+    let reg_rec_ii = recurrence_info(&reg_only, &scc_reg).rec_ii;
+
+    let n_speculable = ddg
+        .edges()
+        .iter()
+        .filter(|e| e.is_memory_flow() && e.distance >= 1 && e.prob < 1.0)
+        .count();
+
+    let carried_any = ddg.edges().iter().any(|e| e.distance >= 1);
+    // "Trivial" register recurrences: unit-latency self loops
+    // (inductions). The register recurrence bound exceeding 1 means a
+    // real register-carried cycle binds the iterations.
+    let class = if !carried_any {
+        LoopClass::Doall
+    } else if reg_rec_ii > 1 {
+        LoopClass::DoacrossRegister
+    } else if rec.rec_ii > 1 && n_speculable > 0 {
+        LoopClass::DoacrossSpeculativeMemory
+    } else if rec.rec_ii > 1 {
+        // Memory-carried with certainty — synchronisation through
+        // memory is unavoidable, treat as the register case.
+        LoopClass::DoacrossRegister
+    } else {
+        LoopClass::DoallWithInductions
+    };
+
+    Classification {
+        class,
+        rec_ii: rec.rec_ii,
+        reg_rec_ii,
+        n_recurrences,
+        n_speculable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::inst::OpClass;
+
+    #[test]
+    fn pure_doall() {
+        let mut b = DdgBuilder::new("doall");
+        let l = b.inst("ld", OpClass::Load);
+        let s = b.inst("st", OpClass::Store);
+        b.reg_flow(l, s, 0);
+        let c = classify(&b.build().unwrap());
+        assert_eq!(c.class, LoopClass::Doall);
+        assert_eq!(c.rec_ii, 1);
+    }
+
+    #[test]
+    fn induction_only_is_effectively_doall() {
+        let mut b = DdgBuilder::new("ind");
+        let i = b.inst("i++", OpClass::IntAlu);
+        let l = b.inst("ld", OpClass::Load);
+        b.reg_flow(i, i, 1);
+        b.reg_flow(i, l, 1);
+        let c = classify(&b.build().unwrap());
+        assert_eq!(c.class, LoopClass::DoallWithInductions);
+    }
+
+    #[test]
+    fn register_reduction_is_doacross_reg() {
+        let mut b = DdgBuilder::new("red");
+        let a = b.inst_lat("acc", OpClass::FpAdd, 2);
+        b.reg_flow(a, a, 1);
+        let c = classify(&b.build().unwrap());
+        assert_eq!(c.class, LoopClass::DoacrossRegister);
+        assert_eq!(c.reg_rec_ii, 2);
+    }
+
+    #[test]
+    fn speculative_memory_recurrence() {
+        let mut b = DdgBuilder::new("spec");
+        let ld = b.inst("ld", OpClass::Load);
+        let f = b.inst("f", OpClass::FpAdd);
+        let st = b.inst("st", OpClass::Store);
+        b.reg_flow(ld, f, 0);
+        b.reg_flow(f, st, 0);
+        b.mem_flow(st, ld, 1, 0.03);
+        let c = classify(&b.build().unwrap());
+        assert_eq!(c.class, LoopClass::DoacrossSpeculativeMemory);
+        assert!(c.rec_ii > 1);
+        assert_eq!(c.reg_rec_ii, 1);
+        assert_eq!(c.n_speculable, 1);
+    }
+
+    #[test]
+    fn certain_memory_recurrence_counts_as_register() {
+        let mut b = DdgBuilder::new("mem1");
+        let ld = b.inst("ld", OpClass::Load);
+        let st = b.inst("st", OpClass::Store);
+        b.reg_flow(ld, st, 0);
+        b.mem_flow(st, ld, 1, 1.0);
+        let c = classify(&b.build().unwrap());
+        assert_eq!(c.class, LoopClass::DoacrossRegister);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        use LoopClass::*;
+        let labels: Vec<_> = [Doall, DoallWithInductions, DoacrossRegister, DoacrossSpeculativeMemory]
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Instructions: the nodes of a data-dependence graph.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an instruction within its [`crate::Ddg`].
+///
+/// Stored as `u32` to keep node-indexed tables compact; loop bodies in
+/// the paper average 16–170 instructions (Table 2), far below the limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstId(pub u32);
+
+impl InstId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Operation classes distinguished by the machine model.
+///
+/// The class determines which functional unit an instruction occupies
+/// (and hence `ResII`) and its default latency. The set mirrors what a
+/// SPECfp2000 loop body contains after GCC's RTL expansion, plus the
+/// SpMT-specific operations (`Send`, `Recv`, `Spawn`, `Copy`) that the
+/// post-pass of the scheduler inserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer ALU operation (add, sub, logic, compare).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide.
+    IntDiv,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Floating-point add/subtract.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide / sqrt.
+    FpDiv,
+    /// Branch / loop-control operation.
+    Branch,
+    /// Register copy inserted by the modulo-variable-expansion post-pass.
+    Copy,
+    /// `SEND` half of a synchronised inter-core register communication.
+    Send,
+    /// `RECV` half of a synchronised inter-core register communication.
+    Recv,
+    /// Thread spawn (first instruction of every SpMT thread).
+    Spawn,
+    /// No-op filler.
+    Nop,
+}
+
+impl OpClass {
+    /// Default issue-to-result latency in cycles.
+    ///
+    /// Memory latencies here are the L1 *hit* latencies of Table 1; the
+    /// simulator adds dynamic miss penalties on top. SEND/RECV occupy
+    /// one issue slot each; the 3-cycle end-to-end `C_reg_com` latency
+    /// of the Voltron queue model is accounted for separately.
+    pub fn default_latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu => 1,
+            OpClass::IntMul => 4,
+            OpClass::IntDiv => 12,
+            OpClass::Load => 3,
+            OpClass::Store => 1,
+            OpClass::FpAdd => 2,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Branch => 1,
+            OpClass::Copy => 1,
+            OpClass::Send => 1,
+            OpClass::Recv => 1,
+            OpClass::Spawn => 1,
+            OpClass::Nop => 1,
+        }
+    }
+
+    /// Whether this operation accesses memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this operation writes memory.
+    pub fn is_store(self) -> bool {
+        matches!(self, OpClass::Store)
+    }
+
+    /// Whether this operation reads memory.
+    pub fn is_load(self) -> bool {
+        matches!(self, OpClass::Load)
+    }
+
+    /// Short mnemonic used in dumps.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "imul",
+            OpClass::IntDiv => "idiv",
+            OpClass::Load => "ld",
+            OpClass::Store => "st",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Branch => "br",
+            OpClass::Copy => "cp",
+            OpClass::Send => "send",
+            OpClass::Recv => "recv",
+            OpClass::Spawn => "spawn",
+            OpClass::Nop => "nop",
+        }
+    }
+
+    /// All "real" computation classes a loop body may contain (excludes
+    /// the scheduler-inserted SpMT operations). Useful for generators.
+    pub fn body_classes() -> &'static [OpClass] {
+        &[
+            OpClass::IntAlu,
+            OpClass::IntMul,
+            OpClass::IntDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::FpAdd,
+            OpClass::FpMul,
+            OpClass::FpDiv,
+            OpClass::Branch,
+        ]
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single instruction (DDG node).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// This instruction's id (== its index in the DDG node table).
+    pub id: InstId,
+    /// Human-readable name, e.g. `"n6"` or `"load a[i]"`.
+    pub name: String,
+    /// Operation class (selects the functional unit).
+    pub op: OpClass,
+    /// Issue-to-result latency in cycles.
+    pub latency: u32,
+}
+
+impl Instruction {
+    /// Create an instruction with the default latency for its class.
+    pub fn new(id: InstId, name: impl Into<String>, op: OpClass) -> Self {
+        Instruction {
+            id,
+            name: name.into(),
+            op,
+            latency: op.default_latency(),
+        }
+    }
+
+    /// Create an instruction with an explicit latency.
+    pub fn with_latency(id: InstId, name: impl Into<String>, op: OpClass, latency: u32) -> Self {
+        Instruction {
+            id,
+            name: name.into(),
+            op,
+            latency,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ({}, lat {})", self.id, self.name, self.op, self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latencies_are_positive() {
+        for &op in OpClass::body_classes() {
+            assert!(op.default_latency() >= 1, "{op} must have latency >= 1");
+        }
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(OpClass::Load.is_memory());
+        assert!(OpClass::Store.is_memory());
+        assert!(OpClass::Load.is_load());
+        assert!(!OpClass::Load.is_store());
+        assert!(OpClass::Store.is_store());
+        assert!(!OpClass::FpMul.is_memory());
+    }
+
+    #[test]
+    fn instruction_uses_class_default_latency() {
+        let i = Instruction::new(InstId(3), "x", OpClass::FpMul);
+        assert_eq!(i.latency, OpClass::FpMul.default_latency());
+        assert_eq!(i.id.index(), 3);
+    }
+
+    #[test]
+    fn explicit_latency_overrides_default() {
+        let i = Instruction::with_latency(InstId(0), "mul", OpClass::IntMul, 7);
+        assert_eq!(i.latency, 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::new(InstId(6), "n6", OpClass::IntAlu);
+        assert_eq!(format!("{}", i.id), "n6");
+        assert!(format!("{i}").contains("alu"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Recurrence-constrained initiation interval (`RecII`).
+//!
+//! A dependence cycle `C` forces `II ≥ ⌈Σ delay(C) / Σ distance(C)⌉`;
+//! `RecII` is the maximum over all elementary cycles. Enumerating
+//! cycles is exponential, so we use the classic feasibility test: for a
+//! candidate `II`, every cycle must have non-positive weight under
+//! `w(e) = delay(e) − II·distance(e)`. Positive-cycle detection is
+//! Bellman–Ford-style relaxation per SCC; `RecII` is found by binary
+//! search over `[1, Σ latency]`.
+
+use crate::graph::Ddg;
+use crate::inst::InstId;
+use crate::scc::SccDecomposition;
+
+/// Recurrence analysis results for a loop.
+#[derive(Debug, Clone)]
+pub struct RecurrenceInfo {
+    /// The loop-wide recurrence-constrained II (1 if the loop has no
+    /// recurrence at all — a DOALL-style body).
+    pub rec_ii: u32,
+    /// Per-SCC recurrence II, indexed by SCC id from the same
+    /// [`SccDecomposition`]. Non-recurrence components get 0.
+    pub scc_rec_ii: Vec<u32>,
+}
+
+/// Compute [`RecurrenceInfo`] for `ddg` using `scc`.
+pub fn recurrence_info(ddg: &Ddg, scc: &SccDecomposition) -> RecurrenceInfo {
+    let mut scc_rec_ii = vec![0u32; scc.num_components()];
+    let mut rec_ii = 1u32;
+    for c in scc.recurrence_components(ddg) {
+        let ii = scc_rec_mii(ddg, scc, c);
+        scc_rec_ii[c] = ii;
+        rec_ii = rec_ii.max(ii);
+    }
+    RecurrenceInfo { rec_ii, scc_rec_ii }
+}
+
+/// Recurrence II of one SCC: smallest `II ≥ 1` with no positive cycle
+/// within the component under `w(e) = delay − II·distance`.
+fn scc_rec_mii(ddg: &Ddg, scc: &SccDecomposition, comp: usize) -> u32 {
+    // Upper bound: the sum of all delays in the component's edges
+    // divided by the minimum distance (>= 1) of any cycle; a safe and
+    // cheap bound is the sum of positive delays.
+    let members = scc.members(comp);
+    let hi: i64 = members
+        .iter()
+        .flat_map(|&n| ddg.succ_edges(n))
+        .filter(|(_, e)| scc.component_of(e.dst) == comp)
+        .map(|(_, e)| e.delay.max(0))
+        .sum::<i64>()
+        .max(1);
+    let (mut lo, mut hi) = (1i64, hi);
+    // Invariant: feasibility is monotone in II (larger II only makes
+    // cycle weights smaller), so binary search applies.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if has_positive_cycle(ddg, scc, comp, mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
+}
+
+/// Bellman–Ford positive-cycle detection restricted to one SCC.
+fn has_positive_cycle(ddg: &Ddg, scc: &SccDecomposition, comp: usize, ii: i64) -> bool {
+    let members = scc.members(comp);
+    let n = members.len();
+    // Map node -> local index.
+    let local = |id: InstId| members.binary_search(&id).expect("member");
+    // Longest-path potentials, all sources at 0.
+    let mut dist = vec![0i64; n];
+    for round in 0..=n {
+        let mut changed = false;
+        for (li, &u) in members.iter().enumerate() {
+            for (_, e) in ddg.succ_edges(u) {
+                if scc.component_of(e.dst) != comp {
+                    continue;
+                }
+                let w = e.delay - ii * e.distance as i64;
+                let lv = local(e.dst);
+                if dist[li] + w > dist[lv] {
+                    dist[lv] = dist[li] + w;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return false;
+        }
+        if round == n {
+            return true;
+        }
+    }
+    false
+}
+
+/// The minimum legal II for any cycle through edge set sums — a helper
+/// exposing the exact ratio bound `⌈Σdelay/Σdist⌉` of a given cycle,
+/// useful for constructing test graphs with known `RecII`.
+pub fn cycle_ratio_bound(delays: &[i64], distances: &[u32]) -> u32 {
+    let d: i64 = delays.iter().sum();
+    let k: i64 = distances.iter().map(|&x| x as i64).sum();
+    assert!(k > 0, "cycle must carry positive distance");
+    (d.max(1) as f64 / k as f64).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::inst::OpClass;
+
+    fn info(g: &Ddg) -> RecurrenceInfo {
+        let scc = SccDecomposition::compute(g);
+        recurrence_info(g, &scc)
+    }
+
+    #[test]
+    fn doall_loop_has_rec_ii_one() {
+        let mut b = DdgBuilder::new("doall");
+        let l = b.inst("ld", OpClass::Load);
+        let m = b.inst("mul", OpClass::FpMul);
+        let s = b.inst("st", OpClass::Store);
+        b.reg_flow(l, m, 0);
+        b.reg_flow(m, s, 0);
+        let g = b.build().unwrap();
+        assert_eq!(info(&g).rec_ii, 1);
+    }
+
+    #[test]
+    fn self_recurrence_rec_ii_is_latency() {
+        let mut b = DdgBuilder::new("acc");
+        let a = b.inst("fadd", OpClass::FpAdd); // latency 2
+        b.reg_flow(a, a, 1);
+        let g = b.build().unwrap();
+        assert_eq!(info(&g).rec_ii, 2);
+    }
+
+    #[test]
+    fn distance_two_halves_the_bound() {
+        let mut b = DdgBuilder::new("acc2");
+        let a = b.inst_lat("op", OpClass::FpAdd, 6);
+        b.reg_flow(a, a, 2); // ceil(6/2) = 3
+        let g = b.build().unwrap();
+        assert_eq!(info(&g).rec_ii, 3);
+    }
+
+    #[test]
+    fn two_node_recurrence_sums_latencies() {
+        let mut b = DdgBuilder::new("rec2");
+        let a = b.inst_lat("a", OpClass::FpAdd, 2);
+        let c = b.inst_lat("c", OpClass::FpMul, 4);
+        b.reg_flow(a, c, 0);
+        b.reg_flow(c, a, 1); // cycle delay 2+4=6, distance 1
+        let g = b.build().unwrap();
+        assert_eq!(info(&g).rec_ii, 6);
+    }
+
+    #[test]
+    fn max_over_multiple_recurrences() {
+        let mut b = DdgBuilder::new("multi");
+        let a = b.inst_lat("a", OpClass::FpAdd, 2);
+        let c = b.inst_lat("c", OpClass::FpAdd, 5);
+        b.reg_flow(a, a, 1); // II >= 2
+        b.reg_flow(c, c, 1); // II >= 5
+        let g = b.build().unwrap();
+        let i = info(&g);
+        assert_eq!(i.rec_ii, 5);
+        // Both SCCs should have their own bound recorded.
+        let mut bounds: Vec<u32> = i.scc_rec_ii.iter().copied().filter(|&x| x > 0).collect();
+        bounds.sort();
+        assert_eq!(bounds, vec![2, 5]);
+    }
+
+    #[test]
+    fn figure1_style_recurrence_is_eight() {
+        // Five unit-latency-ish ops in a cycle with total delay 8,
+        // distance 1 => RecII = 8 (the paper's motivating example).
+        let mut b = DdgBuilder::new("fig1-rec");
+        let n0 = b.inst_lat("n0", OpClass::Load, 3);
+        let n1 = b.inst_lat("n1", OpClass::IntAlu, 1);
+        let n2 = b.inst_lat("n2", OpClass::IntAlu, 1);
+        let n4 = b.inst_lat("n4", OpClass::IntAlu, 2);
+        let n5 = b.inst_lat("n5", OpClass::Store, 1);
+        b.reg_flow(n0, n1, 0);
+        b.reg_flow(n1, n2, 0);
+        b.reg_flow(n2, n4, 0);
+        b.reg_flow(n4, n5, 0);
+        b.reg_flow(n5, n0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(info(&g).rec_ii, 8);
+    }
+
+    #[test]
+    fn cycle_ratio_bound_matches_manual() {
+        assert_eq!(cycle_ratio_bound(&[3, 1, 1, 2, 1], &[0, 0, 0, 0, 1]), 8);
+        assert_eq!(cycle_ratio_bound(&[6], &[2]), 3);
+        assert_eq!(cycle_ratio_bound(&[5], &[2]), 3);
+        assert_eq!(cycle_ratio_bound(&[4], &[2]), 2);
+    }
+
+    #[test]
+    fn nested_cycles_take_max_ratio() {
+        // Inner tight cycle a<->c (delay 3+3=6, dist 1 => 6) and outer
+        // cycle a->c->d->a (delay 3+3+1=7, dist 2 => 4). RecII = 6.
+        let mut b = DdgBuilder::new("nest");
+        let a = b.inst_lat("a", OpClass::FpAdd, 3);
+        let c = b.inst_lat("c", OpClass::FpAdd, 3);
+        let d = b.inst_lat("d", OpClass::IntAlu, 1);
+        b.reg_flow(a, c, 0);
+        b.reg_flow(c, a, 1);
+        b.reg_flow(c, d, 0);
+        b.reg_flow(d, a, 2);
+        let g = b.build().unwrap();
+        assert_eq!(info(&g).rec_ii, 6);
+    }
+}

@@ -1,0 +1,256 @@
+//! Strongly connected components via Tarjan's algorithm (iterative).
+//!
+//! SCC structure drives both the SMS node-ordering phase (SCCs are
+//! scheduled in decreasing recurrence-II priority) and the paper's
+//! Table 3 statistics (`AVG #SCC` per DOACROSS loop).
+
+use crate::graph::Ddg;
+use crate::inst::InstId;
+
+/// The strongly-connected-component decomposition of a [`Ddg`].
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `comp[n]` — component index of node `n`. Components are numbered
+    /// in **reverse topological order of discovery**; use
+    /// [`SccDecomposition::topo_order`] for a forward topological order.
+    comp: Vec<usize>,
+    /// Nodes of each component.
+    members: Vec<Vec<InstId>>,
+}
+
+impl SccDecomposition {
+    /// Compute the SCCs of `ddg`.
+    pub fn compute(ddg: &Ddg) -> Self {
+        Tarjan::new(ddg).run()
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component index of a node.
+    pub fn component_of(&self, n: InstId) -> usize {
+        self.comp[n.index()]
+    }
+
+    /// Members of component `c`.
+    pub fn members(&self, c: usize) -> &[InstId] {
+        &self.members[c]
+    }
+
+    /// All components, each a slice of member nodes.
+    pub fn components(&self) -> impl Iterator<Item = &[InstId]> + '_ {
+        self.members.iter().map(|v| v.as_slice())
+    }
+
+    /// True if the component containing `n` is non-trivial (has more
+    /// than one node, or a self-edge — the caller must check self-edges
+    /// separately since the decomposition does not retain them).
+    pub fn is_multi_node(&self, n: InstId) -> bool {
+        self.members[self.comp[n.index()]].len() > 1
+    }
+
+    /// Components that are *recurrences*: more than one node, or a
+    /// single node with a self-edge in `ddg`.
+    pub fn recurrence_components<'a>(&'a self, ddg: &'a Ddg) -> impl Iterator<Item = usize> + 'a {
+        (0..self.members.len()).filter(move |&c| {
+            let m = &self.members[c];
+            m.len() > 1 || ddg.succ_edges(m[0]).any(|(_, e)| e.dst == m[0])
+        })
+    }
+
+    /// Component indices in topological order (every edge of the
+    /// condensation goes from an earlier to a later component).
+    ///
+    /// Tarjan numbers components in reverse topological order, so this
+    /// is just the reversal of the discovery numbering.
+    pub fn topo_order(&self) -> Vec<usize> {
+        (0..self.members.len()).rev().collect()
+    }
+}
+
+struct Tarjan<'a> {
+    ddg: &'a Ddg,
+    index: Vec<Option<u32>>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: u32,
+    comp: Vec<usize>,
+    members: Vec<Vec<InstId>>,
+}
+
+impl<'a> Tarjan<'a> {
+    fn new(ddg: &'a Ddg) -> Self {
+        let n = ddg.num_insts();
+        Tarjan {
+            ddg,
+            index: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            comp: vec![usize::MAX; n],
+            members: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> SccDecomposition {
+        for v in 0..self.ddg.num_insts() {
+            if self.index[v].is_none() {
+                self.visit(v);
+            }
+        }
+        SccDecomposition {
+            comp: self.comp,
+            members: self.members,
+        }
+    }
+
+    /// Iterative Tarjan visit (explicit call stack; loop bodies are
+    /// small but generated populations can be deep chains).
+    fn visit(&mut self, root: usize) {
+        // Each frame: (node, iterator position into succs).
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        self.start_node(root);
+        while let Some(&mut (v, ref mut i)) = call.last_mut() {
+            // Collect successor node list lazily through the edge table.
+            let succ = self
+                .ddg
+                .succ_edges(InstId(v as u32))
+                .nth(*i)
+                .map(|(_, e)| e.dst.index());
+            match succ {
+                Some(w) => {
+                    *i += 1;
+                    if self.index[w].is_none() {
+                        self.start_node(w);
+                        call.push((w, 0));
+                    } else if self.on_stack[w] {
+                        self.lowlink[v] = self.lowlink[v].min(self.index[w].unwrap());
+                    }
+                }
+                None => {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        self.lowlink[parent] = self.lowlink[parent].min(self.lowlink[v]);
+                    }
+                    if self.lowlink[v] == self.index[v].unwrap() {
+                        let c = self.members.len();
+                        let mut group = Vec::new();
+                        loop {
+                            let w = self.stack.pop().expect("scc stack underflow");
+                            self.on_stack[w] = false;
+                            self.comp[w] = c;
+                            group.push(InstId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        group.sort();
+                        self.members.push(group);
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_node(&mut self, v: usize) {
+        self.index[v] = Some(self.next_index);
+        self.lowlink[v] = self.next_index;
+        self.next_index += 1;
+        self.stack.push(v);
+        self.on_stack[v] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DdgBuilder;
+    use crate::inst::OpClass;
+
+    #[test]
+    fn chain_has_singleton_components() {
+        let mut b = DdgBuilder::new("chain");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        let d = b.inst("d", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        b.reg_flow(c, d, 0);
+        let g = b.build().unwrap();
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.num_components(), 3);
+        assert_eq!(scc.recurrence_components(&g).count(), 0);
+    }
+
+    #[test]
+    fn recurrence_forms_one_component() {
+        let mut b = DdgBuilder::new("rec");
+        let a = b.inst("a", OpClass::FpAdd);
+        let c = b.inst("c", OpClass::FpMul);
+        let d = b.inst("d", OpClass::Store);
+        b.reg_flow(a, c, 0);
+        b.reg_flow(c, a, 1);
+        b.reg_flow(c, d, 0);
+        let g = b.build().unwrap();
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.num_components(), 2);
+        assert_eq!(scc.component_of(a), scc.component_of(c));
+        assert_ne!(scc.component_of(a), scc.component_of(d));
+        let recs: Vec<_> = scc.recurrence_components(&g).collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(scc.members(recs[0]).len(), 2);
+    }
+
+    #[test]
+    fn self_edge_is_a_recurrence() {
+        let mut b = DdgBuilder::new("self");
+        let a = b.inst("a", OpClass::FpAdd);
+        let c = b.inst("c", OpClass::IntAlu);
+        b.reg_flow(a, a, 1);
+        b.reg_flow(a, c, 0);
+        let g = b.build().unwrap();
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.num_components(), 2);
+        let recs: Vec<_> = scc.recurrence_components(&g).collect();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(scc.members(recs[0]), &[a]);
+    }
+
+    #[test]
+    fn topo_order_respects_condensation_edges() {
+        let mut b = DdgBuilder::new("two-sccs");
+        // SCC1: {a, c}; SCC2: {d, e}; edge c -> d crosses components.
+        let a = b.inst("a", OpClass::FpAdd);
+        let c = b.inst("c", OpClass::FpMul);
+        let d = b.inst("d", OpClass::FpAdd);
+        let e = b.inst("e", OpClass::FpMul);
+        b.reg_flow(a, c, 0);
+        b.reg_flow(c, a, 1);
+        b.reg_flow(c, d, 0);
+        b.reg_flow(d, e, 0);
+        b.reg_flow(e, d, 1);
+        let g = b.build().unwrap();
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.num_components(), 2);
+        let order = scc.topo_order();
+        let pos_of = |c: usize| order.iter().position(|&x| x == c).unwrap();
+        // a/c's component must precede d/e's in topological order.
+        assert!(pos_of(scc.component_of(a)) < pos_of(scc.component_of(d)));
+    }
+
+    #[test]
+    fn two_independent_recurrences() {
+        let mut b = DdgBuilder::new("ind");
+        let a = b.inst("a", OpClass::FpAdd);
+        let c = b.inst("c", OpClass::FpAdd);
+        b.reg_flow(a, a, 1);
+        b.reg_flow(c, c, 1);
+        let g = b.build().unwrap();
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.num_components(), 2);
+        assert_eq!(scc.recurrence_components(&g).count(), 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Loop unrolling.
+//!
+//! The paper's conclusion names unrolling as the lever for trading
+//! communication against parallelism by varying thread granularity
+//! (its own evaluation unrolls art's two 11-instruction loops four
+//! times). `unroll` replicates the body `factor` times and rewrites
+//! every dependence: copy `c` of the new body stands for old iteration
+//! `j·factor + c`, so an old edge `(u → v, d)` becomes, for each
+//! consumer copy `c`, an edge from producer copy
+//! `(c − d) mod factor` at new distance `⌈(d − c) / factor⌉` (computed
+//! with euclidean division — distance-0 edges stay inside their copy).
+
+use crate::builder::DdgBuilder;
+use crate::graph::{Ddg, DdgError};
+use crate::inst::InstId;
+
+/// Unroll `ddg` by `factor` (≥ 1). Factor 1 returns a copy.
+///
+/// Instruction `i`'s copy `c` gets id `c · n + i` and name
+/// `"<name>@<c>"`, so original instructions remain identifiable.
+pub fn unroll(ddg: &Ddg, factor: u32) -> Result<Ddg, DdgError> {
+    assert!(factor >= 1, "unroll factor must be at least 1");
+    let n = ddg.num_insts();
+    let f = factor as i64;
+    let mut b = DdgBuilder::new(format!("{}x{}", ddg.name(), factor));
+
+    let mut ids: Vec<Vec<InstId>> = Vec::with_capacity(factor as usize);
+    for c in 0..factor {
+        let copy: Vec<InstId> = ddg
+            .insts()
+            .iter()
+            .map(|inst| b.inst_lat(format!("{}@{c}", inst.name), inst.op, inst.latency))
+            .collect();
+        ids.push(copy);
+    }
+
+    for e in ddg.edges() {
+        for c in 0..factor as i64 {
+            let shifted = c - e.distance as i64;
+            let src_copy = shifted.rem_euclid(f) as usize;
+            let new_dist = (-shifted.div_euclid(f)) as u32;
+            let mut edge = e.clone();
+            edge.src = ids[src_copy][e.src.index()];
+            edge.dst = ids[c as usize][e.dst.index()];
+            edge.distance = new_dist;
+            b.edge(edge);
+        }
+    }
+
+    let out = b.build()?;
+    debug_assert_eq!(out.num_insts(), n * factor as usize);
+    out.validate_against_original(ddg, factor);
+    Ok(out)
+}
+
+impl Ddg {
+    /// Debug-mode sanity check used by [`unroll`]: edge counts scale
+    /// with the factor.
+    fn validate_against_original(&self, original: &Ddg, factor: u32) {
+        debug_assert_eq!(
+            self.num_edges(),
+            original.num_edges() * factor as usize,
+            "unrolling must replicate every edge exactly factor times"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::OpClass;
+    use crate::mii::recurrence_info;
+    use crate::scc::SccDecomposition;
+
+    fn accumulator() -> Ddg {
+        let mut b = DdgBuilder::new("acc");
+        let ld = b.inst("ld", OpClass::Load);
+        let a = b.inst_lat("acc", OpClass::FpAdd, 2);
+        b.reg_flow(ld, a, 0);
+        b.reg_flow(a, a, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn factor_one_is_identity_shaped() {
+        let g = accumulator();
+        let u = unroll(&g, 1).unwrap();
+        assert_eq!(u.num_insts(), g.num_insts());
+        assert_eq!(u.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn sizes_scale_with_factor() {
+        let g = accumulator();
+        for f in [2u32, 3, 4] {
+            let u = unroll(&g, f).unwrap();
+            assert_eq!(u.num_insts(), g.num_insts() * f as usize);
+            assert_eq!(u.num_edges(), g.num_edges() * f as usize);
+        }
+    }
+
+    #[test]
+    fn self_recurrence_becomes_a_cross_copy_chain() {
+        // acc -> acc (d=1) unrolled x4: copies chain 0->1->2->3 at
+        // distance 0, and 3 -> 0 at distance 1.
+        let g = accumulator();
+        let u = unroll(&g, 4).unwrap();
+        let carried: Vec<_> = u
+            .edges()
+            .iter()
+            .filter(|e| e.distance >= 1 && e.is_register_flow())
+            .collect();
+        // Only the wrap edge of the accumulator chain (the load's
+        // incoming edges are all distance 0).
+        assert_eq!(carried.len(), 1);
+        assert_eq!(carried[0].distance, 1);
+        let intra: usize = u
+            .edges()
+            .iter()
+            .filter(|e| e.distance == 0 && e.src != e.dst)
+            .count();
+        assert_eq!(intra, 4 /* ld->acc */ + 3 /* acc chain */);
+    }
+
+    #[test]
+    fn rec_ii_scales_like_the_recurrence() {
+        // The accumulator bounds the ORIGINAL loop at 2 cycles/iter;
+        // unrolled x4, one new iteration covers 4 old ones, so the
+        // recurrence bound becomes 8 per new iteration — the same per
+        // original iteration.
+        let g = accumulator();
+        let scc = SccDecomposition::compute(&g);
+        let base = recurrence_info(&g, &scc).rec_ii;
+        assert_eq!(base, 2);
+        let u = unroll(&g, 4).unwrap();
+        let scc = SccDecomposition::compute(&u);
+        assert_eq!(recurrence_info(&u, &scc).rec_ii, 8);
+    }
+
+    #[test]
+    fn distance_two_edges_split_between_copies() {
+        let mut b = DdgBuilder::new("d2");
+        let p = b.inst("p", OpClass::IntAlu);
+        let q = b.inst("q", OpClass::IntAlu);
+        b.reg_flow(p, q, 2);
+        let g = b.build().unwrap();
+        let u = unroll(&g, 2).unwrap();
+        // Consumer copy 0 reads producer copy 0 one new-iteration back;
+        // consumer copy 1 reads producer copy 1 one new-iteration back.
+        for e in u.edges() {
+            assert_eq!(e.distance, 1);
+        }
+        assert_eq!(u.num_edges(), 2);
+    }
+
+    #[test]
+    fn distance_three_unrolled_by_two() {
+        let mut b = DdgBuilder::new("d3");
+        let p = b.inst("p", OpClass::IntAlu);
+        let q = b.inst("q", OpClass::IntAlu);
+        b.reg_flow(p, q, 3);
+        let g = b.build().unwrap();
+        let u = unroll(&g, 2).unwrap();
+        // copy 0 consumer: old iter 2j − 3 → copy 1, distance 2.
+        // copy 1 consumer: old iter 2j+1 − 3 → copy 0, distance 1.
+        let mut dists: Vec<u32> = u.edges().iter().map(|e| e.distance).collect();
+        dists.sort();
+        assert_eq!(dists, vec![1, 2]);
+    }
+
+    #[test]
+    fn memory_probabilities_survive_unrolling() {
+        let mut b = DdgBuilder::new("mem");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, 1, 0.125);
+        let g = b.build().unwrap();
+        let u = unroll(&g, 4).unwrap();
+        assert!(u.edges().iter().all(|e| (e.prob - 0.125).abs() < 1e-12));
+    }
+}

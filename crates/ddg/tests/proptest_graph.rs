@@ -1,0 +1,151 @@
+//! Property tests on the dependence-graph substrate.
+
+use proptest::prelude::*;
+use tms_ddg::analysis::{topo_order_zero_dist, AcyclicPriorities, TimeFrames};
+use tms_ddg::mii::recurrence_info;
+use tms_ddg::scc::SccDecomposition;
+use tms_ddg::{Ddg, DdgBuilder, InstId, OpClass};
+
+/// Strategy: a valid DDG. Intra-iteration edges only go from lower to
+/// higher index (a DAG by construction), loop-carried edges are free.
+fn arb_ddg() -> impl Strategy<Value = Ddg> {
+    let ops = prop::sample::select(vec![
+        OpClass::IntAlu,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+    ]);
+    (2usize..24, prop::collection::vec((ops, 1u32..13), 2..24)).prop_flat_map(|(_, specs)| {
+        let n = specs.len();
+        let edge = (0..n, 0..n, 0u32..3, prop::bool::ANY);
+        (Just(specs), prop::collection::vec(edge, 0..40)).prop_map(|(specs, edges)| {
+            let mut b = DdgBuilder::new("prop");
+            let ids: Vec<InstId> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, (op, lat))| b.inst_lat(format!("n{i}"), *op, *lat))
+                .collect();
+            for (src, dst, dist, mem) in edges {
+                let (s, d) = (ids[src], ids[dst]);
+                // Keep distance-0 edges forward so the graph is valid.
+                let dist = if src >= dst { dist.max(1) } else { dist };
+                if mem && specs[src].0 == OpClass::Store && specs[dst].0 == OpClass::Load {
+                    b.mem_flow(s, d, dist, 0.5);
+                } else {
+                    b.reg_flow(s, d, dist);
+                }
+            }
+            b.build().expect("constructed DDG is valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scc_is_a_partition(ddg in arb_ddg()) {
+        let scc = SccDecomposition::compute(&ddg);
+        let mut seen = vec![false; ddg.num_insts()];
+        for c in 0..scc.num_components() {
+            for &n in scc.members(c) {
+                prop_assert!(!seen[n.index()], "node in two components");
+                seen[n.index()] = true;
+                prop_assert_eq!(scc.component_of(n), c);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn scc_members_are_mutually_reachable(ddg in arb_ddg()) {
+        let scc = SccDecomposition::compute(&ddg);
+        // Every pair in a multi-node component reaches each other.
+        for c in 0..scc.num_components() {
+            let members = scc.members(c);
+            if members.len() < 2 { continue; }
+            let inside: Vec<_> = members.to_vec();
+            for &a in &inside {
+                let mut reach = vec![false; ddg.num_insts()];
+                let mut stack = vec![a];
+                reach[a.index()] = true;
+                while let Some(u) = stack.pop() {
+                    for v in ddg.successors(u) {
+                        if !reach[v.index()] {
+                            reach[v.index()] = true;
+                            stack.push(v);
+                        }
+                    }
+                }
+                for &bnode in &inside {
+                    prop_assert!(reach[bnode.index()],
+                        "{a} cannot reach {bnode} inside its SCC");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frames_converge_at_rec_ii(ddg in arb_ddg()) {
+        let scc = SccDecomposition::compute(&ddg);
+        let rec = recurrence_info(&ddg, &scc);
+        // At RecII the longest-path fixpoint must converge...
+        let f = TimeFrames::compute(&ddg, rec.rec_ii);
+        prop_assert!(f.is_some(), "frames diverge at RecII {}", rec.rec_ii);
+        let f = f.unwrap();
+        // ...and ASAP ≤ ALAP with non-negative mobility everywhere.
+        for i in 0..ddg.num_insts() {
+            prop_assert!(f.mobility[i] >= 0, "negative mobility at {i}");
+            prop_assert!(f.asap[i] <= f.alap[i]);
+        }
+    }
+
+    #[test]
+    fn frames_diverge_below_rec_ii_when_rec_ii_positive(ddg in arb_ddg()) {
+        let scc = SccDecomposition::compute(&ddg);
+        let rec = recurrence_info(&ddg, &scc);
+        if rec.rec_ii > 1 {
+            prop_assert!(
+                TimeFrames::compute(&ddg, rec.rec_ii - 1).is_none(),
+                "RecII {} is not tight", rec.rec_ii
+            );
+        }
+    }
+
+    #[test]
+    fn ldp_bounds_every_latency_and_asap(ddg in arb_ddg()) {
+        let p = AcyclicPriorities::compute(&ddg);
+        for inst in ddg.insts() {
+            prop_assert!(p.ldp >= inst.latency as i64);
+        }
+        for u in ddg.inst_ids() {
+            prop_assert!(p.depth[u.index()] + ddg.inst(u).latency as i64 <= p.ldp);
+            prop_assert!(p.height[u.index()] <= p.ldp);
+        }
+    }
+
+    #[test]
+    fn topo_order_respects_zero_distance_edges(ddg in arb_ddg()) {
+        let order = topo_order_zero_dist(&ddg);
+        prop_assert_eq!(order.len(), ddg.num_insts());
+        let pos: Vec<usize> = {
+            let mut v = vec![0; ddg.num_insts()];
+            for (i, &n) in order.iter().enumerate() { v[n.index()] = i; }
+            v
+        };
+        for e in ddg.edges() {
+            if e.distance == 0 {
+                prop_assert!(pos[e.src.index()] < pos[e.dst.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip(ddg in arb_ddg()) {
+        let json = serde_json::to_string(&ddg).unwrap();
+        let back: Ddg = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(format!("{ddg}"), format!("{back}"));
+    }
+}

@@ -1,0 +1,18 @@
+//! SpMT machine model: functional-unit resources, reservation tables
+//! and the architectural parameters of Table 1 of the paper.
+//!
+//! Two views of the machine coexist:
+//!
+//! * the **scheduler's view** ([`MachineModel`]) — per-core issue width
+//!   and functional-unit counts, from which the resource-constrained
+//!   initiation interval `ResII` is derived;
+//! * the **system view** ([`ArchParams`]) — the quad-core SpMT system:
+//!   cache hierarchy latencies, SEND/RECV latency, and the four cost
+//!   constants of the paper's cost model (`C_spn`, `C_ci`, `C_inv`,
+//!   `C_reg_com`).
+
+pub mod params;
+pub mod resources;
+
+pub use params::{ArchParams, CacheParams, CostConstants};
+pub use resources::{mii, res_ii, MachineModel, ResourceClass};

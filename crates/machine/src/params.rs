@@ -1,0 +1,194 @@
+//! Architectural parameters of the simulated SpMT system (Table 1) and
+//! the cost constants of the paper's §4.2 cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache hierarchy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// L1 data cache size in bytes (per core).
+    pub l1d_size: u32,
+    /// L1 data cache associativity.
+    pub l1d_ways: u32,
+    /// L1 data cache line size in bytes.
+    pub line_size: u32,
+    /// L1 data hit latency (cycles).
+    pub l1d_hit: u32,
+    /// Shared L2 size in bytes.
+    pub l2_size: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// L2 hit latency (cycles).
+    pub l2_hit: u32,
+    /// L2 miss (memory) latency (cycles).
+    pub l2_miss: u32,
+}
+
+impl CacheParams {
+    /// Table 1 values: 16KB 4-way L1D at 3 cycles, 1MB 4-way shared L2
+    /// at 12 cycles hit / 80 cycles miss. 64-byte lines.
+    pub fn icpp2008() -> Self {
+        CacheParams {
+            l1d_size: 16 * 1024,
+            l1d_ways: 4,
+            line_size: 64,
+            l1d_hit: 3,
+            l2_size: 1024 * 1024,
+            l2_ways: 4,
+            l2_hit: 12,
+            l2_miss: 80,
+        }
+    }
+}
+
+/// The four cost constants of the cost model plus the communication
+/// latency of the Voltron-style queue model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostConstants {
+    /// `C_spn` — overhead of spawning a thread on a core (cycles).
+    pub c_spn: u32,
+    /// `C_ci` — commit overhead by the head thread (cycles).
+    pub c_ci: u32,
+    /// `C_inv` — invalidation overhead when squashing a thread (cycles).
+    pub c_inv: u32,
+    /// `C_reg_com` — SEND → hop → RECV latency for one register value
+    /// between adjacent cores (cycles).
+    pub c_reg_com: u32,
+}
+
+impl CostConstants {
+    /// Table 1 values: spawn 3, commit 2, invalidation 15, SEND/RECV 3.
+    pub fn icpp2008() -> Self {
+        CostConstants {
+            c_spn: 3,
+            c_ci: 2,
+            c_inv: 15,
+            c_reg_com: 3,
+        }
+    }
+
+    /// The smallest possible synchronisation delay of any scheduled
+    /// register dependence: a unit-latency producer issued in the same
+    /// modulo slot as its consumer still pays `1 + C_reg_com`
+    /// (Definition 2 / line 5 of Figure 3).
+    pub fn min_c_delay(&self) -> u32 {
+        1 + self.c_reg_com
+    }
+}
+
+/// Complete system parameters for scheduling and simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchParams {
+    /// Number of cores on the ring.
+    pub ncore: u32,
+    /// Cost constants (Table 1).
+    pub costs: CostConstants,
+    /// Cache hierarchy (Table 1).
+    pub cache: CacheParams,
+    /// Entries in the per-core speculative write buffer (Hydra-style,
+    /// next to L2; Table 1 gives 64).
+    pub spec_write_buffer_entries: u32,
+    /// Entries in each inter-core SEND/RECV queue.
+    pub comm_queue_entries: u32,
+}
+
+impl ArchParams {
+    /// The paper's evaluated system: a quad-core SpMT processor on a
+    /// uni-directional ring with Table 1 parameters.
+    pub fn icpp2008() -> Self {
+        ArchParams {
+            ncore: 4,
+            costs: CostConstants::icpp2008(),
+            cache: CacheParams::icpp2008(),
+            spec_write_buffer_entries: 64,
+            comm_queue_entries: 16,
+        }
+    }
+
+    /// Same system with a different core count (the motivating example
+    /// of Figure 2 uses two cores).
+    pub fn with_ncore(ncore: u32) -> Self {
+        ArchParams {
+            ncore,
+            ..Self::icpp2008()
+        }
+    }
+
+    /// Render Table 1 as the paper prints it.
+    pub fn table1(&self) -> String {
+        let c = &self.cache;
+        let k = &self.costs;
+        format!(
+            "Parameter              | Values\n\
+             -----------------------+---------------------------------\n\
+             Cores                  | {} (uni-directional ring)\n\
+             Fetch, Issue, Commit   | bandwidth 4, out-of-order issue\n\
+             L1 I-Cache             | 16KB, 4-way, 1 cycle (hit)\n\
+             L1 D-Cache             | {}KB, {}-way, {} cycle (hit)\n\
+             L2 Cache (shared)      | {}MB, {}-way, {} cycles (hit), {} cycles (miss)\n\
+             Local Register File    | 1 cycle\n\
+             SEND/RECV Latency      | {} cycles\n\
+             Spawn Overhead         | {} cycles\n\
+             Commit Overhead        | {} cycles\n\
+             Invalidation Overhead  | {} cycles",
+            self.ncore,
+            c.l1d_size / 1024,
+            c.l1d_ways,
+            c.l1d_hit,
+            c.l2_size / (1024 * 1024),
+            c.l2_ways,
+            c.l2_hit,
+            c.l2_miss,
+            k.c_reg_com,
+            k.c_spn,
+            k.c_ci,
+            k.c_inv
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants_match_paper() {
+        let p = ArchParams::icpp2008();
+        assert_eq!(p.ncore, 4);
+        assert_eq!(p.costs.c_spn, 3);
+        assert_eq!(p.costs.c_ci, 2);
+        assert_eq!(p.costs.c_inv, 15);
+        assert_eq!(p.costs.c_reg_com, 3);
+        assert_eq!(p.cache.l1d_hit, 3);
+        assert_eq!(p.cache.l2_hit, 12);
+        assert_eq!(p.cache.l2_miss, 80);
+        assert_eq!(p.spec_write_buffer_entries, 64);
+    }
+
+    #[test]
+    fn min_c_delay_is_one_plus_reg_com() {
+        assert_eq!(CostConstants::icpp2008().min_c_delay(), 4);
+    }
+
+    #[test]
+    fn with_ncore_overrides_core_count_only() {
+        let p = ArchParams::with_ncore(2);
+        assert_eq!(p.ncore, 2);
+        assert_eq!(p.costs, CostConstants::icpp2008());
+    }
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let t = ArchParams::icpp2008().table1();
+        for needle in [
+            "SEND/RECV Latency      | 3",
+            "Spawn Overhead         | 3",
+            "Commit Overhead        | 2",
+            "Invalidation Overhead  | 15",
+            "16KB, 4-way, 3 cycle",
+            "1MB, 4-way, 12 cycles (hit), 80 cycles (miss)",
+        ] {
+            assert!(t.contains(needle), "missing: {needle}\n{t}");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-core functional-unit resources and the `ResII` bound.
+
+use serde::{Deserialize, Serialize};
+use tms_ddg::{Ddg, OpClass};
+
+/// Functional-unit classes of one core.
+///
+/// The simulated cores (Table 1) are 4-wide out-of-order superscalars;
+/// for modulo scheduling what matters is how many operations of each
+/// class can start per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceClass {
+    /// Integer ALUs (also execute copies, branches, SpMT control ops).
+    IntUnit,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// Floating-point add pipeline.
+    FpAddUnit,
+    /// Floating-point multiply/divide pipeline.
+    FpMulDiv,
+    /// Load/store port.
+    MemPort,
+}
+
+impl ResourceClass {
+    /// All resource classes, in a fixed order used for indexing.
+    pub const ALL: [ResourceClass; 5] = [
+        ResourceClass::IntUnit,
+        ResourceClass::IntMulDiv,
+        ResourceClass::FpAddUnit,
+        ResourceClass::FpMulDiv,
+        ResourceClass::MemPort,
+    ];
+
+    /// Dense index of this class.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ResourceClass::IntUnit => 0,
+            ResourceClass::IntMulDiv => 1,
+            ResourceClass::FpAddUnit => 2,
+            ResourceClass::FpMulDiv => 3,
+            ResourceClass::MemPort => 4,
+        }
+    }
+
+    /// The resource class an operation occupies at issue.
+    pub fn for_op(op: OpClass) -> ResourceClass {
+        match op {
+            OpClass::IntAlu
+            | OpClass::Branch
+            | OpClass::Copy
+            | OpClass::Send
+            | OpClass::Recv
+            | OpClass::Spawn
+            | OpClass::Nop => ResourceClass::IntUnit,
+            OpClass::IntMul | OpClass::IntDiv => ResourceClass::IntMulDiv,
+            OpClass::FpAdd => ResourceClass::FpAddUnit,
+            OpClass::FpMul | OpClass::FpDiv => ResourceClass::FpMulDiv,
+            OpClass::Load | OpClass::Store => ResourceClass::MemPort,
+        }
+    }
+}
+
+fn default_occupancy() -> [u32; 5] {
+    [1; 5]
+}
+
+/// A single core's scheduling resources.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Instructions that may issue per cycle in total (fetch/issue
+    /// bandwidth of Table 1).
+    pub issue_width: u32,
+    /// Units available per resource class, indexed by
+    /// [`ResourceClass::index`].
+    pub units: [u32; 5],
+    /// Cycles a unit stays busy per operation (1 = fully pipelined).
+    /// Non-pipelined units make an operation occupy its unit for
+    /// several consecutive cycles — the paper's example machine has a
+    /// non-pipelined multiplier, which is how its Figure 1 loop gets
+    /// `ResII = 4` from a single `mul`.
+    #[serde(default = "default_occupancy")]
+    pub occupancy: [u32; 5],
+}
+
+impl MachineModel {
+    /// The per-core configuration matching Table 1: 4-wide issue with
+    /// two integer units, one int mul/div, one FP adder, one FP
+    /// mul/div and two memory ports — all fully pipelined.
+    pub fn icpp2008() -> Self {
+        MachineModel {
+            issue_width: 4,
+            units: [2, 1, 1, 1, 2],
+            occupancy: default_occupancy(),
+        }
+    }
+
+    /// The motivating example's machine (§4.1): like Table 1 but with a
+    /// *non-pipelined* FP multiplier of occupancy 4, so one `mul` per
+    /// iteration already forces `ResII = 4`.
+    pub fn figure1_example() -> Self {
+        MachineModel {
+            issue_width: 4,
+            units: [2, 1, 1, 1, 2],
+            occupancy: [1, 1, 1, 4, 1],
+        }
+    }
+
+    /// A narrow single-issue machine, useful in tests where ResII must
+    /// dominate.
+    pub fn scalar() -> Self {
+        MachineModel {
+            issue_width: 1,
+            units: [1, 1, 1, 1, 1],
+            occupancy: default_occupancy(),
+        }
+    }
+
+    /// A machine wide enough that recurrences alone bound II.
+    pub fn unlimited() -> Self {
+        MachineModel {
+            issue_width: u32::MAX,
+            units: [u32::MAX; 5],
+            occupancy: default_occupancy(),
+        }
+    }
+
+    /// Units available for `class`.
+    #[inline]
+    pub fn units_of(&self, class: ResourceClass) -> u32 {
+        self.units[class.index()]
+    }
+
+    /// Unit occupancy (busy cycles per op) for `class`.
+    #[inline]
+    pub fn occupancy_of(&self, class: ResourceClass) -> u32 {
+        self.occupancy[class.index()].max(1)
+    }
+}
+
+/// Resource-constrained minimum initiation interval:
+/// `max_r ⌈ uses(r) · occupancy(r) / units(r) ⌉`, also bounded by the
+/// issue width.
+pub fn res_ii(ddg: &Ddg, machine: &MachineModel) -> u32 {
+    let mut uses = [0u64; 5];
+    for inst in ddg.insts() {
+        uses[ResourceClass::for_op(inst.op).index()] += 1;
+    }
+    let mut ii = 1u64;
+    for class in ResourceClass::ALL {
+        let u = machine.units_of(class) as u64;
+        if u == 0 && uses[class.index()] > 0 {
+            // No unit for a required class — unschedulable; encode as a
+            // huge bound the caller will notice.
+            return u32::MAX;
+        }
+        if u > 0 {
+            let occupied = uses[class.index()] * machine.occupancy_of(class) as u64;
+            ii = ii.max(occupied.div_ceil(u));
+        }
+    }
+    if machine.issue_width > 0 && machine.issue_width != u32::MAX {
+        ii = ii.max((ddg.num_insts() as u64).div_ceil(machine.issue_width as u64));
+    }
+    ii.min(u32::MAX as u64) as u32
+}
+
+/// The minimum initiation interval `MII = max(ResII, RecII)`.
+pub fn mii(ddg: &Ddg, machine: &MachineModel) -> u32 {
+    let scc = tms_ddg::scc::SccDecomposition::compute(ddg);
+    let rec = tms_ddg::mii::recurrence_info(ddg, &scc);
+    res_ii(ddg, machine).max(rec.rec_ii)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::DdgBuilder;
+
+    #[test]
+    fn res_ii_counts_class_pressure() {
+        // Four FP multiplies on one FpMulDiv unit => ResII = 4.
+        let mut b = DdgBuilder::new("mul4");
+        let prev = b.inst("m0", OpClass::FpMul);
+        let mut last = prev;
+        for i in 1..4 {
+            let m = b.inst(format!("m{i}"), OpClass::FpMul);
+            b.reg_flow(last, m, 0);
+            last = m;
+        }
+        let g = b.build().unwrap();
+        assert_eq!(res_ii(&g, &MachineModel::icpp2008()), 4);
+    }
+
+    #[test]
+    fn issue_width_bounds_res_ii() {
+        // 8 int ALU ops on a 4-wide core with 2 int units: unit bound
+        // ceil(8/2)=4, width bound ceil(8/4)=2 => 4.
+        let mut b = DdgBuilder::new("alu8");
+        let mut prev = b.inst("a0", OpClass::IntAlu);
+        for i in 1..8 {
+            let a = b.inst(format!("a{i}"), OpClass::IntAlu);
+            b.reg_flow(prev, a, 0);
+            prev = a;
+        }
+        let g = b.build().unwrap();
+        assert_eq!(res_ii(&g, &MachineModel::icpp2008()), 4);
+        // On a hypothetical machine with 8 int units the width binds.
+        let wide = MachineModel {
+            units: [8, 1, 1, 1, 2],
+            ..MachineModel::icpp2008()
+        };
+        assert_eq!(res_ii(&g, &wide), 2);
+    }
+
+    #[test]
+    fn unlimited_machine_res_ii_is_one() {
+        let mut b = DdgBuilder::new("x");
+        let a = b.inst("a", OpClass::FpMul);
+        let c = b.inst("c", OpClass::FpMul);
+        b.reg_flow(a, c, 0);
+        let g = b.build().unwrap();
+        assert_eq!(res_ii(&g, &MachineModel::unlimited()), 1);
+    }
+
+    #[test]
+    fn missing_unit_is_unschedulable() {
+        let mut b = DdgBuilder::new("fp");
+        b.inst("f", OpClass::FpAdd);
+        let g = b.build().unwrap();
+        let no_fp = MachineModel {
+            units: [2, 1, 0, 1, 2],
+            ..MachineModel::icpp2008()
+        };
+        assert_eq!(res_ii(&g, &no_fp), u32::MAX);
+    }
+
+    #[test]
+    fn mii_is_max_of_bounds() {
+        // Recurrence bound 6, resource bound 1 => MII 6.
+        let mut b = DdgBuilder::new("rec");
+        let a = b.inst_lat("a", OpClass::FpAdd, 6);
+        b.reg_flow(a, a, 1);
+        let g = b.build().unwrap();
+        assert_eq!(mii(&g, &MachineModel::icpp2008()), 6);
+
+        // Resource bound 4, no recurrence => MII 4.
+        let mut b = DdgBuilder::new("res");
+        let mut prev = b.inst("m0", OpClass::FpMul);
+        for i in 1..4 {
+            let m = b.inst(format!("m{i}"), OpClass::FpMul);
+            b.reg_flow(prev, m, 0);
+            prev = m;
+        }
+        let g = b.build().unwrap();
+        assert_eq!(mii(&g, &MachineModel::icpp2008()), 4);
+    }
+
+    #[test]
+    fn non_pipelined_multiplier_res_ii() {
+        // One FP multiply on the Figure-1 machine (occupancy 4):
+        // ResII = 4 — "since the mul has the longest latency" (§4.1).
+        let mut b = DdgBuilder::new("one-mul");
+        b.inst("mul", OpClass::FpMul);
+        let g = b.build().unwrap();
+        assert_eq!(res_ii(&g, &MachineModel::figure1_example()), 4);
+        assert_eq!(res_ii(&g, &MachineModel::icpp2008()), 1);
+    }
+
+    #[test]
+    fn op_to_resource_mapping_is_total() {
+        for &op in OpClass::body_classes() {
+            let _ = ResourceClass::for_op(op); // must not panic
+        }
+        assert_eq!(
+            ResourceClass::for_op(OpClass::Send),
+            ResourceClass::IntUnit
+        );
+        assert_eq!(ResourceClass::for_op(OpClass::Load), ResourceClass::MemPort);
+    }
+}

@@ -1,0 +1,199 @@
+//! Synthetic address streams.
+//!
+//! The paper's simulator executed real SPECfp2000 binaries whose memory
+//! dependences the compiler profiled into per-edge probabilities `p_d`.
+//! Here the direction is reversed: the DDG's memory-flow edges carry
+//! the probabilities, and the address generator *realises* them — a
+//! consumer's access aliases its producer's address from `d` iterations
+//! earlier with probability `p`, and otherwise falls into the
+//! instruction's private region. The MDT check in the engine then
+//! detects genuine address conflicts, exactly as hardware would.
+
+use tms_ddg::{Ddg, EdgeId, InstId};
+
+/// Word size of every synthetic access (bytes).
+pub const ACCESS_BYTES: u64 = 8;
+
+/// Deterministic per-instruction address streams for one loop.
+#[derive(Debug, Clone)]
+pub struct AddressMap {
+    /// Private region base per instruction.
+    bases: Vec<u64>,
+    /// Stride per instruction (bytes per iteration).
+    strides: Vec<u64>,
+    /// Incoming memory-flow edges of each instruction, in edge order.
+    mem_preds: Vec<Vec<EdgeId>>,
+    /// Seed mixed into the aliasing draws.
+    seed: u64,
+}
+
+/// SplitMix64 — cheap, high-quality deterministic mixing for per-access
+/// draws (no RNG state to thread through the simulation).
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl AddressMap {
+    /// Build the map for `ddg` with the given seed.
+    ///
+    /// Each memory instruction gets a private 1 MiB-aligned region.
+    /// Two access patterns alternate, mirroring the mix in the paper's
+    /// FP loops: two of every three memory instructions stream with a
+    /// unit-word stride (array traversals), the third is loop-invariant
+    /// (scalars, lookup-table bases — stride 0, so it always hits once
+    /// warm). Regions are disjoint so accidental aliasing is
+    /// impossible; only the dependence draws create conflicts.
+    pub fn new(ddg: &Ddg, seed: u64) -> Self {
+        let n = ddg.num_insts();
+        let mut bases = vec![0u64; n];
+        let mut strides = vec![0u64; n];
+        let mut mem_seen = 0u64;
+        for (i, inst) in ddg.insts().iter().enumerate() {
+            if inst.op.is_memory() {
+                // Stagger the region starts with a random page offset:
+                // identically aligned streams would all map to the same
+                // cache set and advance in lockstep, a conflict-miss
+                // pathology real arrays don't exhibit.
+                let stagger = (mix(seed ^ (i as u64)) % (1 << 14)) & !(ACCESS_BYTES - 1);
+                bases[i] = ((i as u64 + 1) << 20) + stagger;
+                strides[i] = if mem_seen % 3 == 2 { 0 } else { ACCESS_BYTES };
+                mem_seen += 1;
+            }
+        }
+        let mut mem_preds = vec![Vec::new(); n];
+        for (idx, e) in ddg.edges().iter().enumerate() {
+            if e.is_memory_flow() {
+                mem_preds[e.dst.index()].push(EdgeId(idx as u32));
+            }
+        }
+        AddressMap {
+            bases,
+            strides,
+            mem_preds,
+            seed,
+        }
+    }
+
+    /// Whether the aliasing draw for memory edge `e` fires at consumer
+    /// iteration `iter` (Bernoulli with the edge's probability,
+    /// deterministic in `(seed, e, iter)`).
+    pub fn dep_fires(&self, ddg: &Ddg, e: EdgeId, iter: u64) -> bool {
+        let p = ddg.edge(e).prob;
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        let h = mix(self.seed ^ mix((e.0 as u64) << 32 ^ iter));
+        // Map to [0,1) with 53-bit precision.
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Private (non-aliasing) address of instruction `n` at `iter`.
+    #[inline]
+    pub fn private_addr(&self, n: InstId, iter: u64) -> u64 {
+        self.bases[n.index()] + iter * self.strides[n.index()]
+    }
+
+    /// Effective address of instruction `n`'s access in original
+    /// iteration `iter`.
+    ///
+    /// For a consumer with incoming memory-flow edges, the first firing
+    /// edge (by edge order) redirects the access to the producer's
+    /// address `distance` iterations earlier, realising the dependence.
+    pub fn addr(&self, ddg: &Ddg, n: InstId, iter: u64) -> u64 {
+        for &eid in &self.mem_preds[n.index()] {
+            let e = ddg.edge(eid);
+            let d = e.distance as u64;
+            if iter >= d && self.dep_fires(ddg, eid, iter) {
+                return self.private_addr(e.src, iter - d);
+            }
+        }
+        self.private_addr(n, iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::{DdgBuilder, OpClass};
+
+    fn st_ld(prob: f64, dist: u32) -> Ddg {
+        let mut b = DdgBuilder::new("ml");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, dist, prob);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn certain_dependence_always_aliases() {
+        let g = st_ld(1.0, 1);
+        let m = AddressMap::new(&g, 7);
+        for iter in 1..50 {
+            assert_eq!(
+                m.addr(&g, InstId(1), iter),
+                m.private_addr(InstId(0), iter - 1)
+            );
+        }
+    }
+
+    #[test]
+    fn impossible_dependence_never_aliases() {
+        let g = st_ld(0.0, 1);
+        let m = AddressMap::new(&g, 7);
+        for iter in 1..50 {
+            assert_eq!(m.addr(&g, InstId(1), iter), m.private_addr(InstId(1), iter));
+        }
+    }
+
+    #[test]
+    fn alias_rate_approximates_probability() {
+        let g = st_ld(0.3, 1);
+        let m = AddressMap::new(&g, 42);
+        let n = 20_000u64;
+        let hits = (1..n)
+            .filter(|&i| m.addr(&g, InstId(1), i) != m.private_addr(InstId(1), i))
+            .count() as f64;
+        let rate = hits / (n - 1) as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let g = st_ld(0.5, 1);
+        let a = AddressMap::new(&g, 1);
+        let b = AddressMap::new(&g, 1);
+        let c = AddressMap::new(&g, 2);
+        let va: Vec<u64> = (1..100).map(|i| a.addr(&g, InstId(1), i)).collect();
+        let vb: Vec<u64> = (1..100).map(|i| b.addr(&g, InstId(1), i)).collect();
+        let vc: Vec<u64> = (1..100).map(|i| c.addr(&g, InstId(1), i)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn early_iterations_cannot_alias_before_distance() {
+        let g = st_ld(1.0, 3);
+        let m = AddressMap::new(&g, 7);
+        for iter in 0..3 {
+            assert_eq!(m.addr(&g, InstId(1), iter), m.private_addr(InstId(1), iter));
+        }
+        assert_eq!(m.addr(&g, InstId(1), 3), m.private_addr(InstId(0), 0));
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let g = st_ld(0.0, 1);
+        let m = AddressMap::new(&g, 7);
+        let a0 = m.private_addr(InstId(0), 100_000);
+        let b0 = m.private_addr(InstId(1), 0);
+        assert!(a0 < b0, "streams must never cross regions at loop scale");
+    }
+}

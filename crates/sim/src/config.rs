@@ -1,0 +1,67 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use tms_machine::ArchParams;
+
+/// Knobs of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Architecture under simulation (Table 1 defaults).
+    pub arch: ArchParams,
+    /// Number of original loop iterations to execute.
+    pub n_iter: u64,
+    /// Seed for the address-stream draws (dependence aliasing).
+    pub seed: u64,
+    /// Model the cache hierarchy (otherwise every access is an L1 hit).
+    pub model_caches: bool,
+    /// Track speculated memory dependences and squash violators. When
+    /// false, memory never misspeculates (an idealised MDT); used by
+    /// tests that isolate synchronisation behaviour.
+    pub detect_violations: bool,
+    /// Collect a per-thread [`crate::trace::RunTrace`] (costs memory
+    /// proportional to the thread count; off by default).
+    pub collect_trace: bool,
+}
+
+impl SimConfig {
+    /// Table 1 quad-core system, 1000 iterations, caches and violation
+    /// detection on.
+    pub fn icpp2008(n_iter: u64) -> Self {
+        SimConfig {
+            arch: ArchParams::icpp2008(),
+            n_iter,
+            seed: 0x1CC9_2008,
+            model_caches: true,
+            detect_violations: true,
+            collect_trace: false,
+        }
+    }
+
+    /// Same but with an explicit core count.
+    pub fn with_ncore(n_iter: u64, ncore: u32) -> Self {
+        SimConfig {
+            arch: ArchParams::with_ncore(ncore),
+            ..Self::icpp2008(n_iter)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = SimConfig::icpp2008(100);
+        assert_eq!(c.arch.ncore, 4);
+        assert_eq!(c.n_iter, 100);
+        assert!(c.model_caches);
+        assert!(c.detect_violations);
+    }
+
+    #[test]
+    fn ncore_override() {
+        let c = SimConfig::with_ncore(10, 2);
+        assert_eq!(c.arch.ncore, 2);
+    }
+}

@@ -1,0 +1,586 @@
+//! The SpMT execution engine.
+//!
+//! Threads (kernel iterations) are processed in logical order. Each
+//! thread walks its kernel rows with mixed semantics:
+//!
+//! * **local operands** are dataflow — a cache miss delays only the
+//!   dependent chain, as the out-of-order core would hide it;
+//! * **RECV waits block the thread** — a RECV on an empty queue stalls
+//!   the pipe (the Voltron queue model), so every later row of the
+//!   thread slips by the wait. This is what turns a large
+//!   `sync(x, y)` into true inter-thread serialisation: the stalled
+//!   thread's own SENDs issue late, the successor stalls in turn, and
+//!   steady-state thread spacing converges to the synchronisation
+//!   delay — the paper's Figure 2(c) behaviour.
+//!
+//! Memory speculation uses real addresses: the [`crate::addr`] streams
+//! realise each memory dependence's profiled probability, and a load
+//! that executed *before* an older thread's store to the same address
+//! is a violation — detected, charged `C_inv`, and replayed exactly as
+//! the paper's MDT/invalentation protocol prescribes. Replayed threads
+//! have all register values resident (no RECV stalls), matching the
+//! cost model's `max(0, C_delay − C_spn)` re-execution gain.
+
+use crate::addr::AddressMap;
+use crate::cache::CacheHierarchy;
+use crate::config::SimConfig;
+use crate::program::ThreadProgram;
+use crate::stats::SimStats;
+use crate::trace::{RunTrace, ThreadTrace};
+use std::collections::HashMap;
+use tms_core::postpass::CommPlan;
+use tms_core::schedule::Schedule;
+use tms_ddg::{Ddg, InstId};
+
+/// Result of an SpMT simulation.
+#[derive(Debug, Clone)]
+pub struct SpmtOutcome {
+    /// Measured statistics.
+    pub stats: SimStats,
+    /// Final memory image: address → `(store inst, original iteration)`
+    /// of the program-order-last committed store. Compared against the
+    /// sequential reference to validate squash/replay bookkeeping.
+    pub memory_image: HashMap<u64, (InstId, u64)>,
+    /// Per-thread timeline records (when `SimConfig::collect_trace`).
+    pub trace: Option<RunTrace>,
+}
+
+/// Result of executing one thread once.
+struct ThreadRun {
+    /// Send time per op (value ready + 1 for the SEND slot).
+    sends: Vec<Option<u64>>,
+    /// Loads performed: `(addr, issue time)`.
+    loads: Vec<(u64, u64)>,
+    /// Stores performed: `(addr, write time, inst, orig iter)`.
+    stores: Vec<(u64, u64, InstId, u64)>,
+    /// End of the thread (max completion, or start when empty).
+    end: u64,
+    /// RECV stall cycles.
+    sync_stall: u64,
+    /// Intra-thread operand stall cycles.
+    local_stall: u64,
+    /// Dynamic SEND/RECV pairs attributed to this thread.
+    pairs: u64,
+}
+
+/// Simulate `schedule` on the SpMT system described by `config`.
+pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> SpmtOutcome {
+    let plan = CommPlan::build(ddg, schedule);
+    let program = ThreadProgram::lower(ddg, schedule, &plan);
+    let addr_map = AddressMap::new(ddg, config.seed);
+    let mut caches = CacheHierarchy::new(config.arch.cache, config.arch.ncore);
+    let costs = config.arch.costs;
+    let ncore = config.arch.ncore as usize;
+
+    let mut stats = SimStats::default();
+    let mut memory_image: HashMap<u64, (InstId, u64)> = HashMap::new();
+    let mut trace = config.collect_trace.then(RunTrace::default);
+    let total_threads = if config.n_iter == 0 {
+        0
+    } else {
+        program.total_threads(config.n_iter)
+    };
+
+    let mut core_free = vec![0u64; ncore];
+    let mut prev_start = 0u64;
+    let mut prev_commit_end = 0u64;
+    let mut restart_floor = 0u64;
+    let mut prev_sends: Vec<Option<u64>> = vec![None; program.ops.len()];
+    let mut prev_arrivals: HashMap<(usize, u32), u64> = HashMap::new();
+    // Store log for violation detection, pruned to the window in which
+    // overlap is possible.
+    let mut store_log: HashMap<u64, Vec<(u64, u64)>> = HashMap::new(); // addr -> (thread, time)
+    let mut log_threads: Vec<(u64, Vec<u64>)> = Vec::new(); // (thread, addrs) for pruning
+    let keep_window = (ncore as u64 + program.stages as u64 + 4).max(8);
+
+    for k in 0..total_threads {
+        let core = (k % ncore as u64) as usize;
+        let natural_start = if k == 0 {
+            0
+        } else {
+            stats.spawn_cycles += costs.c_spn as u64;
+            prev_start + costs.c_spn as u64
+        };
+        let mut start = natural_start.max(core_free[core]);
+        if start < restart_floor {
+            // This thread was in flight when an older thread rolled
+            // back: it is squashed and restarts after the invalidation.
+            stats.cascade_squashes += 1;
+            stats.squashed_cycles += restart_floor - start;
+            start = restart_floor;
+        }
+        prev_start = start;
+
+        // Arrival times of inter-thread register values for thread k.
+        let mut arrivals: HashMap<(usize, u32), u64> = HashMap::new();
+        for &(op, hops) in &program.sends {
+            if let Some(t) = prev_sends[op] {
+                arrivals.insert((op, 1), t + costs.c_reg_com as u64);
+            }
+            for h in 2..=hops {
+                if let Some(&t) = prev_arrivals.get(&(op, h - 1)) {
+                    // Relay copy in the previous thread re-sends.
+                    arrivals.insert((op, h), t + 1 + costs.c_reg_com as u64);
+                }
+            }
+        }
+
+        // Execute; replay on violation (bounded, converges because the
+        // replay starts after every offending store).
+        let mut run_start = start;
+        let mut values_resident = false;
+        let mut squashes_this_thread = 0u32;
+        let run = loop {
+            let run = exec_thread(
+                ddg, &program, &addr_map, &mut caches, config, core, k, run_start, &arrivals,
+                values_resident,
+            );
+            if !config.detect_violations {
+                break run;
+            }
+            // A load that issued before an older thread's store to the
+            // same address read stale data.
+            let mut detect: Option<u64> = None;
+            for &(a, t_r) in &run.loads {
+                if let Some(writes) = store_log.get(&a) {
+                    for &(_, t_w) in writes {
+                        if t_w > t_r {
+                            detect = Some(detect.map_or(t_w, |d: u64| d.max(t_w)));
+                        }
+                    }
+                }
+            }
+            match detect {
+                None => break run,
+                Some(t_w) => {
+                    stats.misspeculations += 1;
+                    squashes_this_thread += 1;
+                    stats.squashed_cycles += run.end.saturating_sub(run_start);
+                    stats.invalidation_cycles += costs.c_inv as u64;
+                    caches.flush_l1(core);
+                    run_start = t_w.max(run_start) + costs.c_inv as u64;
+                    restart_floor = restart_floor.max(run_start);
+                    // Replayed threads have their register inputs
+                    // already satisfied (§4.2's re-execution gain).
+                    values_resident = true;
+                }
+            }
+        };
+
+        // Commit in order. Double buffering hides the drain for up to
+        // `spec_write_buffer_entries` speculative stores; a thread that
+        // overflows the buffer serialises one extra cycle per excess
+        // store into its commit.
+        let overflow = (run.stores.len() as u64)
+            .saturating_sub(config.arch.spec_write_buffer_entries as u64);
+        let commit_end = run.end.max(prev_commit_end) + costs.c_ci as u64 + overflow;
+        stats.commit_cycles += costs.c_ci as u64 + overflow;
+        stats.committed_threads += 1;
+        stats.sync_stall_cycles += run.sync_stall;
+        stats.local_stall_cycles += run.local_stall;
+        stats.send_recv_pairs += run.pairs;
+        prev_commit_end = commit_end;
+        // Double buffering: the core frees as soon as the thread ends;
+        // the 2-cycle commit drains concurrently.
+        core_free[core] = run.end;
+
+        // Record committed stores.
+        let mut addrs = Vec::with_capacity(run.stores.len());
+        for &(a, t_w, inst, iter) in &run.stores {
+            store_log.entry(a).or_default().push((k, t_w));
+            addrs.push(a);
+            // Program-order-last writer wins: (iter, inst id).
+            match memory_image.get(&a) {
+                Some(&(pi, pit)) if (pit, pi) > (iter, inst) => {}
+                _ => {
+                    memory_image.insert(a, (inst, iter));
+                }
+            }
+        }
+        log_threads.push((k, addrs));
+        // Prune the store log outside the overlap window.
+        while let Some(&(old_k, _)) = log_threads.first() {
+            if k - old_k < keep_window {
+                break;
+            }
+            let (_, addrs) = log_threads.remove(0);
+            for a in addrs {
+                if let Some(v) = store_log.get_mut(&a) {
+                    v.retain(|&(tk, _)| tk != old_k);
+                    if v.is_empty() {
+                        store_log.remove(&a);
+                    }
+                }
+            }
+        }
+
+        if let Some(tr) = trace.as_mut() {
+            tr.threads.push(ThreadTrace {
+                thread: k,
+                core: core as u32,
+                start: run_start,
+                end: run.end,
+                commit_end,
+                sync_stall: run.sync_stall,
+                local_stall: run.local_stall,
+                squashes: squashes_this_thread,
+            });
+        }
+
+        prev_sends = run.sends;
+        prev_arrivals = arrivals;
+        stats.total_cycles = commit_end;
+    }
+
+    stats.l1_hits = caches.counts[0];
+    stats.l2_hits = caches.counts[1];
+    stats.mem_accesses = caches.counts[2];
+    SpmtOutcome {
+        stats,
+        memory_image,
+        trace,
+    }
+}
+
+/// Execute one thread from `start`, returning its timeline.
+#[allow(clippy::too_many_arguments)]
+fn exec_thread(
+    ddg: &Ddg,
+    program: &ThreadProgram,
+    addr_map: &AddressMap,
+    caches: &mut CacheHierarchy,
+    config: &SimConfig,
+    core: usize,
+    k: u64,
+    start: u64,
+    arrivals: &HashMap<(usize, u32), u64>,
+    values_resident: bool,
+) -> ThreadRun {
+    let n_ops = program.ops.len();
+    let mut completes: Vec<Option<u64>> = vec![None; n_ops];
+    let mut sends: Vec<Option<u64>> = vec![None; n_ops];
+    let mut loads = Vec::new();
+    let mut stores = Vec::new();
+    let mut sync_stall = 0u64;
+    let mut local_stall = 0u64;
+    let mut end = start;
+    // Cumulative slip from blocking RECVs: every row after a stalled
+    // RECV is pushed back by the wait.
+    let mut slip = 0u64;
+
+    for (i, op) in program.ops.iter().enumerate() {
+        let Some(iter) = program.orig_iter(i, k, config.n_iter) else {
+            continue;
+        };
+        let sched_t = start + op.row as u64 + slip;
+        let mut ready_local = sched_t;
+        for &d in &op.local_deps {
+            if let Some(t) = completes[d] {
+                ready_local = ready_local.max(t);
+            }
+        }
+        let mut ready_comm = 0u64;
+        if !values_resident {
+            for &(p, h) in &op.comm_deps {
+                if k >= h as u64 {
+                    if let Some(&t) = arrivals.get(&(p, h)) {
+                        ready_comm = ready_comm.max(t);
+                    }
+                }
+            }
+        }
+        let issue = ready_local.max(ready_comm);
+        if ready_comm > sched_t {
+            // The RECV blocked the pipe: the whole remainder of the
+            // thread slips by the queue wait.
+            sync_stall += ready_comm - sched_t;
+            slip += ready_comm - sched_t;
+        }
+        if ready_local > sched_t.max(ready_comm) {
+            local_stall += ready_local - sched_t.max(ready_comm);
+        }
+
+        let mut lat = op.latency as u64;
+        if op.op.is_memory() {
+            let a = addr_map.addr(ddg, op.inst, iter);
+            if op.op.is_load() {
+                if config.model_caches {
+                    let (l, _) = caches.access(core, a);
+                    lat = l as u64;
+                }
+                loads.push((a, issue));
+            } else {
+                if config.model_caches {
+                    let _ = caches.access(core, a);
+                }
+                // Stores complete into the speculative write buffer.
+                lat = 1;
+                stores.push((a, issue + 1, op.inst, iter));
+            }
+        }
+        let done = issue + lat;
+        completes[i] = Some(done);
+        end = end.max(done);
+    }
+
+    let mut pairs = 0u64;
+    // SEND queue backpressure: each inter-core queue holds
+    // `comm_queue_entries` values and the receiver drains it at ring
+    // rate, so overflow only costs the *producing* thread: one cycle
+    // per excess send lingers at its end (the core cannot retire the
+    // blocked SENDs). Arrival times are unaffected — the values were
+    // computed; they just occupy the producer longer.
+    let n_sends = program
+        .sends
+        .iter()
+        .filter(|&&(op, _)| completes[op].is_some())
+        .count() as u64;
+    let backpressure = n_sends.saturating_sub(config.arch.comm_queue_entries as u64);
+    for &(op, hops) in &program.sends {
+        if let Some(c) = completes[op] {
+            sends[op] = Some(c + 1);
+            pairs += hops as u64;
+        }
+    }
+    end += backpressure;
+
+    ThreadRun {
+        sends,
+        loads,
+        stores,
+        end,
+        sync_stall,
+        local_stall,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_core::schedule::Schedule;
+    use tms_ddg::{DdgBuilder, OpClass};
+
+    fn cfg(n_iter: u64, ncore: u32) -> SimConfig {
+        let mut c = SimConfig::with_ncore(n_iter, ncore);
+        c.model_caches = false;
+        c
+    }
+
+    /// Independent iterations: ld -> fadd -> st in a single stage
+    /// (II = 8 holds the whole chain) — a pure DOALL kernel with no
+    /// inter-thread dependences at all.
+    fn doall() -> (Ddg, Schedule) {
+        let mut b = DdgBuilder::new("doall");
+        let l = b.inst("ld", OpClass::Load);
+        let f = b.inst("f", OpClass::FpAdd);
+        let s = b.inst("st", OpClass::Store);
+        b.reg_flow(l, f, 0);
+        b.reg_flow(f, s, 0);
+        let g = b.build().unwrap();
+        let sch = Schedule::from_times(&g, 8, vec![0, 3, 5]);
+        (g, sch)
+    }
+
+    #[test]
+    fn commits_every_thread() {
+        let (g, sch) = doall();
+        let out = simulate_spmt(&g, &sch, &cfg(50, 4));
+        // 50 iterations, single stage => 50 threads.
+        assert_eq!(out.stats.committed_threads, 50);
+        assert!(out.stats.total_cycles > 0);
+        assert_eq!(out.stats.misspeculations, 0);
+        assert_eq!(out.stats.sync_stall_cycles, 0);
+    }
+
+    #[test]
+    fn zero_iterations_is_empty_run() {
+        let (g, sch) = doall();
+        let out = simulate_spmt(&g, &sch, &cfg(0, 4));
+        assert_eq!(out.stats.committed_threads, 0);
+        assert_eq!(out.stats.total_cycles, 0);
+        assert!(out.memory_image.is_empty());
+    }
+
+    #[test]
+    fn memory_image_records_last_writer() {
+        let (g, sch) = doall();
+        let out = simulate_spmt(&g, &sch, &cfg(10, 4));
+        // The store writes its private stream: 10 distinct addresses.
+        assert_eq!(out.memory_image.len(), 10);
+        for &(inst, _) in out.memory_image.values() {
+            assert_eq!(inst, InstId(2));
+        }
+    }
+
+    #[test]
+    fn more_cores_run_faster() {
+        let (g, sch) = doall();
+        let t1 = simulate_spmt(&g, &sch, &cfg(200, 1)).stats.total_cycles;
+        let t4 = simulate_spmt(&g, &sch, &cfg(200, 4)).stats.total_cycles;
+        assert!(
+            t4 < t1,
+            "4 cores ({t4}) should beat 1 core ({t1}) on a DOALL loop"
+        );
+    }
+
+    #[test]
+    fn sync_dependence_stalls_show_up() {
+        // Producer at the END of the kernel feeding the next thread's
+        // first row — the paper's SMS pathology. Long sync per thread.
+        let mut b = DdgBuilder::new("sync");
+        let cons = b.inst("cons", OpClass::IntAlu);
+        let mid = b.inst_lat("mid", OpClass::FpAdd, 6);
+        let prod = b.inst("prod", OpClass::IntAlu);
+        b.reg_flow(cons, mid, 0);
+        b.reg_flow(mid, prod, 0);
+        b.reg_flow(prod, cons, 1);
+        let g = b.build().unwrap();
+        let sch = Schedule::from_times(&g, 8, vec![0, 1, 7]);
+        let out = simulate_spmt(&g, &sch, &cfg(40, 4));
+        assert!(out.stats.sync_stall_cycles > 0, "must stall at RECVs");
+        assert!(out.stats.send_recv_pairs >= 39, "one pair per boundary");
+    }
+
+    #[test]
+    fn violation_squashes_and_replays() {
+        // A certain (p=1) memory dependence left speculated: consumer
+        // loads the producer's previous-iteration store. Schedule both
+        // at the same row so overlapping threads race.
+        let mut b = DdgBuilder::new("viol");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, 1, 1.0);
+        let g = b.build().unwrap();
+        // ld at row 0, st at row 7: thread k+1's load issues well
+        // before thread k's store completes.
+        let sch = Schedule::from_times(&g, 8, vec![7, 0]);
+        let out = simulate_spmt(&g, &sch, &cfg(40, 4));
+        assert!(out.stats.misspeculations > 0, "races must be detected");
+        assert!(out.stats.invalidation_cycles >= 15 * out.stats.misspeculations);
+        // All threads still commit.
+        assert_eq!(out.stats.committed_threads, 40);
+    }
+
+    #[test]
+    fn no_violation_when_detection_disabled() {
+        let mut b = DdgBuilder::new("viol");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, 1, 1.0);
+        let g = b.build().unwrap();
+        let sch = Schedule::from_times(&g, 8, vec![7, 0]);
+        let mut c = cfg(40, 4);
+        c.detect_violations = false;
+        let out = simulate_spmt(&g, &sch, &c);
+        assert_eq!(out.stats.misspeculations, 0);
+    }
+
+    #[test]
+    fn low_probability_dependence_rarely_misspeculates() {
+        let mut b = DdgBuilder::new("lowp");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, 1, 0.01);
+        let g = b.build().unwrap();
+        let sch = Schedule::from_times(&g, 8, vec![7, 0]);
+        let out = simulate_spmt(&g, &sch, &cfg(1000, 4));
+        let freq = out.stats.misspec_frequency();
+        assert!(freq < 0.05, "freq {freq} should be ~1%");
+        assert!(out.stats.misspeculations > 0, "but not zero over 1000");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, sch) = doall();
+        let a = simulate_spmt(&g, &sch, &cfg(100, 4));
+        let b = simulate_spmt(&g, &sch, &cfg(100, 4));
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn trace_collection_records_every_thread() {
+        let (g, sch) = doall();
+        let mut c = cfg(20, 4);
+        c.collect_trace = true;
+        let out = simulate_spmt(&g, &sch, &c);
+        let tr = out.trace.expect("trace requested");
+        assert_eq!(tr.threads.len() as u64, out.stats.committed_threads);
+        // Threads start in order, run on round-robin cores, and the
+        // per-thread stall totals add up to the run's.
+        for (i, t) in tr.threads.iter().enumerate() {
+            assert_eq!(t.thread, i as u64);
+            assert_eq!(t.core, (i % 4) as u32);
+            assert!(t.end >= t.start);
+            assert!(t.commit_end >= t.end);
+        }
+        let sync: u64 = tr.threads.iter().map(|t| t.sync_stall).sum();
+        assert_eq!(sync, out.stats.sync_stall_cycles);
+        assert!(!tr.timeline(60).is_empty());
+        // Off by default.
+        let out = simulate_spmt(&g, &sch, &cfg(20, 4));
+        assert!(out.trace.is_none());
+    }
+
+    #[test]
+    fn write_buffer_overflow_slows_commit() {
+        // 70 independent stores per iteration vs a 64-entry buffer:
+        // each thread's commit pays the 6-store overflow.
+        let mut b = DdgBuilder::new("stores");
+        for i in 0..70 {
+            b.inst(format!("st{i}"), OpClass::Store);
+        }
+        let g = b.build().unwrap();
+        let times: Vec<i64> = (0..70).map(|i| i / 2).collect();
+        let sch = Schedule::from_times(&g, 35, times);
+        let mut small = cfg(30, 4);
+        small.arch.spec_write_buffer_entries = 64;
+        let mut big = cfg(30, 4);
+        big.arch.spec_write_buffer_entries = 1024;
+        let t_small = simulate_spmt(&g, &sch, &small).stats;
+        let t_big = simulate_spmt(&g, &sch, &big).stats;
+        assert_eq!(t_small.commit_cycles, t_big.commit_cycles + 6 * 30);
+    }
+
+    #[test]
+    fn queue_backpressure_delays_sends() {
+        // One producer chain with many distinct carried values: shrink
+        // the queue to force backpressure and the run must slow.
+        let mut b = DdgBuilder::new("queues");
+        let mut prods = Vec::new();
+        for i in 0..20 {
+            let p = b.inst(format!("p{i}"), OpClass::IntAlu);
+            let c = b.inst(format!("c{i}"), OpClass::IntAlu);
+            b.reg_flow(p, c, 1);
+            prods.push(p);
+        }
+        let g = b.build().unwrap();
+        let times: Vec<i64> = (0..40).map(|i| i / 4).collect();
+        let sch = Schedule::from_times(&g, 10, times);
+        let mut wide = cfg(60, 4);
+        wide.arch.comm_queue_entries = 64;
+        let mut narrow = cfg(60, 4);
+        narrow.arch.comm_queue_entries = 4;
+        let t_wide = simulate_spmt(&g, &sch, &wide).stats.total_cycles;
+        let t_narrow = simulate_spmt(&g, &sch, &narrow).stats.total_cycles;
+        assert!(
+            t_narrow > t_wide,
+            "narrow queues ({t_narrow}) must cost more than wide ({t_wide})"
+        );
+    }
+
+    #[test]
+    fn spawn_serialisation_bounds_throughput() {
+        // With a trivial loop, threads can at best start C_spn apart.
+        let mut b = DdgBuilder::new("tiny");
+        b.inst("x", OpClass::IntAlu);
+        let g = b.build().unwrap();
+        let sch = Schedule::from_times(&g, 1, vec![0]);
+        let out = simulate_spmt(&g, &sch, &cfg(100, 4));
+        assert!(
+            out.stats.total_cycles >= 99 * 3,
+            "spawn chain is the serial bottleneck: {}",
+            out.stats.total_cycles
+        );
+    }
+}

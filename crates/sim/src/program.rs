@@ -1,0 +1,219 @@
+//! Lowering a scheduled loop into an executable thread program.
+//!
+//! A thread executes one *kernel iteration*: instruction `u` appears at
+//! kernel row `row(u)`, and in thread `k` it runs the instance of `u`
+//! from original iteration `k − stage(u)`. Intra-thread dependences are
+//! edges with kernel distance 0; kernel distance ≥ 1 register flow
+//! dependences become SEND/RECV communications (one per producer per
+//! hop, shared among consumers, per the post-pass plan); memory flow
+//! dependences are left unsynchronised for the MDT to police.
+
+use tms_core::postpass::CommPlan;
+use tms_core::schedule::Schedule;
+use tms_ddg::{Ddg, InstId, OpClass};
+
+/// One operation of the thread program.
+#[derive(Debug, Clone)]
+pub struct ThreadOp {
+    /// The instruction this op executes.
+    pub inst: InstId,
+    /// Kernel row (static issue offset within the thread).
+    pub row: u32,
+    /// Stage of the instruction (selects the original iteration).
+    pub stage: u32,
+    /// Operation class.
+    pub op: OpClass,
+    /// Static latency (loads get dynamic latency from the cache model).
+    pub latency: u32,
+    /// Intra-thread producers: indices into the op list whose results
+    /// this op reads in the *same* thread (kernel distance 0 edges,
+    /// register or memory flow).
+    pub local_deps: Vec<usize>,
+    /// Inter-thread register inputs: `(producer op index, hops)` — the
+    /// value of that producer from `hops` threads earlier.
+    pub comm_deps: Vec<(usize, u32)>,
+}
+
+/// An executable kernel iteration.
+#[derive(Debug, Clone)]
+pub struct ThreadProgram {
+    /// Ops sorted by `(row, inst id)` — the in-order issue walk.
+    pub ops: Vec<ThreadOp>,
+    /// Initiation interval (rows per thread).
+    pub ii: u32,
+    /// Kernel stage count.
+    pub stages: u32,
+    /// Communications a thread performs as producer: `(op index, hops)`
+    /// — each hop is one SEND/RECV pair on the ring.
+    pub sends: Vec<(usize, u32)>,
+    /// Op index of each instruction.
+    pub op_of_inst: Vec<usize>,
+}
+
+impl ThreadProgram {
+    /// Lower `schedule` (+ its communication plan) for execution.
+    pub fn lower(ddg: &Ddg, schedule: &Schedule, plan: &CommPlan) -> Self {
+        let mut order: Vec<InstId> = ddg.inst_ids().collect();
+        order.sort_by_key(|&n| (schedule.row(n), n));
+        let mut op_of_inst = vec![0usize; ddg.num_insts()];
+        for (i, &n) in order.iter().enumerate() {
+            op_of_inst[n.index()] = i;
+        }
+
+        let mut ops: Vec<ThreadOp> = order
+            .iter()
+            .map(|&n| {
+                let inst = ddg.inst(n);
+                ThreadOp {
+                    inst: n,
+                    row: schedule.row(n),
+                    stage: schedule.stage(n),
+                    op: inst.op,
+                    latency: inst.latency,
+                    local_deps: Vec::new(),
+                    comm_deps: Vec::new(),
+                }
+            })
+            .collect();
+
+        // Intra-thread dependences: kernel distance 0 flow edges.
+        for e in ddg.edges() {
+            if schedule.d_ker(e) == 0 && (e.is_register_flow() || e.is_memory_flow()) {
+                let dst = op_of_inst[e.dst.index()];
+                let src = op_of_inst[e.src.index()];
+                if !ops[dst].local_deps.contains(&src) {
+                    ops[dst].local_deps.push(src);
+                }
+            }
+        }
+
+        // Inter-thread register inputs, mirroring the post-pass plan.
+        for comm in &plan.communications {
+            let src_op = op_of_inst[comm.producer.index()];
+            for &(consumer, hops) in &comm.consumers {
+                let dst = op_of_inst[consumer.index()];
+                if !ops[dst].comm_deps.contains(&(src_op, hops)) {
+                    ops[dst].comm_deps.push((src_op, hops));
+                }
+            }
+        }
+        let sends: Vec<(usize, u32)> = plan
+            .communications
+            .iter()
+            .map(|c| (op_of_inst[c.producer.index()], c.hops))
+            .collect();
+
+        ThreadProgram {
+            ops,
+            ii: schedule.ii(),
+            stages: schedule.stage_count(),
+            sends,
+            op_of_inst,
+        }
+    }
+
+    /// SEND/RECV pairs a steady-state thread executes.
+    pub fn pairs_per_thread(&self) -> u32 {
+        self.sends.iter().map(|&(_, h)| h).sum()
+    }
+
+    /// Number of threads needed to retire `n_iter` original iterations
+    /// (`n_iter` steady threads plus pipeline fill of the last stages).
+    pub fn total_threads(&self, n_iter: u64) -> u64 {
+        n_iter + self.stages as u64 - 1
+    }
+
+    /// Original iteration executed by op `op_idx` in thread `k`, if it
+    /// is within `[0, n_iter)`.
+    pub fn orig_iter(&self, op_idx: usize, thread: u64, n_iter: u64) -> Option<u64> {
+        let s = self.ops[op_idx].stage as u64;
+        if thread < s {
+            return None;
+        }
+        let it = thread - s;
+        (it < n_iter).then_some(it)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_core::schedule::Schedule;
+    use tms_ddg::DdgBuilder;
+
+    fn lowered() -> (Ddg, Schedule, ThreadProgram) {
+        let mut b = DdgBuilder::new("p");
+        let a = b.inst("a", OpClass::Load); // lat 3
+        let c = b.inst("c", OpClass::FpAdd); // lat 2
+        let p = b.inst("p", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        b.reg_flow(p, a, 1); // inter-thread register dep
+        let g = b.build().unwrap();
+        // II = 4: a@0 (s0), c@3 (s0), p@1 (s0) → p→a is d_ker = 1.
+        let s = Schedule::from_times(&g, 4, vec![0, 3, 1]);
+        let plan = CommPlan::build(&g, &s);
+        let tp = ThreadProgram::lower(&g, &s, &plan);
+        (g, s, tp)
+    }
+
+    #[test]
+    fn ops_sorted_by_row() {
+        let (_, _, tp) = lowered();
+        let rows: Vec<u32> = tp.ops.iter().map(|o| o.row).collect();
+        assert!(rows.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(tp.ops.len(), 3);
+    }
+
+    #[test]
+    fn local_dep_recorded() {
+        let (_, _, tp) = lowered();
+        // c (row 3) depends locally on a (row 0).
+        let c_op = tp.op_of_inst[1];
+        let a_op = tp.op_of_inst[0];
+        assert_eq!(tp.ops[c_op].local_deps, vec![a_op]);
+    }
+
+    #[test]
+    fn comm_dep_recorded_with_hops() {
+        let (_, _, tp) = lowered();
+        let a_op = tp.op_of_inst[0];
+        let p_op = tp.op_of_inst[2];
+        assert_eq!(tp.ops[a_op].comm_deps, vec![(p_op, 1)]);
+        assert_eq!(tp.sends, vec![(p_op, 1)]);
+        assert_eq!(tp.pairs_per_thread(), 1);
+    }
+
+    #[test]
+    fn orig_iter_respects_stage_and_range() {
+        let mut b = DdgBuilder::new("st");
+        let a = b.inst("a", OpClass::IntAlu);
+        let c = b.inst("c", OpClass::IntAlu);
+        b.reg_flow(a, c, 0);
+        let g = b.build().unwrap();
+        // II=1, c in stage 3.
+        let s = Schedule::from_times(&g, 1, vec![0, 3]);
+        let plan = CommPlan::build(&g, &s);
+        let tp = ThreadProgram::lower(&g, &s, &plan);
+        let c_op = tp.op_of_inst[1];
+        assert_eq!(tp.orig_iter(c_op, 2, 10), None); // thread 2 < stage 3
+        assert_eq!(tp.orig_iter(c_op, 3, 10), Some(0));
+        assert_eq!(tp.orig_iter(c_op, 12, 10), Some(9));
+        assert_eq!(tp.orig_iter(c_op, 13, 10), None); // beyond n_iter
+        assert_eq!(tp.total_threads(10), 13);
+    }
+
+    #[test]
+    fn memory_flow_with_dker_zero_is_local_dep() {
+        let mut b = DdgBuilder::new("m");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, 0, 1.0);
+        let g = b.build().unwrap();
+        let s = Schedule::from_times(&g, 2, vec![0, 1]);
+        let plan = CommPlan::build(&g, &s);
+        let tp = ThreadProgram::lower(&g, &s, &plan);
+        let ld_op = tp.op_of_inst[1];
+        assert_eq!(tp.ops[ld_op].local_deps.len(), 1);
+        assert!(tp.sends.is_empty());
+    }
+}

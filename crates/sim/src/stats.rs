@@ -1,0 +1,103 @@
+//! Cycle accounting and run statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything a simulation run measures.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total cycles from first spawn to last commit.
+    pub total_cycles: u64,
+    /// Threads committed.
+    pub committed_threads: u64,
+    /// Synchronisation stall cycles in *committed* threads — cycles a
+    /// thread spent blocked at a RECV on an empty queue (Figure 6a).
+    pub sync_stall_cycles: u64,
+    /// Stall cycles waiting on intra-thread operands (mostly cache
+    /// misses propagating through local dependences).
+    pub local_stall_cycles: u64,
+    /// Dynamic SEND/RECV pairs executed by committed threads (Fig 6b).
+    pub send_recv_pairs: u64,
+    /// Misspeculation events (violating threads squashed + replayed).
+    pub misspeculations: u64,
+    /// Additional threads squashed because they were more speculative
+    /// than a violator when it was rolled back.
+    pub cascade_squashes: u64,
+    /// Cycles thrown away executing work that was later squashed.
+    pub squashed_cycles: u64,
+    /// Cycles spent on thread spawns (`C_spn` each).
+    pub spawn_cycles: u64,
+    /// Cycles spent committing (`C_ci` per thread).
+    pub commit_cycles: u64,
+    /// Cycles spent in invalidations (`C_inv` per squash event).
+    pub invalidation_cycles: u64,
+    /// Cache accesses: hits in L1.
+    pub l1_hits: u64,
+    /// Cache accesses: hits in L2.
+    pub l2_hits: u64,
+    /// Cache accesses: misses to memory.
+    pub mem_accesses: u64,
+}
+
+impl SimStats {
+    /// Communication overhead approximation from §5.2: sync stalls plus
+    /// `C_reg_com` cycles per dynamic SEND/RECV pair.
+    pub fn communication_overhead(&self, c_reg_com: u32) -> u64 {
+        self.sync_stall_cycles + self.send_recv_pairs * c_reg_com as u64
+    }
+
+    /// Misspeculation frequency over committed threads (the paper
+    /// reports < 0.1% for the selected loops).
+    pub fn misspec_frequency(&self) -> f64 {
+        if self.committed_threads == 0 {
+            0.0
+        } else {
+            self.misspeculations as f64 / self.committed_threads as f64
+        }
+    }
+
+    /// Average cycles per committed thread.
+    pub fn cycles_per_thread(&self) -> f64 {
+        if self.committed_threads == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.committed_threads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn communication_overhead_formula() {
+        let s = SimStats {
+            sync_stall_cycles: 100,
+            send_recv_pairs: 10,
+            ..Default::default()
+        };
+        assert_eq!(s.communication_overhead(3), 130);
+    }
+
+    #[test]
+    fn misspec_frequency_guards_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.misspec_frequency(), 0.0);
+        let s = SimStats {
+            misspeculations: 1,
+            committed_threads: 1000,
+            ..Default::default()
+        };
+        assert!((s.misspec_frequency() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_per_thread() {
+        let s = SimStats {
+            total_cycles: 800,
+            committed_threads: 100,
+            ..Default::default()
+        };
+        assert!((s.cycles_per_thread() - 8.0).abs() < 1e-12);
+    }
+}

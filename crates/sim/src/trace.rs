@@ -1,0 +1,147 @@
+//! Execution traces: per-thread timeline records and a text renderer.
+//!
+//! The engine can optionally record one [`ThreadTrace`] per committed
+//! thread — start/end, its core, stall breakdown and squash history —
+//! which the CLI and tests use to inspect *why* a loop runs at the
+//! speed it does. Collection is off by default (the record vector
+//! costs memory proportional to thread count).
+
+use serde::{Deserialize, Serialize};
+
+/// Timeline record of one committed thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadTrace {
+    /// Thread index (kernel iteration).
+    pub thread: u64,
+    /// Core it ran on.
+    pub core: u32,
+    /// First issue cycle of the committed run.
+    pub start: u64,
+    /// Last completion cycle of the committed run.
+    pub end: u64,
+    /// Cycle its in-order commit finished.
+    pub commit_end: u64,
+    /// RECV stall cycles in the committed run.
+    pub sync_stall: u64,
+    /// Local operand stall cycles in the committed run.
+    pub local_stall: u64,
+    /// Times this thread was squashed and replayed before committing.
+    pub squashes: u32,
+}
+
+impl ThreadTrace {
+    /// Wall-clock occupancy of the committed run.
+    pub fn busy(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A whole run's trace plus derived views.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunTrace {
+    /// Per-thread records in commit order.
+    pub threads: Vec<ThreadTrace>,
+}
+
+impl RunTrace {
+    /// Average spacing between consecutive thread starts — the
+    /// steady-state initiation rate of the software pipeline (compare
+    /// against the cost model's `F`).
+    pub fn avg_spacing(&self) -> f64 {
+        if self.threads.len() < 2 {
+            return 0.0;
+        }
+        let first = self.threads.first().unwrap().start;
+        let last = self.threads.last().unwrap().start;
+        (last - first) as f64 / (self.threads.len() - 1) as f64
+    }
+
+    /// Core utilisation: fraction of the run each core spent executing
+    /// committed threads.
+    pub fn core_utilisation(&self, ncore: u32, total_cycles: u64) -> Vec<f64> {
+        let mut busy = vec![0u64; ncore as usize];
+        for t in &self.threads {
+            busy[t.core as usize % ncore as usize] += t.busy();
+        }
+        busy.iter()
+            .map(|&b| {
+                if total_cycles == 0 {
+                    0.0
+                } else {
+                    (b as f64 / total_cycles as f64).min(1.0)
+                }
+            })
+            .collect()
+    }
+
+    /// ASCII timeline: one line per thread, `#` spans its busy window
+    /// (scaled to `width` columns).
+    pub fn timeline(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let Some(last) = self.threads.iter().map(|t| t.commit_end).max() else {
+            return out;
+        };
+        let scale = |c: u64| (c as usize * width.saturating_sub(1)) / last.max(1) as usize;
+        for t in &self.threads {
+            let s = scale(t.start);
+            let e = scale(t.end).max(s + 1);
+            let _ = writeln!(
+                out,
+                "t{:<4} c{} |{}{}{}| sync={} sq={}",
+                t.thread,
+                t.core,
+                " ".repeat(s),
+                "#".repeat(e - s),
+                " ".repeat(width.saturating_sub(e)),
+                t.sync_stall,
+                t.squashes
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> RunTrace {
+        RunTrace {
+            threads: (0..4)
+                .map(|i| ThreadTrace {
+                    thread: i,
+                    core: (i % 2) as u32,
+                    start: i * 10,
+                    end: i * 10 + 8,
+                    commit_end: i * 10 + 10,
+                    sync_stall: i,
+                    local_stall: 0,
+                    squashes: (i == 2) as u32,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn spacing_is_average_start_delta() {
+        assert!((trace().avg_spacing() - 10.0).abs() < 1e-12);
+        assert_eq!(RunTrace::default().avg_spacing(), 0.0);
+    }
+
+    #[test]
+    fn utilisation_sums_busy_windows() {
+        let u = trace().core_utilisation(2, 40);
+        // Each core ran two 8-cycle threads over a 40-cycle run.
+        assert!((u[0] - 0.4).abs() < 1e-12);
+        assert!((u[1] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_draws_one_line_per_thread() {
+        let txt = trace().timeline(40);
+        assert_eq!(txt.lines().count(), 4);
+        assert!(txt.contains('#'));
+        assert!(txt.contains("sq=1"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests on the SpMT simulator: squash/replay correctness
+//! (committed state ≡ sequential semantics), accounting coherence and
+//! determinism, over random loops, schedules and dependence
+//! probabilities.
+
+use proptest::prelude::*;
+use tms_core::schedule_sms;
+use tms_ddg::Ddg;
+use tms_machine::MachineModel;
+use tms_sim::{simulate_sequential, simulate_spmt, SimConfig};
+
+fn arb_loop() -> impl Strategy<Value = (Ddg, u64)> {
+    (
+        4u32..28,
+        0u32..2,
+        2u32..14,
+        prop::bool::ANY,
+        0u32..3,
+        0u32..3,
+        0.0f64..1.0,
+        0u64..u64::MAX / 2,
+    )
+        .prop_map(|(n, nrec, lat, mem, ind, memdeps, prob, seed)| {
+            use tms_workloads::{generate_loop, LoopSpec, RecurrenceSpec};
+            let mut spec = LoopSpec::basic("psim", n, seed);
+            for _ in 0..nrec {
+                spec.recurrences.push(RecurrenceSpec {
+                    len: 3,
+                    latency: lat,
+                    through_memory: mem,
+                    prob,
+                });
+            }
+            spec.carried_reg_deps = ind;
+            spec.carried_mem_deps = memdeps;
+            spec.mem_prob = (prob.min(0.9), prob.min(0.9) + 0.05);
+            (generate_loop(&spec), seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn committed_state_matches_sequential((ddg, seed) in arb_loop(), n_iter in 1u64..120) {
+        let machine = MachineModel::icpp2008();
+        let sch = schedule_sms(&ddg, &machine).expect("schedulable").schedule;
+        let mut cfg = SimConfig::icpp2008(n_iter);
+        cfg.seed = seed;
+        let spmt = simulate_spmt(&ddg, &sch, &cfg);
+        let seq = simulate_sequential(&ddg, &machine, &cfg);
+        prop_assert_eq!(
+            spmt.memory_image, seq.memory_image,
+            "committed state diverged (squash/replay bug?)"
+        );
+    }
+
+    #[test]
+    fn accounting_is_coherent((ddg, seed) in arb_loop(), n_iter in 1u64..150) {
+        let machine = MachineModel::icpp2008();
+        let sch = schedule_sms(&ddg, &machine).unwrap().schedule;
+        let mut cfg = SimConfig::icpp2008(n_iter);
+        cfg.seed = seed;
+        let s = simulate_spmt(&ddg, &sch, &cfg).stats;
+        let costs = cfg.arch.costs;
+        // Thread count: one per kernel iteration incl. pipeline drain.
+        prop_assert_eq!(s.committed_threads, n_iter + sch.stage_count() as u64 - 1);
+        // Fixed per-event overheads.
+        prop_assert_eq!(s.commit_cycles, s.committed_threads * costs.c_ci as u64);
+        prop_assert_eq!(s.spawn_cycles, (s.committed_threads - 1) * costs.c_spn as u64);
+        prop_assert_eq!(s.invalidation_cycles, s.misspeculations * costs.c_inv as u64);
+        // The commit chain alone is a lower bound on total time.
+        prop_assert!(s.total_cycles >= s.committed_threads * costs.c_ci as u64);
+        // Communication overhead formula.
+        prop_assert_eq!(
+            s.communication_overhead(costs.c_reg_com),
+            s.sync_stall_cycles + s.send_recv_pairs * costs.c_reg_com as u64
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic((ddg, seed) in arb_loop()) {
+        let machine = MachineModel::icpp2008();
+        let sch = schedule_sms(&ddg, &machine).unwrap().schedule;
+        let mut cfg = SimConfig::icpp2008(64);
+        cfg.seed = seed;
+        let a = simulate_spmt(&ddg, &sch, &cfg);
+        let b = simulate_spmt(&ddg, &sch, &cfg);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn disabling_violation_detection_never_slows((ddg, seed) in arb_loop()) {
+        let machine = MachineModel::icpp2008();
+        let sch = schedule_sms(&ddg, &machine).unwrap().schedule;
+        let mut on = SimConfig::icpp2008(80);
+        on.seed = seed;
+        let mut off = on.clone();
+        off.detect_violations = false;
+        let t_on = simulate_spmt(&ddg, &sch, &on).stats;
+        let t_off = simulate_spmt(&ddg, &sch, &off).stats;
+        prop_assert_eq!(t_off.misspeculations, 0);
+        // Replayed threads run with register values resident, so a
+        // squash can occasionally *shorten* the run slightly; the ideal
+        // MDT must still be within a small margin of the squashing run.
+        prop_assert!(
+            t_off.total_cycles <= t_on.total_cycles + t_on.total_cycles / 10,
+            "ideal MDT ({}) much slower than squashing ({})",
+            t_off.total_cycles, t_on.total_cycles
+        );
+    }
+
+    #[test]
+    fn sequential_time_scales_with_iterations((ddg, seed) in arb_loop()) {
+        let machine = MachineModel::icpp2008();
+        let mut cfg = SimConfig::icpp2008(50);
+        cfg.seed = seed;
+        cfg.model_caches = false;
+        let t50 = simulate_sequential(&ddg, &machine, &cfg).total_cycles;
+        cfg.n_iter = 100;
+        let t100 = simulate_sequential(&ddg, &machine, &cfg).total_cycles;
+        prop_assert!(t100 >= t50, "time must not shrink with more work");
+        // Steady state: doubling work at most ~doubles time (+ slack
+        // for warmup asymmetry).
+        prop_assert!(t100 <= 2 * t50 + 200);
+    }
+}

@@ -1,0 +1,182 @@
+//! The paper's motivating example (Figure 1), reconstructed.
+//!
+//! Nine instructions n0–n8. The recurrence circuit
+//! `(n0, n1, n2, n4, n5)` has total delay 8 over distance 1, so
+//! `RecII = 8 = MII` (the paper's ResII of 4 stems from a non-pipelined
+//! multiplier in its example machine; on our pipelined Table 1 model
+//! ResII is 3, which leaves MII = 8 unchanged — see DESIGN.md §5).
+//!
+//! Dependences (all flow):
+//!
+//! * register, d=0: n0→n1, n1→n2, n2→n4, n4→n5, n2→n3
+//! * register, d=1: n6→n0, n6→n6, n7→n3, n7→n7, n8→n5, n8→n8
+//! * memory, d=1, small probability: n5→n0 (closing the recurrence),
+//!   n5→n2, n5→n3
+//!
+//! SMS schedules n0 at cycle 0 and pushes n6 to cycle 7 (window
+//! `[7,0]`, "closest possible" to its next-iteration consumer), which
+//! yields `sync(n6, n0) = 7 − 0 + 1 + 3 = 11` and serialises
+//! consecutive threads; TMS accepts cycle 1 under a tight `C_delay`
+//! budget instead (§4.1).
+
+use tms_ddg::{Ddg, DdgBuilder, InstId, OpClass};
+
+/// Probability assigned to the three speculated memory dependences
+/// ("negligibly small" in the paper).
+pub const FIG1_MEM_PROB: f64 = 0.01;
+
+/// Instruction ids of the motivating example, for readable tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure1Ids {
+    /// Load at the head of the recurrence.
+    pub n0: InstId,
+    /// The multiply (latency 4) inside the recurrence.
+    pub n1: InstId,
+    /// ALU op in the recurrence.
+    pub n2: InstId,
+    /// ALU op fed by n2 and by n7's previous-iteration value.
+    pub n3: InstId,
+    /// ALU op in the recurrence.
+    pub n4: InstId,
+    /// Store closing the recurrence (memory dependences originate
+    /// here).
+    pub n5: InstId,
+    /// Induction update feeding next iteration's n0.
+    pub n6: InstId,
+    /// Induction update feeding next iteration's n3.
+    pub n7: InstId,
+    /// Address update feeding this kernel iteration's n5
+    /// (d=1 in the source, folded to `d_ker = 0` by the schedule).
+    pub n8: InstId,
+}
+
+/// Build the motivating-example DDG and its id map.
+pub fn figure1_with_ids() -> (Ddg, Figure1Ids) {
+    let mut b = DdgBuilder::new("figure1");
+    let n0 = b.inst_lat("n0", OpClass::Load, 1);
+    let n1 = b.inst_lat("n1", OpClass::FpMul, 4);
+    let n2 = b.inst_lat("n2", OpClass::IntAlu, 1);
+    let n3 = b.inst_lat("n3", OpClass::IntAlu, 1);
+    let n4 = b.inst_lat("n4", OpClass::IntAlu, 1);
+    let n5 = b.inst_lat("n5", OpClass::Store, 1);
+    let n6 = b.inst_lat("n6", OpClass::IntAlu, 1);
+    let n7 = b.inst_lat("n7", OpClass::IntAlu, 1);
+    let n8 = b.inst_lat("n8", OpClass::IntAlu, 1);
+
+    // Recurrence body (register flow, d=0): delays 1+4+1+1 = 7 ...
+    b.reg_flow(n0, n1, 0);
+    b.reg_flow(n1, n2, 0);
+    b.reg_flow(n2, n4, 0);
+    b.reg_flow(n4, n5, 0);
+    // ... closed by the memory dependence n5 → n0 (delay 1, d=1):
+    // total circuit delay 8 over distance 1 ⇒ RecII = 8.
+    b.mem_flow(n5, n0, 1, FIG1_MEM_PROB);
+
+    // Other memory dependences out of the store.
+    b.mem_flow(n5, n2, 1, FIG1_MEM_PROB);
+    b.mem_flow(n5, n3, 1, FIG1_MEM_PROB);
+
+    // n3 consumes n2 in-iteration and n7 across iterations.
+    b.reg_flow(n2, n3, 0);
+    b.reg_flow(n7, n3, 1);
+    b.reg_flow(n7, n7, 1);
+
+    // n6: induction feeding next iteration's n0.
+    b.reg_flow(n6, n0, 1);
+    b.reg_flow(n6, n6, 1);
+
+    // n8: address stream consumed by the store one iteration later
+    // (the dependence SMS folds into the kernel, d_ker = 0).
+    b.reg_flow(n8, n5, 1);
+    b.reg_flow(n8, n8, 1);
+
+    let ddg = b.build().expect("figure1 is a valid DDG");
+    (
+        ddg,
+        Figure1Ids {
+            n0,
+            n1,
+            n2,
+            n3,
+            n4,
+            n5,
+            n6,
+            n7,
+            n8,
+        },
+    )
+}
+
+/// The motivating-example DDG.
+pub fn figure1() -> Ddg {
+    figure1_with_ids().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::mii::recurrence_info;
+    use tms_ddg::scc::SccDecomposition;
+
+    #[test]
+    fn has_nine_instructions() {
+        let g = figure1();
+        assert_eq!(g.num_insts(), 9);
+    }
+
+    #[test]
+    fn rec_ii_is_eight() {
+        let g = figure1();
+        let scc = SccDecomposition::compute(&g);
+        let rec = recurrence_info(&g, &scc);
+        assert_eq!(rec.rec_ii, 8);
+    }
+
+    #[test]
+    fn paper_bounds_on_the_example_machine() {
+        // §4.1: "The resource II is ResII = 4 (since the mul has the
+        // longest latency). The recurrence II is RecII = 8 ... So the
+        // minimum II i.e., MII is max(4, 8) = 8."
+        let g = figure1();
+        let m = tms_machine::MachineModel::figure1_example();
+        assert_eq!(tms_machine::res_ii(&g, &m), 4);
+        assert_eq!(tms_machine::mii(&g, &m), 8);
+    }
+
+    #[test]
+    fn recurrence_scc_is_the_five_nodes() {
+        let (g, ids) = figure1_with_ids();
+        let scc = SccDecomposition::compute(&g);
+        let c = scc.component_of(ids.n0);
+        for n in [ids.n1, ids.n2, ids.n4, ids.n5] {
+            assert_eq!(scc.component_of(n), c);
+        }
+        for n in [ids.n3, ids.n6, ids.n7, ids.n8] {
+            assert_ne!(scc.component_of(n), c);
+        }
+        assert_eq!(scc.members(c).len(), 5);
+    }
+
+    #[test]
+    fn memory_dependences_are_the_three_from_n5() {
+        let (g, ids) = figure1_with_ids();
+        let mem: Vec<_> = g.edges().iter().filter(|e| e.is_memory_flow()).collect();
+        assert_eq!(mem.len(), 3);
+        assert!(mem.iter().all(|e| e.src == ids.n5));
+        assert!(mem.iter().all(|e| e.prob == FIG1_MEM_PROB));
+    }
+
+    #[test]
+    fn inter_iteration_register_producers_are_inductions() {
+        let (g, ids) = figure1_with_ids();
+        let carried: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.is_register_flow() && e.distance == 1)
+            .map(|e| e.src)
+            .collect();
+        for p in [ids.n6, ids.n7, ids.n8] {
+            assert!(carried.contains(&p));
+        }
+    }
+}

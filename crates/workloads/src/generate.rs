@@ -1,0 +1,296 @@
+//! Seeded random loop generation.
+//!
+//! Loops are generated from a [`LoopSpec`]: an instruction budget, an
+//! operation mix, a set of recurrences (register- or memory-carried
+//! with a target latency), and cross-iteration memory/register
+//! dependence rates. Construction is DAG-by-index for distance-0 edges,
+//! so generated graphs are always valid DDGs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tms_ddg::{Ddg, DdgBuilder, InstId, OpClass};
+
+/// One recurrence to embed in a generated loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecurrenceSpec {
+    /// Nodes in the recurrence circuit (≥ 1).
+    pub len: u32,
+    /// Target total delay of the circuit ⇒ its RecII (distance 1).
+    pub latency: u32,
+    /// Carried through memory (speculable) instead of a register.
+    pub through_memory: bool,
+    /// Probability of the carried memory dependence (ignored for
+    /// register-carried recurrences, which always occur).
+    pub prob: f64,
+}
+
+/// Parameters of one generated loop.
+#[derive(Debug, Clone)]
+pub struct LoopSpec {
+    /// Loop name.
+    pub name: String,
+    /// Total instruction budget (recurrence nodes included).
+    pub n_inst: u32,
+    /// Recurrences to embed.
+    pub recurrences: Vec<RecurrenceSpec>,
+    /// Fraction of non-recurrence instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of non-recurrence instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction that are FP adds (remainder splits ALU/FP-mul).
+    pub fpadd_frac: f64,
+    /// Fraction that are FP muls.
+    pub fpmul_frac: f64,
+    /// Number of induction-style producers (`i++`, address updates):
+    /// each is a fresh unit-latency node with a distance-1 self
+    /// dependence that feeds one or two early body nodes in the next
+    /// iteration — exactly the n6/n7/n8 pattern of the paper's Figure 1
+    /// that TMS hoists to early slots. Counted inside `n_inst`.
+    pub carried_reg_deps: u32,
+    /// Number of cross-iteration *memory* dependences (store → load
+    /// pairs drawn from the generated body).
+    pub carried_mem_deps: u32,
+    /// Probability range for those memory dependences.
+    pub mem_prob: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl LoopSpec {
+    /// A reasonable FP-loop default mix for `n_inst` instructions.
+    pub fn basic(name: impl Into<String>, n_inst: u32, seed: u64) -> Self {
+        LoopSpec {
+            name: name.into(),
+            n_inst,
+            recurrences: Vec::new(),
+            load_frac: 0.22,
+            store_frac: 0.10,
+            fpadd_frac: 0.18,
+            fpmul_frac: 0.18,
+            carried_reg_deps: 1,
+            carried_mem_deps: 1,
+            mem_prob: (0.005, 0.05),
+            seed,
+        }
+    }
+}
+
+/// Latency-respecting op choice for a recurrence node so the circuit
+/// hits its latency target: pick ops whose default latencies sum to
+/// `target` across `len` nodes.
+fn recurrence_latencies(len: u32, target: u32) -> Vec<u32> {
+    let len = len.max(1);
+    let base = target / len;
+    let extra = target % len;
+    (0..len)
+        .map(|i| base + u32::from(i < extra))
+        .map(|l| l.max(1))
+        .collect()
+}
+
+/// Generate a loop from `spec`. Deterministic in the seed.
+pub fn generate_loop(spec: &LoopSpec) -> Ddg {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut b = DdgBuilder::new(spec.name.clone());
+
+    // --- Recurrences first.
+    let mut rec_nodes: Vec<InstId> = Vec::new();
+    for (ri, rec) in spec.recurrences.iter().enumerate() {
+        let lats = recurrence_latencies(rec.len, rec.latency);
+        let mut chain: Vec<InstId> = Vec::with_capacity(lats.len());
+        for (i, &lat) in lats.iter().enumerate() {
+            let last = i + 1 == lats.len();
+            let op = if last && rec.through_memory {
+                OpClass::Store
+            } else if i == 0 && rec.through_memory {
+                OpClass::Load
+            } else if lat >= 4 {
+                OpClass::FpMul
+            } else if lat >= 2 {
+                OpClass::FpAdd
+            } else {
+                OpClass::IntAlu
+            };
+            chain.push(b.inst_lat(format!("r{ri}_{i}"), op, lat));
+        }
+        for w in chain.windows(2) {
+            b.reg_flow(w[0], w[1], 0);
+        }
+        let (head, tail) = (chain[0], *chain.last().unwrap());
+        if rec.through_memory {
+            b.mem_flow(tail, head, 1, rec.prob);
+        } else {
+            b.reg_flow(tail, head, 1);
+        }
+        rec_nodes.extend(chain);
+    }
+
+    // --- Body: remaining budget (inductions reserved), DAG by index.
+    let n_ind = spec.carried_reg_deps as usize;
+    let body_budget = (spec.n_inst as usize)
+        .saturating_sub(rec_nodes.len())
+        .saturating_sub(n_ind);
+    let mut body: Vec<InstId> = Vec::with_capacity(body_budget);
+    let mut loads: Vec<InstId> = Vec::new();
+    let mut stores: Vec<InstId> = Vec::new();
+    for i in 0..body_budget {
+        let u: f64 = rng.gen();
+        let op = if u < spec.load_frac {
+            OpClass::Load
+        } else if u < spec.load_frac + spec.store_frac {
+            OpClass::Store
+        } else if u < spec.load_frac + spec.store_frac + spec.fpadd_frac {
+            OpClass::FpAdd
+        } else if u < spec.load_frac + spec.store_frac + spec.fpadd_frac + spec.fpmul_frac {
+            OpClass::FpMul
+        } else {
+            OpClass::IntAlu
+        };
+        let id = b.inst(format!("b{i}"), op);
+        // Wire 1-2 intra-iteration inputs from earlier nodes (DAG).
+        let candidates: usize = body.len() + rec_nodes.len();
+        if candidates > 0 {
+            let n_in = 1 + usize::from(rng.gen_bool(0.4));
+            for _ in 0..n_in {
+                let k = rng.gen_range(0..candidates);
+                let src = if k < body.len() {
+                    body[k]
+                } else {
+                    rec_nodes[k - body.len()]
+                };
+                if src != id {
+                    b.reg_flow(src, id, 0);
+                }
+            }
+        }
+        if op == OpClass::Load {
+            loads.push(id);
+        }
+        if op == OpClass::Store {
+            stores.push(id);
+        }
+        body.push(id);
+    }
+
+    // --- Induction updates: fresh unit-latency producers with self
+    // dependences feeding early consumers in the next iteration.
+    let all: Vec<InstId> = rec_nodes.iter().chain(body.iter()).copied().collect();
+    for k in 0..n_ind {
+        let ind = b.inst(format!("ind{k}"), OpClass::IntAlu);
+        b.reg_flow(ind, ind, 1);
+        if !all.is_empty() {
+            let early = all.len().div_ceil(2);
+            let n_feed = 1 + usize::from(rng.gen_bool(0.5));
+            for _ in 0..n_feed {
+                let dst = all[rng.gen_range(0..early)];
+                b.reg_flow(ind, dst, 1);
+            }
+        }
+    }
+
+    // --- Cross-iteration memory dependences with profiled
+    // probabilities.
+    for _ in 0..spec.carried_mem_deps {
+        if loads.is_empty() || stores.is_empty() {
+            break;
+        }
+        let src = stores[rng.gen_range(0..stores.len())];
+        let dst = loads[rng.gen_range(0..loads.len())];
+        let p = rng.gen_range(spec.mem_prob.0..=spec.mem_prob.1);
+        let d = 1 + u32::from(rng.gen_bool(0.25));
+        b.mem_flow(src, dst, d, p);
+    }
+
+    b.build().expect("generated loop must be a valid DDG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::mii::recurrence_info;
+    use tms_ddg::scc::SccDecomposition;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = LoopSpec::basic("g", 30, 7);
+        let a = generate_loop(&spec);
+        let b = generate_loop(&spec);
+        assert_eq!(format!("{a}"), format!("{b}"));
+        let spec2 = LoopSpec {
+            seed: 8,
+            ..LoopSpec::basic("g", 30, 7)
+        };
+        let c = generate_loop(&spec2);
+        assert_ne!(format!("{a}"), format!("{c}"));
+    }
+
+    #[test]
+    fn instruction_budget_is_met() {
+        for n in [5u32, 16, 40, 170] {
+            let g = generate_loop(&LoopSpec::basic("g", n, 3));
+            assert_eq!(g.num_insts(), n as usize);
+        }
+    }
+
+    #[test]
+    fn register_recurrence_hits_latency_target() {
+        let spec = LoopSpec {
+            recurrences: vec![RecurrenceSpec {
+                len: 4,
+                latency: 20,
+                through_memory: false,
+                prob: 1.0,
+            }],
+            ..LoopSpec::basic("rec", 30, 11)
+        };
+        let g = generate_loop(&spec);
+        let scc = SccDecomposition::compute(&g);
+        let rec = recurrence_info(&g, &scc);
+        assert!(
+            rec.rec_ii >= 20,
+            "recurrence target missed: {} < 20",
+            rec.rec_ii
+        );
+    }
+
+    #[test]
+    fn memory_recurrence_is_speculable() {
+        let spec = LoopSpec {
+            recurrences: vec![RecurrenceSpec {
+                len: 3,
+                latency: 9,
+                through_memory: true,
+                prob: 0.02,
+            }],
+            carried_mem_deps: 0,
+            ..LoopSpec::basic("memrec", 20, 5)
+        };
+        let g = generate_loop(&spec);
+        let mem: Vec<_> = g.edges().iter().filter(|e| e.is_memory_flow()).collect();
+        assert_eq!(mem.len(), 1);
+        assert!((mem[0].prob - 0.02).abs() < 1e-12);
+        assert_eq!(mem[0].distance, 1);
+    }
+
+    #[test]
+    fn mem_probabilities_in_requested_range() {
+        let spec = LoopSpec {
+            carried_mem_deps: 5,
+            mem_prob: (0.1, 0.3),
+            ..LoopSpec::basic("memp", 60, 21)
+        };
+        let g = generate_loop(&spec);
+        for e in g.edges().iter().filter(|e| e.is_memory_flow()) {
+            assert!((0.1..=0.3).contains(&e.prob), "p={}", e.prob);
+        }
+    }
+
+    #[test]
+    fn recurrence_latency_split_sums() {
+        assert_eq!(recurrence_latencies(4, 20).iter().sum::<u32>(), 20);
+        assert_eq!(recurrence_latencies(3, 8), vec![3, 3, 2]);
+        assert_eq!(recurrence_latencies(1, 5), vec![5]);
+        // Every node keeps latency >= 1 even for tiny targets.
+        assert!(recurrence_latencies(5, 2).iter().all(|&l| l >= 1));
+    }
+}

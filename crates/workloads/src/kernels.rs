@@ -1,0 +1,197 @@
+//! Classic hand-written loop bodies.
+//!
+//! These are the small kernels the examples and cross-crate tests
+//! exercise: each returns a valid [`Ddg`] modelling the named loop at
+//! the granularity GCC's RTL would present to the modulo scheduler.
+
+use tms_ddg::{Ddg, DdgBuilder, OpClass};
+
+/// `y[i] = a * x[i] + y[i]` — a pure DOALL loop, no loop-carried
+/// dependences at all. Modulo scheduling pipelines it perfectly.
+pub fn daxpy() -> Ddg {
+    let mut b = DdgBuilder::new("daxpy");
+    let ld_x = b.inst("ld x[i]", OpClass::Load);
+    let ld_y = b.inst("ld y[i]", OpClass::Load);
+    let mul = b.inst("a*x", OpClass::FpMul);
+    let add = b.inst("+y", OpClass::FpAdd);
+    let st = b.inst("st y[i]", OpClass::Store);
+    let ix = b.inst("i++", OpClass::IntAlu);
+    b.reg_flow(ld_x, mul, 0);
+    b.reg_flow(mul, add, 0);
+    b.reg_flow(ld_y, add, 0);
+    b.reg_flow(add, st, 0);
+    b.reg_flow(ix, ix, 1);
+    b.reg_flow(ix, ld_x, 1);
+    b.reg_flow(ix, ld_y, 1);
+    b.reg_flow(ix, st, 1);
+    b.build().expect("daxpy")
+}
+
+/// `s += x[i] * y[i]` — a reduction: the accumulator forms a register
+/// recurrence of latency 2 (RecII = 2).
+pub fn dot_product() -> Ddg {
+    let mut b = DdgBuilder::new("dot");
+    let ld_x = b.inst("ld x[i]", OpClass::Load);
+    let ld_y = b.inst("ld y[i]", OpClass::Load);
+    let mul = b.inst("x*y", OpClass::FpMul);
+    let acc = b.inst("s+=", OpClass::FpAdd);
+    let ix = b.inst("i++", OpClass::IntAlu);
+    b.reg_flow(ld_x, mul, 0);
+    b.reg_flow(ld_y, mul, 0);
+    b.reg_flow(mul, acc, 0);
+    b.reg_flow(acc, acc, 1);
+    b.reg_flow(ix, ix, 1);
+    b.reg_flow(ix, ld_x, 1);
+    b.reg_flow(ix, ld_y, 1);
+    b.build().expect("dot")
+}
+
+/// `x[i] = a * x[i-1] + b[i]` — a first-order linear recurrence, the
+/// archetypal DOACROSS loop. The carried value flows through memory
+/// with certainty when `through_memory`, or through a register
+/// otherwise (the harder case for TMS: it must be synchronised).
+pub fn first_order_recurrence(through_memory: bool) -> Ddg {
+    let name = if through_memory {
+        "rec1-mem"
+    } else {
+        "rec1-reg"
+    };
+    let mut b = DdgBuilder::new(name);
+    let ld_b = b.inst("ld b[i]", OpClass::Load);
+    let mul = b.inst("a*x", OpClass::FpMul);
+    let add = b.inst("+b", OpClass::FpAdd);
+    let st = b.inst("st x[i]", OpClass::Store);
+    let ix = b.inst("i++", OpClass::IntAlu);
+    b.reg_flow(mul, add, 0);
+    b.reg_flow(ld_b, add, 0);
+    b.reg_flow(add, st, 0);
+    if through_memory {
+        // Next iteration reloads x[i-1] from memory.
+        let ld_x = b.inst("ld x[i-1]", OpClass::Load);
+        b.mem_flow(st, ld_x, 1, 1.0);
+        b.reg_flow(ld_x, mul, 0);
+    } else {
+        // The carried value stays in a register.
+        b.reg_flow(add, mul, 1);
+    }
+    b.reg_flow(ix, ix, 1);
+    b.reg_flow(ix, ld_b, 1);
+    b.reg_flow(ix, st, 1);
+    b.build().expect("recurrence")
+}
+
+/// `out[i] = (in[i-1] + in[i] + in[i+1]) / 3` — a 3-point stencil with
+/// distinct input/output arrays: DOALL with heavy memory traffic.
+pub fn stencil3() -> Ddg {
+    let mut b = DdgBuilder::new("stencil3");
+    let l0 = b.inst("ld in[i-1]", OpClass::Load);
+    let l1 = b.inst("ld in[i]", OpClass::Load);
+    let l2 = b.inst("ld in[i+1]", OpClass::Load);
+    let a0 = b.inst("t0=+", OpClass::FpAdd);
+    let a1 = b.inst("t1=+", OpClass::FpAdd);
+    let div = b.inst("/3", OpClass::FpMul);
+    let st = b.inst("st out[i]", OpClass::Store);
+    let ix = b.inst("i++", OpClass::IntAlu);
+    b.reg_flow(l0, a0, 0);
+    b.reg_flow(l1, a0, 0);
+    b.reg_flow(a0, a1, 0);
+    b.reg_flow(l2, a1, 0);
+    b.reg_flow(a1, div, 0);
+    b.reg_flow(div, st, 0);
+    b.reg_flow(ix, ix, 1);
+    b.reg_flow(ix, l0, 1);
+    b.reg_flow(ix, l1, 1);
+    b.reg_flow(ix, l2, 1);
+    b.reg_flow(ix, st, 1);
+    b.build().expect("stencil3")
+}
+
+/// A pointer-chasing style loop where the *address* of the next
+/// iteration's load may equal this iteration's store with probability
+/// `p` — a speculative DOACROSS: low `p` lets TMS run iterations in
+/// parallel where a conservative scheduler would synchronise.
+pub fn maybe_aliasing_update(p: f64) -> Ddg {
+    let mut b = DdgBuilder::new("maybe-alias");
+    let ld = b.inst("ld a[idx[i]]", OpClass::Load);
+    let f1 = b.inst("f1", OpClass::FpMul);
+    let f2 = b.inst("f2", OpClass::FpAdd);
+    let st = b.inst("st a[jdx[i]]", OpClass::Store);
+    let ix = b.inst("i++", OpClass::IntAlu);
+    b.reg_flow(ld, f1, 0);
+    b.reg_flow(f1, f2, 0);
+    b.reg_flow(f2, st, 0);
+    b.mem_flow(st, ld, 1, p);
+    b.reg_flow(ix, ix, 1);
+    b.reg_flow(ix, ld, 1);
+    b.reg_flow(ix, st, 1);
+    b.build().expect("maybe-alias")
+}
+
+/// All kernels, with names, for sweep-style tests and examples.
+pub fn all_kernels() -> Vec<Ddg> {
+    vec![
+        daxpy(),
+        dot_product(),
+        first_order_recurrence(false),
+        first_order_recurrence(true),
+        stencil3(),
+        maybe_aliasing_update(0.05),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::mii::recurrence_info;
+    use tms_ddg::scc::SccDecomposition;
+
+    fn rec_ii(g: &Ddg) -> u32 {
+        let scc = SccDecomposition::compute(g);
+        recurrence_info(g, &scc).rec_ii
+    }
+
+    #[test]
+    fn daxpy_is_doall_modulo_induction() {
+        // The only recurrence is the unit-latency induction.
+        assert_eq!(rec_ii(&daxpy()), 1);
+    }
+
+    #[test]
+    fn dot_product_recurrence_is_the_accumulator() {
+        assert_eq!(rec_ii(&dot_product()), 2); // FpAdd latency
+    }
+
+    #[test]
+    fn first_order_recurrence_register_variant() {
+        // a*x (4) + add (2) around the carried register: RecII = 6.
+        assert_eq!(rec_ii(&first_order_recurrence(false)), 6);
+    }
+
+    #[test]
+    fn first_order_recurrence_memory_variant_is_longer() {
+        // mul(4) + add(2) + st(1) + ld(3) = 10.
+        assert_eq!(rec_ii(&first_order_recurrence(true)), 10);
+    }
+
+    #[test]
+    fn stencil_has_no_real_recurrence() {
+        assert_eq!(rec_ii(&stencil3()), 1);
+    }
+
+    #[test]
+    fn all_kernels_are_valid_and_named() {
+        let ks = all_kernels();
+        assert_eq!(ks.len(), 6);
+        let mut names: Vec<&str> = ks.iter().map(|k| k.name()).collect();
+        names.dedup();
+        assert_eq!(names.len(), 6, "names must be distinct");
+    }
+
+    #[test]
+    fn maybe_alias_probability_respected() {
+        let g = maybe_aliasing_update(0.25);
+        let e = g.edges().iter().find(|e| e.is_memory_flow()).unwrap();
+        assert!((e.prob - 0.25).abs() < 1e-12);
+        assert_eq!(e.distance, 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! Loop workloads for the TMS reproduction.
+//!
+//! The paper evaluates on SPECfp2000 loops extracted by GCC 4.1.1 plus
+//! profile-derived dependence probabilities. Neither the SPEC sources
+//! nor GCC's RTL can ship here, so this crate provides the substitution
+//! documented in DESIGN.md §4:
+//!
+//! * [`mod@figure1`] — the paper's motivating example, reconstructed so
+//!   that `MII = 8` and the SMS-vs-TMS contrast of Figure 2 holds;
+//! * [`kernels`] — hand-written classic loop bodies (daxpy, dot
+//!   product, first-order recurrence, 3-point stencil, …) used by the
+//!   examples and tests;
+//! * [`generate`] — a seeded random loop generator parameterised by
+//!   instruction count, op mix, recurrence structure and memory
+//!   dependence probabilities;
+//! * [`specfp`] — 13 benchmark profiles calibrated against Table 2
+//!   (`#Loops`, `AVG #Inst`, `AVG MII`) that generate deterministic
+//!   loop populations;
+//! * [`doacross`] — the seven selected DOACROSS loops of Table 3.
+
+pub mod doacross;
+pub mod figure1;
+pub mod livermore;
+pub mod generate;
+pub mod kernels;
+pub mod specfp;
+
+pub use doacross::{doacross_suite, DoacrossLoop};
+pub use figure1::figure1;
+pub use livermore::livermore_suite;
+pub use generate::{generate_loop, LoopSpec, RecurrenceSpec};
+pub use specfp::{specfp_profiles, BenchmarkProfile};

@@ -1,0 +1,279 @@
+//! Livermore-loop-style kernels.
+//!
+//! A representative subset of the classic Livermore Fortran kernels,
+//! hand-translated to DDGs at the granularity the modulo scheduler
+//! sees. They span the parallelism spectrum the paper cares about —
+//! DOALL streams, reductions, and true first-order recurrences — and
+//! give the examples/tests a second, independent workload family
+//! besides the SPECfp2000-calibrated populations.
+
+use tms_ddg::{Ddg, DdgBuilder, OpClass};
+
+/// Kernel 1 — hydro fragment:
+/// `x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])`. Pure DOALL.
+pub fn k1_hydro() -> Ddg {
+    let mut b = DdgBuilder::new("lfk1-hydro");
+    let ld_y = b.inst("ld y[k]", OpClass::Load);
+    let ld_z10 = b.inst("ld z[k+10]", OpClass::Load);
+    let ld_z11 = b.inst("ld z[k+11]", OpClass::Load);
+    let m_r = b.inst("r*z10", OpClass::FpMul);
+    let m_t = b.inst("t*z11", OpClass::FpMul);
+    let add = b.inst("+", OpClass::FpAdd);
+    let m_y = b.inst("y*", OpClass::FpMul);
+    let add_q = b.inst("q+", OpClass::FpAdd);
+    let st = b.inst("st x[k]", OpClass::Store);
+    let k = b.inst("k++", OpClass::IntAlu);
+    b.reg_flow(ld_z10, m_r, 0);
+    b.reg_flow(ld_z11, m_t, 0);
+    b.reg_flow(m_r, add, 0);
+    b.reg_flow(m_t, add, 0);
+    b.reg_flow(ld_y, m_y, 0);
+    b.reg_flow(add, m_y, 0);
+    b.reg_flow(m_y, add_q, 0);
+    b.reg_flow(add_q, st, 0);
+    b.reg_flow(k, k, 1);
+    b.reg_flow(k, ld_y, 1);
+    b.reg_flow(k, st, 1);
+    b.build().expect("lfk1")
+}
+
+/// Kernel 3 — inner product: `q += z[k] * x[k]`. A reduction whose
+/// accumulator is the only recurrence.
+pub fn k3_inner_product() -> Ddg {
+    let mut b = DdgBuilder::new("lfk3-inner");
+    let ld_z = b.inst("ld z[k]", OpClass::Load);
+    let ld_x = b.inst("ld x[k]", OpClass::Load);
+    let mul = b.inst("z*x", OpClass::FpMul);
+    let acc = b.inst("q+=", OpClass::FpAdd);
+    let k = b.inst("k++", OpClass::IntAlu);
+    b.reg_flow(ld_z, mul, 0);
+    b.reg_flow(ld_x, mul, 0);
+    b.reg_flow(mul, acc, 0);
+    b.reg_flow(acc, acc, 1);
+    b.reg_flow(k, k, 1);
+    b.reg_flow(k, ld_z, 1);
+    b.reg_flow(k, ld_x, 1);
+    b.build().expect("lfk3")
+}
+
+/// Kernel 5 — tri-diagonal elimination (lower half):
+/// `x[i] = z[i] * (y[i] − x[i−1])`. The archetypal DOACROSS loop: the
+/// carried value flows through memory (`x[i−1]` is reloaded), with
+/// certainty.
+pub fn k5_tridiag() -> Ddg {
+    let mut b = DdgBuilder::new("lfk5-tridiag");
+    let ld_z = b.inst("ld z[i]", OpClass::Load);
+    let ld_y = b.inst("ld y[i]", OpClass::Load);
+    let ld_x = b.inst("ld x[i-1]", OpClass::Load);
+    let sub = b.inst("y-x", OpClass::FpAdd);
+    let mul = b.inst("z*", OpClass::FpMul);
+    let st = b.inst("st x[i]", OpClass::Store);
+    let i = b.inst("i++", OpClass::IntAlu);
+    b.reg_flow(ld_y, sub, 0);
+    b.reg_flow(ld_x, sub, 0);
+    b.reg_flow(ld_z, mul, 0);
+    b.reg_flow(sub, mul, 0);
+    b.reg_flow(mul, st, 0);
+    b.mem_flow(st, ld_x, 1, 1.0);
+    b.reg_flow(i, i, 1);
+    b.reg_flow(i, ld_z, 1);
+    b.reg_flow(i, st, 1);
+    b.build().expect("lfk5")
+}
+
+/// Kernel 7 — equation of state fragment: a wide DOALL expression tree
+/// (`x[k] = u[k] + r*(z[k] + r*y[k]) + t*(u[k+3] + r*(u[k+2] +
+/// r*u[k+1]) + t*(u[k+6] + q*(u[k+5] + q*u[k+4])))`).
+pub fn k7_state() -> Ddg {
+    let mut b = DdgBuilder::new("lfk7-state");
+    let loads: Vec<_> = (0..7)
+        .map(|i| b.inst(format!("ld u[k+{i}]"), OpClass::Load))
+        .collect();
+    let ld_z = b.inst("ld z[k]", OpClass::Load);
+    let ld_y = b.inst("ld y[k]", OpClass::Load);
+    // r*y, z + r*y, r*(...)
+    let m1 = b.inst("r*y", OpClass::FpMul);
+    let a1 = b.inst("z+", OpClass::FpAdd);
+    let m2 = b.inst("r*()", OpClass::FpMul);
+    // inner t-term
+    let m3 = b.inst("r*u1", OpClass::FpMul);
+    let a2 = b.inst("u2+", OpClass::FpAdd);
+    let m4 = b.inst("r*()2", OpClass::FpMul);
+    let a3 = b.inst("u3+", OpClass::FpAdd);
+    // q-term
+    let m5 = b.inst("q*u4", OpClass::FpMul);
+    let a4 = b.inst("u5+", OpClass::FpAdd);
+    let m6 = b.inst("q*()", OpClass::FpMul);
+    let a5 = b.inst("u6+", OpClass::FpAdd);
+    let m7 = b.inst("t*()", OpClass::FpMul);
+    let a6 = b.inst("sum", OpClass::FpAdd);
+    let m8 = b.inst("t*()2", OpClass::FpMul);
+    let a7 = b.inst("u+", OpClass::FpAdd);
+    let a8 = b.inst("fin", OpClass::FpAdd);
+    let st = b.inst("st x[k]", OpClass::Store);
+    let k = b.inst("k++", OpClass::IntAlu);
+    b.reg_flow(ld_y, m1, 0);
+    b.reg_flow(ld_z, a1, 0);
+    b.reg_flow(m1, a1, 0);
+    b.reg_flow(a1, m2, 0);
+    b.reg_flow(loads[1], m3, 0);
+    b.reg_flow(loads[2], a2, 0);
+    b.reg_flow(m3, a2, 0);
+    b.reg_flow(a2, m4, 0);
+    b.reg_flow(loads[3], a3, 0);
+    b.reg_flow(m4, a3, 0);
+    b.reg_flow(loads[4], m5, 0);
+    b.reg_flow(loads[5], a4, 0);
+    b.reg_flow(m5, a4, 0);
+    b.reg_flow(a4, m6, 0);
+    b.reg_flow(loads[6], a5, 0);
+    b.reg_flow(m6, a5, 0);
+    b.reg_flow(a5, m7, 0);
+    b.reg_flow(a3, a6, 0);
+    b.reg_flow(m7, a6, 0);
+    b.reg_flow(a6, m8, 0);
+    b.reg_flow(loads[0], a7, 0);
+    b.reg_flow(m2, a7, 0);
+    b.reg_flow(a7, a8, 0);
+    b.reg_flow(m8, a8, 0);
+    b.reg_flow(a8, st, 0);
+    b.reg_flow(k, k, 1);
+    b.reg_flow(k, loads[0], 1);
+    b.reg_flow(k, st, 1);
+    b.build().expect("lfk7")
+}
+
+/// Kernel 11 — first sum (prefix): `x[k] = x[k−1] + y[k]`, carried in a
+/// register. DOACROSS through a register — TMS must synchronise it.
+pub fn k11_first_sum() -> Ddg {
+    let mut b = DdgBuilder::new("lfk11-firstsum");
+    let ld_y = b.inst("ld y[k]", OpClass::Load);
+    let acc = b.inst("x+=y", OpClass::FpAdd);
+    let st = b.inst("st x[k]", OpClass::Store);
+    let k = b.inst("k++", OpClass::IntAlu);
+    b.reg_flow(ld_y, acc, 0);
+    b.reg_flow(acc, acc, 1);
+    b.reg_flow(acc, st, 0);
+    b.reg_flow(k, k, 1);
+    b.reg_flow(k, ld_y, 1);
+    b.reg_flow(k, st, 1);
+    b.build().expect("lfk11")
+}
+
+/// Kernel 12 — first difference: `x[k] = y[k+1] − y[k]`. DOALL.
+pub fn k12_first_diff() -> Ddg {
+    let mut b = DdgBuilder::new("lfk12-firstdiff");
+    let ld1 = b.inst("ld y[k+1]", OpClass::Load);
+    let ld0 = b.inst("ld y[k]", OpClass::Load);
+    let sub = b.inst("-", OpClass::FpAdd);
+    let st = b.inst("st x[k]", OpClass::Store);
+    let k = b.inst("k++", OpClass::IntAlu);
+    b.reg_flow(ld1, sub, 0);
+    b.reg_flow(ld0, sub, 0);
+    b.reg_flow(sub, st, 0);
+    b.reg_flow(k, k, 1);
+    b.reg_flow(k, ld0, 1);
+    b.reg_flow(k, st, 1);
+    b.build().expect("lfk12")
+}
+
+/// Kernel 19 — general linear recurrence (forward part):
+/// `b5[k] = sa[k] + stb5*sb[k]; stb5 = b5[k] − stb5` — a two-op
+/// register recurrence per iteration.
+pub fn k19_linear_rec() -> Ddg {
+    let mut b = DdgBuilder::new("lfk19-linrec");
+    let ld_sa = b.inst("ld sa[k]", OpClass::Load);
+    let ld_sb = b.inst("ld sb[k]", OpClass::Load);
+    let mul = b.inst("stb5*sb", OpClass::FpMul);
+    let add = b.inst("sa+", OpClass::FpAdd);
+    let st = b.inst("st b5[k]", OpClass::Store);
+    let upd = b.inst("stb5=", OpClass::FpAdd);
+    let k = b.inst("k++", OpClass::IntAlu);
+    b.reg_flow(ld_sb, mul, 0);
+    b.reg_flow(ld_sa, add, 0);
+    b.reg_flow(mul, add, 0);
+    b.reg_flow(add, st, 0);
+    b.reg_flow(add, upd, 0);
+    b.reg_flow(upd, mul, 1); // stb5 feeds next iteration's multiply
+    b.reg_flow(k, k, 1);
+    b.reg_flow(k, ld_sa, 1);
+    b.reg_flow(k, st, 1);
+    b.build().expect("lfk19")
+}
+
+/// Kernel 24 — first minimum: `if (x[k] < xmin) { xmin = x[k]; m = k }`
+/// modelled as a compare/select reduction.
+pub fn k24_first_min() -> Ddg {
+    let mut b = DdgBuilder::new("lfk24-firstmin");
+    let ld = b.inst("ld x[k]", OpClass::Load);
+    let cmp = b.inst("cmp", OpClass::IntAlu);
+    let sel_min = b.inst("sel xmin", OpClass::IntAlu);
+    let sel_idx = b.inst("sel m", OpClass::IntAlu);
+    let k = b.inst("k++", OpClass::IntAlu);
+    b.reg_flow(ld, cmp, 0);
+    b.reg_flow(sel_min, cmp, 1); // compare against the running min
+    b.reg_flow(cmp, sel_min, 0);
+    b.reg_flow(ld, sel_min, 0);
+    b.reg_flow(cmp, sel_idx, 0);
+    b.reg_flow(sel_idx, sel_idx, 1);
+    b.reg_flow(k, k, 1);
+    b.reg_flow(k, ld, 1);
+    b.reg_flow(k, sel_idx, 0);
+    b.build().expect("lfk24")
+}
+
+/// The whole suite, by kernel number.
+pub fn livermore_suite() -> Vec<Ddg> {
+    vec![
+        k1_hydro(),
+        k3_inner_product(),
+        k5_tridiag(),
+        k7_state(),
+        k11_first_sum(),
+        k12_first_diff(),
+        k19_linear_rec(),
+        k24_first_min(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::{classify, LoopClass};
+
+    #[test]
+    fn suite_has_eight_distinct_kernels() {
+        let suite = livermore_suite();
+        assert_eq!(suite.len(), 8);
+        let mut names: Vec<&str> = suite.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn classification_spans_the_spectrum() {
+        assert_eq!(classify(&k1_hydro()).class, LoopClass::DoallWithInductions);
+        assert_eq!(classify(&k12_first_diff()).class, LoopClass::DoallWithInductions);
+        assert_eq!(classify(&k3_inner_product()).class, LoopClass::DoacrossRegister);
+        assert_eq!(classify(&k11_first_sum()).class, LoopClass::DoacrossRegister);
+        assert_eq!(classify(&k19_linear_rec()).class, LoopClass::DoacrossRegister);
+        assert_eq!(classify(&k24_first_min()).class, LoopClass::DoacrossRegister);
+        // Tridiagonal: certain memory recurrence — not speculable.
+        assert_eq!(classify(&k5_tridiag()).class, LoopClass::DoacrossRegister);
+    }
+
+    #[test]
+    fn k7_is_wide_and_flat() {
+        let c = classify(&k7_state());
+        assert_eq!(c.class, LoopClass::DoallWithInductions);
+        assert!(k7_state().num_insts() >= 25);
+    }
+
+    #[test]
+    fn k19_recurrence_latency() {
+        // stb5 -> mul(4) -> add(2) -> upd(2) -> stb5: RecII = 8.
+        let c = classify(&k19_linear_rec());
+        assert_eq!(c.reg_rec_ii, 8);
+    }
+}

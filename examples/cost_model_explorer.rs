@@ -1,0 +1,74 @@
+//! Exploring the §4.2 cost model.
+//!
+//! Sweeps `(II, C_delay)` for a loop and prints the per-iteration cost
+//! surface `F(II, C_delay) = T_nomiss / N`, the candidate order TMS
+//! visits, and how core count and misspeculation probability move the
+//! trade-off — a hands-on companion to equations (2) and (3).
+//!
+//! ```sh
+//! cargo run --example cost_model_explorer
+//! ```
+
+use tms_repro::prelude::*;
+use tms_workloads::figure1;
+
+fn main() {
+    let ddg = figure1();
+    let machine = MachineModel::icpp2008();
+    let costs = ArchParams::icpp2008().costs;
+    let mii = tms_machine::mii(&ddg, &machine);
+    println!("loop '{}': MII = {mii}\n", ddg.name());
+
+    // --- The F(II, C_delay) surface on 4 cores.
+    let model = CostModel::new(costs, 4);
+    println!("F(II, C_delay) on 4 cores (cycles/iteration):");
+    print!("        ");
+    for cd in [4u32, 6, 8, 10, 12, 16, 20] {
+        print!("cd={cd:<5}");
+    }
+    println!();
+    for ii in [mii, mii + 2, mii + 4, mii + 8] {
+        print!("II={ii:<4} ");
+        for cd in [4u32, 6, 8, 10, 12, 16, 20] {
+            print!("{:>7.2}", model.f(ii, cd));
+        }
+        println!();
+    }
+
+    // --- Candidate visit order (what Figure 3's F_min loop does).
+    println!("\nfirst 12 (II, C_delay) candidates in cost order:");
+    for (i, (ii, cd, key)) in model.candidates(mii, mii + 8, 20).iter().take(12).enumerate() {
+        println!("  {:>2}. II={ii:<3} C_delay={cd:<3} F·ncore={}", i + 1, key.0);
+    }
+
+    // --- Core-count sensitivity: more cores push the optimum toward
+    // smaller C_delay (the serial synchronisation term dominates).
+    println!("\nbest candidate by core count:");
+    for ncore in [1u32, 2, 4, 8] {
+        let m = CostModel::new(costs, ncore);
+        let cands = m.candidates(mii, mii + 8, 20);
+        let (ii, cd, _) = cands[0];
+        println!(
+            "  ncore={ncore}: II={ii} C_delay={cd} → F={:.2} cycles/iter",
+            m.f(ii, cd)
+        );
+    }
+
+    // --- Misspeculation: equation (3) and the total time T.
+    println!("\nmisspeculation sensitivity (II=MII, C_delay=6, N=1000):");
+    let m = CostModel::new(costs, 4);
+    for p in [0.0, 0.001, 0.01, 0.05, 0.2] {
+        let t = m.total(mii, 6, p, 1000);
+        println!("  P_M={p:<6} → T = {t:>9.0} cycles");
+    }
+
+    // --- And the real scheduler's choice.
+    let tms = schedule_tms(&ddg, &machine, &m, &TmsConfig::default()).unwrap();
+    println!(
+        "\nTMS picked II={} C_delay≤{} (P_max {}): F = {:.2} cycles/iter",
+        tms.ii,
+        tms.c_delay_threshold,
+        tms.p_max,
+        m.f(tms.ii, tms.c_delay_threshold)
+    );
+}

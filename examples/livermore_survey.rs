@@ -1,0 +1,69 @@
+//! Survey of the Livermore-style kernels: classification, granularity
+//! selection, scheduling and SpMT execution side by side.
+//!
+//! For each kernel the survey prints its parallelism class (DOALL /
+//! DOACROSS register / DOACROSS speculative-memory), the unroll factor
+//! the cost model picks (tiny bodies must be unrolled before SpMT pays
+//! — the paper itself unrolls art's 11-instruction loops ×4), the TMS
+//! kernel's key metrics, and the simulated speedup of TMS on the
+//! quad-core SpMT system over the out-of-order single core.
+//!
+//! ```sh
+//! cargo run --release --example livermore_survey
+//! ```
+
+use tms_repro::prelude::*;
+use tms_workloads::livermore::livermore_suite;
+
+fn main() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let orig_iters: u64 = 4096;
+
+    println!(
+        "{:<18} {:<18} {:>2} {:>4} {:>3} {:>6} {:>9} {:>9} {:>8}",
+        "kernel", "class", "uf", "MII", "II", "TMS D", "1T cyc", "TMS cyc", "speedup"
+    );
+    for ddg in livermore_suite() {
+        let class = tms_ddg::classify(&ddg);
+        // Let the cost model pick the thread granularity.
+        let pick = tms_core::schedule_tms_unrolled(
+            &ddg,
+            &machine,
+            &model,
+            &TmsConfig::default(),
+            &[1, 2, 4, 8],
+        )
+        .expect("schedulable");
+        let g = &pick.unrolled_ddg;
+        let m = LoopMetrics::compute(g, &machine, &pick.result.schedule, &arch.costs);
+
+        // Simulate the same number of ORIGINAL iterations either way.
+        let mut sim_cfg = SimConfig::icpp2008(orig_iters);
+        let seq = simulate_sequential(&ddg, &machine, &sim_cfg);
+        sim_cfg.n_iter = orig_iters / pick.factor as u64;
+        let run = simulate_spmt(g, &pick.result.schedule, &sim_cfg);
+        let speedup = (seq.total_cycles as f64 / run.stats.total_cycles as f64 - 1.0) * 100.0;
+        println!(
+            "{:<18} {:<18} {:>2} {:>4} {:>3} {:>6} {:>9} {:>9} {:>+7.1}%",
+            ddg.name(),
+            class.class.label(),
+            pick.factor,
+            m.mii,
+            m.ii,
+            m.c_delay,
+            seq.total_cycles,
+            run.stats.total_cycles,
+            speedup
+        );
+    }
+    println!(
+        "\nWide DOALL bodies win as-is; tiny bodies need unrolling to amortise\n\
+         the spawn/commit/sync floor; register and certain-memory recurrences\n\
+         (inner product, first sum, tridiagonal) serialise at their recurrence\n\
+         rate, where the single out-of-order core is already near-optimal —\n\
+         the paper's DOACROSS wins come from loops whose carried dependences\n\
+         are speculable memory, not certain chains."
+    );
+}

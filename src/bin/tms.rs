@@ -1,0 +1,279 @@
+//! `tms` — command-line driver for the TMS reproduction.
+//!
+//! ```text
+//! tms list                          named workloads
+//! tms show <loop>                   DDG, classification, analyses
+//! tms schedule <loop> [opts]        SMS + TMS kernels, metrics, Gantt
+//! tms simulate <loop> [opts]        schedule + run on the SpMT system
+//! tms dot <loop> [opts]             DOT of the TMS-scheduled kernel
+//! tms trace <loop> [opts]           per-thread SpMT execution timeline
+//! tms codegen <loop> [opts]         prologue/kernel/epilogue listing
+//! tms export <loop> <file.json>     write the DDG as JSON
+//! tms import <file.json> <cmd>      run show/schedule/simulate on it
+//!
+//! options: --ncore N   cores (default 4)
+//!          --iters N   simulated iterations (default 1000)
+//!          --unroll F  unroll before scheduling
+//! ```
+
+use std::process::ExitCode;
+use tms_repro::prelude::*;
+use tms_workloads::{doacross_suite, figure1, kernels, livermore};
+
+struct Opts {
+    ncore: u32,
+    iters: u64,
+    unroll: u32,
+}
+
+fn named_workloads() -> Vec<Ddg> {
+    let mut v = vec![figure1()];
+    v.extend(kernels::all_kernels());
+    v.extend(livermore::livermore_suite());
+    v.extend(doacross_suite(0x1CC9_2008).into_iter().map(|l| l.ddg));
+    v
+}
+
+fn find_loop(name: &str) -> Option<Ddg> {
+    named_workloads().into_iter().find(|g| g.name() == name)
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        ncore: 4,
+        iters: 1000,
+        unroll: 1,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ncore" => o.ncore = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--iters" => o.iters = it.next().and_then(|v| v.parse().ok()).unwrap_or(1000),
+            "--unroll" => o.unroll = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            _ => {}
+        }
+    }
+    o
+}
+
+fn cmd_list() {
+    println!("{:<22} {:>6} {:>6}  class", "name", "#inst", "#edges");
+    for g in named_workloads() {
+        let c = tms_ddg::classify(&g);
+        println!(
+            "{:<22} {:>6} {:>6}  {}",
+            g.name(),
+            g.num_insts(),
+            g.num_edges(),
+            c.class.label()
+        );
+    }
+}
+
+fn cmd_show(g: &Ddg) {
+    print!("{g}");
+    let c = tms_ddg::classify(g);
+    let machine = MachineModel::icpp2008();
+    let prio = tms_ddg::analysis::AcyclicPriorities::compute(g);
+    println!(
+        "\nclass {}  RecII {} (register-only {})  ResII {}  MII {}  LDP {}",
+        c.class.label(),
+        c.rec_ii,
+        c.reg_rec_ii,
+        tms_machine::res_ii(g, &machine),
+        tms_machine::mii(g, &machine),
+        prio.ldp
+    );
+}
+
+fn prepare(g: &Ddg, o: &Opts) -> Ddg {
+    if o.unroll > 1 {
+        tms_ddg::unroll(g, o.unroll).expect("unroll failed")
+    } else {
+        g.clone()
+    }
+}
+
+fn cmd_schedule(g: &Ddg, o: &Opts) {
+    let g = prepare(g, o);
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::with_ncore(o.ncore);
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let sms = schedule_sms(&g, &machine).expect("SMS failed");
+    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    for (name, sch) in [("SMS", &sms.schedule), ("TMS", &tms.schedule)] {
+        let m = LoopMetrics::compute(&g, &machine, sch, &arch.costs);
+        println!(
+            "== {name}: II={} stages={} MaxLive={} C_delay={} pairs/iter={} P_M={:.4}",
+            m.ii, m.stage_count, m.max_live, m.c_delay, m.send_recv_pairs, m.misspec_prob
+        );
+        println!("{}", tms_core::viz::kernel_gantt(&g, sch));
+    }
+    println!(
+        "TMS candidate: C_delay<={} P_max={} F={:.2} cycles/iter{}",
+        tms.c_delay_threshold,
+        tms.p_max,
+        model.f(tms.ii, tms.c_delay_threshold),
+        if tms.fell_back_to_sms {
+            " (fell back to SMS)"
+        } else {
+            ""
+        }
+    );
+}
+
+fn cmd_simulate(g: &Ddg, o: &Opts) {
+    let g = prepare(g, o);
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::with_ncore(o.ncore);
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let sms = schedule_sms(&g, &machine).expect("SMS failed");
+    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    let mut cfg = SimConfig::with_ncore(o.iters, o.ncore);
+    cfg.seed = 0x1CC9_2008;
+    let seq = simulate_sequential(&g, &machine, &cfg);
+    println!(
+        "single-threaded: {:>10} cycles ({:.2}/iter)",
+        seq.total_cycles,
+        seq.total_cycles as f64 / o.iters as f64
+    );
+    for (name, sch) in [("SMS", &sms.schedule), ("TMS", &tms.schedule)] {
+        let out = simulate_spmt(&g, sch, &cfg);
+        let s = &out.stats;
+        println!(
+            "{name} on {} cores: {:>10} cycles ({:.2}/iter)  sync={} squashes={} pairs={}  speedup vs 1T {:+.1}%",
+            o.ncore,
+            s.total_cycles,
+            s.total_cycles as f64 / o.iters as f64,
+            s.sync_stall_cycles,
+            s.misspeculations + s.cascade_squashes,
+            s.send_recv_pairs,
+            (seq.total_cycles as f64 / s.total_cycles as f64 - 1.0) * 100.0
+        );
+        assert_eq!(
+            out.memory_image, seq.memory_image,
+            "committed state diverged from sequential"
+        );
+    }
+}
+
+fn cmd_trace(g: &Ddg, o: &Opts) {
+    let g = prepare(g, o);
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::with_ncore(o.ncore);
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    let mut cfg = SimConfig::with_ncore(o.iters.min(48), o.ncore);
+    cfg.collect_trace = true;
+    let out = simulate_spmt(&g, &tms.schedule, &cfg);
+    let trace = out.trace.expect("trace requested");
+    print!("{}", trace.timeline(72));
+    println!(
+        "avg thread spacing {:.2} cycles (cost model F = {:.2}); core utilisation {:?}",
+        trace.avg_spacing(),
+        model.f(tms.ii, tms.c_delay_threshold),
+        trace
+            .core_utilisation(o.ncore, out.stats.total_cycles)
+            .iter()
+            .map(|u| format!("{:.0}%", u * 100.0))
+            .collect::<Vec<_>>()
+    );
+}
+
+fn cmd_codegen(g: &Ddg, o: &Opts) {
+    let g = prepare(g, o);
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::with_ncore(o.ncore);
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    let pl = tms_core::PipelinedLoop::generate(&g, &tms.schedule);
+    print!("{}", pl.text(&g));
+}
+
+fn cmd_dot(g: &Ddg, o: &Opts) {
+    let g = prepare(g, o);
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::with_ncore(o.ncore);
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    print!("{}", tms_core::viz::kernel_dot(&g, &tms.schedule));
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!(
+            "usage: tms <list|show|schedule|simulate|dot|trace|codegen|export|import> [loop] [opts]\n\
+             see `tms list` for loop names; options: --ncore N --iters N --unroll F"
+        );
+        ExitCode::FAILURE
+    };
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            cmd_list();
+            ExitCode::SUCCESS
+        }
+        "show" | "schedule" | "simulate" | "dot" | "trace" | "codegen" => {
+            let Some(name) = args.get(1) else { return usage() };
+            let Some(g) = find_loop(name) else {
+                eprintln!("unknown loop '{name}' — try `tms list`");
+                return ExitCode::FAILURE;
+            };
+            let o = parse_opts(&args[2..]);
+            match cmd.as_str() {
+                "show" => cmd_show(&g),
+                "schedule" => cmd_schedule(&g, &o),
+                "simulate" => cmd_simulate(&g, &o),
+                "trace" => cmd_trace(&g, &o),
+                "codegen" => cmd_codegen(&g, &o),
+                _ => cmd_dot(&g, &o),
+            }
+            ExitCode::SUCCESS
+        }
+        "export" => {
+            let (Some(name), Some(path)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Some(g) = find_loop(name) else {
+                eprintln!("unknown loop '{name}'");
+                return ExitCode::FAILURE;
+            };
+            let json = serde_json::to_string_pretty(&g).expect("serialise");
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        "import" => {
+            let (Some(path), Some(sub)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Ok(text) = std::fs::read_to_string(path) else {
+                eprintln!("cannot read {path}");
+                return ExitCode::FAILURE;
+            };
+            let g: Ddg = match serde_json::from_str(&text) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("parse {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let o = parse_opts(&args[3..]);
+            match sub.as_str() {
+                "show" => cmd_show(&g),
+                "schedule" => cmd_schedule(&g, &o),
+                "simulate" => cmd_simulate(&g, &o),
+                "dot" => cmd_dot(&g, &o),
+                _ => return usage(),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-crate integration: the qualitative results the paper reports
+//! must hold end to end (small iteration budgets; the full-scale runs
+//! live in the bench harness).
+
+use tms_bench::{ablation, fig5, fig6, table3, ExperimentConfig};
+use tms_repro::prelude::*;
+use tms_workloads::{doacross_suite, figure1};
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        n_iter: 80,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn motivating_example_contrast() {
+    // §4.1: SMS pushes the induction n6 next to its consumer (sync 11);
+    // TMS keeps the delay at the Definition-2 floor.
+    let ddg = figure1();
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, 2); // two cores as in Fig. 2
+    let sms = schedule_sms(&ddg, &machine).unwrap();
+    let tms = schedule_tms(&ddg, &machine, &model, &TmsConfig::default()).unwrap();
+    let sms_cd = tms_core::metrics::achieved_c_delay(&ddg, &sms.schedule, &arch.costs);
+    let tms_cd = tms_core::metrics::achieved_c_delay(&ddg, &tms.schedule, &arch.costs);
+    assert_eq!(sms.schedule.ii(), 8, "MII is 8 in the example");
+    assert!(sms_cd >= 10, "SMS sync should serialise: {sms_cd}");
+    assert!(tms_cd <= 5, "TMS should hit the floor: {tms_cd}");
+}
+
+#[test]
+fn table3_shapes() {
+    let rows = table3::run(&cfg());
+    let get = |b: &str| rows.iter().find(|r| r.benchmark == b).unwrap().clone();
+    // lucas: recurrence-bound, C_delay close to II ("ILP only").
+    let lucas = get("lucas");
+    assert!(lucas.avg_mii >= 55.0);
+    assert!(lucas.tms_c_delay >= lucas.tms_ii - 10.0);
+    // The resource-bound sets keep C_delay below II (TLP exposed);
+    // equake and fma3d by a wide margin, art (tiny unrolled bodies)
+    // more modestly.
+    for (b, factor) in [("art", 1.0), ("equake", 2.0), ("fma3d", 2.0)] {
+        let r = get(b);
+        assert!(
+            r.tms_c_delay * factor < r.tms_ii,
+            "{b}: C_delay {} vs II {}",
+            r.tms_c_delay,
+            r.tms_ii
+        );
+    }
+}
+
+#[test]
+fn fig5_shapes() {
+    let rows = fig5::run(&cfg());
+    let get = |b: &str| rows.iter().find(|r| r.benchmark == b).unwrap().clone();
+    // Every set speeds up over single-threaded code...
+    for r in &rows {
+        assert!(
+            r.loop_speedup_pct > 0.0,
+            "{}: {:.1}%",
+            r.benchmark,
+            r.loop_speedup_pct
+        );
+    }
+    // ...with equake translating best into program speedup (coverage).
+    let best = rows
+        .iter()
+        .max_by(|a, b| a.program_speedup_pct.total_cmp(&b.program_speedup_pct))
+        .unwrap();
+    assert_eq!(best.benchmark, "equake");
+    // lucas (ILP only) gains less than the TLP-rich sets.
+    let lucas = get("lucas");
+    for b in ["equake", "fma3d"] {
+        assert!(
+            lucas.loop_speedup_pct < get(b).loop_speedup_pct,
+            "lucas {:.1}% should trail {b} {:.1}%",
+            lucas.loop_speedup_pct,
+            get(b).loop_speedup_pct
+        );
+    }
+}
+
+#[test]
+fn fig6_shapes() {
+    let rows = fig6::run(&cfg());
+    let get = |b: &str| rows.iter().find(|r| r.benchmark == b).unwrap().clone();
+    // (a) big stall reductions on the speculable sets...
+    for b in ["art", "equake", "fma3d"] {
+        let r = get(b);
+        assert!(
+            r.stall_ratio() < 0.6,
+            "{b}: stall ratio {:.2}",
+            r.stall_ratio()
+        );
+    }
+    // ...much weaker on lucas.
+    assert!(get("lucas").stall_ratio() > 0.8);
+    // (b) TMS trades communication for TLP: pairs don't decrease.
+    for r in &rows {
+        assert!(
+            r.pair_increase_pct() >= -1.0,
+            "{}: {:.1}%",
+            r.benchmark,
+            r.pair_increase_pct()
+        );
+    }
+}
+
+#[test]
+fn speculation_ablation_shapes() {
+    let rows = ablation::run(&cfg());
+    // Disabling speculation never wins, and costs real performance on
+    // at least equake and fma3d (§5.2 quantifies 19.0% / 21.4%).
+    for r in &rows {
+        assert!(
+            r.spec_cycles <= r.nospec_cycles,
+            "{}: speculation hurt ({} vs {})",
+            r.benchmark,
+            r.spec_cycles,
+            r.nospec_cycles
+        );
+    }
+    for b in ["equake", "fma3d"] {
+        let r = rows.iter().find(|r| r.benchmark == b).unwrap();
+        assert!(
+            r.loss_pct > 5.0,
+            "{b}: speculation should matter, got {:.1}%",
+            r.loss_pct
+        );
+    }
+}
+
+#[test]
+fn doacross_loops_expose_tlp_or_ilp() {
+    // §5's reading: gap(LDP, II) ≈ ILP, gap(II, C_delay) ≈ TLP; every
+    // selected loop exposes at least one.
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    for l in doacross_suite(cfg().seed) {
+        let r = schedule_tms(&l.ddg, &machine, &model, &TmsConfig::default()).unwrap();
+        let m = LoopMetrics::compute(&l.ddg, &machine, &r.schedule, &arch.costs);
+        let ilp = m.ldp - m.ii as i64;
+        let tlp = m.ii as i64 - m.c_delay as i64;
+        assert!(
+            ilp > 0 || tlp > 0,
+            "{}: neither ILP ({ilp}) nor TLP ({tlp}) exposed",
+            l.ddg.name()
+        );
+    }
+}

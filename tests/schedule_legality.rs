@@ -1,0 +1,121 @@
+//! Cross-crate integration: every schedule either scheduler produces,
+//! on every workload, is legal and resource-feasible, and TMS never
+//! loses to SMS under its own cost model.
+
+use tms_repro::prelude::*;
+use tms_workloads::{doacross_suite, figure1, kernels, specfp_profiles};
+
+fn all_loops(seed: u64) -> Vec<Ddg> {
+    let mut v = vec![figure1()];
+    v.extend(kernels::all_kernels());
+    v.extend(doacross_suite(seed).into_iter().map(|l| l.ddg));
+    // A slice of each benchmark population (the full population runs
+    // in the bench harness).
+    for p in specfp_profiles() {
+        v.extend(p.generate(seed).into_iter().take(3));
+    }
+    v
+}
+
+#[test]
+fn sms_schedules_are_legal_and_feasible() {
+    let machine = MachineModel::icpp2008();
+    for ddg in all_loops(7) {
+        let r = schedule_sms(&ddg, &machine)
+            .unwrap_or_else(|e| panic!("{}: {e}", ddg.name()));
+        assert!(
+            r.schedule.check_legal(&ddg).is_none(),
+            "{}: SMS schedule violates a dependence",
+            ddg.name()
+        );
+        assert!(
+            r.schedule.check_resources(&ddg, &machine),
+            "{}: SMS schedule oversubscribes the MRT",
+            ddg.name()
+        );
+        assert!(r.schedule.ii() >= r.mii, "{}: II below MII", ddg.name());
+    }
+}
+
+#[test]
+fn tms_schedules_are_legal_and_feasible() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    for ddg in all_loops(7) {
+        let r = schedule_tms(&ddg, &machine, &model, &TmsConfig::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", ddg.name()));
+        assert!(
+            r.schedule.check_legal(&ddg).is_none(),
+            "{}: TMS schedule violates a dependence",
+            ddg.name()
+        );
+        assert!(
+            r.schedule.check_resources(&ddg, &machine),
+            "{}: TMS schedule oversubscribes the MRT",
+            ddg.name()
+        );
+    }
+}
+
+#[test]
+fn tms_cost_never_worse_than_sms() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    for ddg in all_loops(11) {
+        let sms = schedule_sms(&ddg, &machine).unwrap();
+        let tms = schedule_tms(&ddg, &machine, &model, &TmsConfig::default()).unwrap();
+        let sms_cd =
+            tms_core::metrics::achieved_c_delay(&ddg, &sms.schedule, &arch.costs);
+        let sms_key = model.cost_key(sms.schedule.ii(), sms_cd);
+        assert!(
+            tms.cost_key <= sms_key,
+            "{}: TMS {:?} worse than SMS {:?}",
+            ddg.name(),
+            tms.cost_key,
+            sms_key
+        );
+    }
+}
+
+#[test]
+fn tms_honours_thresholds_unless_fallback() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    for ddg in all_loops(13) {
+        let tms = schedule_tms(&ddg, &machine, &model, &TmsConfig::default()).unwrap();
+        if tms.fell_back_to_sms {
+            continue;
+        }
+        let cd = tms_core::metrics::achieved_c_delay(&ddg, &tms.schedule, &arch.costs);
+        assert!(
+            cd <= tms.c_delay_threshold,
+            "{}: achieved C_delay {cd} > threshold {}",
+            ddg.name(),
+            tms.c_delay_threshold
+        );
+        let p = tms_core::metrics::kernel_misspec_prob(&ddg, &tms.schedule, &arch.costs);
+        assert!(
+            p <= tms.p_max + 1e-12,
+            "{}: kernel P_M {p} > P_max {}",
+            ddg.name(),
+            tms.p_max
+        );
+    }
+}
+
+#[test]
+fn copy_postpass_normalises_distances() {
+    let machine = MachineModel::icpp2008();
+    for ddg in all_loops(17) {
+        let r = schedule_sms(&ddg, &machine).unwrap();
+        let plan = CommPlan::build(&ddg, &r.schedule);
+        assert!(
+            plan.all_distances_unit(),
+            "{}: post-pass left a multi-hop distance unnormalised",
+            ddg.name()
+        );
+    }
+}
