@@ -21,12 +21,19 @@ fn bench(c: &mut Criterion) {
             sms += simulate(ddg, &r.sms, &cfg).total_cycles;
             tms += simulate(ddg, &r.tms, &cfg).total_cycles;
         }
-        println!("  {:<9} loop speedup {:+6.1}%", p.name, speedup_pct(sms, tms));
+        println!(
+            "  {:<9} loop speedup {:+6.1}%",
+            p.name,
+            speedup_pct(sms, tms)
+        );
     }
 
     let mut g = c.benchmark_group("fig4");
     g.sample_size(10);
-    let art = specfp_profiles().into_iter().find(|p| p.name == "art").unwrap();
+    let art = specfp_profiles()
+        .into_iter()
+        .find(|p| p.name == "art")
+        .unwrap();
     let loops = art.generate(cfg.seed);
     let runs: Vec<_> = loops.iter().map(|l| schedule_both(l, &cfg)).collect();
     g.bench_function("simulate_art_population_both", |b| {
@@ -35,8 +42,7 @@ fn bench(c: &mut Criterion) {
                 .iter()
                 .zip(&runs)
                 .map(|(l, r)| {
-                    simulate(l, &r.sms, &cfg).total_cycles
-                        + simulate(l, &r.tms, &cfg).total_cycles
+                    simulate(l, &r.sms, &cfg).total_cycles + simulate(l, &r.tms, &cfg).total_cycles
                 })
                 .sum::<u64>()
         })

@@ -34,17 +34,13 @@ fn bench(c: &mut Criterion) {
         if l.benchmark != "art" && l.benchmark != "equake" {
             continue;
         }
-        g.bench_with_input(
-            BenchmarkId::new("tms", l.ddg.name()),
-            &l.ddg,
-            |b, ddg| {
-                b.iter(|| {
-                    schedule_tms(ddg, &machine, &model, &TmsConfig::default())
-                        .unwrap()
-                        .ii
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("tms", l.ddg.name()), &l.ddg, |b, ddg| {
+            b.iter(|| {
+                schedule_tms(ddg, &machine, &model, &TmsConfig::default())
+                    .unwrap()
+                    .ii
+            })
+        });
     }
     g.finish();
 

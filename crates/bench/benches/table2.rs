@@ -16,7 +16,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
     // Time the smallest population (art: 10 loops) as the unit of work.
-    let art = specfp_profiles().into_iter().find(|p| p.name == "art").unwrap();
+    let art = specfp_profiles()
+        .into_iter()
+        .find(|p| p.name == "art")
+        .unwrap();
     g.bench_function("schedule_art_population", |b| {
         b.iter(|| {
             let loops = art.generate(cfg.seed);

@@ -56,10 +56,7 @@ fn variants() -> Vec<(&'static str, TmsConfig)> {
                 ..TmsConfig::default()
             },
         ),
-        (
-            "sync-all (Pmax=0)",
-            TmsConfig::no_speculation(),
-        ),
+        ("sync-all (Pmax=0)", TmsConfig::no_speculation()),
     ]
 }
 

@@ -107,16 +107,14 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<GranularityRow> {
             if ddg.num_insts() as u32 * f > 160 {
                 continue;
             }
-            let Ok(unrolled) = unroll(ddg, f) else { continue };
+            let Ok(unrolled) = unroll(ddg, f) else {
+                continue;
+            };
             let Ok(r) = schedule_tms(&unrolled, &machine, &model, &TmsConfig::default()) else {
                 continue;
             };
-            let metrics = tms_core::LoopMetrics::compute(
-                &unrolled,
-                &machine,
-                &r.schedule,
-                &arch.costs,
-            );
+            let metrics =
+                tms_core::LoopMetrics::compute(&unrolled, &machine, &r.schedule, &arch.costs);
             // n_iter original iterations = n_iter / f unrolled ones.
             let mut sim = cfg.sim();
             sim.n_iter = (cfg.n_iter / f as u64).max(8);
@@ -186,10 +184,7 @@ mod tests {
         assert!(rows.len() >= 4);
         // For the small loop, pairs per original iteration must not
         // grow with the factor (communication amortises).
-        let small: Vec<_> = rows
-            .iter()
-            .filter(|r| r.loop_name == "art-small")
-            .collect();
+        let small: Vec<_> = rows.iter().filter(|r| r.loop_name == "art-small").collect();
         let f1 = small.iter().find(|r| r.factor == 1).unwrap();
         let f4 = small.iter().find(|r| r.factor == 4).unwrap();
         assert!(

@@ -41,11 +41,15 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<SchedulerRow> {
 
     let mut sets: Vec<(String, Vec<tms_ddg::Ddg>)> = vec![(
         "doacross".into(),
-        doacross_suite(cfg.seed).into_iter().map(|l| l.ddg).collect(),
+        doacross_suite(cfg.seed)
+            .into_iter()
+            .map(|l| l.ddg)
+            .collect(),
     )];
-    for p in specfp_profiles().iter().filter(|p| {
-        ["swim", "art", "fma3d"].contains(&p.name)
-    }) {
+    for p in specfp_profiles()
+        .iter()
+        .filter(|p| ["swim", "art", "fma3d"].contains(&p.name))
+    {
         sets.push((
             p.name.to_string(),
             p.generate(cfg.seed).into_iter().take(8).collect(),

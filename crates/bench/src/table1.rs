@@ -5,7 +5,10 @@ use crate::config::ExperimentConfig;
 
 /// Render Table 1.
 pub fn render(cfg: &ExperimentConfig) -> String {
-    format!("== Table 1: Architecture simulated ==\n{}\n", cfg.arch().table1())
+    format!(
+        "== Table 1: Architecture simulated ==\n{}\n",
+        cfg.arch().table1()
+    )
 }
 
 #[cfg(test)]

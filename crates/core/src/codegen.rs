@@ -251,7 +251,9 @@ mod tests {
     #[test]
     fn coverage_holds_for_real_schedules() {
         let g = tms_workloads::figure1();
-        let s = schedule_sms(&g, &MachineModel::icpp2008()).unwrap().schedule;
+        let s = schedule_sms(&g, &MachineModel::icpp2008())
+            .unwrap()
+            .schedule;
         let p = PipelinedLoop::generate(&g, &s);
         let n_iter = 12u64.max(p.stages as u64);
         let mut count: HashMap<(InstId, u64), u32> = HashMap::new();

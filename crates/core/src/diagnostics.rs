@@ -1,0 +1,510 @@
+//! Structured schedule diagnostics.
+//!
+//! The scheduling and metric layers answer "is this schedule
+//! acceptable?" with `Option`/`bool` — fine for control flow, useless
+//! for understanding *why* a candidate died. [`verify_schedule`]
+//! re-checks a finished schedule against every invariant the system
+//! relies on and reports each violation as a [`Diagnostic`]: the exact
+//! edge and slots for legality, the per-row pressure for resource
+//! overflows, the Definition-2 delay against the `C_delay` threshold,
+//! and the eq. 3 probability against `P_max` with the non-preserved
+//! dependences named. `schedule_tms` records these for every rejected
+//! candidate instead of silently `continue`-ing, and the `tms-verify`
+//! crate drives the same checks over fuzzed and workload populations.
+
+use crate::cost::sync_delay;
+use crate::metrics::{kernel_misspec_prob, unpreserved_memory_deps};
+use crate::mrt::Mrt;
+use crate::schedule::Schedule;
+use serde::{Serialize, Value};
+use std::fmt;
+use tms_ddg::{Ddg, InstId};
+use tms_machine::{CostConstants, MachineModel, ResourceClass};
+
+/// One violated invariant of a finished schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Diagnostic {
+    /// A dependence edge is scheduled too early:
+    /// `t(dst) < t(src) + delay − II·distance`.
+    IllegalEdge {
+        /// Producer name.
+        src: String,
+        /// Consumer name.
+        dst: String,
+        /// Iteration distance of the edge.
+        distance: u32,
+        /// Required issue-slot separation.
+        delay: i64,
+        /// Producer issue slot.
+        t_src: i64,
+        /// Consumer issue slot.
+        t_dst: i64,
+        /// Cycles missing: `t(src) + delay − II·distance − t(dst)` > 0.
+        deficit: i64,
+    },
+    /// A modulo row issues more operations than the machine width.
+    IssueOverflow {
+        /// The oversubscribed row.
+        row: u32,
+        /// Operations issued in the row (including the overflowing
+        /// one).
+        placed: u32,
+        /// Machine issue width.
+        width: u32,
+    },
+    /// A functional-unit class is oversubscribed in a modulo row.
+    UnitOverflow {
+        /// The oversubscribed row.
+        row: u32,
+        /// Functional-unit class.
+        class: ResourceClass,
+        /// Unit-cycles already busy in the row.
+        used: u32,
+        /// Units of the class the machine has.
+        units: u32,
+    },
+    /// An inter-thread register dependence synchronises slower than the
+    /// candidate's `C_delay` threshold (condition C1, Definition 2).
+    SyncExceeded {
+        /// Producer name.
+        src: String,
+        /// Consumer name.
+        dst: String,
+        /// Kernel distance of the edge (Definition 1).
+        d_ker: i64,
+        /// Achieved synchronisation delay.
+        sync: i64,
+        /// The violated threshold.
+        threshold: u32,
+    },
+    /// The kernel's combined misspeculation probability exceeds `P_max`
+    /// (condition C2, eq. 3).
+    MisspecExceeded {
+        /// Combined probability of the non-preserved dependences.
+        prob: f64,
+        /// The violated threshold.
+        p_max: f64,
+        /// The non-preserved memory dependences, as `"src->dst"` names.
+        unpreserved: Vec<String>,
+    },
+    /// The kernel uses more stages than the configured cap — the eq. 2
+    /// cost model prices threads at `T_lb ≈ II + overheads`, so deep
+    /// kernels would be accepted far below their real cost.
+    StageOverflow {
+        /// Stages of the finished kernel.
+        stages: u32,
+        /// The violated cap.
+        max_stages: u32,
+    },
+}
+
+impl Diagnostic {
+    /// Short machine-readable tag (stable across renders).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Diagnostic::IllegalEdge { .. } => "illegal-edge",
+            Diagnostic::IssueOverflow { .. } => "issue-overflow",
+            Diagnostic::UnitOverflow { .. } => "unit-overflow",
+            Diagnostic::SyncExceeded { .. } => "sync-exceeded",
+            Diagnostic::MisspecExceeded { .. } => "misspec-exceeded",
+            Diagnostic::StageOverflow { .. } => "stage-overflow",
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::IllegalEdge {
+                src,
+                dst,
+                distance,
+                delay,
+                t_src,
+                t_dst,
+                deficit,
+            } => write!(
+                f,
+                "illegal edge {src}->{dst} (d={distance}, delay={delay}): \
+                 t(src)={t_src}, t(dst)={t_dst}, {deficit} cycle(s) short"
+            ),
+            Diagnostic::IssueOverflow { row, placed, width } => {
+                write!(f, "row {row} issues {placed} ops, width is {width}")
+            }
+            Diagnostic::UnitOverflow {
+                row,
+                class,
+                used,
+                units,
+            } => write!(
+                f,
+                "row {row} needs more {class:?} units: {used} busy of {units}"
+            ),
+            Diagnostic::SyncExceeded {
+                src,
+                dst,
+                d_ker,
+                sync,
+                threshold,
+            } => write!(
+                f,
+                "sync {src}->{dst} (d_ker={d_ker}) takes {sync} > C_delay {threshold}"
+            ),
+            Diagnostic::MisspecExceeded {
+                prob,
+                p_max,
+                unpreserved,
+            } => write!(
+                f,
+                "misspeculation {prob:.4} > P_max {p_max} over [{}]",
+                unpreserved.join(", ")
+            ),
+            Diagnostic::StageOverflow { stages, max_stages } => {
+                write!(f, "kernel has {stages} stages, cap is {max_stages}")
+            }
+        }
+    }
+}
+
+// Hand-written: the vendored derive handles unit-only enums, and the
+// reports want a flat `kind` tag next to the fields anyway.
+impl Serialize for Diagnostic {
+    fn to_value(&self) -> Value {
+        let mut obj: Vec<(String, Value)> =
+            vec![("kind".to_string(), Value::Str(self.kind().to_string()))];
+        let mut put = |k: &str, v: Value| obj.push((k.to_string(), v));
+        match self {
+            Diagnostic::IllegalEdge {
+                src,
+                dst,
+                distance,
+                delay,
+                t_src,
+                t_dst,
+                deficit,
+            } => {
+                put("src", src.to_value());
+                put("dst", dst.to_value());
+                put("distance", distance.to_value());
+                put("delay", delay.to_value());
+                put("t_src", t_src.to_value());
+                put("t_dst", t_dst.to_value());
+                put("deficit", deficit.to_value());
+            }
+            Diagnostic::IssueOverflow { row, placed, width } => {
+                put("row", row.to_value());
+                put("placed", placed.to_value());
+                put("width", width.to_value());
+            }
+            Diagnostic::UnitOverflow {
+                row,
+                class,
+                used,
+                units,
+            } => {
+                put("row", row.to_value());
+                put("class", Value::Str(format!("{class:?}")));
+                put("used", used.to_value());
+                put("units", units.to_value());
+            }
+            Diagnostic::SyncExceeded {
+                src,
+                dst,
+                d_ker,
+                sync,
+                threshold,
+            } => {
+                put("src", src.to_value());
+                put("dst", dst.to_value());
+                put("d_ker", d_ker.to_value());
+                put("sync", sync.to_value());
+                put("threshold", threshold.to_value());
+            }
+            Diagnostic::MisspecExceeded {
+                prob,
+                p_max,
+                unpreserved,
+            } => {
+                put("prob", prob.to_value());
+                put("p_max", p_max.to_value());
+                put("unpreserved", unpreserved.to_value());
+            }
+            Diagnostic::StageOverflow { stages, max_stages } => {
+                put("stages", stages.to_value());
+                put("max_stages", max_stages.to_value());
+            }
+        }
+        Value::Object(obj)
+    }
+}
+
+/// Thresholds [`verify_schedule`] checks beyond the unconditional
+/// legality and resource invariants. `None` skips that check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyLimits {
+    /// `C_delay` threshold for condition C1.
+    pub c_delay: Option<u32>,
+    /// `P_max` threshold for condition C2.
+    pub p_max: Option<f64>,
+    /// Stage cap of the accepted kernel.
+    pub max_stages: Option<u32>,
+}
+
+fn edge_name(ddg: &Ddg, src: InstId, dst: InstId) -> (String, String) {
+    (ddg.inst(src).name.clone(), ddg.inst(dst).name.clone())
+}
+
+/// Re-check every invariant of a finished schedule and report each
+/// violation. An empty result means the schedule is legal, resource
+/// feasible, and within the given thresholds.
+pub fn verify_schedule(
+    ddg: &Ddg,
+    schedule: &Schedule,
+    machine: &MachineModel,
+    costs: &CostConstants,
+    limits: &VerifyLimits,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ii = schedule.ii();
+
+    // --- Legality: every edge, not just the first violation.
+    for e in ddg.edges() {
+        let need = schedule.time(e.src) + e.delay - ii as i64 * e.distance as i64;
+        let have = schedule.time(e.dst);
+        if have < need {
+            let (src, dst) = edge_name(ddg, e.src, e.dst);
+            out.push(Diagnostic::IllegalEdge {
+                src,
+                dst,
+                distance: e.distance,
+                delay: e.delay,
+                t_src: schedule.time(e.src),
+                t_dst: have,
+                deficit: need - have,
+            });
+        }
+    }
+
+    // --- Resources: replay the placements through a fresh MRT and
+    // report the row pressure behind every failed claim.
+    let mut mrt = Mrt::new(ii, machine);
+    for n in ddg.inst_ids() {
+        let op = ddg.inst(n).op;
+        let t = schedule.time(n);
+        if mrt.can_place(op, t) {
+            mrt.place(op, t);
+            continue;
+        }
+        let row = mrt.row_of(t);
+        if mrt.row_occupancy(row) >= machine.issue_width {
+            out.push(Diagnostic::IssueOverflow {
+                row: row as u32,
+                placed: mrt.row_occupancy(row) + 1,
+                width: machine.issue_width,
+            });
+        } else {
+            let class = ResourceClass::for_op(op);
+            out.push(Diagnostic::UnitOverflow {
+                row: row as u32,
+                class,
+                used: mrt.used_in_row(row, class),
+                units: machine.units_of(class),
+            });
+        }
+        // The op stays unplaced so the replay can continue and surface
+        // every oversubscribed row, not just the first.
+    }
+
+    // --- C1 against the threshold.
+    if let Some(c_delay) = limits.c_delay {
+        for e in ddg.edges() {
+            if !e.is_register_flow() {
+                continue;
+            }
+            let d_ker = schedule.d_ker(e);
+            if d_ker < 1 {
+                continue;
+            }
+            let sync = sync_delay(
+                schedule.row(e.src) as i64,
+                schedule.row(e.dst) as i64,
+                ddg.inst(e.src).latency,
+                costs,
+            );
+            if sync > c_delay as i64 {
+                let (src, dst) = edge_name(ddg, e.src, e.dst);
+                out.push(Diagnostic::SyncExceeded {
+                    src,
+                    dst,
+                    d_ker,
+                    sync,
+                    threshold: c_delay,
+                });
+            }
+        }
+    }
+
+    // --- C2 against the threshold.
+    if let Some(p_max) = limits.p_max {
+        let prob = kernel_misspec_prob(ddg, schedule, costs);
+        if prob > p_max + 1e-12 {
+            let unpreserved = unpreserved_memory_deps(ddg, schedule, costs)
+                .into_iter()
+                .map(|i| {
+                    let e = &ddg.edges()[i];
+                    let (s, d) = edge_name(ddg, e.src, e.dst);
+                    format!("{s}->{d}")
+                })
+                .collect();
+            out.push(Diagnostic::MisspecExceeded {
+                prob,
+                p_max,
+                unpreserved,
+            });
+        }
+    }
+
+    // --- Stage cap.
+    if let Some(max_stages) = limits.max_stages {
+        if schedule.stage_count() > max_stages {
+            out.push(Diagnostic::StageOverflow {
+                stages: schedule.stage_count(),
+                max_stages,
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_ddg::{DdgBuilder, OpClass};
+    use tms_machine::ArchParams;
+
+    fn chain() -> Ddg {
+        let mut b = DdgBuilder::new("chain");
+        let a = b.inst_lat("a", OpClass::IntAlu, 2);
+        let c = b.inst_lat("c", OpClass::IntAlu, 1);
+        b.reg_flow(a, c, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_schedule_yields_no_diagnostics() {
+        let g = chain();
+        let machine = MachineModel::icpp2008();
+        let costs = ArchParams::icpp2008().costs;
+        let s = Schedule::from_times(&g, 2, vec![0, 2]);
+        let d = verify_schedule(
+            &g,
+            &s,
+            &machine,
+            &costs,
+            &VerifyLimits {
+                c_delay: Some(20),
+                p_max: Some(1.0),
+                max_stages: Some(8),
+            },
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn illegal_edge_reports_deficit() {
+        let g = chain();
+        let machine = MachineModel::icpp2008();
+        let costs = ArchParams::icpp2008().costs;
+        let s = Schedule::from_times(&g, 2, vec![0, 1]);
+        let d = verify_schedule(&g, &s, &machine, &costs, &VerifyLimits::default());
+        assert_eq!(d.len(), 1);
+        match &d[0] {
+            Diagnostic::IllegalEdge { deficit, .. } => assert_eq!(*deficit, 1),
+            other => panic!("unexpected: {other}"),
+        }
+        assert_eq!(d[0].kind(), "illegal-edge");
+    }
+
+    #[test]
+    fn sync_threshold_is_enforced() {
+        // a feeds c in the next kernel iteration (d=1, same stage).
+        let mut b = DdgBuilder::new("sync");
+        let a = b.inst_lat("a", OpClass::IntAlu, 1);
+        let c = b.inst_lat("c", OpClass::IntAlu, 1);
+        b.reg_flow(a, c, 1);
+        let g = b.build().unwrap();
+        let s = Schedule::from_times(&g, 8, vec![6, 0]);
+        // sync = row 6 − row 0 + lat 1 + C_reg_com 3 = 10.
+        let costs = ArchParams::icpp2008().costs;
+        let machine = MachineModel::icpp2008();
+        let lim = |cd| VerifyLimits {
+            c_delay: Some(cd),
+            ..VerifyLimits::default()
+        };
+        assert!(verify_schedule(&g, &s, &machine, &costs, &lim(10)).is_empty());
+        let d = verify_schedule(&g, &s, &machine, &costs, &lim(9));
+        assert_eq!(d.len(), 1);
+        match &d[0] {
+            Diagnostic::SyncExceeded { sync, .. } => assert_eq!(*sync, 10),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn unit_overflow_names_the_row() {
+        // Three loads in one row of a 1-row kernel on a machine with
+        // two memory ports.
+        let mut b = DdgBuilder::new("mem");
+        for i in 0..3 {
+            b.inst(format!("l{i}"), OpClass::Load);
+        }
+        let g = b.build().unwrap();
+        let machine = MachineModel::icpp2008();
+        let costs = ArchParams::icpp2008().costs;
+        let s = Schedule::from_times(&g, 1, vec![0, 0, 0]);
+        let d = verify_schedule(&g, &s, &machine, &costs, &VerifyLimits::default());
+        assert!(
+            d.iter()
+                .any(|d| matches!(d, Diagnostic::UnitOverflow { row: 0, .. })),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn stage_cap_reports_overflow() {
+        let g = chain();
+        let machine = MachineModel::icpp2008();
+        let costs = ArchParams::icpp2008().costs;
+        let s = Schedule::from_times(&g, 1, vec![0, 2]);
+        let d = verify_schedule(
+            &g,
+            &s,
+            &machine,
+            &costs,
+            &VerifyLimits {
+                max_stages: Some(2),
+                ..VerifyLimits::default()
+            },
+        );
+        assert_eq!(
+            d,
+            vec![Diagnostic::StageOverflow {
+                stages: 3,
+                max_stages: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn serialises_with_kind_tag() {
+        let d = Diagnostic::StageOverflow {
+            stages: 5,
+            max_stages: 4,
+        };
+        let v = d.to_value();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj[0].0, "kind");
+        assert_eq!(obj[0].1.as_str(), Some("stage-overflow"));
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod codegen;
 pub mod cost;
+pub mod diagnostics;
 pub mod ims;
 pub mod lifetimes;
 pub mod list_sched;
@@ -65,10 +66,11 @@ pub mod window;
 
 pub use codegen::PipelinedLoop;
 pub use cost::CostModel;
+pub use diagnostics::{verify_schedule, Diagnostic, VerifyLimits};
+pub use ims::{schedule_ims, ImsResult};
 pub use metrics::LoopMetrics;
 pub use postpass::CommPlan;
 pub use schedule::{PartialSchedule, Schedule};
-pub use ims::{schedule_ims, ImsResult};
 pub use sms::{schedule_sms, SchedError, SmsResult};
-pub use tms::{schedule_tms, TmsConfig, TmsResult};
+pub use tms::{schedule_tms, CandidateReject, TmsConfig, TmsResult};
 pub use unrolling::{schedule_tms_unrolled, UnrolledTms};

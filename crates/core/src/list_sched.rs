@@ -65,7 +65,9 @@ pub fn list_schedule(ddg: &Ddg, machine: &MachineModel) -> ListSchedule {
             .iter()
             .copied()
             .filter(|&u| {
-                times[u.index()] < 0 && unsched_preds[u.index()] == 0 && earliest[u.index()] <= cycle
+                times[u.index()] < 0
+                    && unsched_preds[u.index()] == 0
+                    && earliest[u.index()] <= cycle
             })
             .collect();
         ready.sort_by(|&a, &b| {

@@ -35,9 +35,15 @@ pub fn achieved_c_delay(ddg: &Ddg, schedule: &Schedule, costs: &CostConstants) -
     worst.max(0) as u32
 }
 
-/// Combined misspeculation probability of the kernel (eq. 3 over the
-/// non-preserved inter-thread memory flow dependences, per Def. 3).
-pub fn kernel_misspec_prob(ddg: &Ddg, schedule: &Schedule, costs: &CostConstants) -> f64 {
+/// Indices (into `ddg.edges()`) of the inter-thread memory flow
+/// dependences **not** preserved by any synchronised register
+/// dependence (Definition 3) — the dependences the kernel speculates
+/// on, whose probabilities eq. 3 combines.
+pub fn unpreserved_memory_deps(
+    ddg: &Ddg,
+    schedule: &Schedule,
+    costs: &CostConstants,
+) -> Vec<usize> {
     // Synchronised register dependences available to preserve memory
     // dependences: (sync, producer row) pairs.
     let r_all: Vec<(i64, i64)> = ddg
@@ -57,23 +63,36 @@ pub fn kernel_misspec_prob(ddg: &Ddg, schedule: &Schedule, costs: &CostConstants
         })
         .collect();
 
-    let probs = ddg.edges().iter().filter_map(|e| {
-        if !e.is_memory_flow() {
-            return None;
-        }
-        let d_ker = schedule.d_ker(e);
-        if d_ker < 1 {
-            return None;
-        }
-        let rx = schedule.row(e.src) as i64;
-        let ry = schedule.row(e.dst) as i64;
-        let lat = ddg.inst(e.src).latency;
-        let kept = r_all
-            .iter()
-            .any(|&(s, ru)| preserves(s, ru, rx, ry, lat, d_ker));
-        (!kept).then_some(e.prob)
-    });
-    misspec_probability(probs)
+    ddg.edges()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
+            if !e.is_memory_flow() {
+                return None;
+            }
+            let d_ker = schedule.d_ker(e);
+            if d_ker < 1 {
+                return None;
+            }
+            let rx = schedule.row(e.src) as i64;
+            let ry = schedule.row(e.dst) as i64;
+            let lat = ddg.inst(e.src).latency;
+            let kept = r_all
+                .iter()
+                .any(|&(s, ru)| preserves(s, ru, rx, ry, lat, d_ker));
+            (!kept).then_some(i)
+        })
+        .collect()
+}
+
+/// Combined misspeculation probability of the kernel (eq. 3 over the
+/// non-preserved inter-thread memory flow dependences, per Def. 3).
+pub fn kernel_misspec_prob(ddg: &Ddg, schedule: &Schedule, costs: &CostConstants) -> f64 {
+    misspec_probability(
+        unpreserved_memory_deps(ddg, schedule, costs)
+            .into_iter()
+            .map(|i| ddg.edges()[i].prob),
+    )
 }
 
 /// Everything Tables 2/3 report about one scheduled loop.

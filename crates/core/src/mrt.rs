@@ -98,6 +98,11 @@ impl Mrt {
     pub fn row_occupancy(&self, row: usize) -> u32 {
         self.row_total[row]
     }
+
+    /// Unit-cycles of `class` busy in `row` (diagnostic row pressure).
+    pub fn used_in_row(&self, row: usize, class: ResourceClass) -> u32 {
+        self.used[row * ResourceClass::ALL.len() + class.index()]
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +175,7 @@ mod tests {
             assert!(!m.can_place(OpClass::FpMul, row), "row {row} overlaps");
         }
         assert!(m.can_place(OpClass::FpMul, 5)); // occupies 5,6,7,0
-        // The busy unit does not consume issue width in later rows.
+                                                 // The busy unit does not consume issue width in later rows.
         assert_eq!(m.row_occupancy(2), 0);
         m.remove(OpClass::FpMul, 1);
         assert!(m.can_place(OpClass::FpMul, 2));

@@ -75,7 +75,10 @@ impl CommPlan {
                 });
             }
         }
-        let num_copies = communications.iter().map(|c| c.hops.saturating_sub(1)).sum();
+        let num_copies = communications
+            .iter()
+            .map(|c| c.hops.saturating_sub(1))
+            .sum();
         let send_recv_pairs = communications.iter().map(|c| c.hops).sum();
         CommPlan {
             communications,

@@ -53,7 +53,10 @@ pub enum SchedError {
 impl std::fmt::Display for SchedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SchedError::NoScheduleFound { loop_name, ii_tried } => {
+            SchedError::NoScheduleFound {
+                loop_name,
+                ii_tried,
+            } => {
                 write!(f, "no schedule for '{loop_name}' up to II={ii_tried}")
             }
             SchedError::Unschedulable { loop_name } => {
@@ -125,8 +128,7 @@ pub fn try_schedule(
                     .copied()
                     .unwrap_or_else(|| crate::window::force_floor(ddg, &ps, &frames, v));
                 let floor = lb.max(earliest[v.index()]);
-                let c = (floor..floor + ii as i64)
-                    .find(|&x| policy.accept(ddg, &ps, v, x))?;
+                let c = (floor..floor + ii as i64).find(|&x| policy.accept(ddg, &ps, v, x))?;
                 earliest[v.index()] = c + 1;
                 eject_row_conflicts(ddg, &mut ps, v, c, &pos);
                 if !ps.fits(ddg, v, c) {
@@ -171,13 +173,7 @@ fn eject_violated_neighbours(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, ii:
 /// Unschedule the lowest-priority occupants of `cycle`'s modulo row
 /// until `v` fits there: first same-resource-class ops, then (if the
 /// issue width still blocks) any op.
-fn eject_row_conflicts(
-    ddg: &Ddg,
-    ps: &mut PartialSchedule,
-    v: InstId,
-    cycle: i64,
-    pos: &[usize],
-) {
+fn eject_row_conflicts(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, cycle: i64, pos: &[usize]) {
     use tms_machine::ResourceClass;
     let class = ResourceClass::for_op(ddg.inst(v).op);
     while !ps.fits(ddg, v, cycle) {
@@ -214,8 +210,8 @@ pub struct SmsResult {
 /// always admits a trivial schedule, so searching beyond it is wasted.
 pub fn ii_search_ceiling(ddg: &Ddg, start: u32) -> u32 {
     let ldp = AcyclicPriorities::compute(ddg).ldp;
-    (start as u64 + ldp as u64 + ddg.total_latency() + ddg.num_insts() as u64)
-        .min(u32::MAX as u64) as u32
+    (start as u64 + ldp as u64 + ddg.total_latency() + ddg.num_insts() as u64).min(u32::MAX as u64)
+        as u32
 }
 
 /// Run SMS: iteratively increase II from MII until a schedule exists
@@ -305,7 +301,11 @@ mod tests {
             .map(|i| {
                 b.inst_lat(
                     format!("n{i}"),
-                    if i % 2 == 0 { OpClass::FpAdd } else { OpClass::FpMul },
+                    if i % 2 == 0 {
+                        OpClass::FpAdd
+                    } else {
+                        OpClass::FpMul
+                    },
                     1 + (i % 3) as u32,
                 )
             })

@@ -11,6 +11,7 @@
 //!    dependences stays within `P_max` (condition **C2**).
 
 use crate::cost::{misspec_probability, preserves, sync_delay, CostKey, CostModel};
+use crate::diagnostics::{verify_schedule, Diagnostic, VerifyLimits};
 use crate::order::sms_order;
 use crate::schedule::{PartialSchedule, Schedule};
 use crate::sms::{ii_search_ceiling, schedule_sms, try_schedule, SchedError, SlotPolicy};
@@ -84,6 +85,26 @@ impl TmsConfig {
     }
 }
 
+/// One `(II, C_delay, P_max)` candidate whose schedule was built but
+/// failed the post-search verification, with the diagnostics that
+/// rejected it.
+#[derive(Debug, Clone)]
+pub struct CandidateReject {
+    /// II of the rejected candidate.
+    pub ii: u32,
+    /// `C_delay` threshold of the rejected candidate.
+    pub c_delay: u32,
+    /// `P_max` of the rejected candidate.
+    pub p_max: f64,
+    /// What the finished kernel violated.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// At most this many [`CandidateReject`] records are retained per
+/// search (the total count is always exact in
+/// [`TmsResult::rejected_candidates`]).
+pub const REJECT_LOG_CAP: usize = 32;
+
 /// Outcome of a TMS run.
 #[derive(Debug, Clone)]
 pub struct TmsResult {
@@ -105,6 +126,14 @@ pub struct TmsResult {
     /// True if every thread-sensitive candidate failed and the result
     /// is the plain SMS schedule.
     pub fell_back_to_sms: bool,
+    /// `(II, C_delay, P_max)` attempts actually made by the search.
+    pub attempts: usize,
+    /// Candidates whose schedule was built but rejected by the
+    /// post-search verification (exact count; the stored records are
+    /// capped at [`REJECT_LOG_CAP`]).
+    pub rejected_candidates: usize,
+    /// Diagnostics of up to [`REJECT_LOG_CAP`] rejected candidates.
+    pub rejects: Vec<CandidateReject>,
 }
 
 /// The TMS slot admission policy (conditions C1 and C2 of Figure 3).
@@ -306,61 +335,89 @@ pub fn schedule_tms(
         thinned_candidates(model, m, ii_max, cd_max)
     };
 
+    let sms_achieved = crate::metrics::achieved_c_delay(ddg, &sms.schedule, &model.costs);
+    let sms_key = model.cost_key(sms.schedule.ii(), sms_achieved);
+
     let mut attempts = 0usize;
-    for &(ii, c_delay, key) in &candidates {
+    let mut rejected = 0usize;
+    let mut rejects: Vec<CandidateReject> = Vec::new();
+    'search: for &(ii, c_delay, key) in &candidates {
         for &p_max in &config.p_max_values {
+            // The attempt budget is the single termination condition of
+            // the whole search: checked before the attempt, exiting
+            // both loops at once.
+            if attempts >= config.max_attempts {
+                break 'search;
+            }
             attempts += 1;
-            if attempts > config.max_attempts {
-                break;
-            }
             let policy = TmsPolicy::new(&model.costs, c_delay, p_max);
-            if let Some(schedule) = try_schedule(ddg, machine, ii, &order, &policy) {
-                debug_assert!(schedule.check_legal(ddg).is_none());
-                debug_assert!(schedule.check_resources(ddg, machine));
-                // Post-search verification on the *normalised* kernel:
-                // the incremental C1/C2 checks run against provisional
-                // stages; reject candidates whose final kernel exceeds
-                // the thresholds they were accepted under.
-                let achieved = crate::metrics::achieved_c_delay(ddg, &schedule, &model.costs);
-                let p_m = crate::metrics::kernel_misspec_prob(ddg, &schedule, &model.costs);
-                let min_stages = (ldp as u32).div_ceil(ii.max(1)).max(1);
-                if achieved > c_delay
-                    || p_m > p_max + 1e-12
-                    || schedule.stage_count() > min_stages + config.max_extra_stages
-                {
-                    continue;
+            let Some(schedule) = try_schedule(ddg, machine, ii, &order, &policy) else {
+                continue;
+            };
+            // Post-search verification on the *normalised* kernel: the
+            // incremental C1/C2 checks run against provisional stages,
+            // so the final kernel can exceed the thresholds the slots
+            // were accepted under. Every rejection is recorded with its
+            // diagnostics instead of vanishing into a bare `continue`.
+            let min_stages = (ldp as u32).div_ceil(ii.max(1)).max(1);
+            let limits = VerifyLimits {
+                c_delay: Some(c_delay),
+                p_max: Some(p_max),
+                max_stages: Some(min_stages + config.max_extra_stages),
+            };
+            let diagnostics = verify_schedule(ddg, &schedule, machine, &model.costs, &limits);
+            if !diagnostics.is_empty() {
+                rejected += 1;
+                if rejects.len() < REJECT_LOG_CAP {
+                    rejects.push(CandidateReject {
+                        ii,
+                        c_delay,
+                        p_max,
+                        diagnostics,
+                    });
                 }
-                let _ = key;
-                return Ok(TmsResult {
-                    schedule,
-                    mii: m,
-                    ldp,
-                    ii,
-                    c_delay_threshold: c_delay,
-                    p_max,
-                    cost_key: model.cost_key(ii, achieved),
-                    fell_back_to_sms: false,
-                });
+                continue;
             }
-        }
-        if attempts > config.max_attempts {
-            break;
+            let achieved = crate::metrics::achieved_c_delay(ddg, &schedule, &model.costs);
+            let tms_key = model.cost_key(ii, achieved);
+            // The candidate keys are lower bounds; if the plain SMS
+            // schedule is *strictly* cheaper under the same eq. 2 cost,
+            // it is the better thread schedule and TMS must not lose to
+            // its own baseline.
+            if config.allow_sms_fallback && sms_key < tms_key {
+                break 'search;
+            }
+            let _ = key;
+            return Ok(TmsResult {
+                schedule,
+                mii: m,
+                ldp,
+                ii,
+                c_delay_threshold: c_delay,
+                p_max,
+                cost_key: tms_key,
+                fell_back_to_sms: false,
+                attempts,
+                rejected_candidates: rejected,
+                rejects,
+            });
         }
     }
 
     if config.allow_sms_fallback {
         let ii = sms.schedule.ii();
-        let achieved = crate::metrics::achieved_c_delay(ddg, &sms.schedule, &model.costs);
-        let key = model.cost_key(ii, achieved);
         Ok(TmsResult {
             schedule: sms.schedule,
             mii: m,
             ldp,
             ii,
-            c_delay_threshold: achieved,
+            c_delay_threshold: sms_achieved,
             p_max: 1.0,
-            cost_key: key,
+            cost_key: sms_key,
             fell_back_to_sms: true,
+            attempts,
+            rejected_candidates: rejected,
+            rejects,
         })
     } else {
         Err(SchedError::NoScheduleFound {
@@ -472,13 +529,7 @@ mod tests {
         // memory dependence preserved (or falling back to SMS whose
         // serialising delays preserve it accidentally).
         let g = motivating_shape();
-        let r = schedule_tms(
-            &g,
-            &machine(),
-            &model(4),
-            &TmsConfig::no_speculation(),
-        )
-        .unwrap();
+        let r = schedule_tms(&g, &machine(), &model(4), &TmsConfig::no_speculation()).unwrap();
         // Whatever path was taken, the result must be legal.
         assert!(r.schedule.check_legal(&g).is_none());
     }

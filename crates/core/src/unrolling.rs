@@ -126,12 +126,10 @@ mod tests {
         let g = tiny_art_like();
         let machine = MachineModel::icpp2008();
         let m = model();
-        let r =
-            schedule_tms_unrolled(&g, &machine, &m, &TmsConfig::default(), &[1, 2, 4]).unwrap();
+        let r = schedule_tms_unrolled(&g, &machine, &m, &TmsConfig::default(), &[1, 2, 4]).unwrap();
         assert!(r.factor > 1, "tiny loop should want unrolling");
         // Per-iteration cost beats (or equals) the factor-1 schedule's.
-        let base =
-            schedule_tms_unrolled(&g, &machine, &m, &TmsConfig::default(), &[1]).unwrap();
+        let base = schedule_tms_unrolled(&g, &machine, &m, &TmsConfig::default(), &[1]).unwrap();
         assert!(r.cost_per_iteration(&m) <= base.cost_per_iteration(&m) + 1e-9);
     }
 

@@ -19,8 +19,11 @@ pub fn kernel_gantt(ddg: &Ddg, schedule: &Schedule) -> String {
     for n in ddg.inst_ids() {
         let inst = ddg.inst(n);
         let class = ResourceClass::for_op(inst.op);
-        cells[schedule.row(n) as usize][class.index()]
-            .push(format!("{}·s{}", inst.name, schedule.stage(n)));
+        cells[schedule.row(n) as usize][class.index()].push(format!(
+            "{}·s{}",
+            inst.name,
+            schedule.stage(n)
+        ));
     }
     let mut widths = [0usize; 5];
     for row in &cells {
@@ -58,7 +61,10 @@ pub fn kernel_dot(ddg: &Ddg, schedule: &Schedule) -> String {
     let plan = CommPlan::build(ddg, schedule);
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{}-kernel\" {{", ddg.name());
-    let _ = writeln!(out, "  rankdir=TB; node [shape=record, fontname=\"monospace\"];");
+    let _ = writeln!(
+        out,
+        "  rankdir=TB; node [shape=record, fontname=\"monospace\"];"
+    );
     for i in ddg.insts() {
         let _ = writeln!(
             out,
@@ -117,7 +123,9 @@ mod tests {
         b.reg_flow(ind, ld, 1);
         b.mem_flow(st, ld, 2, 0.1);
         let g = b.build().unwrap();
-        let s = schedule_sms(&g, &MachineModel::icpp2008()).unwrap().schedule;
+        let s = schedule_sms(&g, &MachineModel::icpp2008())
+            .unwrap()
+            .schedule;
         (g, s)
     }
 

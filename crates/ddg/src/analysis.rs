@@ -81,11 +81,7 @@ impl TimeFrames {
             }
         }
 
-        let mobility = asap
-            .iter()
-            .zip(alap.iter())
-            .map(|(&a, &l)| l - a)
-            .collect();
+        let mobility = asap.iter().zip(alap.iter()).map(|(&a, &l)| l - a).collect();
         Some(TimeFrames {
             asap,
             alap,

@@ -182,10 +182,15 @@ mod tests {
     #[test]
     fn labels_are_distinct() {
         use LoopClass::*;
-        let labels: Vec<_> = [Doall, DoallWithInductions, DoacrossRegister, DoacrossSpeculativeMemory]
-            .iter()
-            .map(|c| c.label())
-            .collect();
+        let labels: Vec<_> = [
+            Doall,
+            DoallWithInductions,
+            DoacrossRegister,
+            DoacrossSpeculativeMemory,
+        ]
+        .iter()
+        .map(|c| c.label())
+        .collect();
         let mut dedup = labels.clone();
         dedup.dedup();
         assert_eq!(labels.len(), dedup.len());

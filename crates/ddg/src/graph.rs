@@ -1,8 +1,8 @@
 //! The data-dependence graph itself.
 
-use crate::edge::{DepKind, Edge, EdgeId};
 #[cfg(test)]
 use crate::edge::DepType;
+use crate::edge::{DepKind, Edge, EdgeId};
 use crate::inst::{InstId, Instruction, OpClass};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -152,12 +152,16 @@ impl Ddg {
 
     /// Outgoing edges of `n`.
     pub fn succ_edges(&self, n: InstId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.succs[n.index()].iter().map(move |&id| (id, self.edge(id)))
+        self.succs[n.index()]
+            .iter()
+            .map(move |&id| (id, self.edge(id)))
     }
 
     /// Incoming edges of `n`.
     pub fn pred_edges(&self, n: InstId) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.preds[n.index()].iter().map(move |&id| (id, self.edge(id)))
+        self.preds[n.index()]
+            .iter()
+            .map(move |&id| (id, self.edge(id)))
     }
 
     /// Successor nodes of `n` (may repeat if parallel edges exist).

@@ -184,7 +184,11 @@ impl Instruction {
 
 impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} ({}, lat {})", self.id, self.name, self.op, self.latency)
+        write!(
+            f,
+            "{}: {} ({}, lat {})",
+            self.id, self.name, self.op, self.latency
+        )
     }
 }
 

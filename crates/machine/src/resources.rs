@@ -273,10 +273,7 @@ mod tests {
         for &op in OpClass::body_classes() {
             let _ = ResourceClass::for_op(op); // must not panic
         }
-        assert_eq!(
-            ResourceClass::for_op(OpClass::Send),
-            ResourceClass::IntUnit
-        );
+        assert_eq!(ResourceClass::for_op(OpClass::Send), ResourceClass::IntUnit);
         assert_eq!(ResourceClass::for_op(OpClass::Load), ResourceClass::MemPort);
     }
 }

@@ -132,7 +132,15 @@ pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> Spmt
         let mut squashes_this_thread = 0u32;
         let run = loop {
             let run = exec_thread(
-                ddg, &program, &addr_map, &mut caches, config, core, k, run_start, &arrivals,
+                ddg,
+                &program,
+                &addr_map,
+                &mut caches,
+                config,
+                core,
+                k,
+                run_start,
+                &arrivals,
                 values_resident,
             );
             if !config.detect_violations {
@@ -171,8 +179,8 @@ pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> Spmt
         // `spec_write_buffer_entries` speculative stores; a thread that
         // overflows the buffer serialises one extra cycle per excess
         // store into its commit.
-        let overflow = (run.stores.len() as u64)
-            .saturating_sub(config.arch.spec_write_buffer_entries as u64);
+        let overflow =
+            (run.stores.len() as u64).saturating_sub(config.arch.spec_write_buffer_entries as u64);
         let commit_end = run.end.max(prev_commit_end) + costs.c_ci as u64 + overflow;
         stats.commit_cycles += costs.c_ci as u64 + overflow;
         stats.committed_threads += 1;

@@ -100,7 +100,7 @@ pub fn simulate_sequential(ddg: &Ddg, machine: &MachineModel, config: &SimConfig
         .unwrap_or(0);
     let hist = max_dist + 1; // iterations of completion history to keep
     let mut completes: Vec<u64> = vec![0; n * hist]; // [iter % hist][inst]
-    // Store times addressable by (inst, iter) within the history.
+                                                     // Store times addressable by (inst, iter) within the history.
     let mut dispatch_hist: Vec<u64> = vec![0; ROB_ENTRIES]; // ring: dispatch index k % ROB
     let mut retire_hist: Vec<u64> = vec![0; ROB_ENTRIES];
     let mut start_hist: Vec<u64> = vec![0; SCHED_WINDOW]; // execution starts

@@ -1,0 +1,259 @@
+//! The differential checks run on every loop.
+//!
+//! One [`check_loop`] call drives the whole stack over a single DDG:
+//!
+//! * **SMS** — the baseline schedule must be legal and resource
+//!   feasible ([`verify_schedule`] with no thresholds);
+//! * **TMS** at every configured `(ncore, P_max)` point — the accepted
+//!   schedule must satisfy every invariant *under its own thresholds*
+//!   (achieved `C_delay ≤` threshold, misspeculation `≤ P_max`, stage
+//!   cap), its stored cost key must be consistent, and it must never
+//!   cost more than the SMS baseline under the same eq. 2 model;
+//! * **SpMT execution** — the parallel simulation of both schedules
+//!   must commit exactly the sequential memory image, with violation
+//!   detection on (squash/replay correctness, including forced
+//!   misspeculation and cascade squashes).
+
+use serde::Serialize;
+use tms_core::diagnostics::{verify_schedule, VerifyLimits};
+use tms_core::metrics::achieved_c_delay;
+use tms_core::{schedule_sms, schedule_tms, CostModel, TmsConfig};
+use tms_ddg::Ddg;
+use tms_machine::{ArchParams, MachineModel};
+use tms_sim::{simulate_sequential, simulate_spmt, SimConfig};
+
+/// One failed check on one loop.
+#[derive(Debug, Clone, Serialize)]
+pub struct Violation {
+    /// Loop the check ran on.
+    pub loop_name: String,
+    /// Stable tag of the check that failed.
+    pub check: String,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+/// Which `(ncore, P_max)` points to probe and how much to simulate.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Core counts to run TMS under (each gets its own cost model).
+    pub ncores: Vec<u32>,
+    /// `P_max` values to try at each core count.
+    pub p_max_values: Vec<f64>,
+    /// Run the SpMT-vs-sequential differential execution.
+    pub simulate: bool,
+    /// Original loop iterations per simulation.
+    pub sim_iters: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            ncores: vec![2, 4, 8],
+            p_max_values: vec![0.05, 0.20],
+            simulate: true,
+            sim_iters: 24,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// A cheaper grid for large populations (one core count, two
+    /// `P_max` points, shorter simulations).
+    pub fn quick() -> Self {
+        CheckConfig {
+            ncores: vec![4],
+            p_max_values: vec![0.05, 0.20],
+            simulate: true,
+            sim_iters: 12,
+        }
+    }
+}
+
+/// Outcome of all checks on one loop.
+#[derive(Debug, Clone, Default)]
+pub struct LoopVerdict {
+    /// Loop name.
+    pub name: String,
+    /// Checks executed.
+    pub checks: usize,
+    /// Checks failed.
+    pub violations: Vec<Violation>,
+}
+
+impl LoopVerdict {
+    fn fail(&mut self, check: &str, detail: String) {
+        self.violations.push(Violation {
+            loop_name: self.name.clone(),
+            check: check.to_string(),
+            detail,
+        });
+    }
+}
+
+/// Count of addresses whose final `(store, iteration)` differ between
+/// two memory images (in either direction).
+fn image_diff(
+    a: &std::collections::HashMap<u64, (tms_ddg::InstId, u64)>,
+    b: &std::collections::HashMap<u64, (tms_ddg::InstId, u64)>,
+) -> usize {
+    let mut n = a.iter().filter(|(k, v)| b.get(*k) != Some(*v)).count();
+    n += b.keys().filter(|k| !a.contains_key(*k)).count();
+    n
+}
+
+/// Run every configured check on one loop.
+pub fn check_loop(ddg: &Ddg, cfg: &CheckConfig) -> LoopVerdict {
+    let mut v = LoopVerdict {
+        name: ddg.name().to_string(),
+        ..Default::default()
+    };
+    let machine = MachineModel::icpp2008();
+    let costs = ArchParams::icpp2008().costs;
+
+    // --- SMS baseline: must schedule, legally.
+    v.checks += 1;
+    let sms = match schedule_sms(ddg, &machine) {
+        Ok(r) => r,
+        Err(e) => {
+            v.fail("sms-schedule", format!("{e:?}"));
+            return v;
+        }
+    };
+    for d in verify_schedule(
+        ddg,
+        &sms.schedule,
+        &machine,
+        &costs,
+        &VerifyLimits::default(),
+    ) {
+        v.fail("sms-invariant", d.to_string());
+    }
+    let sms_cd = achieved_c_delay(ddg, &sms.schedule, &costs);
+
+    // --- TMS across the (ncore, P_max) grid.
+    let mut tms_default = None;
+    for &ncore in &cfg.ncores {
+        let model = CostModel::new(costs, ncore);
+        let sms_key = model.cost_key(sms.schedule.ii(), sms_cd);
+        for &p_max in &cfg.p_max_values {
+            v.checks += 1;
+            let config = TmsConfig {
+                p_max_values: vec![p_max],
+                ..TmsConfig::default()
+            };
+            let point = format!("ncore={ncore} P_max={p_max}");
+            let tms = match schedule_tms(ddg, &machine, &model, &config) {
+                Ok(r) => r,
+                Err(e) => {
+                    v.fail("tms-schedule", format!("{point}: {e:?}"));
+                    continue;
+                }
+            };
+            // The accepted schedule must hold every invariant under the
+            // thresholds it was accepted with. An SMS fallback carries
+            // its achieved delay as threshold and P_max = 1; the stage
+            // cap only binds thread-sensitive candidates.
+            let min_stages = (tms.ldp as u32).div_ceil(tms.ii.max(1)).max(1);
+            let limits = VerifyLimits {
+                c_delay: Some(tms.c_delay_threshold),
+                p_max: Some(tms.p_max),
+                max_stages: (!tms.fell_back_to_sms).then_some(min_stages + config.max_extra_stages),
+            };
+            for d in verify_schedule(ddg, &tms.schedule, &machine, &costs, &limits) {
+                v.fail("tms-invariant", format!("{point}: {d}"));
+            }
+            let achieved = achieved_c_delay(ddg, &tms.schedule, &costs);
+            if achieved > tms.c_delay_threshold {
+                v.fail(
+                    "tms-threshold",
+                    format!(
+                        "{point}: achieved C_delay {achieved} > threshold {}",
+                        tms.c_delay_threshold
+                    ),
+                );
+            }
+            if tms.cost_key != model.cost_key(tms.ii, achieved) {
+                v.fail(
+                    "tms-cost-key",
+                    format!(
+                        "{point}: stored key {:?} != recomputed {:?}",
+                        tms.cost_key,
+                        model.cost_key(tms.ii, achieved)
+                    ),
+                );
+            }
+            if tms.cost_key > sms_key {
+                v.fail(
+                    "tms-vs-sms",
+                    format!(
+                        "{point}: TMS key {:?} > SMS key {:?}",
+                        tms.cost_key, sms_key
+                    ),
+                );
+            }
+            if ncore == 4 && tms_default.is_none() {
+                tms_default = Some(tms);
+            }
+        }
+    }
+
+    // --- Differential execution: SpMT must commit the sequential
+    // memory image, squashes and all.
+    if cfg.simulate {
+        let sim = SimConfig::icpp2008(cfg.sim_iters);
+        let seq = simulate_sequential(ddg, &machine, &sim);
+        let mut run = |tag: &str, schedule, config: &SimConfig| {
+            v.checks += 1;
+            let out = simulate_spmt(ddg, schedule, config);
+            let diff = image_diff(&out.memory_image, &seq.memory_image);
+            if diff > 0 {
+                v.fail(
+                    "sim-memory-image",
+                    format!(
+                        "{tag}: {diff} address(es) differ from sequential \
+                         ({} misspeculations, {} cascades)",
+                        out.stats.misspeculations, out.stats.cascade_squashes
+                    ),
+                );
+            }
+        };
+        run("sms@4", &sms.schedule, &sim);
+        if let Some(tms) = &tms_default {
+            run("tms@4", &tms.schedule, &sim);
+            let two = SimConfig::with_ncore(cfg.sim_iters, 2);
+            run("tms@2", &tms.schedule, &two);
+        }
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_workloads::kernels;
+
+    #[test]
+    fn clean_kernel_passes_every_check() {
+        let v = check_loop(&kernels::daxpy(), &CheckConfig::default());
+        assert!(v.violations.is_empty(), "{:?}", v.violations);
+        assert!(v.checks >= 8, "ran only {} checks", v.checks);
+    }
+
+    #[test]
+    fn forced_misspeculation_still_commits_sequential_image() {
+        // p = 1.0: every speculated iteration violates; the engine must
+        // squash/replay its way to the exact sequential memory image.
+        let v = check_loop(
+            &kernels::maybe_aliasing_update(1.0),
+            &CheckConfig::default(),
+        );
+        let sim_fails: Vec<_> = v
+            .violations
+            .iter()
+            .filter(|x| x.check == "sim-memory-image")
+            .collect();
+        assert!(sim_fails.is_empty(), "{sim_fails:?}");
+    }
+}

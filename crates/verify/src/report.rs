@@ -1,0 +1,108 @@
+//! The `results/verify.json` report.
+
+use crate::checks::{LoopVerdict, Violation};
+use serde::Serialize;
+use std::io;
+use std::path::Path;
+
+/// Per-family roll-up.
+#[derive(Debug, Clone, Serialize)]
+pub struct FamilySummary {
+    /// Workload family ("kernels", "doacross", "fuzz", …).
+    pub family: String,
+    /// Loops checked.
+    pub loops: usize,
+    /// Checks executed.
+    pub checks: usize,
+    /// Checks failed.
+    pub violations: usize,
+}
+
+/// Everything one `tms-verify` run establishes.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct VerifyReport {
+    /// Master seed of the run (workload + fuzz generation).
+    pub seed: u64,
+    /// Loops checked across all families.
+    pub total_loops: usize,
+    /// Checks executed across all families.
+    pub total_checks: usize,
+    /// Checks failed across all families.
+    pub total_violations: usize,
+    /// Per-family roll-ups.
+    pub families: Vec<FamilySummary>,
+    /// Every individual violation (empty on a clean run).
+    pub violations: Vec<Violation>,
+}
+
+impl VerifyReport {
+    /// Fold one family's verdicts into the report.
+    pub fn add_family(&mut self, family: &str, verdicts: &[LoopVerdict]) {
+        let checks: usize = verdicts.iter().map(|v| v.checks).sum();
+        let violations: usize = verdicts.iter().map(|v| v.violations.len()).sum();
+        self.families.push(FamilySummary {
+            family: family.to_string(),
+            loops: verdicts.len(),
+            checks,
+            violations,
+        });
+        self.total_loops += verdicts.len();
+        self.total_checks += checks;
+        self.total_violations += violations;
+        for v in verdicts {
+            self.violations.extend(v.violations.iter().cloned());
+        }
+    }
+
+    /// True when no check failed.
+    pub fn ok(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Pretty JSON rendering.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialises")
+    }
+
+    /// Write the JSON report, creating parent directories as needed.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_counts_are_consistent() {
+        let mut r = VerifyReport::default();
+        let clean = LoopVerdict {
+            name: "a".into(),
+            checks: 5,
+            violations: vec![],
+        };
+        let dirty = LoopVerdict {
+            name: "b".into(),
+            checks: 3,
+            violations: vec![Violation {
+                loop_name: "b".into(),
+                check: "tms-threshold".into(),
+                detail: "x".into(),
+            }],
+        };
+        r.add_family("f", &[clean, dirty]);
+        assert_eq!(r.total_loops, 2);
+        assert_eq!(r.total_checks, 8);
+        assert_eq!(r.total_violations, 1);
+        assert!(!r.ok());
+        let json = r.to_json();
+        assert!(json.contains("\"tms-threshold\""));
+        assert!(json.contains("\"family\": \"f\""));
+    }
+}

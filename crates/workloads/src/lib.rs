@@ -20,13 +20,13 @@
 
 pub mod doacross;
 pub mod figure1;
-pub mod livermore;
 pub mod generate;
 pub mod kernels;
+pub mod livermore;
 pub mod specfp;
 
 pub use doacross::{doacross_suite, DoacrossLoop};
 pub use figure1::figure1;
-pub use livermore::livermore_suite;
 pub use generate::{generate_loop, LoopSpec, RecurrenceSpec};
+pub use livermore::livermore_suite;
 pub use specfp::{specfp_profiles, BenchmarkProfile};

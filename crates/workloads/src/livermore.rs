@@ -254,11 +254,26 @@ mod tests {
     #[test]
     fn classification_spans_the_spectrum() {
         assert_eq!(classify(&k1_hydro()).class, LoopClass::DoallWithInductions);
-        assert_eq!(classify(&k12_first_diff()).class, LoopClass::DoallWithInductions);
-        assert_eq!(classify(&k3_inner_product()).class, LoopClass::DoacrossRegister);
-        assert_eq!(classify(&k11_first_sum()).class, LoopClass::DoacrossRegister);
-        assert_eq!(classify(&k19_linear_rec()).class, LoopClass::DoacrossRegister);
-        assert_eq!(classify(&k24_first_min()).class, LoopClass::DoacrossRegister);
+        assert_eq!(
+            classify(&k12_first_diff()).class,
+            LoopClass::DoallWithInductions
+        );
+        assert_eq!(
+            classify(&k3_inner_product()).class,
+            LoopClass::DoacrossRegister
+        );
+        assert_eq!(
+            classify(&k11_first_sum()).class,
+            LoopClass::DoacrossRegister
+        );
+        assert_eq!(
+            classify(&k19_linear_rec()).class,
+            LoopClass::DoacrossRegister
+        );
+        assert_eq!(
+            classify(&k24_first_min()).class,
+            LoopClass::DoacrossRegister
+        );
         // Tridiagonal: certain memory recurrence — not speculable.
         assert_eq!(classify(&k5_tridiag()).class, LoopClass::DoacrossRegister);
     }

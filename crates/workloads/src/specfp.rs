@@ -16,11 +16,13 @@
 //! `lucas` has very large loop bodies.
 
 use crate::generate::{generate_loop, LoopSpec, RecurrenceSpec};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use tms_ddg::Ddg;
 
 /// Per-benchmark calibration data.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+// `Deserialize` is deliberately not derived: these carry `&'static str`
+// metadata and are only ever produced in-process and dumped to JSON.
+#[derive(Debug, Clone, Serialize)]
 pub struct BenchmarkProfile {
     /// Benchmark name (SPECfp2000).
     pub name: &'static str,
@@ -161,8 +163,7 @@ mod tests {
         for p in specfp_profiles() {
             let loops = p.generate(1);
             assert_eq!(loops.len(), p.n_loops as usize, "{}", p.name);
-            let avg =
-                loops.iter().map(|l| l.num_insts() as f64).sum::<f64>() / loops.len() as f64;
+            let avg = loops.iter().map(|l| l.num_insts() as f64).sum::<f64>() / loops.len() as f64;
             let err = (avg - p.avg_inst).abs() / p.avg_inst;
             assert!(err < 0.10, "{}: avg inst {avg} vs {}", p.name, p.avg_inst);
         }

@@ -37,8 +37,17 @@ fn main() {
 
     // --- Candidate visit order (what Figure 3's F_min loop does).
     println!("\nfirst 12 (II, C_delay) candidates in cost order:");
-    for (i, (ii, cd, key)) in model.candidates(mii, mii + 8, 20).iter().take(12).enumerate() {
-        println!("  {:>2}. II={ii:<3} C_delay={cd:<3} F·ncore={}", i + 1, key.0);
+    for (i, (ii, cd, key)) in model
+        .candidates(mii, mii + 8, 20)
+        .iter()
+        .take(12)
+        .enumerate()
+    {
+        println!(
+            "  {:>2}. II={ii:<3} C_delay={cd:<3} F·ncore={}",
+            i + 1,
+            key.0
+        );
     }
 
     // --- Core-count sensitivity: more cores push the optimum toward

@@ -14,7 +14,12 @@ fn main() {
     // a rarely-taken memory dependence, plus induction updates feeding
     // the next iteration.
     let ddg = figure1();
-    println!("loop '{}', {} instructions, {} dependences\n", ddg.name(), ddg.num_insts(), ddg.num_edges());
+    println!(
+        "loop '{}', {} instructions, {} dependences\n",
+        ddg.name(),
+        ddg.num_insts(),
+        ddg.num_edges()
+    );
 
     // --- 2. The machine: one core of the paper's quad-core SpMT
     // system (Table 1).
@@ -24,23 +29,38 @@ fn main() {
     // --- 3. Baseline: Swing Modulo Scheduling.
     let sms = schedule_sms(&ddg, &machine).expect("SMS schedules figure 1");
     let sms_metrics = LoopMetrics::compute(&ddg, &machine, &sms.schedule, &arch.costs);
-    println!("SMS:  II={} stages={} MaxLive={} C_delay={}", sms_metrics.ii, sms_metrics.stage_count, sms_metrics.max_live, sms_metrics.c_delay);
+    println!(
+        "SMS:  II={} stages={} MaxLive={} C_delay={}",
+        sms_metrics.ii, sms_metrics.stage_count, sms_metrics.max_live, sms_metrics.c_delay
+    );
     println!("{}", sms.schedule.kernel_text(&ddg));
 
     // --- 4. Thread-sensitive modulo scheduling: same engine, but the
     // (II, C_delay) search and the C1/C2 slot checks of Figure 3.
     let model = CostModel::new(arch.costs, arch.ncore);
-    let tms = schedule_tms(&ddg, &machine, &model, &TmsConfig::default()).expect("TMS schedules figure 1");
+    let tms = schedule_tms(&ddg, &machine, &model, &TmsConfig::default())
+        .expect("TMS schedules figure 1");
     let tms_metrics = LoopMetrics::compute(&ddg, &machine, &tms.schedule, &arch.costs);
-    println!("TMS:  II={} stages={} MaxLive={} C_delay={}  (threshold {}, P_max {}, F={:.2})",
-        tms_metrics.ii, tms_metrics.stage_count, tms_metrics.max_live, tms_metrics.c_delay,
-        tms.c_delay_threshold, tms.p_max, model.f(tms.ii, tms.c_delay_threshold));
+    println!(
+        "TMS:  II={} stages={} MaxLive={} C_delay={}  (threshold {}, P_max {}, F={:.2})",
+        tms_metrics.ii,
+        tms_metrics.stage_count,
+        tms_metrics.max_live,
+        tms_metrics.c_delay,
+        tms.c_delay_threshold,
+        tms.p_max,
+        model.f(tms.ii, tms.c_delay_threshold)
+    );
     println!("{}", tms.schedule.kernel_text(&ddg));
 
     // --- 5. The communication plan the post-pass derives.
     let plan = CommPlan::build(&ddg, &tms.schedule);
-    println!("TMS communication: {} producers, {} SEND/RECV pairs per iteration, {} relay copies\n",
-        plan.num_producers(), plan.send_recv_pairs, plan.num_copies);
+    println!(
+        "TMS communication: {} producers, {} SEND/RECV pairs per iteration, {} relay copies\n",
+        plan.num_producers(),
+        plan.send_recv_pairs,
+        plan.num_copies
+    );
 
     // --- 6. Execute both kernels on the simulated quad-core SpMT
     // system for 2000 iterations and compare.
@@ -49,10 +69,22 @@ fn main() {
     let t = simulate_spmt(&ddg, &tms.schedule, &sim_cfg);
     let seq = simulate_sequential(&ddg, &machine, &sim_cfg);
     println!("single-threaded (OoO core): {:8} cycles", seq.total_cycles);
-    println!("SMS on 4-core SpMT:         {:8} cycles  ({} sync-stall cycles)", s.stats.total_cycles, s.stats.sync_stall_cycles);
-    println!("TMS on 4-core SpMT:         {:8} cycles  ({} sync-stall cycles)", t.stats.total_cycles, t.stats.sync_stall_cycles);
-    println!("TMS speedup over SMS:  {:+.1}%", (s.stats.total_cycles as f64 / t.stats.total_cycles as f64 - 1.0) * 100.0);
-    println!("TMS speedup over 1T:   {:+.1}%", (seq.total_cycles as f64 / t.stats.total_cycles as f64 - 1.0) * 100.0);
+    println!(
+        "SMS on 4-core SpMT:         {:8} cycles  ({} sync-stall cycles)",
+        s.stats.total_cycles, s.stats.sync_stall_cycles
+    );
+    println!(
+        "TMS on 4-core SpMT:         {:8} cycles  ({} sync-stall cycles)",
+        t.stats.total_cycles, t.stats.sync_stall_cycles
+    );
+    println!(
+        "TMS speedup over SMS:  {:+.1}%",
+        (s.stats.total_cycles as f64 / t.stats.total_cycles as f64 - 1.0) * 100.0
+    );
+    println!(
+        "TMS speedup over 1T:   {:+.1}%",
+        (seq.total_cycles as f64 / t.stats.total_cycles as f64 - 1.0) * 100.0
+    );
     println!(
         "\n(a 9-instruction loop fits inside one out-of-order window, so the 1T\n\
          core is hard to beat at this granularity — see the doacross_pipeline\n\

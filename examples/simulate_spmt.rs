@@ -26,8 +26,7 @@ fn main() {
         // A pointer-chasing update loop: this iteration's store may be
         // next iteration's load with probability p.
         let ddg = maybe_aliasing_update(p);
-        let tms = schedule_tms(&ddg, &machine, &model, &TmsConfig::default())
-            .expect("schedulable");
+        let tms = schedule_tms(&ddg, &machine, &model, &TmsConfig::default()).expect("schedulable");
 
         let sim_cfg = SimConfig::icpp2008(3000);
         let out = simulate_spmt(&ddg, &tms.schedule, &sim_cfg);

@@ -217,7 +217,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "show" | "schedule" | "simulate" | "dot" | "trace" | "codegen" => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let Some(g) = find_loop(name) else {
                 eprintln!("unknown loop '{name}' — try `tms list`");
                 return ExitCode::FAILURE;

@@ -1,0 +1,177 @@
+//! Property tests on the SpMT simulator: squash/replay correctness
+//! (committed state ≡ sequential semantics), accounting coherence and
+//! determinism, over the seeded fuzz population — including the forced
+//! misspeculation slice (`p = 1.0` carried dependences) and runs with
+//! cascade squashes.
+
+use tms_core::schedule_sms;
+use tms_ddg::Ddg;
+use tms_machine::MachineModel;
+use tms_sim::{simulate_sequential, simulate_spmt, SimConfig};
+use tms_verify::fuzz::fuzz_ddgs;
+use tms_workloads::kernels;
+
+const SEED: u64 = 0x5EED_0051;
+
+fn population() -> Vec<Ddg> {
+    fuzz_ddgs(40, SEED)
+}
+
+#[test]
+fn committed_state_matches_sequential() {
+    let machine = MachineModel::icpp2008();
+    for (i, ddg) in population().into_iter().enumerate() {
+        let sch = schedule_sms(&ddg, &machine).expect("schedulable").schedule;
+        let mut cfg = SimConfig::icpp2008(1 + (i as u64 * 17) % 120);
+        cfg.seed = SEED ^ i as u64;
+        let spmt = simulate_spmt(&ddg, &sch, &cfg);
+        let seq = simulate_sequential(&ddg, &machine, &cfg);
+        assert_eq!(
+            spmt.memory_image,
+            seq.memory_image,
+            "{}: committed state diverged (squash/replay bug?)",
+            ddg.name()
+        );
+    }
+}
+
+#[test]
+fn forced_misspeculation_squashes_and_still_matches_sequential() {
+    // p = 1.0 on the carried memory dependence: every speculated
+    // kernel iteration violates. The run must actually misspeculate
+    // (the forced dependence cannot be silently dropped) and still
+    // commit the exact sequential memory image.
+    let machine = MachineModel::icpp2008();
+    let ddg = kernels::maybe_aliasing_update(1.0);
+    let sch = schedule_sms(&ddg, &machine).unwrap().schedule;
+    let cfg = SimConfig::icpp2008(60);
+    let spmt = simulate_spmt(&ddg, &sch, &cfg);
+    let seq = simulate_sequential(&ddg, &machine, &cfg);
+    assert!(
+        spmt.stats.misspeculations > 0,
+        "p=1.0 dependence never misspeculated"
+    );
+    assert_eq!(spmt.memory_image, seq.memory_image);
+}
+
+#[test]
+fn cascade_squashes_preserve_sequential_state() {
+    // Scan the fuzz population for runs where a violation also killed
+    // more-speculative successor threads; the rollback path must
+    // restore exactly the sequential image. The seeded population is
+    // fixed, so the cascade coverage itself is asserted too.
+    let machine = MachineModel::icpp2008();
+    let mut cascades = 0u64;
+    for (i, ddg) in fuzz_ddgs(80, SEED ^ 0xCA5C).into_iter().enumerate() {
+        let sch = schedule_sms(&ddg, &machine).unwrap().schedule;
+        let mut cfg = SimConfig::with_ncore(48, 8);
+        cfg.seed = i as u64;
+        let spmt = simulate_spmt(&ddg, &sch, &cfg);
+        if spmt.stats.cascade_squashes > 0 {
+            cascades += spmt.stats.cascade_squashes;
+            let seq = simulate_sequential(&ddg, &machine, &cfg);
+            assert_eq!(
+                spmt.memory_image,
+                seq.memory_image,
+                "{}: cascade rollback corrupted state",
+                ddg.name()
+            );
+        }
+    }
+    assert!(cascades > 0, "population produced no cascade squashes");
+}
+
+#[test]
+fn accounting_is_coherent() {
+    let machine = MachineModel::icpp2008();
+    for (i, ddg) in population().into_iter().enumerate() {
+        let sch = schedule_sms(&ddg, &machine).unwrap().schedule;
+        let n_iter = 1 + (i as u64 * 31) % 150;
+        let mut cfg = SimConfig::icpp2008(n_iter);
+        cfg.seed = SEED ^ (i as u64) << 8;
+        let s = simulate_spmt(&ddg, &sch, &cfg).stats;
+        let costs = cfg.arch.costs;
+        let name = ddg.name();
+        // Thread count: one per kernel iteration incl. pipeline drain.
+        assert_eq!(
+            s.committed_threads,
+            n_iter + sch.stage_count() as u64 - 1,
+            "{name}"
+        );
+        // Fixed per-event overheads.
+        assert_eq!(s.commit_cycles, s.committed_threads * costs.c_ci as u64);
+        assert_eq!(
+            s.spawn_cycles,
+            (s.committed_threads - 1) * costs.c_spn as u64,
+            "{name}"
+        );
+        assert_eq!(
+            s.invalidation_cycles,
+            s.misspeculations * costs.c_inv as u64,
+            "{name}"
+        );
+        // The commit chain alone is a lower bound on total time.
+        assert!(s.total_cycles >= s.committed_threads * costs.c_ci as u64);
+        // Communication overhead formula.
+        assert_eq!(
+            s.communication_overhead(costs.c_reg_com),
+            s.sync_stall_cycles + s.send_recv_pairs * costs.c_reg_com as u64,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let machine = MachineModel::icpp2008();
+    for (i, ddg) in population().into_iter().take(16).enumerate() {
+        let sch = schedule_sms(&ddg, &machine).unwrap().schedule;
+        let mut cfg = SimConfig::icpp2008(64);
+        cfg.seed = i as u64;
+        let a = simulate_spmt(&ddg, &sch, &cfg);
+        let b = simulate_spmt(&ddg, &sch, &cfg);
+        assert_eq!(a.stats, b.stats, "{}", ddg.name());
+    }
+}
+
+#[test]
+fn disabling_violation_detection_never_slows() {
+    let machine = MachineModel::icpp2008();
+    for (i, ddg) in population().into_iter().take(20).enumerate() {
+        let sch = schedule_sms(&ddg, &machine).unwrap().schedule;
+        let mut on = SimConfig::icpp2008(80);
+        on.seed = i as u64;
+        let mut off = on.clone();
+        off.detect_violations = false;
+        let t_on = simulate_spmt(&ddg, &sch, &on).stats;
+        let t_off = simulate_spmt(&ddg, &sch, &off).stats;
+        assert_eq!(t_off.misspeculations, 0, "{}", ddg.name());
+        // Replayed threads run with register values resident, so a
+        // squash can occasionally *shorten* the run slightly; the ideal
+        // MDT must still be within a small margin of the squashing run.
+        assert!(
+            t_off.total_cycles <= t_on.total_cycles + t_on.total_cycles / 10,
+            "{}: ideal MDT ({}) much slower than squashing ({})",
+            ddg.name(),
+            t_off.total_cycles,
+            t_on.total_cycles
+        );
+    }
+}
+
+#[test]
+fn sequential_time_scales_with_iterations() {
+    let machine = MachineModel::icpp2008();
+    for (i, ddg) in population().into_iter().take(20).enumerate() {
+        let mut cfg = SimConfig::icpp2008(50);
+        cfg.seed = i as u64;
+        cfg.model_caches = false;
+        let t50 = simulate_sequential(&ddg, &machine, &cfg).total_cycles;
+        cfg.n_iter = 100;
+        let t100 = simulate_sequential(&ddg, &machine, &cfg).total_cycles;
+        assert!(t100 >= t50, "{}: time must not shrink", ddg.name());
+        // Steady state: doubling work at most ~doubles time (+ slack
+        // for warmup asymmetry).
+        assert!(t100 <= 2 * t50 + 200, "{}", ddg.name());
+    }
+}

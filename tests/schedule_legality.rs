@@ -21,8 +21,7 @@ fn all_loops(seed: u64) -> Vec<Ddg> {
 fn sms_schedules_are_legal_and_feasible() {
     let machine = MachineModel::icpp2008();
     for ddg in all_loops(7) {
-        let r = schedule_sms(&ddg, &machine)
-            .unwrap_or_else(|e| panic!("{}: {e}", ddg.name()));
+        let r = schedule_sms(&ddg, &machine).unwrap_or_else(|e| panic!("{}: {e}", ddg.name()));
         assert!(
             r.schedule.check_legal(&ddg).is_none(),
             "{}: SMS schedule violates a dependence",
@@ -66,8 +65,7 @@ fn tms_cost_never_worse_than_sms() {
     for ddg in all_loops(11) {
         let sms = schedule_sms(&ddg, &machine).unwrap();
         let tms = schedule_tms(&ddg, &machine, &model, &TmsConfig::default()).unwrap();
-        let sms_cd =
-            tms_core::metrics::achieved_c_delay(&ddg, &sms.schedule, &arch.costs);
+        let sms_cd = tms_core::metrics::achieved_c_delay(&ddg, &sms.schedule, &arch.costs);
         let sms_key = model.cost_key(sms.schedule.ii(), sms_cd);
         assert!(
             tms.cost_key <= sms_key,

@@ -1,0 +1,77 @@
+//! Integration test for the differential verification subsystem: the
+//! full seeded fuzz population must pass every check, and the report
+//! plumbing must reflect exactly what ran.
+
+use tms_verify::checks::{check_loop, CheckConfig};
+use tms_verify::fuzz::fuzz_ddgs;
+use tms_verify::report::VerifyReport;
+use tms_workloads::doacross_suite;
+
+/// The acceptance bar of the subsystem: 200 seeded DDGs through the
+/// scheduler + simulator differential checks, zero violations.
+#[test]
+fn fuzz_population_of_200_has_zero_violations() {
+    let cfg = CheckConfig::quick();
+    let mut report = VerifyReport {
+        seed: 0x7315_2008,
+        ..Default::default()
+    };
+    let verdicts: Vec<_> = fuzz_ddgs(200, 0x7315_2008)
+        .iter()
+        .map(|g| check_loop(g, &cfg))
+        .collect();
+    report.add_family("fuzz", &verdicts);
+    assert_eq!(report.total_loops, 200);
+    assert!(report.total_checks >= 200 * 4, "grid unexpectedly small");
+    assert!(
+        report.ok(),
+        "{} violation(s), first: {:?}",
+        report.total_violations,
+        report.violations.first()
+    );
+}
+
+/// The paper's DOACROSS suite through the full (ncore, P_max) grid.
+#[test]
+fn doacross_suite_passes_full_grid() {
+    let cfg = CheckConfig {
+        // The full default grid, but shorter simulations: the doacross
+        // loops are the largest in the tree and II ~ 20-60.
+        sim_iters: 12,
+        ..CheckConfig::default()
+    };
+    for l in doacross_suite(0x7315_2008) {
+        let v = check_loop(&l.ddg, &cfg);
+        assert!(
+            v.violations.is_empty(),
+            "{}: {:?}",
+            v.name,
+            v.violations.first()
+        );
+    }
+}
+
+/// A violation report names the loop and check so the failure is
+/// reproducible from the JSON artifact alone.
+#[test]
+fn report_json_carries_violation_details() {
+    use tms_verify::checks::{LoopVerdict, Violation};
+    let mut report = VerifyReport::default();
+    report.add_family(
+        "unit",
+        &[LoopVerdict {
+            name: "bad-loop".into(),
+            checks: 1,
+            violations: vec![Violation {
+                loop_name: "bad-loop".into(),
+                check: "tms-invariant".into(),
+                detail: "sync a->b (d_ker=1) takes 12 > C_delay 9".into(),
+            }],
+        }],
+    );
+    assert!(!report.ok());
+    let json = report.to_json();
+    for needle in ["bad-loop", "tms-invariant", "C_delay 9"] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+}

@@ -1,0 +1,442 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item
+//! is parsed directly from the `proc_macro::TokenStream` and the impl
+//! is emitted as a string re-parsed into a `TokenStream`.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! - named-field structs, with `#[serde(default)]` /
+//!   `#[serde(default = "path")]` on individual fields;
+//! - tuple structs (a 1-field newtype serializes transparently as its
+//!   inner value, wider tuples as arrays);
+//! - fieldless enums (unit variants as strings, serde's
+//!   externally-tagged convention).
+//!
+//! Anything else (generics, data-carrying enums, unions) produces a
+//! `compile_error!` naming the unsupported construct rather than
+//! silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Per-field `#[serde(...)]` knobs we honour.
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    /// `#[serde(default)]` → `Some(None)`;
+    /// `#[serde(default = "path")]` → `Some(Some(path))`.
+    default: Option<Option<String>>,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    attrs: FieldAttrs,
+}
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+/// Parse one `#[...]` attribute group, extracting serde knobs.
+fn scan_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let [TokenTree::Ident(head), rest @ ..] = tokens.as_slice() else {
+        return;
+    };
+    if head.to_string() != "serde" {
+        return;
+    }
+    let [TokenTree::Group(args)] = rest else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    // Recognise `default` and `default = "path"`; other serde knobs
+    // (rename, skip, ...) are not used in this workspace and would be
+    // silently ignored, so reject them loudly via the item parser.
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) if id.to_string() == "default" => {
+                if let Some(TokenTree::Punct(p)) = args.get(i + 1) {
+                    if p.as_char() == '=' {
+                        if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
+                            let s = lit.to_string();
+                            let path = s.trim_matches('"').to_string();
+                            attrs.default = Some(Some(path));
+                            i += 3;
+                            continue;
+                        }
+                    }
+                }
+                attrs.default = Some(None);
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => {
+                // Unknown serde attribute: surface it at expansion time.
+                attrs.default = Some(Some(format!(
+                    "compile_error_unsupported_serde_attr_{other}"
+                )));
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Consume leading `#[...]` attributes, folding serde knobs into `attrs`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut FieldAttrs) -> usize {
+    while i + 1 < tokens.len() {
+        let TokenTree::Punct(p) = &tokens[i] else {
+            break;
+        };
+        if p.as_char() != '#' {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        scan_attr(g, attrs);
+        i += 2;
+    }
+    i
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parse the fields of a `{ ... }` struct body.
+fn parse_named_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        i = skip_attrs(&tokens, i, &mut attrs);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err(format!("expected field name, found `{}`", tokens[i]));
+        };
+        let name = name.to_string();
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found `{other}`"
+                ))
+            }
+        }
+        // Collect the type up to a comma at angle-bracket depth 0.
+        // Re-stringify through a TokenStream so lifetimes and joint
+        // punctuation keep valid spacing.
+        let mut ty_tokens: Vec<TokenTree> = Vec::new();
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                _ => {}
+            }
+            ty_tokens.push(tokens[i].clone());
+            i += 1;
+        }
+        let ty = ty_tokens.into_iter().collect::<TokenStream>().to_string();
+        fields.push(Field { name, ty, attrs });
+    }
+    Ok(fields)
+}
+
+/// Parse the variants of an `enum { ... }` body; fieldless only.
+fn parse_unit_variants(body: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        i = skip_attrs(&tokens, i, &mut attrs);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            return Err(format!("expected variant name, found `{}`", tokens[i]));
+        };
+        variants.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "enum variant `{}` carries data; the vendored serde derive \
+                     supports fieldless enums only",
+                    variants.last().unwrap()
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Skip an explicit discriminant expression.
+                i += 1;
+                while i < tokens.len() {
+                    if let TokenTree::Punct(p) = &tokens[i] {
+                        if p.as_char() == ',' {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = FieldAttrs::default();
+    let mut i = skip_attrs(&tokens, 0, &mut attrs);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "`{name}` is generic; the vendored serde derive supports \
+                 non-generic items only"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Arity = top-level comma count + 1 (non-empty body).
+                let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                if toks.is_empty() {
+                    return Err(format!("`{name}` is an empty tuple struct"));
+                }
+                let mut arity = 1;
+                let mut angle = 0i32;
+                for t in &toks {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => arity += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                // Trailing comma `(T,)` does not add a field.
+                if let Some(TokenTree::Punct(p)) = toks.last() {
+                    if p.as_char() == ',' {
+                        arity -= 1;
+                    }
+                }
+                Ok(Item::TupleStruct { name, arity })
+            }
+            _ => Err(format!("`{name}` is a unit struct; nothing to serialize")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::UnitEnum {
+                name,
+                variants: parse_unit_variants(g)?,
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for `{other}`")),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                pushes.push_str(&format!(
+                    "(\"{0}\".to_string(), serde::Serialize::to_value(&self.{0})),\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![\n{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> serde::Value {{\n\
+                             serde::Serialize::to_value(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> serde::Value {{\n\
+                             serde::Value::Array(vec![{}])\n\
+                         }}\n\
+                     }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string())"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let missing = match &f.attrs.default {
+                    None => format!(
+                        "return Err(serde::DeError::missing_field(\"{}\", \"{name}\"))",
+                        f.name
+                    ),
+                    Some(None) => "Default::default()".to_string(),
+                    Some(Some(path)) => format!("{path}()"),
+                };
+                inits.push_str(&format!(
+                    "{field}: match serde::__private::get_field(obj, \"{field}\") {{\n\
+                         Some(v) => <{ty} as serde::Deserialize>::from_value(v)?,\n\
+                         None => {missing},\n\
+                     }},\n",
+                    field = f.name,
+                    ty = f.ty,
+                ));
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| \
+                             serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                             Ok({name}(serde::Deserialize::from_value(v)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..arity)
+                    .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                    .collect();
+                format!(
+                    "impl serde::Deserialize for {name} {{\n\
+                         fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                             let arr = v.as_array().ok_or_else(|| \
+                                 serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                             if arr.len() != {arity} {{\n\
+                                 return Err(serde::DeError::expected(\
+                                     \"array of {arity}\", \"{name}\"));\n\
+                             }}\n\
+                             Ok({name}({}))\n\
+                         }}\n\
+                     }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::UnitEnum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v})"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         let s = v.as_str().ok_or_else(|| \
+                             serde::DeError::expected(\"string\", \"{name}\"))?;\n\
+                         match s {{\n\
+                             {},\n\
+                             other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    out.parse().unwrap()
+}
