@@ -1,0 +1,75 @@
+//! `sched-throughput` — time serial vs parallel TMS scheduling over
+//! each workload family and write `results/bench_sched.json`.
+//!
+//! ```text
+//! sched-throughput [--jobs N] [--fuzz N] [--seed S] [--out PATH] [--smoke]
+//! ```
+//!
+//! `--jobs 0` (the default) uses every available core; `TMS_JOBS` sets
+//! the default. `--smoke` runs tiny populations for CI sanity — the
+//! timings are not meaningful there, but the determinism check
+//! (`verify_sweep.reports_identical`) still is. Exits nonzero if the
+//! parallel verification sweep diverges from the serial one.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tms_bench::throughput::{render, run, write, ThroughputConfig};
+use tms_core::par::Parallelism;
+
+fn main() -> ExitCode {
+    let mut cfg = ThroughputConfig {
+        jobs: Parallelism::from_env().unwrap_or(Parallelism::Auto),
+        ..Default::default()
+    };
+    let mut out = PathBuf::from("results/bench_sched.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .and_then(|v| v.parse::<u64>().map_err(|e| format!("{name}: {e}")))
+        };
+        let r = match flag.as_str() {
+            "--jobs" => val("--jobs").map(|n| cfg.jobs = Parallelism::from_jobs(n as usize)),
+            "--fuzz" => val("--fuzz").map(|n| cfg.fuzz = n as usize),
+            "--seed" => val("--seed").map(|n| cfg.seed = n),
+            "--out" => match it.next() {
+                Some(p) => {
+                    out = PathBuf::from(p);
+                    Ok(())
+                }
+                None => Err("--out needs a value".to_string()),
+            },
+            "--smoke" => {
+                cfg.smoke = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!(
+                    "sched-throughput [--jobs N] [--fuzz N] [--seed S] [--out PATH] [--smoke]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = r {
+            eprintln!("sched-throughput: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let report = run(&cfg);
+    print!("{}", render(&report));
+    if let Err(e) = write(&report, &out) {
+        eprintln!("sched-throughput: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!("wrote {}", out.display());
+
+    if report.verify_sweep.reports_identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sched-throughput: parallel verify sweep diverged from serial");
+        ExitCode::FAILURE
+    }
+}

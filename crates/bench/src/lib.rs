@@ -34,5 +34,6 @@ pub mod schedulers;
 pub mod table1;
 pub mod table2;
 pub mod table3;
+pub mod throughput;
 
 pub use config::ExperimentConfig;

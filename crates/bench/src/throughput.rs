@@ -1,0 +1,309 @@
+//! Scheduling-throughput benchmark: serial vs parallel TMS over each
+//! workload family, plus a serial-vs-parallel run of the full
+//! verification sweep.
+//!
+//! This is the perf counterpart of the determinism guarantees: the
+//! per-loop fan-out ([`tms_core::par::par_map`]) and the wavefront
+//! candidate search change *wall-clock only*, so this benchmark reports
+//! loops/second and speedup per family and asserts (in
+//! `verify_sweep.reports_identical`) that the verification report is
+//! byte-for-byte the same at both worker counts. The `sched-throughput`
+//! binary writes the result to `results/bench_sched.json`.
+
+use crate::config::ExperimentConfig;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use tms_core::cost::CostModel;
+use tms_core::par::{par_map_with, Parallelism};
+use tms_core::sms::SchedScratch;
+use tms_core::{schedule_tms, TmsConfig};
+use tms_ddg::Ddg;
+use tms_verify::fuzz::fuzz_ddgs;
+use tms_verify::sweep::{run_sweep, SweepConfig};
+use tms_workloads::{doacross_suite, kernels, livermore_suite, specfp_profiles};
+
+/// Knobs of one throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputConfig {
+    /// Worker threads for the parallel passes (0 = all cores).
+    pub jobs: Parallelism,
+    /// Master seed for workload and fuzz generation.
+    pub seed: u64,
+    /// Fuzzed DDGs in the `fuzz` family.
+    pub fuzz: usize,
+    /// Smoke mode: tiny populations, one timing pass — a CI-friendly
+    /// sanity run, not a measurement.
+    pub smoke: bool,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            jobs: Parallelism::Auto,
+            seed: 0x7315_2008,
+            fuzz: 150,
+            smoke: false,
+        }
+    }
+}
+
+/// One family's serial vs parallel timing.
+#[derive(Debug, Clone, Serialize)]
+pub struct FamilyThroughput {
+    /// Workload family name.
+    pub family: String,
+    /// Loops scheduled.
+    pub loops: usize,
+    /// Serial wall-clock (seconds).
+    pub serial_s: f64,
+    /// Parallel wall-clock (seconds).
+    pub parallel_s: f64,
+    /// `serial_s / parallel_s`.
+    pub speedup: f64,
+    /// Loops per second, serial.
+    pub loops_per_sec_serial: f64,
+    /// Loops per second, parallel.
+    pub loops_per_sec_parallel: f64,
+}
+
+/// Serial vs parallel timing of the full verification sweep, plus the
+/// determinism check the parallelism is contracted to uphold.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepThroughput {
+    /// Serial sweep wall-clock (seconds).
+    pub serial_s: f64,
+    /// Parallel sweep wall-clock (seconds).
+    pub parallel_s: f64,
+    /// `serial_s / parallel_s`.
+    pub speedup: f64,
+    /// Whether the two sweeps' JSON reports are byte-identical.
+    pub reports_identical: bool,
+}
+
+/// The `results/bench_sched.json` payload.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputReport {
+    /// Worker threads the parallel passes used.
+    pub jobs: usize,
+    /// `std::thread::available_parallelism()` on the machine that ran
+    /// the benchmark — speedup is bounded by this, whatever `jobs` says.
+    pub available_parallelism: usize,
+    /// True when this was a smoke run (timings not meaningful).
+    pub smoke: bool,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Per-family timings.
+    pub families: Vec<FamilyThroughput>,
+    /// Totals across families.
+    pub total: FamilyThroughput,
+    /// The verification-sweep comparison.
+    pub verify_sweep: SweepThroughput,
+}
+
+fn family_populations(cfg: &ThroughputConfig) -> Vec<(String, Vec<Ddg>)> {
+    let specfp_cap = if cfg.smoke { 2 } else { 6 };
+    let mut specfp: Vec<Ddg> = Vec::new();
+    for p in specfp_profiles() {
+        specfp.extend(p.generate(cfg.seed).into_iter().take(specfp_cap));
+    }
+    let mut fams = vec![
+        ("kernels".to_string(), kernels::all_kernels()),
+        ("livermore".to_string(), livermore_suite()),
+        (
+            "doacross".to_string(),
+            doacross_suite(cfg.seed)
+                .into_iter()
+                .map(|l| l.ddg)
+                .collect(),
+        ),
+        ("specfp".to_string(), specfp),
+        (
+            "fuzz".to_string(),
+            fuzz_ddgs(if cfg.smoke { 12 } else { cfg.fuzz }, cfg.seed),
+        ),
+    ];
+    if cfg.smoke {
+        for (_, loops) in &mut fams {
+            loops.truncate(6);
+        }
+    }
+    fams
+}
+
+/// Schedule every loop of `ddgs` with TMS under the given worker count,
+/// returning the wall-clock seconds. The schedules themselves are
+/// discarded (through [`black_box`] so the work is not optimised away).
+fn time_family(ddgs: &[Ddg], jobs: Parallelism, cfg: &ExperimentConfig) -> f64 {
+    let machine = cfg.machine();
+    let arch = cfg.arch();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let tms_cfg = TmsConfig::default();
+    let t0 = Instant::now();
+    let results = par_map_with(jobs, ddgs, SchedScratch::new, |_scratch, _, ddg| {
+        schedule_tms(ddg, &machine, &model, &tms_cfg)
+            .map(|r| (r.ii, r.cost_key))
+            .ok()
+    });
+    black_box(results);
+    t0.elapsed().as_secs_f64()
+}
+
+fn ratio(n: f64, d: f64) -> f64 {
+    if d > 0.0 {
+        n / d
+    } else {
+        0.0
+    }
+}
+
+/// Run the whole benchmark.
+pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
+    let exp = ExperimentConfig::default();
+    let fams = family_populations(cfg);
+    let mut families = Vec::new();
+    let (mut tot_loops, mut tot_serial, mut tot_parallel) = (0usize, 0.0f64, 0.0f64);
+    for (name, ddgs) in &fams {
+        // Parallel first, then serial: the first pass also warms the
+        // workload generation caches out of the comparison.
+        let parallel_s = time_family(ddgs, cfg.jobs, &exp);
+        let serial_s = time_family(ddgs, Parallelism::Serial, &exp);
+        tot_loops += ddgs.len();
+        tot_serial += serial_s;
+        tot_parallel += parallel_s;
+        families.push(FamilyThroughput {
+            family: name.clone(),
+            loops: ddgs.len(),
+            serial_s,
+            parallel_s,
+            speedup: ratio(serial_s, parallel_s),
+            loops_per_sec_serial: ratio(ddgs.len() as f64, serial_s),
+            loops_per_sec_parallel: ratio(ddgs.len() as f64, parallel_s),
+        });
+    }
+    let total = FamilyThroughput {
+        family: "total".to_string(),
+        loops: tot_loops,
+        serial_s: tot_serial,
+        parallel_s: tot_parallel,
+        speedup: ratio(tot_serial, tot_parallel),
+        loops_per_sec_serial: ratio(tot_loops as f64, tot_serial),
+        loops_per_sec_parallel: ratio(tot_loops as f64, tot_parallel),
+    };
+
+    // The verification sweep, serial vs parallel, with the reports
+    // compared byte-for-byte — the determinism contract, enforced on
+    // every benchmark run.
+    let sweep_cfg = SweepConfig {
+        seed: cfg.seed,
+        fuzz: if cfg.smoke { 8 } else { 60 },
+        specfp_cap: if cfg.smoke { 1 } else { 3 },
+        no_sim: true,
+        quick: true,
+        jobs: Parallelism::Serial,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let serial_report = run_sweep(&sweep_cfg).report.to_json();
+    let sweep_serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel_report = run_sweep(&SweepConfig {
+        jobs: cfg.jobs,
+        ..sweep_cfg
+    })
+    .report
+    .to_json();
+    let sweep_parallel_s = t0.elapsed().as_secs_f64();
+
+    ThroughputReport {
+        jobs: cfg.jobs.workers(),
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        smoke: cfg.smoke,
+        seed: cfg.seed,
+        families,
+        total,
+        verify_sweep: SweepThroughput {
+            serial_s: sweep_serial_s,
+            parallel_s: sweep_parallel_s,
+            speedup: ratio(sweep_serial_s, sweep_parallel_s),
+            reports_identical: serial_report == parallel_report,
+        },
+    }
+}
+
+/// Human-readable rendering of the report.
+pub fn render(r: &ThroughputReport) -> String {
+    let mut out = format!(
+        "sched-throughput: jobs={} available={}{}\n\
+         {:>10} {:>6} {:>9} {:>9} {:>8} {:>12} {:>12}\n",
+        r.jobs,
+        r.available_parallelism,
+        if r.smoke { " (smoke)" } else { "" },
+        "family",
+        "loops",
+        "serial_s",
+        "par_s",
+        "speedup",
+        "loops/s(1)",
+        "loops/s(N)",
+    );
+    for f in r.families.iter().chain(std::iter::once(&r.total)) {
+        out.push_str(&format!(
+            "{:>10} {:>6} {:>9.3} {:>9.3} {:>7.2}x {:>12.1} {:>12.1}\n",
+            f.family,
+            f.loops,
+            f.serial_s,
+            f.parallel_s,
+            f.speedup,
+            f.loops_per_sec_serial,
+            f.loops_per_sec_parallel,
+        ));
+    }
+    out.push_str(&format!(
+        "verify sweep: serial {:.3}s parallel {:.3}s ({:.2}x), reports identical: {}\n",
+        r.verify_sweep.serial_s,
+        r.verify_sweep.parallel_s,
+        r.verify_sweep.speedup,
+        r.verify_sweep.reports_identical,
+    ));
+    out
+}
+
+/// Serialize and write the report, creating parent directories.
+pub fn write(report: &ThroughputReport, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(report).expect("report serialises");
+    std::fs::write(path, json + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_consistent_report() {
+        let report = run(&ThroughputConfig {
+            jobs: Parallelism::Jobs(2),
+            smoke: true,
+            ..Default::default()
+        });
+        assert_eq!(report.jobs, 2);
+        assert!(report.smoke);
+        assert_eq!(report.families.len(), 5);
+        assert_eq!(
+            report.total.loops,
+            report.families.iter().map(|f| f.loops).sum::<usize>()
+        );
+        assert!(
+            report.verify_sweep.reports_identical,
+            "parallel sweep diverged from serial"
+        );
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"verify_sweep\""));
+        assert!(render(&report).contains("verify sweep"));
+    }
+}

@@ -56,6 +56,7 @@ pub mod list_sched;
 pub mod metrics;
 pub mod mrt;
 pub mod order;
+pub mod par;
 pub mod postpass;
 pub mod schedule;
 pub mod sms;
@@ -69,8 +70,9 @@ pub use cost::CostModel;
 pub use diagnostics::{verify_schedule, Diagnostic, VerifyLimits};
 pub use ims::{schedule_ims, ImsResult};
 pub use metrics::LoopMetrics;
+pub use par::{par_map, par_map_with, Parallelism};
 pub use postpass::CommPlan;
 pub use schedule::{PartialSchedule, Schedule};
-pub use sms::{schedule_sms, SchedError, SmsResult};
+pub use sms::{schedule_sms, schedule_sms_with, SchedError, SchedScratch, SmsResult};
 pub use tms::{schedule_tms, CandidateReject, TmsConfig, TmsResult};
 pub use unrolling::{schedule_tms_unrolled, UnrolledTms};

@@ -39,6 +39,21 @@ impl Mrt {
         self.ii
     }
 
+    /// Clear the table and retarget it to a new `II`, reusing the
+    /// existing row buffers. Equivalent to `Mrt::new` without the
+    /// allocations — the scheduling engines call this once per attempt.
+    pub fn reset(&mut self, ii: u32, machine: &MachineModel) {
+        assert!(ii >= 1, "II must be at least 1");
+        if &self.machine != machine {
+            self.machine = machine.clone();
+        }
+        self.ii = ii;
+        self.used.clear();
+        self.used.resize(ii as usize * ResourceClass::ALL.len(), 0);
+        self.row_total.clear();
+        self.row_total.resize(ii as usize, 0);
+    }
+
     /// Modulo row of an absolute issue cycle (cycles may be negative
     /// while a schedule is under construction).
     #[inline]

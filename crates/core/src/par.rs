@@ -1,0 +1,197 @@
+//! Deterministic bounded worker pools.
+//!
+//! Every parallel path in the system — the TMS candidate wavefront,
+//! the `tms-verify` family sweeps, the benchmark drivers — funnels
+//! through [`par_map`]/[`par_map_with`]: a scoped `std::thread` fan-out
+//! over a slice whose results are always returned **in input order**,
+//! regardless of which worker finished first. Callers therefore get
+//! bit-identical output at any worker count, which is what lets the
+//! determinism tests compare `jobs=1` against `jobs=4` directly.
+//!
+//! No external dependencies: work distribution is a single shared
+//! atomic cursor (self-balancing — an expensive item simply keeps one
+//! worker busy while the others drain the tail), and each worker
+//! collects `(index, result)` pairs that are merged and sorted once at
+//! the end.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many workers a parallel region may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run on the calling thread (no spawning, no overhead). The
+    /// default everywhere: parallelism is opt-in per call site.
+    #[default]
+    Serial,
+    /// A fixed worker count (values below 2 behave like `Serial`).
+    Jobs(usize),
+    /// One worker per available hardware thread.
+    Auto,
+}
+
+impl Parallelism {
+    /// Map a `--jobs N` style count: `0` means auto-detect, `1` is
+    /// serial, anything else a fixed pool.
+    pub fn from_jobs(n: usize) -> Self {
+        match n {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Serial,
+            n => Parallelism::Jobs(n),
+        }
+    }
+
+    /// The `TMS_JOBS` environment override, if set and parseable.
+    pub fn from_env() -> Option<Self> {
+        std::env::var("TMS_JOBS")
+            .ok()?
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .map(Self::from_jobs)
+    }
+
+    /// Concrete worker count this policy resolves to on this machine.
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Jobs(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Map `f` over `items` on up to [`Parallelism::workers`] threads,
+/// returning results in input order. `f` receives the item index so
+/// callers can seed per-item state deterministically.
+pub fn par_map<T, R, F>(par: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_with(par, items, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with reusable per-worker scratch state: `init` runs once
+/// per worker (once total on the serial path) and the resulting value
+/// is threaded through every call that worker executes. This is how
+/// the scheduling hot paths amortise their per-attempt allocations
+/// (see `tms_core::sms::SchedScratch`).
+pub fn par_map_with<T, R, S, I, F>(par: Parallelism, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = par.workers().min(items.len());
+    if workers <= 1 {
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&mut scratch, i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    let mut merged: Vec<(usize, R)> = shards.into_iter().flatten().collect();
+    debug_assert_eq!(merged.len(), items.len());
+    merged.sort_unstable_by_key(|&(i, _)| i);
+    merged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Jobs(2),
+            Parallelism::Jobs(7),
+            Parallelism::Auto,
+        ] {
+            let got = par_map(par, &items, |_, &x| x * x);
+            assert_eq!(got, expect, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: [u32; 0] = [];
+        assert!(par_map(Parallelism::Jobs(4), &items, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // On the serial path the single scratch sees every item.
+        let items: Vec<u32> = (0..10).collect();
+        let counts = par_map_with(
+            Parallelism::Serial,
+            &items,
+            || 0usize,
+            |seen, _, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(counts, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn from_jobs_maps_zero_to_auto_and_one_to_serial() {
+        assert_eq!(Parallelism::from_jobs(0), Parallelism::Auto);
+        assert_eq!(Parallelism::from_jobs(1), Parallelism::Serial);
+        assert_eq!(Parallelism::from_jobs(6), Parallelism::Jobs(6));
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Jobs(3).workers(), 3);
+        assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn worker_results_match_serial_reference_with_state() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = par_map_with(
+            Parallelism::Serial,
+            &items,
+            || 0u64,
+            |_, i, &x| x + i as u64,
+        );
+        let parallel = par_map_with(
+            Parallelism::Jobs(4),
+            &items,
+            || 0u64,
+            |_, i, &x| x + i as u64,
+        );
+        assert_eq!(serial, parallel);
+    }
+}

@@ -30,6 +30,17 @@ impl PartialSchedule {
         }
     }
 
+    /// Clear the partial schedule and retarget it to a new loop/`II`,
+    /// reusing the times and MRT buffers. Equivalent to
+    /// [`PartialSchedule::new`] without the allocations.
+    pub fn reset_for(&mut self, ddg: &Ddg, ii: u32, machine: &MachineModel) {
+        self.ii = ii;
+        self.times.clear();
+        self.times.resize(ddg.num_insts(), None);
+        self.mrt.reset(ii, machine);
+        self.placed = 0;
+    }
+
     /// The initiation interval.
     pub fn ii(&self) -> u32 {
         self.ii
@@ -118,6 +129,12 @@ impl PartialSchedule {
     /// Finalise: every instruction must be placed. Cycles are shifted
     /// so the earliest is 0, then rows/stages are derived.
     pub fn finish(self, ddg: &Ddg) -> Schedule {
+        self.snapshot(ddg)
+    }
+
+    /// Non-consuming [`PartialSchedule::finish`]: the partial schedule
+    /// (and its buffers) stays usable for the next attempt.
+    pub fn snapshot(&self, ddg: &Ddg) -> Schedule {
         assert_eq!(self.placed, ddg.num_insts(), "incomplete schedule");
         let min = self
             .times

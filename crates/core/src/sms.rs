@@ -11,10 +11,36 @@
 
 use crate::order::sms_order;
 use crate::schedule::{PartialSchedule, Schedule};
-use crate::window::window_of;
+use crate::window::{force_floor_with, window_into, WindowScratch};
 use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
 use tms_ddg::{Ddg, InstId};
 use tms_machine::{mii, MachineModel};
+
+/// Reusable per-worker buffers for repeated scheduling attempts.
+///
+/// One `try_schedule` attempt allocates a partial schedule (times +
+/// MRT), a priority map, a forced-slot floor, two longest-path distance
+/// vectors and a candidate-cycle list. The TMS search makes hundreds to
+/// thousands of attempts per loop, and the workload sweeps schedule
+/// hundreds of loops — hoisting those allocations into a scratch that
+/// each worker thread owns removes the allocator from the inner loop
+/// entirely. A scratch is plain state: dropping it any time is safe,
+/// and reusing it never changes results.
+#[derive(Default)]
+pub struct SchedScratch {
+    ps: Option<PartialSchedule>,
+    pos: Vec<usize>,
+    earliest: Vec<i64>,
+    win: WindowScratch,
+    occupants: Vec<InstId>,
+}
+
+impl SchedScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Per-slot admission control: the hook that turns SMS into TMS.
 pub trait SlotPolicy {
@@ -87,27 +113,82 @@ pub fn try_schedule(
     policy: &dyn SlotPolicy,
 ) -> Option<Schedule> {
     let frames = TimeFrames::compute(ddg, ii)?;
-    let mut ps = PartialSchedule::new(ddg, ii, machine);
+    try_schedule_with(
+        ddg,
+        machine,
+        ii,
+        order,
+        policy,
+        &frames,
+        &mut SchedScratch::new(),
+    )
+}
+
+/// [`try_schedule`] with attempt-invariant inputs hoisted out: the
+/// caller supplies the [`TimeFrames`] for this `ii` (memoizable across
+/// `P_max` retries at the same candidate) and a [`SchedScratch`] whose
+/// buffers are reused across attempts. Results are identical to
+/// [`try_schedule`].
+pub fn try_schedule_with(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    ii: u32,
+    order: &[InstId],
+    policy: &dyn SlotPolicy,
+    frames: &TimeFrames,
+    scratch: &mut SchedScratch,
+) -> Option<Schedule> {
+    debug_assert_eq!(frames.ii, ii, "frames computed for a different II");
+    let mut ps = match scratch.ps.take() {
+        Some(mut ps) => {
+            ps.reset_for(ddg, ii, machine);
+            ps
+        }
+        None => PartialSchedule::new(ddg, ii, machine),
+    };
+    let complete = schedule_all(ddg, &mut ps, ii, order, policy, frames, scratch);
+    let out = complete.then(|| ps.snapshot(ddg));
+    scratch.ps = Some(ps);
+    out
+}
+
+/// The engine proper: place every node or report failure. Split from
+/// [`try_schedule_with`] so the partial schedule can be returned to the
+/// scratch on every exit path.
+fn schedule_all(
+    ddg: &Ddg,
+    ps: &mut PartialSchedule,
+    ii: u32,
+    order: &[InstId],
+    policy: &dyn SlotPolicy,
+    frames: &TimeFrames,
+    scratch: &mut SchedScratch,
+) -> bool {
     // Priority of each node = its position in the SMS order.
-    let mut pos = vec![usize::MAX; ddg.num_insts()];
+    let pos = &mut scratch.pos;
+    pos.clear();
+    pos.resize(ddg.num_insts(), usize::MAX);
     for (i, &n) in order.iter().enumerate() {
         pos[n.index()] = i;
     }
     let mut eject_budget = (ddg.num_insts() * 10).max(100);
     // Monotone forced-slot floor per node (IMS forward progress).
-    let mut earliest: Vec<i64> = vec![i64::MIN; ddg.num_insts()];
+    let earliest = &mut scratch.earliest;
+    earliest.clear();
+    earliest.resize(ddg.num_insts(), i64::MIN);
     while let Some(&v) = order.iter().find(|&&n| !ps.is_placed(n)) {
-        let w = window_of(ddg, &ps, &frames, v);
-        let slot = w
+        window_into(ddg, ps, frames, v, &mut scratch.win);
+        let slot = scratch
+            .win
             .cycles
             .iter()
             .copied()
-            .find(|&c| ps.fits(ddg, v, c) && policy.accept(ddg, &ps, v, c));
+            .find(|&c| ps.fits(ddg, v, c) && policy.accept(ddg, ps, v, c));
         match slot {
             Some(c) => ps.place(ddg, v, c),
             None => {
                 if eject_budget == 0 {
-                    return None;
+                    return false;
                 }
                 eject_budget -= 1;
                 // IMS forced placement: take a slot at or after the
@@ -121,25 +202,26 @@ pub fn try_schedule(
                 // windows of the nodes in between, which then force in
                 // turn — the cascade terminates because every floor is
                 // monotone and the budget is finite.
-                let lb = w
-                    .cycles
-                    .iter()
-                    .min()
-                    .copied()
-                    .unwrap_or_else(|| crate::window::force_floor(ddg, &ps, &frames, v));
-                let floor = lb.max(earliest[v.index()]);
-                let c = (floor..floor + ii as i64).find(|&x| policy.accept(ddg, &ps, v, x))?;
-                earliest[v.index()] = c + 1;
-                eject_row_conflicts(ddg, &mut ps, v, c, &pos);
+                let lb = match scratch.win.cycles.iter().min().copied() {
+                    Some(lb) => lb,
+                    None => force_floor_with(ddg, ps, frames, v, scratch.win.dist_buf()),
+                };
+                let floor = lb.max(scratch.earliest[v.index()]);
+                let Some(c) = (floor..floor + ii as i64).find(|&x| policy.accept(ddg, ps, v, x))
+                else {
+                    return false;
+                };
+                scratch.earliest[v.index()] = c + 1;
+                eject_row_conflicts(ddg, ps, v, c, &scratch.pos, &mut scratch.occupants);
                 if !ps.fits(ddg, v, c) {
-                    return None;
+                    return false;
                 }
                 ps.place(ddg, v, c);
-                eject_violated_neighbours(ddg, &mut ps, v, ii);
+                eject_violated_neighbours(ddg, ps, v, ii);
             }
         }
     }
-    Some(ps.finish(ddg))
+    true
 }
 
 /// After a forced placement of `v`, unschedule every placed neighbour
@@ -173,11 +255,19 @@ fn eject_violated_neighbours(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, ii:
 /// Unschedule the lowest-priority occupants of `cycle`'s modulo row
 /// until `v` fits there: first same-resource-class ops, then (if the
 /// issue width still blocks) any op.
-fn eject_row_conflicts(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, cycle: i64, pos: &[usize]) {
+fn eject_row_conflicts(
+    ddg: &Ddg,
+    ps: &mut PartialSchedule,
+    v: InstId,
+    cycle: i64,
+    pos: &[usize],
+    occupants: &mut Vec<InstId>,
+) {
     use tms_machine::ResourceClass;
     let class = ResourceClass::for_op(ddg.inst(v).op);
     while !ps.fits(ddg, v, cycle) {
-        let occupants: Vec<InstId> = ps.placed_in_row(cycle).collect();
+        occupants.clear();
+        occupants.extend(ps.placed_in_row(cycle));
         // Prefer evicting an op of the same class; otherwise anything
         // (the issue width is the blocker).
         let victim = occupants
@@ -209,7 +299,11 @@ pub struct SmsResult {
 /// A sane II search ceiling: the flat critical path plus total latency
 /// always admits a trivial schedule, so searching beyond it is wasted.
 pub fn ii_search_ceiling(ddg: &Ddg, start: u32) -> u32 {
-    let ldp = AcyclicPriorities::compute(ddg).ldp;
+    ii_search_ceiling_from(ddg, start, AcyclicPriorities::compute(ddg).ldp)
+}
+
+/// [`ii_search_ceiling`] for callers that already computed the LDP.
+pub fn ii_search_ceiling_from(ddg: &Ddg, start: u32, ldp: i64) -> u32 {
     (start as u64 + ldp as u64 + ddg.total_latency() + ddg.num_insts() as u64).min(u32::MAX as u64)
         as u32
 }
@@ -217,17 +311,36 @@ pub fn ii_search_ceiling(ddg: &Ddg, start: u32) -> u32 {
 /// Run SMS: iteratively increase II from MII until a schedule exists
 /// (Figure 3 with the boxed TMS lines removed).
 pub fn schedule_sms(ddg: &Ddg, machine: &MachineModel) -> Result<SmsResult, SchedError> {
+    let order = sms_order(ddg);
+    let ldp = AcyclicPriorities::compute(ddg).ldp;
+    schedule_sms_with(ddg, machine, order, ldp, &mut SchedScratch::new())
+}
+
+/// [`schedule_sms`] with the loop-invariant inputs (node order, LDP)
+/// supplied by the caller and scratch buffers reused across the II
+/// search. `schedule_tms` computes order and LDP once per loop and
+/// shares them with its SMS baseline through this entry point.
+pub fn schedule_sms_with(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    order: Vec<InstId>,
+    ldp: i64,
+    scratch: &mut SchedScratch,
+) -> Result<SmsResult, SchedError> {
     let m = mii(ddg, machine);
     if m == u32::MAX {
         return Err(SchedError::Unschedulable {
             loop_name: ddg.name().to_string(),
         });
     }
-    let order = sms_order(ddg);
-    let ldp = AcyclicPriorities::compute(ddg).ldp;
-    let ceiling = ii_search_ceiling(ddg, m);
+    let ceiling = ii_search_ceiling_from(ddg, m, ldp);
     for ii in m..=ceiling {
-        if let Some(schedule) = try_schedule(ddg, machine, ii, &order, &AcceptAll) {
+        let Some(frames) = TimeFrames::compute(ddg, ii) else {
+            continue;
+        };
+        if let Some(schedule) =
+            try_schedule_with(ddg, machine, ii, &order, &AcceptAll, &frames, scratch)
+        {
             debug_assert!(schedule.check_legal(ddg).is_none());
             debug_assert!(schedule.check_resources(ddg, machine));
             return Ok(SmsResult {

@@ -13,9 +13,14 @@
 use crate::cost::{misspec_probability, preserves, sync_delay, CostKey, CostModel};
 use crate::diagnostics::{verify_schedule, Diagnostic, VerifyLimits};
 use crate::order::sms_order;
+use crate::par::{par_map_with, Parallelism};
 use crate::schedule::{PartialSchedule, Schedule};
-use crate::sms::{ii_search_ceiling, schedule_sms, try_schedule, SchedError, SlotPolicy};
-use tms_ddg::analysis::AcyclicPriorities;
+use crate::sms::{
+    ii_search_ceiling_from, schedule_sms_with, try_schedule_with, SchedError, SchedScratch,
+    SlotPolicy,
+};
+use std::collections::HashMap;
+use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
 use tms_ddg::{Ddg, InstId};
 use tms_machine::{mii, CostConstants, MachineModel};
 
@@ -56,6 +61,14 @@ pub struct TmsConfig {
     /// a much smaller C_delay", §5.1) and only "slightly larger"
     /// MaxLive; bounding stages forces the same trade.
     pub max_extra_stages: u32,
+    /// Worker threads for the candidate search. Candidates are
+    /// independent, so the search dispatches them in cost-ordered
+    /// wavefront chunks and accepts the lowest-index success — results
+    /// (including the `attempts`/`rejects` accounting) are bit-identical
+    /// to the serial search at every worker count. Defaults to
+    /// [`Parallelism::Serial`]: callers that already parallelise at the
+    /// loop level (sweeps, benches) keep the inner search serial.
+    pub parallelism: Parallelism,
 }
 
 impl Default for TmsConfig {
@@ -68,6 +81,7 @@ impl Default for TmsConfig {
             dense_candidates: false,
             allow_sms_fallback: true,
             max_extra_stages: 2,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -316,12 +330,16 @@ pub fn schedule_tms(
     }
     let order = sms_order(ddg);
     let ldp = AcyclicPriorities::compute(ddg).ldp;
+    let mut scratch = SchedScratch::new();
 
     // SMS runs first: its II floors the candidate ceiling (on loops
     // where ejection pressure pushes SMS well past both MII and LDP, a
     // ceiling of max(MII, LDP) would leave TMS no feasible candidate at
-    // all), and its schedule is the ready-made fallback.
-    let sms = schedule_sms(ddg, machine)?;
+    // all), and its schedule is the ready-made fallback. The node order
+    // and LDP are attempt-invariant, so they are computed once here and
+    // shared with every candidate attempt below.
+    let sms = schedule_sms_with(ddg, machine, order, ldp, &mut scratch)?;
+    let order = &sms.order;
     let ii_max = config
         .ii_max
         .unwrap_or((ldp as u32).max(m).max(sms.schedule.ii() + 2));
@@ -338,36 +356,84 @@ pub fn schedule_tms(
     let sms_achieved = crate::metrics::achieved_c_delay(ddg, &sms.schedule, &model.costs);
     let sms_key = model.cost_key(sms.schedule.ii(), sms_achieved);
 
+    // Attempts are indexed candidate-major: attempt `idx` is candidate
+    // `idx / P` tried with `p_max_values[idx % P]` — exactly the
+    // iteration order of the nested serial loops. The attempt budget is
+    // folded into the index range (serially the budget was checked
+    // before each attempt, so at most `max_attempts` ever ran).
+    let p_count = config.p_max_values.len();
+    let total = candidates
+        .len()
+        .saturating_mul(p_count)
+        .min(config.max_attempts);
+
+    // One `(II, C_delay, P_max)` attempt. Pure given its index: reads
+    // only attempt-invariant state (plus the frames cache and a
+    // per-worker scratch), so attempts can run in any order on any
+    // thread and yield identical outcomes.
+    let run_attempt = |ii: u32,
+                       c_delay: u32,
+                       key: CostKey,
+                       p_max: f64,
+                       frames: Option<&TimeFrames>,
+                       scratch: &mut SchedScratch|
+     -> AttemptOutcome {
+        let Some(frames) = frames else {
+            return AttemptOutcome::NoSchedule;
+        };
+        let policy = TmsPolicy::new(&model.costs, c_delay, p_max);
+        let Some(schedule) = try_schedule_with(ddg, machine, ii, order, &policy, frames, scratch)
+        else {
+            return AttemptOutcome::NoSchedule;
+        };
+        // Post-search verification on the *normalised* kernel: the
+        // incremental C1/C2 checks run against provisional stages, so
+        // the final kernel can exceed the thresholds the slots were
+        // accepted under. Every rejection is recorded with its
+        // diagnostics instead of vanishing into a bare `continue`.
+        let min_stages = (ldp as u32).div_ceil(ii.max(1)).max(1);
+        let limits = VerifyLimits {
+            c_delay: Some(c_delay),
+            p_max: Some(p_max),
+            max_stages: Some(min_stages + config.max_extra_stages),
+        };
+        let diagnostics = verify_schedule(ddg, &schedule, machine, &model.costs, &limits);
+        if !diagnostics.is_empty() {
+            return AttemptOutcome::Rejected(diagnostics);
+        }
+        let achieved = crate::metrics::achieved_c_delay(ddg, &schedule, &model.costs);
+        let tms_key = model.cost_key(ii, achieved);
+        // The achieved C_delay is ≤ the candidate threshold and the
+        // cost key is monotone in C_delay, so the candidate key is an
+        // upper bound on the realised key.
+        debug_assert!(
+            tms_key <= key,
+            "achieved key {tms_key:?} exceeds candidate bound {key:?}"
+        );
+        AttemptOutcome::Built { schedule, tms_key }
+    };
+
+    // Fold one outcome into the serial accounting. Mirrors the serial
+    // loop body exactly: every dispatched attempt counts, rejections are
+    // logged in attempt order, and the first `Built` outcome resolves
+    // the search (accept, or yield to a strictly cheaper SMS baseline).
     let mut attempts = 0usize;
     let mut rejected = 0usize;
     let mut rejects: Vec<CandidateReject> = Vec::new();
-    'search: for &(ii, c_delay, key) in &candidates {
-        for &p_max in &config.p_max_values {
-            // The attempt budget is the single termination condition of
-            // the whole search: checked before the attempt, exiting
-            // both loops at once.
-            if attempts >= config.max_attempts {
-                break 'search;
-            }
-            attempts += 1;
-            let policy = TmsPolicy::new(&model.costs, c_delay, p_max);
-            let Some(schedule) = try_schedule(ddg, machine, ii, &order, &policy) else {
-                continue;
-            };
-            // Post-search verification on the *normalised* kernel: the
-            // incremental C1/C2 checks run against provisional stages,
-            // so the final kernel can exceed the thresholds the slots
-            // were accepted under. Every rejection is recorded with its
-            // diagnostics instead of vanishing into a bare `continue`.
-            let min_stages = (ldp as u32).div_ceil(ii.max(1)).max(1);
-            let limits = VerifyLimits {
-                c_delay: Some(c_delay),
-                p_max: Some(p_max),
-                max_stages: Some(min_stages + config.max_extra_stages),
-            };
-            let diagnostics = verify_schedule(ddg, &schedule, machine, &model.costs, &limits);
-            if !diagnostics.is_empty() {
-                rejected += 1;
+    let mut resolution: Option<Resolution> = None;
+    let fold = |ii: u32,
+                c_delay: u32,
+                p_max: f64,
+                outcome: AttemptOutcome,
+                attempts: &mut usize,
+                rejected: &mut usize,
+                rejects: &mut Vec<CandidateReject>|
+     -> Option<Resolution> {
+        *attempts += 1;
+        match outcome {
+            AttemptOutcome::NoSchedule => None,
+            AttemptOutcome::Rejected(diagnostics) => {
+                *rejected += 1;
                 if rejects.len() < REJECT_LOG_CAP {
                     rejects.push(CandidateReject {
                         ii,
@@ -376,61 +442,189 @@ pub fn schedule_tms(
                         diagnostics,
                     });
                 }
-                continue;
+                None
             }
-            let achieved = crate::metrics::achieved_c_delay(ddg, &schedule, &model.costs);
-            let tms_key = model.cost_key(ii, achieved);
-            // The candidate keys are lower bounds; if the plain SMS
-            // schedule is *strictly* cheaper under the same eq. 2 cost,
-            // it is the better thread schedule and TMS must not lose to
-            // its own baseline.
-            if config.allow_sms_fallback && sms_key < tms_key {
-                break 'search;
+            AttemptOutcome::Built { schedule, tms_key } => {
+                // If the plain SMS schedule is *strictly* cheaper under
+                // the same eq. 2 cost, it is the better thread schedule
+                // and TMS must not lose to its own baseline.
+                if config.allow_sms_fallback && sms_key < tms_key {
+                    Some(Resolution::Fallback)
+                } else {
+                    Some(Resolution::Accept {
+                        schedule,
+                        ii,
+                        c_delay,
+                        p_max,
+                        tms_key,
+                    })
+                }
             }
-            let _ = key;
-            return Ok(TmsResult {
-                schedule,
-                mii: m,
-                ldp,
+        }
+    };
+
+    // Scheduling windows depend only on (DDG, II), not on the C_delay /
+    // P_max of the attempt, so the ASAP/ALAP frames are memoised per II
+    // across the whole search.
+    let mut frames_cache: HashMap<u32, Option<TimeFrames>> = HashMap::new();
+    let cand_of = |idx: usize| {
+        let (ii, c_delay, key) = candidates[idx / p_count];
+        (ii, c_delay, key, config.p_max_values[idx % p_count])
+    };
+
+    let workers = config.parallelism.workers();
+    if workers <= 1 || total <= 1 {
+        // Serial search: lazily computed frames, one persistent scratch.
+        for idx in 0..total {
+            let (ii, c_delay, key, p_max) = cand_of(idx);
+            let frames = frames_cache
+                .entry(ii)
+                .or_insert_with(|| TimeFrames::compute(ddg, ii))
+                .as_ref();
+            let outcome = run_attempt(ii, c_delay, key, p_max, frames, &mut scratch);
+            resolution = fold(
                 ii,
-                c_delay_threshold: c_delay,
+                c_delay,
                 p_max,
-                cost_key: tms_key,
-                fell_back_to_sms: false,
-                attempts,
-                rejected_candidates: rejected,
-                rejects,
-            });
+                outcome,
+                &mut attempts,
+                &mut rejected,
+                &mut rejects,
+            );
+            if resolution.is_some() {
+                break;
+            }
+        }
+    } else {
+        // Wavefront search: dispatch the next chunk of cost-ordered
+        // attempts to the worker pool, then fold the outcomes *in index
+        // order*. The first resolving attempt wins and everything after
+        // it in the chunk is discarded — byte-for-byte the serial
+        // result, because each attempt is independent of all others and
+        // the fold consumes them in serial order. Chunks ramp up so a
+        // success among the cheap early candidates wastes little work.
+        let mut base = 0usize;
+        let mut chunk = workers;
+        'wave: while base < total {
+            let len = chunk.min(total - base);
+            // Frames for the chunk's IIs are filled serially up front;
+            // workers then share the cache read-only.
+            for idx in base..base + len {
+                let ii = candidates[idx / p_count].0;
+                frames_cache
+                    .entry(ii)
+                    .or_insert_with(|| TimeFrames::compute(ddg, ii));
+            }
+            let indices: Vec<usize> = (base..base + len).collect();
+            let cache = &frames_cache;
+            let outcomes = par_map_with(
+                config.parallelism,
+                &indices,
+                SchedScratch::new,
+                |scratch, _, &idx| {
+                    let (ii, c_delay, key, p_max) = cand_of(idx);
+                    let frames = cache.get(&ii).and_then(|f| f.as_ref());
+                    run_attempt(ii, c_delay, key, p_max, frames, scratch)
+                },
+            );
+            for (off, outcome) in outcomes.into_iter().enumerate() {
+                let (ii, c_delay, _, p_max) = cand_of(base + off);
+                resolution = fold(
+                    ii,
+                    c_delay,
+                    p_max,
+                    outcome,
+                    &mut attempts,
+                    &mut rejected,
+                    &mut rejects,
+                );
+                if resolution.is_some() {
+                    break 'wave;
+                }
+            }
+            base += len;
+            chunk = (chunk * 2).min(workers * 8);
         }
     }
 
-    if config.allow_sms_fallback {
-        let ii = sms.schedule.ii();
-        Ok(TmsResult {
-            schedule: sms.schedule,
+    match resolution {
+        Some(Resolution::Accept {
+            schedule,
+            ii,
+            c_delay,
+            p_max,
+            tms_key,
+        }) => Ok(TmsResult {
+            schedule,
             mii: m,
             ldp,
             ii,
-            c_delay_threshold: sms_achieved,
-            p_max: 1.0,
-            cost_key: sms_key,
-            fell_back_to_sms: true,
+            c_delay_threshold: c_delay,
+            p_max,
+            cost_key: tms_key,
+            fell_back_to_sms: false,
             attempts,
             rejected_candidates: rejected,
             rejects,
-        })
-    } else {
-        Err(SchedError::NoScheduleFound {
+        }),
+        // `Resolution::Fallback` only arises with `allow_sms_fallback`.
+        _ if config.allow_sms_fallback => {
+            let ii = sms.schedule.ii();
+            Ok(TmsResult {
+                schedule: sms.schedule,
+                mii: m,
+                ldp,
+                ii,
+                c_delay_threshold: sms_achieved,
+                p_max: 1.0,
+                cost_key: sms_key,
+                fell_back_to_sms: true,
+                attempts,
+                rejected_candidates: rejected,
+                rejects,
+            })
+        }
+        _ => Err(SchedError::NoScheduleFound {
             loop_name: ddg.name().to_string(),
-            ii_tried: ii_search_ceiling(ddg, m),
-        })
+            ii_tried: ii_search_ceiling_from(ddg, m, ldp),
+        }),
     }
+}
+
+/// Result of running one candidate attempt, before the serial-order
+/// fold. `Send` so attempts can come back from worker threads.
+enum AttemptOutcome {
+    /// The engine could not place every instruction.
+    NoSchedule,
+    /// A schedule was built but the post-search verification rejected
+    /// it.
+    Rejected(Vec<Diagnostic>),
+    /// A verified schedule with its realised cost key.
+    Built {
+        schedule: Schedule,
+        tms_key: CostKey,
+    },
+}
+
+/// How the candidate search resolved (before exhausting all attempts).
+enum Resolution {
+    /// Accept this candidate's schedule.
+    Accept {
+        schedule: Schedule,
+        ii: u32,
+        c_delay: u32,
+        p_max: f64,
+        tms_key: CostKey,
+    },
+    /// A candidate succeeded but the SMS baseline is strictly cheaper.
+    Fallback,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::achieved_c_delay;
+    use crate::sms::schedule_sms;
     use tms_ddg::{DdgBuilder, OpClass};
     use tms_machine::ArchParams;
 

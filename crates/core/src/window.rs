@@ -43,14 +43,39 @@ pub enum WindowKind {
     Free,
 }
 
+/// Reusable buffers for repeated window computations. One scratch per
+/// worker amortises the two `O(n)` distance vectors and the candidate
+/// list across every node of every scheduling attempt.
+#[derive(Debug, Default, Clone)]
+pub struct WindowScratch {
+    dist: Vec<Option<i64>>,
+    /// Candidate cycles of the most recent [`window_into`] call,
+    /// first-preference first.
+    pub cycles: Vec<i64>,
+}
+
+impl WindowScratch {
+    /// The internal distance buffer, for callers that run the bound
+    /// computations directly (e.g. [`force_floor_with`]).
+    pub fn dist_buf(&mut self) -> &mut Vec<Option<i64>> {
+        &mut self.dist
+    }
+}
+
 /// Longest-path lower bound on `t(v)` from scheduled nodes through
 /// unscheduled intermediates: `max` over paths `p : u ⤳ v` with `u`
 /// scheduled and interior nodes unscheduled of
 /// `t(u) + Σ_e (delay(e) − II·distance(e))`.
-fn lower_bound(ddg: &Ddg, ps: &PartialSchedule, v: InstId) -> Option<i64> {
+fn lower_bound_with(
+    ddg: &Ddg,
+    ps: &PartialSchedule,
+    v: InstId,
+    dist: &mut Vec<Option<i64>>,
+) -> Option<i64> {
     let ii = ps.ii() as i64;
     let n = ddg.num_insts();
-    let mut dist: Vec<Option<i64>> = ddg.inst_ids().map(|u| ps.time(u)).collect();
+    dist.clear();
+    dist.extend(ddg.inst_ids().map(|u| ps.time(u)));
     // v participates as an unscheduled node (its entry starts None).
     for _ in 0..=n {
         let mut changed = false;
@@ -74,10 +99,16 @@ fn lower_bound(ddg: &Ddg, ps: &PartialSchedule, v: InstId) -> Option<i64> {
 }
 
 /// Symmetric upper bound on `t(v)` toward scheduled successors.
-fn upper_bound(ddg: &Ddg, ps: &PartialSchedule, v: InstId) -> Option<i64> {
+fn upper_bound_with(
+    ddg: &Ddg,
+    ps: &PartialSchedule,
+    v: InstId,
+    dist: &mut Vec<Option<i64>>,
+) -> Option<i64> {
     let ii = ps.ii() as i64;
     let n = ddg.num_insts();
-    let mut dist: Vec<Option<i64>> = ddg.inst_ids().map(|u| ps.time(u)).collect();
+    dist.clear();
+    dist.extend(ddg.inst_ids().map(|u| ps.time(u)));
     for _ in 0..=n {
         let mut changed = false;
         for e in ddg.edges() {
@@ -105,7 +136,18 @@ fn upper_bound(ddg: &Ddg, ps: &PartialSchedule, v: InstId) -> Option<i64> {
 /// ignored — forcing past them is the point; violated successors get
 /// ejected and rescheduled.
 pub fn force_floor(ddg: &Ddg, ps: &PartialSchedule, frames: &TimeFrames, v: InstId) -> i64 {
-    lower_bound(ddg, ps, v).unwrap_or(frames.asap[v.index()])
+    force_floor_with(ddg, ps, frames, v, &mut Vec::new())
+}
+
+/// [`force_floor`] with a caller-provided distance buffer.
+pub fn force_floor_with(
+    ddg: &Ddg,
+    ps: &PartialSchedule,
+    frames: &TimeFrames,
+    v: InstId,
+    dist: &mut Vec<Option<i64>>,
+) -> i64 {
+    lower_bound_with(ddg, ps, v, dist).unwrap_or(frames.asap[v.index()])
 }
 
 /// Compute the scheduling window of `v` against the partial schedule.
@@ -118,29 +160,46 @@ pub fn force_floor(ddg: &Ddg, ps: &PartialSchedule, frames: &TimeFrames, v: Inst
 /// Windows never exceed `II` candidates: any legal modulo row appears
 /// exactly once among `II` consecutive cycles.
 pub fn window_of(ddg: &Ddg, ps: &PartialSchedule, frames: &TimeFrames, v: InstId) -> Window {
-    let ii = ps.ii() as i64;
-    let early = lower_bound(ddg, ps, v);
-    let late = upper_bound(ddg, ps, v);
+    let mut scratch = WindowScratch::default();
+    let kind = window_into(ddg, ps, frames, v, &mut scratch);
+    Window {
+        cycles: scratch.cycles,
+        kind,
+    }
+}
 
+/// [`window_of`] into reusable buffers: the candidate cycles land in
+/// `scratch.cycles` (replacing its previous contents) and the derived
+/// [`WindowKind`] is returned.
+pub fn window_into(
+    ddg: &Ddg,
+    ps: &PartialSchedule,
+    frames: &TimeFrames,
+    v: InstId,
+    scratch: &mut WindowScratch,
+) -> WindowKind {
+    let ii = ps.ii() as i64;
+    let early = lower_bound_with(ddg, ps, v, &mut scratch.dist);
+    let late = upper_bound_with(ddg, ps, v, &mut scratch.dist);
+
+    scratch.cycles.clear();
     match (early, late) {
-        (Some(es), None) => Window {
-            cycles: (es..es + ii).collect(),
-            kind: WindowKind::PredsOnly,
-        },
-        (None, Some(ls)) => Window {
-            cycles: (ls - ii + 1..=ls).rev().collect(),
-            kind: WindowKind::SuccsOnly,
-        },
-        (Some(es), Some(ls)) => Window {
-            cycles: (es..=ls.min(es + ii - 1)).collect(),
-            kind: WindowKind::Both,
-        },
+        (Some(es), None) => {
+            scratch.cycles.extend(es..es + ii);
+            WindowKind::PredsOnly
+        }
+        (None, Some(ls)) => {
+            scratch.cycles.extend((ls - ii + 1..=ls).rev());
+            WindowKind::SuccsOnly
+        }
+        (Some(es), Some(ls)) => {
+            scratch.cycles.extend(es..=ls.min(es + ii - 1));
+            WindowKind::Both
+        }
         (None, None) => {
             let asap = frames.asap[v.index()];
-            Window {
-                cycles: (asap..asap + ii).collect(),
-                kind: WindowKind::Free,
-            }
+            scratch.cycles.extend(asap..asap + ii);
+            WindowKind::Free
         }
     }
 }

@@ -29,7 +29,9 @@
 pub mod checks;
 pub mod fuzz;
 pub mod report;
+pub mod sweep;
 
 pub use checks::{check_loop, CheckConfig, LoopVerdict, Violation};
 pub use fuzz::{fuzz_ddgs, fuzz_spec};
 pub use report::{FamilySummary, VerifyReport};
+pub use sweep::{run_sweep, SweepConfig, SweepOutcome};

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! tms-verify [--fuzz N] [--seed S] [--out PATH] [--sim-iters N]
-//!            [--specfp-cap N] [--no-sim] [--quick]
+//!            [--specfp-cap N] [--jobs N] [--no-sim] [--quick]
 //! ```
 //!
 //! Exits nonzero if any check fails.
@@ -11,35 +11,39 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
-use tms_verify::checks::{check_loop, CheckConfig, LoopVerdict};
-use tms_verify::fuzz::fuzz_ddgs;
-use tms_verify::report::VerifyReport;
-use tms_workloads::{doacross_suite, figure1, kernels, livermore_suite, specfp_profiles};
+use tms_core::par::Parallelism;
+use tms_verify::sweep::{run_sweep, SweepConfig};
 
 struct Args {
-    fuzz: usize,
-    seed: u64,
+    sweep: SweepConfig,
     out: PathBuf,
-    sim_iters: u64,
-    /// Loops checked per SPECfp profile (0 = the full 778-loop
-    /// population).
-    specfp_cap: usize,
-    no_sim: bool,
-    quick: bool,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Args {
-            fuzz: 200,
-            seed: 0x7315_2008,
+            sweep: SweepConfig {
+                // Flag < TMS_JOBS env < default (all cores).
+                jobs: Parallelism::from_env().unwrap_or(Parallelism::Auto),
+                ..Default::default()
+            },
             out: PathBuf::from("results/verify.json"),
-            sim_iters: 24,
-            specfp_cap: 4,
-            no_sim: false,
-            quick: false,
         }
     }
+}
+
+fn usage() -> String {
+    "tms-verify [--fuzz N] [--seed S] [--out PATH] [--sim-iters N] \
+     [--specfp-cap N] [--jobs N] [--no-sim] [--quick]\n\n\
+     --jobs N       worker threads for the per-loop fan-out; 0 or the\n\
+                    default uses every available core. The TMS_JOBS\n\
+                    environment variable sets the default; the flag\n\
+                    wins over it. The report is bit-identical at every\n\
+                    worker count.\n\
+     --quick        cheaper per-loop check grid\n\
+     --no-sim       skip differential execution\n\
+     --specfp-cap N loops per SPECfp profile (0 = all)"
+        .to_string()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,26 +52,31 @@ fn parse_args() -> Result<Args, String> {
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
-            "--fuzz" => args.fuzz = val("--fuzz")?.parse().map_err(|e| format!("--fuzz: {e}"))?,
-            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--fuzz" => {
+                args.sweep.fuzz = val("--fuzz")?.parse().map_err(|e| format!("--fuzz: {e}"))?
+            }
+            "--seed" => {
+                args.sweep.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
+            }
             "--out" => args.out = PathBuf::from(val("--out")?),
             "--sim-iters" => {
-                args.sim_iters = val("--sim-iters")?
+                args.sweep.sim_iters = val("--sim-iters")?
                     .parse()
                     .map_err(|e| format!("--sim-iters: {e}"))?
             }
             "--specfp-cap" => {
-                args.specfp_cap = val("--specfp-cap")?
+                args.sweep.specfp_cap = val("--specfp-cap")?
                     .parse()
                     .map_err(|e| format!("--specfp-cap: {e}"))?
             }
-            "--no-sim" => args.no_sim = true,
-            "--quick" => args.quick = true,
+            "--jobs" => {
+                let n: usize = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                args.sweep.jobs = Parallelism::from_jobs(n);
+            }
+            "--no-sim" => args.sweep.no_sim = true,
+            "--quick" => args.sweep.quick = true,
             "--help" | "-h" => {
-                println!(
-                    "tms-verify [--fuzz N] [--seed S] [--out PATH] [--sim-iters N] \
-                     [--specfp-cap N] [--no-sim] [--quick]"
-                );
+                println!("{}", usage());
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -84,85 +93,31 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut cfg = if args.quick {
-        CheckConfig::quick()
-    } else {
-        CheckConfig::default()
-    };
-    cfg.sim_iters = args.sim_iters;
-    if args.no_sim {
-        cfg.simulate = false;
-    }
 
-    let mut report = VerifyReport {
-        seed: args.seed,
-        ..Default::default()
-    };
     let started = Instant::now();
+    let outcome = run_sweep(&args.sweep);
+    let report = &outcome.report;
 
-    let run_family = |report: &mut VerifyReport, family: &str, ddgs: &[tms_ddg::Ddg]| {
-        let t0 = Instant::now();
-        let verdicts: Vec<LoopVerdict> = ddgs.iter().map(|g| check_loop(g, &cfg)).collect();
-        report.add_family(family, &verdicts);
-        let bad: usize = verdicts.iter().map(|v| v.violations.len()).sum();
+    for (summary, timing) in report.families.iter().zip(&outcome.timings) {
         println!(
-            "{family:>10}: {} loops, {} checks, {} violations ({:.1}s)",
-            verdicts.len(),
-            verdicts.iter().map(|v| v.checks).sum::<usize>(),
-            bad,
-            t0.elapsed().as_secs_f64()
-        );
-        for v in &verdicts {
-            for x in &v.violations {
-                eprintln!("  FAIL {} [{}] {}", x.loop_name, x.check, x.detail);
-            }
-        }
-    };
-
-    // Hand-written kernels, plus an always-aliasing variant that forces
-    // misspeculation on every speculated iteration.
-    let mut kernel_pop = kernels::all_kernels();
-    kernel_pop.push(kernels::maybe_aliasing_update(1.0));
-    run_family(&mut report, "kernels", &kernel_pop);
-    run_family(&mut report, "figure1", &[figure1()]);
-    run_family(&mut report, "livermore", &livermore_suite());
-    let doacross: Vec<_> = doacross_suite(args.seed)
-        .into_iter()
-        .map(|l| l.ddg)
-        .collect();
-    run_family(&mut report, "doacross", &doacross);
-
-    // SPECfp profiles: the full population is 778 loops; by default a
-    // per-benchmark sample keeps the sweep interactive. --specfp-cap 0
-    // checks everything.
-    let mut specfp: Vec<tms_ddg::Ddg> = Vec::new();
-    let mut specfp_total = 0usize;
-    for p in specfp_profiles() {
-        let loops = p.generate(args.seed);
-        specfp_total += loops.len();
-        let take = if args.specfp_cap == 0 {
-            loops.len()
-        } else {
-            args.specfp_cap.min(loops.len())
-        };
-        specfp.extend(loops.into_iter().take(take));
-    }
-    if specfp.len() < specfp_total {
-        println!(
-            "    specfp: sampling {} of {specfp_total} loops (--specfp-cap 0 for all)",
-            specfp.len()
+            "{:>10}: {} loops, {} checks, {} violations ({:.1}s)",
+            summary.family, summary.loops, summary.checks, summary.violations, timing.seconds
         );
     }
-    run_family(&mut report, "specfp", &specfp);
-
-    run_family(&mut report, "fuzz", &fuzz_ddgs(args.fuzz, args.seed));
+    for note in &outcome.notes {
+        println!("    {note}");
+    }
+    for x in &report.violations {
+        eprintln!("  FAIL {} [{}] {}", x.loop_name, x.check, x.detail);
+    }
 
     println!(
-        "total: {} loops, {} checks, {} violations ({:.1}s)",
+        "total: {} loops, {} checks, {} violations ({:.1}s, jobs={})",
         report.total_loops,
         report.total_checks,
         report.total_violations,
-        started.elapsed().as_secs_f64()
+        started.elapsed().as_secs_f64(),
+        args.sweep.jobs.workers()
     );
     if let Err(e) = report.write(&args.out) {
         eprintln!("tms-verify: cannot write {}: {e}", args.out.display());

@@ -1,0 +1,204 @@
+//! The full verification sweep as a library: every workload family plus
+//! a fuzzed population through [`check_loop`], fanned across a bounded
+//! worker pool.
+//!
+//! Loops are independent, so the sweep dispatches them through
+//! [`tms_core::par::par_map`]; results come back in input order at any
+//! worker count, which makes the [`VerifyReport`] **bit-identical**
+//! regardless of `jobs` (the report carries no timing). `tms-verify` is
+//! a thin argument-parsing shell over [`run_sweep`]; the determinism
+//! test calls it directly and compares whole-report JSON across worker
+//! counts.
+
+use crate::checks::{check_loop, CheckConfig, LoopVerdict};
+use crate::fuzz::fuzz_ddgs;
+use crate::report::VerifyReport;
+use std::time::Instant;
+use tms_core::par::{par_map, Parallelism};
+use tms_workloads::{doacross_suite, figure1, kernels, livermore_suite, specfp_profiles};
+
+/// Everything one sweep run depends on.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Fuzzed DDGs to generate and check.
+    pub fuzz: usize,
+    /// Master seed (workload and fuzz generation).
+    pub seed: u64,
+    /// Original loop iterations per differential simulation.
+    pub sim_iters: u64,
+    /// Loops checked per SPECfp profile (0 = the full population).
+    pub specfp_cap: usize,
+    /// Skip the differential execution checks.
+    pub no_sim: bool,
+    /// Use the cheaper [`CheckConfig::quick`] grid.
+    pub quick: bool,
+    /// Worker threads for the per-loop fan-out.
+    pub jobs: Parallelism,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            fuzz: 200,
+            seed: 0x7315_2008,
+            sim_iters: 24,
+            specfp_cap: 4,
+            no_sim: false,
+            quick: false,
+            jobs: Parallelism::Auto,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// The per-loop check grid this sweep uses.
+    pub fn check_config(&self) -> CheckConfig {
+        let mut cfg = if self.quick {
+            CheckConfig::quick()
+        } else {
+            CheckConfig::default()
+        };
+        cfg.sim_iters = self.sim_iters;
+        if self.no_sim {
+            cfg.simulate = false;
+        }
+        cfg
+    }
+}
+
+/// Wall-clock of one family's fan-out (kept outside the report so the
+/// report itself stays deterministic).
+#[derive(Debug, Clone)]
+pub struct FamilyTiming {
+    /// Workload family name.
+    pub family: String,
+    /// Loops checked.
+    pub loops: usize,
+    /// Seconds spent checking the family.
+    pub seconds: f64,
+}
+
+/// A finished sweep: the deterministic report plus its timings, and any
+/// notes the sweep emitted (e.g. SPECfp sampling).
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// The `results/verify.json` payload. Identical across `jobs`.
+    pub report: VerifyReport,
+    /// Per-family wall-clock, in family order.
+    pub timings: Vec<FamilyTiming>,
+    /// Human-readable notes (not part of the report).
+    pub notes: Vec<String>,
+}
+
+/// Run the whole sweep: kernels, figure1, livermore, doacross, SPECfp
+/// and fuzzed loops, in that fixed order.
+pub fn run_sweep(sweep: &SweepConfig) -> SweepOutcome {
+    let cfg = sweep.check_config();
+    let mut outcome = SweepOutcome {
+        report: VerifyReport {
+            seed: sweep.seed,
+            ..Default::default()
+        },
+        timings: Vec::new(),
+        notes: Vec::new(),
+    };
+
+    let run_family = |outcome: &mut SweepOutcome, family: &str, ddgs: &[tms_ddg::Ddg]| {
+        let t0 = Instant::now();
+        let verdicts: Vec<LoopVerdict> = par_map(sweep.jobs, ddgs, |_, g| check_loop(g, &cfg));
+        outcome.report.add_family(family, &verdicts);
+        outcome.timings.push(FamilyTiming {
+            family: family.to_string(),
+            loops: verdicts.len(),
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    };
+
+    // Hand-written kernels, plus an always-aliasing variant that forces
+    // misspeculation on every speculated iteration.
+    let mut kernel_pop = kernels::all_kernels();
+    kernel_pop.push(kernels::maybe_aliasing_update(1.0));
+    run_family(&mut outcome, "kernels", &kernel_pop);
+    run_family(&mut outcome, "figure1", &[figure1()]);
+    run_family(&mut outcome, "livermore", &livermore_suite());
+    let doacross: Vec<_> = doacross_suite(sweep.seed)
+        .into_iter()
+        .map(|l| l.ddg)
+        .collect();
+    run_family(&mut outcome, "doacross", &doacross);
+
+    // SPECfp profiles: the full population is 778 loops; by default a
+    // per-benchmark sample keeps the sweep interactive.
+    let mut specfp: Vec<tms_ddg::Ddg> = Vec::new();
+    let mut specfp_total = 0usize;
+    for p in specfp_profiles() {
+        let loops = p.generate(sweep.seed);
+        specfp_total += loops.len();
+        let take = if sweep.specfp_cap == 0 {
+            loops.len()
+        } else {
+            sweep.specfp_cap.min(loops.len())
+        };
+        specfp.extend(loops.into_iter().take(take));
+    }
+    if specfp.len() < specfp_total {
+        outcome.notes.push(format!(
+            "specfp: sampling {} of {specfp_total} loops (--specfp-cap 0 for all)",
+            specfp.len()
+        ));
+    }
+    run_family(&mut outcome, "specfp", &specfp);
+
+    run_family(&mut outcome, "fuzz", &fuzz_ddgs(sweep.fuzz, sweep.seed));
+
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            fuzz: 4,
+            specfp_cap: 1,
+            no_sim: true,
+            quick: true,
+            jobs: Parallelism::Serial,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sweep_families_are_in_fixed_order() {
+        let out = run_sweep(&tiny());
+        let names: Vec<&str> = out
+            .report
+            .families
+            .iter()
+            .map(|f| f.family.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "kernels",
+                "figure1",
+                "livermore",
+                "doacross",
+                "specfp",
+                "fuzz"
+            ]
+        );
+        assert_eq!(out.timings.len(), out.report.families.len());
+    }
+
+    #[test]
+    fn sweep_report_is_identical_across_worker_counts() {
+        let serial = run_sweep(&tiny());
+        let parallel = run_sweep(&SweepConfig {
+            jobs: Parallelism::Jobs(3),
+            ..tiny()
+        });
+        assert_eq!(serial.report.to_json(), parallel.report.to_json());
+    }
+}

@@ -1,0 +1,109 @@
+//! Determinism of the parallel search paths.
+//!
+//! The wavefront candidate search inside `schedule_tms` and the
+//! per-loop fan-out inside the verification sweep are contracted to be
+//! **bit-identical** to their serial counterparts at every worker
+//! count. These tests pin that contract over the kernel suite plus a
+//! seeded fuzzed population, and over the whole `tms-verify` report.
+
+use tms_core::cost::CostModel;
+use tms_core::par::Parallelism;
+use tms_core::{schedule_tms, TmsConfig, TmsResult};
+use tms_ddg::{Ddg, InstId};
+use tms_machine::{ArchParams, MachineModel};
+use tms_verify::fuzz::fuzz_ddgs;
+use tms_verify::sweep::{run_sweep, SweepConfig};
+use tms_workloads::kernels;
+
+fn population() -> Vec<Ddg> {
+    let mut pop = kernels::all_kernels();
+    pop.push(kernels::maybe_aliasing_update(1.0));
+    pop.extend(fuzz_ddgs(50, 0xD0_2008));
+    pop
+}
+
+fn tms_at(ddg: &Ddg, jobs: Parallelism) -> Option<TmsResult> {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let cfg = TmsConfig {
+        parallelism: jobs,
+        ..TmsConfig::default()
+    };
+    schedule_tms(ddg, &machine, &model, &cfg).ok()
+}
+
+/// Everything the search decided, including its accounting and the
+/// schedule itself.
+fn fingerprint(ddg: &Ddg, r: &TmsResult) -> impl PartialEq + std::fmt::Debug {
+    let times: Vec<i64> = (0..ddg.num_insts())
+        .map(|i| r.schedule.time(InstId(i as u32)))
+        .collect();
+    (
+        (
+            r.ii,
+            r.c_delay_threshold,
+            r.p_max.to_bits(),
+            r.cost_key,
+            r.fell_back_to_sms,
+        ),
+        (r.attempts, r.rejected_candidates, r.rejects.len()),
+        (r.mii, r.ldp, times),
+    )
+}
+
+#[test]
+fn tms_search_is_identical_at_one_and_four_workers() {
+    for ddg in &population() {
+        let serial = tms_at(ddg, Parallelism::Serial);
+        let par = tms_at(ddg, Parallelism::Jobs(4));
+        match (&serial, &par) {
+            (Some(s), Some(p)) => {
+                assert_eq!(
+                    fingerprint(ddg, s),
+                    fingerprint(ddg, p),
+                    "{}: jobs=4 diverged from jobs=1",
+                    ddg.name()
+                );
+            }
+            (None, None) => {}
+            _ => panic!(
+                "{}: schedulability differs between jobs=1 and jobs=4",
+                ddg.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn tms_search_is_identical_at_awkward_worker_counts() {
+    // 3 workers never divides the candidate chunks evenly; 16 exceeds
+    // every chunk at its initial size.
+    for ddg in population().iter().take(12) {
+        let baseline = tms_at(ddg, Parallelism::Serial).map(|r| fingerprint(ddg, &r));
+        for jobs in [3, 16] {
+            let got = tms_at(ddg, Parallelism::Jobs(jobs)).map(|r| fingerprint(ddg, &r));
+            assert_eq!(baseline, got, "{}: jobs={jobs} diverged", ddg.name());
+        }
+    }
+}
+
+#[test]
+fn verify_sweep_report_is_identical_at_one_and_four_workers() {
+    let cfg = SweepConfig {
+        fuzz: 12,
+        specfp_cap: 2,
+        no_sim: true,
+        quick: true,
+        jobs: Parallelism::Serial,
+        ..Default::default()
+    };
+    let serial = run_sweep(&cfg).report.to_json();
+    let par = run_sweep(&SweepConfig {
+        jobs: Parallelism::Jobs(4),
+        ..cfg
+    })
+    .report
+    .to_json();
+    assert_eq!(serial, par, "verify report diverged between worker counts");
+}
