@@ -66,10 +66,22 @@ fn main() -> ExitCode {
     }
     println!("wrote {}", out.display());
 
-    if report.verify_sweep.reports_identical {
-        ExitCode::SUCCESS
-    } else {
+    if !report.verify_sweep.reports_identical {
         eprintln!("sched-throughput: parallel verify sweep diverged from serial");
-        ExitCode::FAILURE
+        return ExitCode::FAILURE;
     }
+    // Disabled tracing must be free: the instrumented scheduler with a
+    // disabled sink runs the same code as the plain entry point plus a
+    // pointer check per site, so anything beyond noise is a regression.
+    // Expected < 2%; gated at 10% so machine jitter cannot flake CI.
+    // Smoke populations are too small to time, so only the real run
+    // enforces it.
+    if !report.smoke && report.trace_overhead.disabled_overhead > 1.10 {
+        eprintln!(
+            "sched-throughput: disabled-tracing overhead {:.3}x exceeds 1.10x",
+            report.trace_overhead.disabled_overhead
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

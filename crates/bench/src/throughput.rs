@@ -17,8 +17,9 @@ use std::time::Instant;
 use tms_core::cost::CostModel;
 use tms_core::par::{par_map_with, Parallelism};
 use tms_core::sms::SchedScratch;
-use tms_core::{schedule_tms, TmsConfig};
+use tms_core::{schedule_tms, schedule_tms_traced, TmsConfig};
 use tms_ddg::Ddg;
+use tms_trace::Trace;
 use tms_verify::fuzz::fuzz_ddgs;
 use tms_verify::sweep::{run_sweep, SweepConfig};
 use tms_workloads::{doacross_suite, kernels, livermore_suite, specfp_profiles};
@@ -81,6 +82,30 @@ pub struct SweepThroughput {
     pub reports_identical: bool,
 }
 
+/// Disabled-tracing cost check: the same loop population scheduled
+/// serially through the un-instrumented entry point
+/// ([`schedule_tms`]), through the instrumented one with a disabled
+/// [`Trace`], and with tracing enabled. The first two run identical
+/// code up to one pointer-null check per recording site, so
+/// `disabled_overhead` must sit within measurement noise of 1.0 —
+/// `sched-throughput` asserts it (< 2% expected; the gate is
+/// deliberately looser to absorb machine jitter).
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceOverhead {
+    /// Loops scheduled per pass.
+    pub loops: usize,
+    /// Timing passes per variant (best-of).
+    pub reps: usize,
+    /// Best wall-clock via `schedule_tms` (seconds).
+    pub baseline_s: f64,
+    /// Best wall-clock via `schedule_tms_traced` + disabled sink.
+    pub disabled_trace_s: f64,
+    /// Best wall-clock via `schedule_tms_traced` + enabled sink.
+    pub enabled_trace_s: f64,
+    /// `disabled_trace_s / baseline_s` — 1.0 means tracing-off is free.
+    pub disabled_overhead: f64,
+}
+
 /// The `results/bench_sched.json` payload.
 #[derive(Debug, Clone, Serialize)]
 pub struct ThroughputReport {
@@ -99,6 +124,8 @@ pub struct ThroughputReport {
     pub total: FamilyThroughput,
     /// The verification-sweep comparison.
     pub verify_sweep: SweepThroughput,
+    /// Disabled-tracing cost comparison.
+    pub trace_overhead: TraceOverhead,
 }
 
 fn family_populations(cfg: &ThroughputConfig) -> Vec<(String, Vec<Ddg>)> {
@@ -154,6 +181,44 @@ fn ratio(n: f64, d: f64) -> f64 {
         n / d
     } else {
         0.0
+    }
+}
+
+/// Measure the disabled-tracing overhead on `ddgs`, serial, best-of-
+/// `reps` per variant. Variants are interleaved (b, d, e, b, d, e, …)
+/// so slow drift in machine load hits all three alike.
+fn measure_trace_overhead(ddgs: &[Ddg], reps: usize, exp: &ExperimentConfig) -> TraceOverhead {
+    let machine = exp.machine();
+    let arch = exp.arch();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let tms_cfg = TmsConfig::default();
+    let time_pass = |trace: Option<&Trace>| {
+        let t0 = Instant::now();
+        for ddg in ddgs {
+            let r = match trace {
+                None => schedule_tms(ddg, &machine, &model, &tms_cfg),
+                Some(t) => schedule_tms_traced(ddg, &machine, &model, &tms_cfg, t),
+            };
+            black_box(r.map(|r| (r.ii, r.cost_key)).ok());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let disabled = Trace::disabled();
+    let (mut baseline_s, mut disabled_s, mut enabled_s) =
+        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps.max(1) {
+        baseline_s = baseline_s.min(time_pass(None));
+        disabled_s = disabled_s.min(time_pass(Some(&disabled)));
+        let enabled = Trace::enabled();
+        enabled_s = enabled_s.min(time_pass(Some(&enabled)));
+    }
+    TraceOverhead {
+        loops: ddgs.len(),
+        reps: reps.max(1),
+        baseline_s,
+        disabled_trace_s: disabled_s,
+        enabled_trace_s: enabled_s,
+        disabled_overhead: ratio(disabled_s, baseline_s),
     }
 }
 
@@ -215,6 +280,14 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     .to_json();
     let sweep_parallel_s = t0.elapsed().as_secs_f64();
 
+    // Disabled-tracing cost on the two hand-written families (stable
+    // populations; large enough to time, small enough to repeat).
+    let mut overhead_pop: Vec<Ddg> = kernels::all_kernels();
+    if !cfg.smoke {
+        overhead_pop.extend(livermore_suite());
+    }
+    let trace_overhead = measure_trace_overhead(&overhead_pop, if cfg.smoke { 1 } else { 3 }, &exp);
+
     ThroughputReport {
         jobs: cfg.jobs.workers(),
         available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
@@ -228,6 +301,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
             speedup: ratio(sweep_serial_s, sweep_parallel_s),
             reports_identical: serial_report == parallel_report,
         },
+        trace_overhead,
     }
 }
 
@@ -266,6 +340,16 @@ pub fn render(r: &ThroughputReport) -> String {
         r.verify_sweep.speedup,
         r.verify_sweep.reports_identical,
     ));
+    out.push_str(&format!(
+        "trace overhead ({} loops, best of {}): baseline {:.3}s, \
+         disabled {:.3}s ({:.3}x), enabled {:.3}s\n",
+        r.trace_overhead.loops,
+        r.trace_overhead.reps,
+        r.trace_overhead.baseline_s,
+        r.trace_overhead.disabled_trace_s,
+        r.trace_overhead.disabled_overhead,
+        r.trace_overhead.enabled_trace_s,
+    ));
     out
 }
 
@@ -302,8 +386,12 @@ mod tests {
             report.verify_sweep.reports_identical,
             "parallel sweep diverged from serial"
         );
+        assert!(report.trace_overhead.loops > 0);
+        assert!(report.trace_overhead.baseline_s > 0.0);
+        assert!(report.trace_overhead.disabled_overhead > 0.0);
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"verify_sweep\""));
-        assert!(render(&report).contains("verify sweep"));
+        assert!(json.contains("\"trace_overhead\""));
+        assert!(render(&report).contains("trace overhead"));
     }
 }

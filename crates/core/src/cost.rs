@@ -52,9 +52,36 @@ pub fn preserves(
 
 /// Equation 3: combined misspeculation probability of a set of
 /// independent speculated dependences.
+///
+/// Each `p` is clamped to `[0, 1]` (NaN to 0): a fuzzed or mis-profiled
+/// edge probability outside the unit interval would otherwise make the
+/// product drift outside `[0, 1]` and silently corrupt both the C2
+/// admission check and `t_mis_spec`. [`tms_ddg::DdgBuilder`] already
+/// clamps probabilities at construction, so a violation here means a
+/// `Ddg` was assembled by hand around the builder — debug builds flag
+/// it, release builds degrade to the clamped value.
 pub fn misspec_probability(probs: impl IntoIterator<Item = f64>) -> f64 {
-    let surviving: f64 = probs.into_iter().map(|p| 1.0 - p).product();
+    let surviving: f64 = probs
+        .into_iter()
+        .map(|p| {
+            debug_assert!(
+                (0.0..=1.0).contains(&p),
+                "edge probability {p} outside [0, 1]"
+            );
+            1.0 - clamp_probability(p)
+        })
+        .product();
     1.0 - surviving
+}
+
+/// Clamp a profiled probability to `[0, 1]`; NaN maps to 0.
+#[inline]
+pub fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
 }
 
 /// The per-iteration cost `F(II, C_delay) = T_nomiss / N` of Figure 3
@@ -175,6 +202,28 @@ mod tests {
         assert!((misspec_probability([0.5]) - 0.5).abs() < 1e-12);
         assert!((misspec_probability([0.5, 0.5]) - 0.75).abs() < 1e-12);
         assert!((misspec_probability([1.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_clamp_to_unit_interval() {
+        assert_eq!(clamp_probability(-0.25), 0.0);
+        assert_eq!(clamp_probability(1.75), 1.0);
+        assert_eq!(clamp_probability(f64::NAN), 0.0);
+        assert_eq!(clamp_probability(0.3), 0.3);
+        // In release builds (the debug_assert compiled out) the
+        // combined probability degrades to the clamped value instead of
+        // drifting outside [0, 1].
+        if !cfg!(debug_assertions) {
+            assert_eq!(misspec_probability([1.75]), 1.0);
+            assert_eq!(misspec_probability([-3.0, 0.0]), 0.0);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_probability_asserts_in_debug() {
+        let _ = misspec_probability([1.75]);
     }
 
     #[test]

@@ -74,5 +74,5 @@ pub use par::{par_map, par_map_with, Parallelism};
 pub use postpass::CommPlan;
 pub use schedule::{PartialSchedule, Schedule};
 pub use sms::{schedule_sms, schedule_sms_with, SchedError, SchedScratch, SmsResult};
-pub use tms::{schedule_tms, CandidateReject, TmsConfig, TmsResult};
+pub use tms::{schedule_tms, schedule_tms_traced, CandidateReject, TmsConfig, TmsResult};
 pub use unrolling::{schedule_tms_unrolled, UnrolledTms};

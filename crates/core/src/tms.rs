@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
 use tms_ddg::{Ddg, InstId};
 use tms_machine::{mii, CostConstants, MachineModel};
+use tms_trace::Trace;
 
 /// Tunables of the TMS search.
 #[derive(Debug, Clone)]
@@ -322,14 +323,34 @@ pub fn schedule_tms(
     model: &CostModel,
     config: &TmsConfig,
 ) -> Result<TmsResult, SchedError> {
+    schedule_tms_traced(ddg, machine, model, config, &Trace::disabled())
+}
+
+/// [`schedule_tms`] with instrumentation: a span per `(II, C_delay,
+/// P_max)` attempt, per-phase timers (ordering, LDP, slot placement,
+/// verification), and counters for every attempt outcome keyed by
+/// [`Diagnostic::kind`].
+///
+/// Counters and value histograms are recorded only in the serial fold
+/// (never in worker threads), so the metrics snapshot is bit-identical
+/// at every [`TmsConfig::parallelism`] level; span/timer *durations*
+/// are wall-clock and carry no such guarantee.
+pub fn schedule_tms_traced(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    model: &CostModel,
+    config: &TmsConfig,
+    trace: &Trace,
+) -> Result<TmsResult, SchedError> {
     let m = mii(ddg, machine);
     if m == u32::MAX {
+        trace.count("tms.unschedulable", 1);
         return Err(SchedError::Unschedulable {
             loop_name: ddg.name().to_string(),
         });
     }
-    let order = sms_order(ddg);
-    let ldp = AcyclicPriorities::compute(ddg).ldp;
+    let order = trace.time("tms.phase.order", || sms_order(ddg));
+    let ldp = trace.time("tms.phase.ldp", || AcyclicPriorities::compute(ddg).ldp);
     let mut scratch = SchedScratch::new();
 
     // SMS runs first: its II floors the candidate ceiling (on loops
@@ -338,7 +359,9 @@ pub fn schedule_tms(
     // all), and its schedule is the ready-made fallback. The node order
     // and LDP are attempt-invariant, so they are computed once here and
     // shared with every candidate attempt below.
-    let sms = schedule_sms_with(ddg, machine, order, ldp, &mut scratch)?;
+    let sms = trace.time("tms.phase.sms_baseline", || {
+        schedule_sms_with(ddg, machine, order, ldp, &mut scratch)
+    })?;
     let order = &sms.order;
     let ii_max = config
         .ii_max
@@ -378,12 +401,18 @@ pub fn schedule_tms(
                        frames: Option<&TimeFrames>,
                        scratch: &mut SchedScratch|
      -> AttemptOutcome {
+        let mut span = trace.span("tms", "attempt");
+        span.arg("loop", ddg.name());
+        span.arg("ii", ii);
+        span.arg("c_delay", c_delay);
+        span.arg("p_max", p_max);
         let Some(frames) = frames else {
             return AttemptOutcome::NoSchedule;
         };
         let policy = TmsPolicy::new(&model.costs, c_delay, p_max);
-        let Some(schedule) = try_schedule_with(ddg, machine, ii, order, &policy, frames, scratch)
-        else {
+        let Some(schedule) = trace.time("tms.phase.place", || {
+            try_schedule_with(ddg, machine, ii, order, &policy, frames, scratch)
+        }) else {
             return AttemptOutcome::NoSchedule;
         };
         // Post-search verification on the *normalised* kernel: the
@@ -397,7 +426,9 @@ pub fn schedule_tms(
             p_max: Some(p_max),
             max_stages: Some(min_stages + config.max_extra_stages),
         };
-        let diagnostics = verify_schedule(ddg, &schedule, machine, &model.costs, &limits);
+        let diagnostics = trace.time("tms.phase.verify", || {
+            verify_schedule(ddg, &schedule, machine, &model.costs, &limits)
+        });
         if !diagnostics.is_empty() {
             return AttemptOutcome::Rejected(diagnostics);
         }
@@ -430,10 +461,18 @@ pub fn schedule_tms(
                 rejects: &mut Vec<CandidateReject>|
      -> Option<Resolution> {
         *attempts += 1;
+        trace.count("tms.attempts", 1);
         match outcome {
-            AttemptOutcome::NoSchedule => None,
+            AttemptOutcome::NoSchedule => {
+                trace.count("tms.reject.no-schedule", 1);
+                None
+            }
             AttemptOutcome::Rejected(diagnostics) => {
                 *rejected += 1;
+                trace.count("tms.rejected", 1);
+                for d in &diagnostics {
+                    trace.count_keyed("tms.reject.", d.kind(), 1);
+                }
                 if rejects.len() < REJECT_LOG_CAP {
                     rejects.push(CandidateReject {
                         ii,
@@ -547,6 +586,7 @@ pub fn schedule_tms(
         }
     }
 
+    trace.record("tms.attempts_per_loop", attempts as u64);
     match resolution {
         Some(Resolution::Accept {
             schedule,
@@ -554,21 +594,25 @@ pub fn schedule_tms(
             c_delay,
             p_max,
             tms_key,
-        }) => Ok(TmsResult {
-            schedule,
-            mii: m,
-            ldp,
-            ii,
-            c_delay_threshold: c_delay,
-            p_max,
-            cost_key: tms_key,
-            fell_back_to_sms: false,
-            attempts,
-            rejected_candidates: rejected,
-            rejects,
-        }),
+        }) => {
+            trace.count("tms.accepted", 1);
+            Ok(TmsResult {
+                schedule,
+                mii: m,
+                ldp,
+                ii,
+                c_delay_threshold: c_delay,
+                p_max,
+                cost_key: tms_key,
+                fell_back_to_sms: false,
+                attempts,
+                rejected_candidates: rejected,
+                rejects,
+            })
+        }
         // `Resolution::Fallback` only arises with `allow_sms_fallback`.
         _ if config.allow_sms_fallback => {
+            trace.count("tms.fallback", 1);
             let ii = sms.schedule.ii();
             Ok(TmsResult {
                 schedule: sms.schedule,
@@ -584,10 +628,13 @@ pub fn schedule_tms(
                 rejects,
             })
         }
-        _ => Err(SchedError::NoScheduleFound {
-            loop_name: ddg.name().to_string(),
-            ii_tried: ii_search_ceiling_from(ddg, m, ldp),
-        }),
+        _ => {
+            trace.count("tms.unschedulable", 1);
+            Err(SchedError::NoScheduleFound {
+                loop_name: ddg.name().to_string(),
+                ii_tried: ii_search_ceiling_from(ddg, m, ldp),
+            })
+        }
     }
 }
 

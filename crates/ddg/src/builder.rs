@@ -104,6 +104,11 @@ impl DdgBuilder {
     ///
     /// Scheduling delay is the producer's latency, matching how a store
     /// must complete before a dependent load in the same thread.
+    ///
+    /// `prob` is a profiled frequency; anything outside `[0, 1]` (a
+    /// buggy or adversarial profile) is clamped here, at the single
+    /// point where probabilities enter the pipeline, so the cost model
+    /// and simulator can assume the unit interval. NaN clamps to 0.
     pub fn mem_flow(&mut self, src: InstId, dst: InstId, distance: u32, prob: f64) {
         let delay = self.insts[src.index()].latency as i64;
         self.edges.push(Edge {
@@ -113,11 +118,12 @@ impl DdgBuilder {
             ty: DepType::Flow,
             distance,
             delay,
-            prob,
+            prob: clamp_prob(prob),
         });
     }
 
-    /// Add a memory anti dependence with probability `prob` (delay 1).
+    /// Add a memory anti dependence with probability `prob` (delay 1,
+    /// `prob` clamped as in [`DdgBuilder::mem_flow`]).
     pub fn mem_anti(&mut self, src: InstId, dst: InstId, distance: u32, prob: f64) {
         self.edges.push(Edge {
             src,
@@ -126,11 +132,12 @@ impl DdgBuilder {
             ty: DepType::Anti,
             distance,
             delay: 1,
-            prob,
+            prob: clamp_prob(prob),
         });
     }
 
-    /// Add a memory output dependence with probability `prob` (delay 1).
+    /// Add a memory output dependence with probability `prob` (delay 1,
+    /// `prob` clamped as in [`DdgBuilder::mem_flow`]).
     pub fn mem_output(&mut self, src: InstId, dst: InstId, distance: u32, prob: f64) {
         self.edges.push(Edge {
             src,
@@ -139,7 +146,7 @@ impl DdgBuilder {
             ty: DepType::Output,
             distance,
             delay: 1,
-            prob,
+            prob: clamp_prob(prob),
         });
     }
 
@@ -151,6 +158,16 @@ impl DdgBuilder {
     /// Validate and build the graph.
     pub fn build(self) -> Result<Ddg, DdgError> {
         Ddg::from_parts(self.name, self.insts, self.edges)
+    }
+}
+
+/// Clamp a profiled probability to `[0, 1]` (NaN to 0) — the pipeline's
+/// single entry point for dependence probabilities.
+fn clamp_prob(prob: f64) -> f64 {
+    if prob.is_nan() {
+        0.0
+    } else {
+        prob.clamp(0.0, 1.0)
     }
 }
 
@@ -204,5 +221,19 @@ mod tests {
         let e = &g.edges()[0];
         assert_eq!(e.distance, 2);
         assert!((e.prob - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_probabilities_are_clamped() {
+        let mut b = DdgBuilder::new("t");
+        let s = b.inst("st", OpClass::Store);
+        let l = b.inst("ld", OpClass::Load);
+        b.mem_flow(s, l, 1, -0.25);
+        b.mem_anti(s, l, 1, 1.75);
+        b.mem_output(s, l, 1, f64::NAN);
+        let g = b.build().unwrap();
+        assert_eq!(g.edges()[0].prob, 0.0);
+        assert_eq!(g.edges()[1].prob, 1.0);
+        assert_eq!(g.edges()[2].prob, 0.0);
     }
 }

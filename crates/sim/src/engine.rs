@@ -27,10 +27,11 @@ use crate::config::SimConfig;
 use crate::program::ThreadProgram;
 use crate::stats::SimStats;
 use crate::trace::{RunTrace, ThreadTrace};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use tms_core::postpass::CommPlan;
 use tms_core::schedule::Schedule;
 use tms_ddg::{Ddg, InstId};
+use tms_trace::Trace;
 
 /// Result of an SpMT simulation.
 #[derive(Debug, Clone)]
@@ -65,6 +66,36 @@ struct ThreadRun {
 
 /// Simulate `schedule` on the SpMT system described by `config`.
 pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> SpmtOutcome {
+    simulate_spmt_traced(ddg, schedule, config, &Trace::disabled())
+}
+
+/// [`simulate_spmt`] with instrumentation.
+///
+/// The run itself is byte-identical whether `trace` is enabled or not —
+/// the trace only *observes*. It records:
+///
+/// * **exact cycle attribution**: per committed thread the commit-chain
+///   advance `commit_end − prev_commit_end` is partitioned into
+///   `sim.cycles.commit` (`C_ci` + write-buffer overflow),
+///   `sim.cycles.exec` (execution exposed beyond the previous commit)
+///   and `sim.cycles.wait` (exposed idle lead-in: spawn serialisation
+///   and restart floors). The three counters sum to
+///   [`SimStats::total_cycles`] by construction — no unattributed
+///   cycles;
+/// * **store-log pruning work**: `sim.prune.popped` (entries retired —
+///   at most one per committed thread now that the log is a ring) and
+///   the `sim.prune.log_len` histogram, whose max is bounded by the
+///   overlap window `keep_window`;
+/// * **virtual-time thread events** (category `sim.vthread`, one track
+///   per core, cycle timestamps) when [`SimConfig::collect_trace`] is
+///   set, mirroring the [`RunTrace`] records on a Perfetto-loadable
+///   timeline.
+pub fn simulate_spmt_traced(
+    ddg: &Ddg,
+    schedule: &Schedule,
+    config: &SimConfig,
+    tracer: &Trace,
+) -> SpmtOutcome {
     let plan = CommPlan::build(ddg, schedule);
     let program = ThreadProgram::lower(ddg, schedule, &plan);
     let addr_map = AddressMap::new(ddg, config.seed);
@@ -90,7 +121,11 @@ pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> Spmt
     // Store log for violation detection, pruned to the window in which
     // overlap is possible.
     let mut store_log: HashMap<u64, Vec<(u64, u64)>> = HashMap::new(); // addr -> (thread, time)
-    let mut log_threads: Vec<(u64, Vec<u64>)> = Vec::new(); // (thread, addrs) for pruning
+                                                                       // (thread, addrs) in commit order, for pruning. A deque: threads
+                                                                       // retire strictly oldest-first, and `pop_front` keeps each
+                                                                       // retirement O(1) (a `Vec::remove(0)` here made pruning O(n²)
+                                                                       // across a long run).
+    let mut log_threads: VecDeque<(u64, Vec<u64>)> = VecDeque::new();
     let keep_window = (ncore as u64 + program.stages as u64 + 4).max(8);
 
     for k in 0..total_threads {
@@ -184,6 +219,18 @@ pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> Spmt
         let commit_end = run.end.max(prev_commit_end) + costs.c_ci as u64 + overflow;
         stats.commit_cycles += costs.c_ci as u64 + overflow;
         stats.committed_threads += 1;
+        if tracer.is_enabled() {
+            // Exact attribution of the commit-chain advance: the delta
+            // past the previous commit is commit cost plus whatever ran
+            // or idled *exposed* (not hidden under the older thread).
+            let commit_cost = costs.c_ci as u64 + overflow;
+            let exposed = run.end.saturating_sub(prev_commit_end);
+            let exec_exposed = run.end.saturating_sub(run_start.max(prev_commit_end));
+            tracer.count("sim.cycles.commit", commit_cost);
+            tracer.count("sim.cycles.exec", exec_exposed);
+            tracer.count("sim.cycles.wait", exposed - exec_exposed);
+            tracer.count("sim.threads.committed", 1);
+        }
         stats.sync_stall_cycles += run.sync_stall;
         stats.local_stall_cycles += run.local_stall;
         stats.send_recv_pairs += run.pairs;
@@ -205,13 +252,14 @@ pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> Spmt
                 }
             }
         }
-        log_threads.push((k, addrs));
+        log_threads.push_back((k, addrs));
         // Prune the store log outside the overlap window.
-        while let Some(&(old_k, _)) = log_threads.first() {
+        while let Some(&(old_k, _)) = log_threads.front() {
             if k - old_k < keep_window {
                 break;
             }
-            let (_, addrs) = log_threads.remove(0);
+            let (_, addrs) = log_threads.pop_front().expect("front exists");
+            tracer.count("sim.prune.popped", 1);
             for a in addrs {
                 if let Some(v) = store_log.get_mut(&a) {
                     v.retain(|&(tk, _)| tk != old_k);
@@ -220,6 +268,11 @@ pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> Spmt
                     }
                 }
             }
+        }
+        if tracer.is_enabled() {
+            // Bounded-window regression check: after pruning, the log
+            // spans at most `keep_window` distinct committed threads.
+            tracer.record("sim.prune.log_len", log_threads.len() as u64);
         }
 
         if let Some(tr) = trace.as_mut() {
@@ -233,6 +286,26 @@ pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> Spmt
                 local_stall: run.local_stall,
                 squashes: squashes_this_thread,
             });
+            // Mirror the record onto the virtual-time timeline (cycle
+            // timestamps, one track per core) so a single loop's thread
+            // schedule can be inspected in Perfetto. Only when the
+            // caller asked for per-thread records: a whole sweep would
+            // otherwise overlay thousands of loops at cycle 0.
+            tracer.event_at(
+                "sim.vthread",
+                || format!("t{k}"),
+                core as u64,
+                run_start,
+                run.end.saturating_sub(run_start).max(1),
+                || {
+                    vec![
+                        ("thread", k.to_string()),
+                        ("commit_end", commit_end.to_string()),
+                        ("sync_stall", run.sync_stall.to_string()),
+                        ("squashes", squashes_this_thread.to_string()),
+                    ]
+                },
+            );
         }
 
         prev_sends = run.sends;
@@ -528,6 +601,43 @@ mod tests {
         // Off by default.
         let out = simulate_spmt(&g, &sch, &cfg(20, 4));
         assert!(out.trace.is_none());
+    }
+
+    #[test]
+    fn cycle_attribution_reconciles_and_prune_is_bounded() {
+        // Run a violating kernel (squashes + restart floors stress the
+        // wait attribution) under an enabled tracer.
+        let mut b = DdgBuilder::new("viol");
+        let st = b.inst("st", OpClass::Store);
+        let ld = b.inst("ld", OpClass::Load);
+        b.mem_flow(st, ld, 1, 1.0);
+        let g = b.build().unwrap();
+        let sch = Schedule::from_times(&g, 8, vec![7, 0]);
+        let tracer = Trace::enabled();
+        let out = simulate_spmt_traced(&g, &sch, &cfg(200, 4), &tracer);
+        let attributed = tracer.counter("sim.cycles.commit")
+            + tracer.counter("sim.cycles.exec")
+            + tracer.counter("sim.cycles.wait");
+        assert_eq!(
+            attributed, out.stats.total_cycles,
+            "attribution must have no unaccounted cycles"
+        );
+        assert_eq!(
+            tracer.counter("sim.threads.committed"),
+            out.stats.committed_threads
+        );
+        // Store-log pruning: O(1) per committed thread, window-bounded.
+        // Mirrors the engine's formula: one stage (times 0 and 7 both
+        // fit under II = 8) on 4 cores.
+        let (ncore, stages) = (4u64, 1u64);
+        let keep_window = (ncore + stages + 4).max(8);
+        let len = tracer.value_stats("sim.prune.log_len").unwrap();
+        assert!(len.max <= keep_window, "log len {} > window", len.max);
+        assert!(tracer.counter("sim.prune.popped") <= out.stats.committed_threads);
+
+        // The tracer only observes: stats are identical untraced.
+        let untraced = simulate_spmt(&g, &sch, &cfg(200, 4));
+        assert_eq!(untraced.stats, out.stats);
     }
 
     #[test]

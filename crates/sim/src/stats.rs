@@ -47,11 +47,30 @@ impl SimStats {
 
     /// Misspeculation frequency over committed threads (the paper
     /// reports < 0.1% for the selected loops).
+    ///
+    /// Counts only *detected violations* — threads that read stale data
+    /// and replayed. Cascade squashes (younger threads rolled back in a
+    /// violator's wake) are excluded; for the paper's eq. (3) notion of
+    /// total squash work, use [`SimStats::total_squash_frequency`].
     pub fn misspec_frequency(&self) -> f64 {
         if self.committed_threads == 0 {
             0.0
         } else {
             self.misspeculations as f64 / self.committed_threads as f64
+        }
+    }
+
+    /// Total squash events — detected violations *plus* cascade
+    /// squashes — over committed threads. This is the frequency the
+    /// paper's eq. (3) threshold check (`P_M ≤ P_max`) bounds: every
+    /// squash, cascaded or not, costs `t_mis_spec` of redone work, so
+    /// comparing only [`SimStats::misspec_frequency`] against `P_max`
+    /// undercounts the speculation bill on cascade-heavy runs.
+    pub fn total_squash_frequency(&self) -> f64 {
+        if self.committed_threads == 0 {
+            0.0
+        } else {
+            (self.misspeculations + self.cascade_squashes) as f64 / self.committed_threads as f64
         }
     }
 
@@ -89,6 +108,20 @@ mod tests {
             ..Default::default()
         };
         assert!((s.misspec_frequency() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_squash_frequency_includes_cascades() {
+        let s = SimStats::default();
+        assert_eq!(s.total_squash_frequency(), 0.0);
+        let s = SimStats {
+            misspeculations: 2,
+            cascade_squashes: 3,
+            committed_threads: 1000,
+            ..Default::default()
+        };
+        assert!((s.total_squash_frequency() - 0.005).abs() < 1e-12);
+        assert!((s.misspec_frequency() - 0.002).abs() < 1e-12);
     }
 
     #[test]

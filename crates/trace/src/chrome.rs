@@ -1,0 +1,119 @@
+//! Chrome `trace_event` export.
+//!
+//! Every recorded span becomes a *complete* event (`"ph": "X"`) in the
+//! [Trace Event Format] understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): `name`, `cat`, timestamp `ts`
+//! and duration `dur` in microseconds, and a `(pid, tid)` track. Two
+//! kinds of track coexist in one file:
+//!
+//! * `pid 1` — **wall-clock** spans; `tid` is the recording worker
+//!   thread (first-use order, main thread is 0);
+//! * `pid 2` — **virtual-time** records from the SpMT engine, where
+//!   `ts`/`dur` are simulated cycles and `tid` is the core number, so a
+//!   loop's thread timeline renders as a per-core Gantt chart.
+//!
+//! Events are sorted by `(pid, tid, ts, name)` before rendering so the
+//! file is stable for a given set of recorded events.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::write_str;
+use crate::sink::Event;
+
+/// Process id for wall-clock span tracks.
+pub const PID_WALL: u64 = 1;
+/// Process id for virtual-time (simulated-cycle) tracks.
+pub const PID_VIRTUAL: u64 = 2;
+
+/// Categories whose events live on the virtual-time process.
+fn pid_of(ev: &Event) -> u64 {
+    if ev.cat.starts_with("sim.v") {
+        PID_VIRTUAL
+    } else {
+        PID_WALL
+    }
+}
+
+/// Render the full `{"traceEvents": [...]}` document.
+pub fn render(events: &[Event]) -> String {
+    let mut order: Vec<&Event> = events.iter().collect();
+    order.sort_by(|a, b| {
+        (pid_of(a), a.track, a.ts_us, a.name.as_str()).cmp(&(
+            pid_of(b),
+            b.track,
+            b.ts_us,
+            b.name.as_str(),
+        ))
+    });
+
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in order.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{\"ph\":\"X\",\"name\":");
+        write_str(&mut out, &ev.name);
+        out.push_str(",\"cat\":");
+        write_str(&mut out, ev.cat);
+        out.push_str(&format!(
+            ",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}",
+            pid_of(ev),
+            ev.track,
+            ev.ts_us,
+            ev.dur_us
+        ));
+        out.push_str(",\"args\":{");
+        for (j, (k, v)) in ev.args.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, k);
+            out.push(':');
+            write_str(&mut out, v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cat: &'static str, name: &str, track: u64, ts: u64) -> Event {
+        Event {
+            cat,
+            name: name.to_string(),
+            track,
+            ts_us: ts,
+            dur_us: 5,
+            args: vec![("k", "v".to_string())],
+        }
+    }
+
+    #[test]
+    fn renders_sorted_complete_events() {
+        let events = vec![ev("tms", "b", 0, 20), ev("tms", "a", 0, 10)];
+        let json = render(&events);
+        let a = json.find("\"name\":\"a\"").unwrap();
+        let b = json.find("\"name\":\"b\"").unwrap();
+        assert!(a < b, "events must be time-sorted");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"args\":{\"k\":\"v\"}"));
+    }
+
+    #[test]
+    fn virtual_events_get_their_own_process() {
+        let events = vec![ev("sim.vthread", "t0", 1, 0), ev("sweep", "kernels", 0, 0)];
+        let json = render(&events);
+        assert!(json.contains(&format!("\"pid\":{PID_VIRTUAL}")));
+        assert!(json.contains(&format!("\"pid\":{PID_WALL}")));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(render(&[]), "{\"traceEvents\":[\n]}\n");
+    }
+}

@@ -1,0 +1,89 @@
+//! Minimal hand-rolled JSON emission. `tms-trace` is intentionally
+//! dependency-free (even of the vendored `serde`), so the two exporters
+//! share these few helpers instead.
+
+use crate::sink::Histogram;
+
+/// Append `s` as a JSON string literal (with escaping) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append the body of a `{"name": value, ...}` map (the caller writes
+/// the opening `{`; this writes entries and the closing `}`), with each
+/// value rendered by `write_val`.
+pub fn write_map<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    write_val: impl Fn(&mut String, &V),
+) {
+    let mut first = true;
+    for (name, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        write_str(out, name);
+        out.push_str(": ");
+        write_val(out, v);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+/// Append a [`Histogram`] as a JSON object.
+pub fn write_histogram(out: &mut String, h: &Histogram) {
+    out.push_str(&format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+        h.count, h.sum, h.min, h.max
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\n\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\n\\u0001\"");
+    }
+
+    #[test]
+    fn maps_render_sorted_entries() {
+        let mut out = String::from("{");
+        let entries = [("a".to_string(), 1u64), ("b".to_string(), 2u64)];
+        write_map(&mut out, entries.iter().map(|(k, v)| (k, v)), |o, v| {
+            o.push_str(&v.to_string())
+        });
+        assert_eq!(out, "{\n    \"a\": 1,\n    \"b\": 2\n  }");
+    }
+
+    #[test]
+    fn empty_map_closes_immediately() {
+        let mut out = String::from("{");
+        let entries: [(String, u64); 0] = [];
+        write_map(&mut out, entries.iter().map(|(k, v)| (k, v)), |o, v| {
+            o.push_str(&v.to_string())
+        });
+        assert_eq!(out, "{}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Zero-dependency structured tracing and metrics for the TMS pipeline.
+//!
+//! The paper's whole contribution is a cost model that *predicts* where
+//! cycles go; this crate is what lets the implementation *show* where
+//! they went. One [`Trace`] handle threads through the scheduler, the
+//! SpMT engine and the sweep/bench drivers and collects
+//!
+//! * **counters** — named monotonic sums (`tms.attempts`,
+//!   `sim.cycles.commit`, …). Addition is commutative, so counters
+//!   recorded from [`tms_core::par`]-style worker pools are
+//!   deterministic at any worker count *provided the recording sites
+//!   are* (the scheduler records its accounting in the serial fold,
+//!   keyed by candidate index, never by arrival order);
+//! * **value histograms** — named `(count, sum, min, max)` summaries of
+//!   deterministic quantities (store-log lengths, attempt counts);
+//! * **timers** — the same summaries over wall-clock span durations
+//!   (nondeterministic by nature, reported separately);
+//! * **span events** — begin/duration records with monotonic
+//!   timestamps, exportable as a Chrome `trace_event` JSON that
+//!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
+//!   directly. The SpMT engine also emits *virtual-time* events (cycle
+//!   timestamps) so a loop's thread timeline can be inspected visually.
+//!
+//! # Disabled cost
+//!
+//! Tracing is **off by default**: [`Trace::disabled`] carries no sink
+//! at all (a sealed no-op — the sink type is private and cannot be
+//! constructed empty), and every recording method bails on one pointer
+//! check before any formatting or locking. `sched-throughput` asserts
+//! the disabled path is within noise of the un-instrumented baseline.
+//!
+//! ```
+//! use tms_trace::Trace;
+//!
+//! let trace = Trace::enabled();
+//! {
+//!     let mut span = trace.span("demo", "phase");
+//!     span.arg("loop", "daxpy");
+//!     trace.count("demo.items", 3);
+//!     trace.record("demo.len", 7);
+//! }
+//! assert_eq!(trace.counter("demo.items"), 3);
+//! assert!(trace.chrome_json().contains("\"traceEvents\""));
+//!
+//! let off = Trace::disabled();
+//! off.count("demo.items", 3); // no-op, near-zero cost
+//! assert_eq!(off.counter("demo.items"), 0);
+//! ```
+
+mod chrome;
+mod json;
+mod sink;
+
+pub use sink::{Event, Histogram, MetricsSnapshot, SpanGuard, Trace};

@@ -1,0 +1,518 @@
+//! The trace handle and its thread-safe sink.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Stable per-OS-thread track id for span events (`std::thread::ThreadId`
+/// has no stable integer form). Ids are assigned in first-use order, so
+/// the main thread is track 0 in a serial run.
+fn track_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TRACK: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TRACK.with(|t| *t)
+}
+
+/// `(count, sum, min, max)` summary of a stream of `u64` samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One completed span, in Chrome `trace_event` terms: a complete
+/// (`"ph": "X"`) event on track `track` starting at `ts_us` for
+/// `dur_us` microseconds.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Event category (Chrome `cat`).
+    pub cat: &'static str,
+    /// Event name.
+    pub name: String,
+    /// Track (Chrome `tid`): worker thread for wall-clock spans, core
+    /// number for the engine's virtual-time thread records.
+    pub track: u64,
+    /// Start timestamp in microseconds (wall-clock since the sink's
+    /// epoch, or virtual cycles for engine events).
+    pub ts_us: u64,
+    /// Duration in microseconds (or cycles).
+    pub dur_us: u64,
+    /// Key/value annotations (`args` in the Chrome schema).
+    pub args: Vec<(&'static str, String)>,
+}
+
+#[derive(Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    values: BTreeMap<String, Histogram>,
+    timers: BTreeMap<String, Histogram>,
+    events: Vec<Event>,
+}
+
+/// The shared collector. Private on purpose: the only way to obtain one
+/// is [`Trace::enabled`], and the only disabled representation is *no
+/// sink at all* — there is no half-constructed state to pay for.
+struct Sink {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// A cheaply clonable tracing handle: either **disabled** (no sink, all
+/// recording methods are one-branch no-ops) or **enabled** (an
+/// `Arc`-shared, mutex-protected sink safe to use from
+/// `tms_core::par` worker threads).
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<Sink>>,
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Trace(disabled)"),
+            Some(s) => {
+                let st = s.state.lock().unwrap();
+                write!(
+                    f,
+                    "Trace(enabled: {} counters, {} events)",
+                    st.counters.len(),
+                    st.events.len()
+                )
+            }
+        }
+    }
+}
+
+/// Deterministic snapshot of everything but the wall-clock data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// All value histograms, sorted by name.
+    pub values: BTreeMap<String, Histogram>,
+}
+
+impl Trace {
+    /// A disabled handle: every recording call is a no-op after one
+    /// pointer-null check. This is also the [`Default`].
+    pub fn disabled() -> Trace {
+        Trace { inner: None }
+    }
+
+    /// A fresh enabled handle with its own sink. Clones share the sink.
+    pub fn enabled() -> Trace {
+        Trace {
+            inner: Some(Arc::new(Sink {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `n` to counter `name` (created at 0 on first use).
+    #[inline]
+    pub fn count(&self, name: &str, n: u64) {
+        let Some(sink) = &self.inner else { return };
+        let mut st = sink.state.lock().unwrap();
+        match st.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                st.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Add `n` to the counter named `{prefix}{key}`. The concatenation
+    /// happens only when enabled, so disabled callers pay no formatting.
+    #[inline]
+    pub fn count_keyed(&self, prefix: &str, key: &str, n: u64) {
+        if self.inner.is_some() {
+            self.count(&format!("{prefix}{key}"), n);
+        }
+    }
+
+    /// Record sample `v` into value histogram `name`.
+    #[inline]
+    pub fn record(&self, name: &str, v: u64) {
+        let Some(sink) = &self.inner else { return };
+        let mut st = sink.state.lock().unwrap();
+        match st.values.get_mut(name) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = Histogram::default();
+                h.record(v);
+                st.values.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Time `f`, recording its wall-clock duration (nanoseconds) into
+    /// timer histogram `name`. No span event is emitted.
+    #[inline]
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let Some(sink) = &self.inner else { return f() };
+        let t0 = Instant::now();
+        let r = f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        let mut st = sink.state.lock().unwrap();
+        match st.timers.get_mut(name) {
+            Some(h) => h.record(ns),
+            None => {
+                let mut h = Histogram::default();
+                h.record(ns);
+                st.timers.insert(name.to_string(), h);
+            }
+        }
+        r
+    }
+
+    /// Open a wall-clock span. On drop it emits a Chrome event under
+    /// `cat` and records the duration into the timer `{cat}.{name}`.
+    #[inline]
+    pub fn span(&self, cat: &'static str, name: &str) -> SpanGuard<'_> {
+        self.span_with(cat, || name.to_string())
+    }
+
+    /// [`Trace::span`] with a lazily-built name: `name_fn` runs only
+    /// when the handle is enabled (use for `format!`-style names).
+    #[inline]
+    pub fn span_with(&self, cat: &'static str, name_fn: impl FnOnce() -> String) -> SpanGuard<'_> {
+        match &self.inner {
+            None => SpanGuard { active: None },
+            Some(sink) => SpanGuard {
+                active: Some(SpanActive {
+                    sink,
+                    cat,
+                    name: name_fn(),
+                    start: Instant::now(),
+                    args: Vec::new(),
+                }),
+            },
+        }
+    }
+
+    /// Run `f` inside a span named `name` (event + timer).
+    #[inline]
+    pub fn scope<R>(&self, cat: &'static str, name: &str, f: impl FnOnce() -> R) -> R {
+        let _g = self.span(cat, name);
+        f()
+    }
+
+    /// Record a completed event with explicit (virtual) timestamps —
+    /// the engine uses cycle numbers as microseconds so thread
+    /// timelines render in Perfetto. `name_fn` and `args_fn` run only
+    /// when enabled.
+    pub fn event_at(
+        &self,
+        cat: &'static str,
+        name_fn: impl FnOnce() -> String,
+        track: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args_fn: impl FnOnce() -> Vec<(&'static str, String)>,
+    ) {
+        let Some(sink) = &self.inner else { return };
+        let ev = Event {
+            cat,
+            name: name_fn(),
+            track,
+            ts_us,
+            dur_us,
+            args: args_fn(),
+        };
+        sink.state.lock().unwrap().events.push(ev);
+    }
+
+    /// Current value of counter `name` (0 if absent or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(s) => *s.state.lock().unwrap().counters.get(name).unwrap_or(&0),
+        }
+    }
+
+    /// Value histogram `name`, if any samples were recorded.
+    pub fn value_stats(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .as_ref()
+            .and_then(|s| s.state.lock().unwrap().values.get(name).copied())
+    }
+
+    /// Deterministic snapshot: counters and value histograms only (no
+    /// wall-clock timers or events). Two runs that perform the same
+    /// work record equal snapshots regardless of worker count.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.inner {
+            None => MetricsSnapshot::default(),
+            Some(s) => {
+                let st = s.state.lock().unwrap();
+                MetricsSnapshot {
+                    counters: st.counters.clone(),
+                    values: st.values.clone(),
+                }
+            }
+        }
+    }
+
+    /// Number of span events recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |s| s.state.lock().unwrap().events.len())
+    }
+
+    /// The JSON metrics dump: counters and value histograms (sorted,
+    /// deterministic) plus wall-clock timers (reported separately —
+    /// their durations are machine noise by nature).
+    pub fn metrics_json(&self) -> String {
+        let Some(sink) = &self.inner else {
+            return "{}".to_string();
+        };
+        let st = sink.state.lock().unwrap();
+        let mut out = String::from("{\n  \"counters\": {");
+        json::write_map(&mut out, st.counters.iter(), |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str(",\n  \"values\": {");
+        json::write_map(&mut out, st.values.iter(), |out, h| {
+            json::write_histogram(out, h)
+        });
+        out.push_str(",\n  \"timers_ns\": {");
+        json::write_map(&mut out, st.timers.iter(), |out, h| {
+            json::write_histogram(out, h)
+        });
+        out.push_str(",\n  \"span_events\": ");
+        out.push_str(&st.events.len().to_string());
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The Chrome `trace_event` JSON (see [`crate::chrome`]).
+    pub fn chrome_json(&self) -> String {
+        let Some(sink) = &self.inner else {
+            return "{\"traceEvents\":[]}\n".to_string();
+        };
+        let st = sink.state.lock().unwrap();
+        crate::chrome::render(&st.events)
+    }
+
+    /// Write [`Trace::metrics_json`] to `path`, creating parents.
+    pub fn write_metrics(&self, path: &std::path::Path) -> std::io::Result<()> {
+        write_creating_dirs(path, &self.metrics_json())
+    }
+
+    /// Write [`Trace::chrome_json`] to `path`, creating parents.
+    pub fn write_chrome(&self, path: &std::path::Path) -> std::io::Result<()> {
+        write_creating_dirs(path, &self.chrome_json())
+    }
+
+    fn finish_span(sink: &Sink, span: &mut SpanActive<'_>) {
+        let ts_us = span.start.duration_since(sink.epoch).as_micros() as u64;
+        let dur = span.start.elapsed();
+        let ev = Event {
+            cat: span.cat,
+            name: std::mem::take(&mut span.name),
+            track: track_id(),
+            ts_us,
+            dur_us: dur.as_micros() as u64,
+            args: std::mem::take(&mut span.args),
+        };
+        let timer_key = format!("{}.{}", span.cat, ev.name);
+        let mut st = sink.state.lock().unwrap();
+        match st.timers.get_mut(&timer_key) {
+            Some(h) => h.record(dur.as_nanos() as u64),
+            None => {
+                let mut h = Histogram::default();
+                h.record(dur.as_nanos() as u64);
+                st.timers.insert(timer_key, h);
+            }
+        }
+        st.events.push(ev);
+    }
+}
+
+struct SpanActive<'a> {
+    sink: &'a Sink,
+    cat: &'static str,
+    name: String,
+    start: Instant,
+    args: Vec<(&'static str, String)>,
+}
+
+/// Guard returned by [`Trace::span`]; records the span when dropped
+/// (including on unwind). Disabled handles return an inert guard.
+pub struct SpanGuard<'a> {
+    active: Option<SpanActive<'a>>,
+}
+
+impl SpanGuard<'_> {
+    /// Attach a key/value annotation to the span. `val` is only
+    /// rendered when the span is live.
+    #[inline]
+    pub fn arg(&mut self, key: &'static str, val: impl fmt::Display) {
+        if let Some(a) = &mut self.active {
+            a.args.push((key, val.to_string()));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(mut a) = self.active.take() {
+            Trace::finish_span(a.sink, &mut a);
+        }
+    }
+}
+
+fn write_creating_dirs(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Trace::disabled();
+        t.count("a", 3);
+        t.record("b", 9);
+        t.time("c", || ());
+        {
+            let mut s = t.span("cat", "name");
+            s.arg("k", 1);
+        }
+        assert_eq!(t.counter("a"), 0);
+        assert!(t.value_stats("b").is_none());
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.metrics(), MetricsSnapshot::default());
+        assert_eq!(t.metrics_json(), "{}");
+        assert!(!t.is_enabled());
+        assert!(!Trace::default().is_enabled());
+    }
+
+    #[test]
+    fn counters_and_values_accumulate() {
+        let t = Trace::enabled();
+        t.count("x", 1);
+        t.count("x", 2);
+        t.count_keyed("reject.", "c1", 5);
+        t.record("len", 4);
+        t.record("len", 10);
+        assert_eq!(t.counter("x"), 3);
+        assert_eq!(t.counter("reject.c1"), 5);
+        let h = t.value_stats("len").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 14, 4, 10));
+        assert!((h.mean() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_emit_events_and_timers() {
+        let t = Trace::enabled();
+        {
+            let mut s = t.span("tms", "attempt");
+            s.arg("ii", 8);
+        }
+        t.scope("tms", "order", || ());
+        assert_eq!(t.event_count(), 2);
+        let json = t.chrome_json();
+        assert!(json.contains("\"attempt\""));
+        assert!(json.contains("\"ii\""));
+        let m = t.metrics_json();
+        assert!(m.contains("\"tms.attempt\""));
+        assert!(m.contains("\"span_events\": 2"));
+    }
+
+    #[test]
+    fn clones_share_one_sink_across_threads() {
+        let t = Trace::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        t.count("n", 1);
+                    }
+                    t.scope("w", "tick", || ());
+                });
+            }
+        });
+        assert_eq!(t.counter("n"), 400);
+        assert_eq!(t.event_count(), 4);
+    }
+
+    #[test]
+    fn virtual_time_events_keep_their_timestamps() {
+        let t = Trace::enabled();
+        t.event_at(
+            "sim",
+            || "t0".into(),
+            2,
+            100,
+            40,
+            || vec![("thread", "0".into())],
+        );
+        let json = t.chrome_json();
+        assert!(json.contains("\"ts\":100"));
+        assert!(json.contains("\"dur\":40"));
+        assert!(json.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn metrics_snapshot_is_order_independent() {
+        let a = Trace::enabled();
+        a.count("x", 1);
+        a.count("y", 2);
+        a.record("v", 3);
+        let b = Trace::enabled();
+        b.record("v", 3);
+        b.count("y", 2);
+        b.count("x", 1);
+        assert_eq!(a.metrics(), b.metrics());
+    }
+}

@@ -17,10 +17,11 @@
 use serde::Serialize;
 use tms_core::diagnostics::{verify_schedule, VerifyLimits};
 use tms_core::metrics::achieved_c_delay;
-use tms_core::{schedule_sms, schedule_tms, CostModel, TmsConfig};
+use tms_core::{schedule_sms, schedule_tms_traced, CostModel, TmsConfig};
 use tms_ddg::Ddg;
 use tms_machine::{ArchParams, MachineModel};
-use tms_sim::{simulate_sequential, simulate_spmt, SimConfig};
+use tms_sim::{simulate_sequential, simulate_spmt_traced, SimConfig};
+use tms_trace::Trace;
 
 /// One failed check on one loop.
 #[derive(Debug, Clone, Serialize)]
@@ -104,6 +105,26 @@ fn image_diff(
 
 /// Run every configured check on one loop.
 pub fn check_loop(ddg: &Ddg, cfg: &CheckConfig) -> LoopVerdict {
+    check_loop_traced(ddg, cfg, &Trace::disabled())
+}
+
+/// [`check_loop`] with instrumentation: a span per loop, plus whatever
+/// the traced scheduler and simulator record underneath. The verdict is
+/// identical whether `trace` is enabled or not, and the counters it
+/// feeds are sums over a fixed per-loop workload — deterministic at any
+/// sweep worker count.
+pub fn check_loop_traced(ddg: &Ddg, cfg: &CheckConfig, trace: &Trace) -> LoopVerdict {
+    let mut span = trace.span("verify", ddg.name());
+    let v = check_loop_impl(ddg, cfg, trace);
+    span.arg("checks", v.checks);
+    span.arg("violations", v.violations.len());
+    trace.count("verify.loops", 1);
+    trace.count("verify.checks", v.checks as u64);
+    trace.count("verify.violations", v.violations.len() as u64);
+    v
+}
+
+fn check_loop_impl(ddg: &Ddg, cfg: &CheckConfig, trace: &Trace) -> LoopVerdict {
     let mut v = LoopVerdict {
         name: ddg.name().to_string(),
         ..Default::default()
@@ -143,7 +164,7 @@ pub fn check_loop(ddg: &Ddg, cfg: &CheckConfig) -> LoopVerdict {
                 ..TmsConfig::default()
             };
             let point = format!("ncore={ncore} P_max={p_max}");
-            let tms = match schedule_tms(ddg, &machine, &model, &config) {
+            let tms = match schedule_tms_traced(ddg, &machine, &model, &config, trace) {
                 Ok(r) => r,
                 Err(e) => {
                     v.fail("tms-schedule", format!("{point}: {e:?}"));
@@ -205,7 +226,7 @@ pub fn check_loop(ddg: &Ddg, cfg: &CheckConfig) -> LoopVerdict {
         let seq = simulate_sequential(ddg, &machine, &sim);
         let mut run = |tag: &str, schedule, config: &SimConfig| {
             v.checks += 1;
-            let out = simulate_spmt(ddg, schedule, config);
+            let out = simulate_spmt_traced(ddg, schedule, config, trace);
             let diff = image_diff(&out.memory_image, &seq.memory_image);
             if diff > 0 {
                 v.fail(
@@ -214,6 +235,30 @@ pub fn check_loop(ddg: &Ddg, cfg: &CheckConfig) -> LoopVerdict {
                         "{tag}: {diff} address(es) differ from sequential \
                          ({} misspeculations, {} cascades)",
                         out.stats.misspeculations, out.stats.cascade_squashes
+                    ),
+                );
+            }
+            // Squash accounting must be consistent under the *total*
+            // squash frequency (detected violations + cascades — the
+            // paper's eq. 3 notion of squash work): squash events and
+            // squash cycle charges imply each other exactly, and
+            // cascades can only add to the detected-violation rate.
+            v.checks += 1;
+            let events = out.stats.misspeculations + out.stats.cascade_squashes;
+            let charged = out.stats.squashed_cycles + out.stats.invalidation_cycles;
+            if (events > 0) != (charged > 0) {
+                v.fail(
+                    "sim-squash-accounting",
+                    format!("{tag}: {events} squash event(s) vs {charged} charged cycle(s)"),
+                );
+            }
+            if out.stats.total_squash_frequency() < out.stats.misspec_frequency() {
+                v.fail(
+                    "sim-squash-accounting",
+                    format!(
+                        "{tag}: total squash frequency {} below misspec frequency {}",
+                        out.stats.total_squash_frequency(),
+                        out.stats.misspec_frequency()
                     ),
                 );
             }

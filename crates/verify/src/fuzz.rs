@@ -34,6 +34,11 @@ pub fn fuzz_spec(index: u64, master_seed: u64) -> LoopSpec {
         });
     }
     let forced_misspec = rng.gen_bool(0.1);
+    // A slice of adversarial profiles: carried-dependence probabilities
+    // drawn outside [0, 1], exercising the clamping at `DdgBuilder`'s
+    // mem-edge constructors (and, downstream, that the cost model and
+    // simulator never see a probability off the unit interval).
+    let out_of_range = rng.gen_bool(0.05);
     LoopSpec {
         name: format!("fuzz#{index}"),
         n_inst,
@@ -44,7 +49,9 @@ pub fn fuzz_spec(index: u64, master_seed: u64) -> LoopSpec {
         fpmul_frac: rng.gen_range(0.05..0.30),
         carried_reg_deps: rng.gen_range(0..=2),
         carried_mem_deps: rng.gen_range(0..=3),
-        mem_prob: if forced_misspec {
+        mem_prob: if out_of_range {
+            (-0.25, 1.25)
+        } else if forced_misspec {
             (1.0, 1.0)
         } else {
             (0.002, rng.gen_range(0.05..0.50))
@@ -87,7 +94,30 @@ mod tests {
             .any(|s| s.recurrences.iter().any(|r| !r.through_memory)));
         // Forced-misspeculation slice present (p = 1.0 carried deps).
         assert!(specs.iter().any(|s| s.mem_prob == (1.0, 1.0)));
+        // Adversarial slice: probabilities outside [0, 1].
+        assert!(specs.iter().any(|s| s.mem_prob == (-0.25, 1.25)));
         assert!(specs.iter().any(|s| s.carried_mem_deps == 0));
+    }
+
+    #[test]
+    fn out_of_range_probabilities_reach_the_builder_clamped() {
+        // Every generated edge probability must be in [0, 1] even for
+        // the adversarial slice — the builder clamps at construction.
+        let mut saw_adversarial = false;
+        for i in 0..400u64 {
+            let spec = fuzz_spec(i, 1);
+            saw_adversarial |= spec.mem_prob == (-0.25, 1.25);
+            let g = generate_loop(&spec);
+            for e in g.edges() {
+                assert!(
+                    (0.0..=1.0).contains(&e.prob),
+                    "{}: edge prob {} escaped clamping",
+                    spec.name,
+                    e.prob
+                );
+            }
+        }
+        assert!(saw_adversarial, "no adversarial spec in 400 draws");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ```text
 //! tms-verify [--fuzz N] [--seed S] [--out PATH] [--sim-iters N]
 //!            [--specfp-cap N] [--jobs N] [--no-sim] [--quick]
+//!            [--trace PATH] [--metrics PATH]
 //! ```
 //!
 //! Exits nonzero if any check fails.
@@ -12,11 +13,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 use tms_core::par::Parallelism;
+use tms_trace::Trace;
 use tms_verify::sweep::{run_sweep, SweepConfig};
 
 struct Args {
     sweep: SweepConfig,
     out: PathBuf,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -28,13 +32,16 @@ impl Default for Args {
                 ..Default::default()
             },
             out: PathBuf::from("results/verify.json"),
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
 
 fn usage() -> String {
     "tms-verify [--fuzz N] [--seed S] [--out PATH] [--sim-iters N] \
-     [--specfp-cap N] [--jobs N] [--no-sim] [--quick]\n\n\
+     [--specfp-cap N] [--jobs N] [--no-sim] [--quick] \
+     [--trace PATH] [--metrics PATH]\n\n\
      --jobs N       worker threads for the per-loop fan-out; 0 or the\n\
                     default uses every available core. The TMS_JOBS\n\
                     environment variable sets the default; the flag\n\
@@ -42,7 +49,13 @@ fn usage() -> String {
                     worker count.\n\
      --quick        cheaper per-loop check grid\n\
      --no-sim       skip differential execution\n\
-     --specfp-cap N loops per SPECfp profile (0 = all)"
+     --specfp-cap N loops per SPECfp profile (0 = all)\n\
+     --trace PATH   enable tracing; write a Chrome trace_event JSON\n\
+                    (load in chrome://tracing or ui.perfetto.dev)\n\
+     --metrics PATH enable tracing; write the counter/timer metrics\n\
+                    JSON (default results/verify_metrics.json when\n\
+                    --trace is given). Tracing never changes the\n\
+                    report: verify.json stays byte-identical."
         .to_string()
 }
 
@@ -75,6 +88,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-sim" => args.sweep.no_sim = true,
             "--quick" => args.sweep.quick = true,
+            "--trace" => args.trace_out = Some(PathBuf::from(val("--trace")?)),
+            "--metrics" => args.metrics_out = Some(PathBuf::from(val("--metrics")?)),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -86,13 +101,20 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("tms-verify: {e}");
             return ExitCode::from(2);
         }
     };
+    let tracing = args.trace_out.is_some() || args.metrics_out.is_some();
+    if tracing {
+        args.sweep.trace = Trace::enabled();
+        if args.metrics_out.is_none() {
+            args.metrics_out = Some(PathBuf::from("results/verify_metrics.json"));
+        }
+    }
 
     let started = Instant::now();
     let outcome = run_sweep(&args.sweep);
@@ -124,6 +146,24 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("wrote {}", args.out.display());
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = args.sweep.trace.write_chrome(path) {
+            eprintln!("tms-verify: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} span events; load in chrome://tracing or ui.perfetto.dev)",
+            path.display(),
+            args.sweep.trace.event_count()
+        );
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = args.sweep.trace.write_metrics(path) {
+            eprintln!("tms-verify: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
 
     if report.ok() {
         ExitCode::SUCCESS

@@ -10,11 +10,12 @@
 //! test calls it directly and compares whole-report JSON across worker
 //! counts.
 
-use crate::checks::{check_loop, CheckConfig, LoopVerdict};
+use crate::checks::{check_loop_traced, CheckConfig, LoopVerdict};
 use crate::fuzz::fuzz_ddgs;
 use crate::report::VerifyReport;
 use std::time::Instant;
 use tms_core::par::{par_map, Parallelism};
+use tms_trace::Trace;
 use tms_workloads::{doacross_suite, figure1, kernels, livermore_suite, specfp_profiles};
 
 /// Everything one sweep run depends on.
@@ -34,6 +35,11 @@ pub struct SweepConfig {
     pub quick: bool,
     /// Worker threads for the per-loop fan-out.
     pub jobs: Parallelism,
+    /// Instrumentation sink (disabled by default). When enabled, the
+    /// sweep records a span per family and per loop plus the scheduler
+    /// and simulator counters underneath; the [`VerifyReport`] itself
+    /// is byte-identical either way.
+    pub trace: Trace,
 }
 
 impl Default for SweepConfig {
@@ -46,6 +52,7 @@ impl Default for SweepConfig {
             no_sim: false,
             quick: false,
             jobs: Parallelism::Auto,
+            trace: Trace::disabled(),
         }
     }
 }
@@ -104,8 +111,12 @@ pub fn run_sweep(sweep: &SweepConfig) -> SweepOutcome {
     };
 
     let run_family = |outcome: &mut SweepOutcome, family: &str, ddgs: &[tms_ddg::Ddg]| {
+        let mut span = sweep.trace.span("sweep", family);
+        span.arg("loops", ddgs.len());
         let t0 = Instant::now();
-        let verdicts: Vec<LoopVerdict> = par_map(sweep.jobs, ddgs, |_, g| check_loop(g, &cfg));
+        let verdicts: Vec<LoopVerdict> = par_map(sweep.jobs, ddgs, |_, g| {
+            check_loop_traced(g, &cfg, &sweep.trace)
+        });
         outcome.report.add_family(family, &verdicts);
         outcome.timings.push(FamilyTiming {
             family: family.to_string(),
@@ -200,5 +211,31 @@ mod tests {
             ..tiny()
         });
         assert_eq!(serial.report.to_json(), parallel.report.to_json());
+    }
+
+    #[test]
+    fn tracing_changes_nothing_and_is_itself_deterministic() {
+        let untraced = run_sweep(&tiny());
+        let t_serial = Trace::enabled();
+        let traced = run_sweep(&SweepConfig {
+            trace: t_serial.clone(),
+            ..tiny()
+        });
+        // The report is byte-identical with tracing on.
+        assert_eq!(untraced.report.to_json(), traced.report.to_json());
+        // And the deterministic metrics slice (counters + value
+        // histograms) is identical at any worker count.
+        let t_jobs = Trace::enabled();
+        run_sweep(&SweepConfig {
+            trace: t_jobs.clone(),
+            jobs: Parallelism::Jobs(3),
+            ..tiny()
+        });
+        assert_eq!(t_serial.metrics(), t_jobs.metrics());
+        assert_eq!(
+            t_serial.counter("verify.loops"),
+            untraced.report.total_loops as u64
+        );
+        assert!(t_serial.counter("tms.attempts") > 0);
     }
 }

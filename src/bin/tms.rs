@@ -11,9 +11,11 @@
 //! tms export <loop> <file.json>     write the DDG as JSON
 //! tms import <file.json> <cmd>      run show/schedule/simulate on it
 //!
-//! options: --ncore N   cores (default 4)
-//!          --iters N   simulated iterations (default 1000)
-//!          --unroll F  unroll before scheduling
+//! options: --ncore N     cores (default 4)
+//!          --iters N     simulated iterations (default 1000)
+//!          --unroll F    unroll before scheduling
+//!          --trace PATH  (trace) also write a Chrome trace_event JSON
+//!                        timeline — load it in ui.perfetto.dev
 //! ```
 
 use std::process::ExitCode;
@@ -24,6 +26,7 @@ struct Opts {
     ncore: u32,
     iters: u64,
     unroll: u32,
+    trace_out: Option<String>,
 }
 
 fn named_workloads() -> Vec<Ddg> {
@@ -43,6 +46,7 @@ fn parse_opts(args: &[String]) -> Opts {
         ncore: 4,
         iters: 1000,
         unroll: 1,
+        trace_out: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -50,6 +54,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--ncore" => o.ncore = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
             "--iters" => o.iters = it.next().and_then(|v| v.parse().ok()).unwrap_or(1000),
             "--unroll" => o.unroll = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--trace" => o.trace_out = it.next().cloned(),
             _ => {}
         }
     }
@@ -162,10 +167,25 @@ fn cmd_trace(g: &Ddg, o: &Opts) {
     let machine = MachineModel::icpp2008();
     let arch = ArchParams::with_ncore(o.ncore);
     let model = CostModel::new(arch.costs, arch.ncore);
-    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    let sink = if o.trace_out.is_some() {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
+    let tms = schedule_tms_traced(&g, &machine, &model, &TmsConfig::default(), &sink)
+        .expect("TMS failed");
     let mut cfg = SimConfig::with_ncore(o.iters.min(48), o.ncore);
     cfg.collect_trace = true;
-    let out = simulate_spmt(&g, &tms.schedule, &cfg);
+    let out = simulate_spmt_traced(&g, &tms.schedule, &cfg, &sink);
+    if let Some(path) = &o.trace_out {
+        match sink.write_chrome(std::path::Path::new(path)) {
+            Ok(()) => println!(
+                "wrote {path} ({} events; load in chrome://tracing or ui.perfetto.dev)",
+                sink.event_count()
+            ),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
     let trace = out.trace.expect("trace requested");
     print!("{}", trace.timeline(72));
     println!(
@@ -204,7 +224,7 @@ fn main() -> ExitCode {
     let usage = || {
         eprintln!(
             "usage: tms <list|show|schedule|simulate|dot|trace|codegen|export|import> [loop] [opts]\n\
-             see `tms list` for loop names; options: --ncore N --iters N --unroll F"
+             see `tms list` for loop names; options: --ncore N --iters N --unroll F --trace PATH"
         );
         ExitCode::FAILURE
     };

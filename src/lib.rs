@@ -11,6 +11,8 @@
 //!   out-of-order single-threaded baseline;
 //! * [`workloads`] — Figure 1, classic kernels, SPECfp2000-calibrated
 //!   populations and the Table 3 DOACROSS suite;
+//! * [`mod@trace`] — zero-dependency structured tracing and metrics
+//!   (spans, counters, Chrome `trace_event` export), off by default;
 //! * [`mod@bench`] — the experiment harness regenerating every table and
 //!   figure of the paper's evaluation.
 //!
@@ -23,14 +25,18 @@ pub use tms_core as core;
 pub use tms_ddg as ddg;
 pub use tms_machine as machine;
 pub use tms_sim as sim;
+pub use tms_trace as trace;
 pub use tms_workloads as workloads;
 
 /// Convenience prelude for examples and downstream users.
 pub mod prelude {
     pub use tms_bench::ExperimentConfig;
     pub use tms_core::cost::CostModel;
-    pub use tms_core::{schedule_sms, schedule_tms, CommPlan, LoopMetrics, Schedule, TmsConfig};
+    pub use tms_core::{
+        schedule_sms, schedule_tms, schedule_tms_traced, CommPlan, LoopMetrics, Schedule, TmsConfig,
+    };
     pub use tms_ddg::{Ddg, DdgBuilder, DepKind, DepType, InstId, OpClass};
     pub use tms_machine::{ArchParams, CostConstants, MachineModel};
-    pub use tms_sim::{simulate_sequential, simulate_spmt, SimConfig};
+    pub use tms_sim::{simulate_sequential, simulate_spmt, simulate_spmt_traced, SimConfig};
+    pub use tms_trace::Trace;
 }

@@ -1,0 +1,167 @@
+//! The observability layer's two contracts, end to end:
+//!
+//! 1. **Tracing is invisible.** A traced run returns exactly the same
+//!    `SimStats` / verify report as an untraced one, at every worker
+//!    count.
+//! 2. **The counters are exact.** The simulator's cycle-attribution
+//!    counters (`sim.cycles.{commit,exec,wait}`) partition
+//!    `SimStats::total_cycles` with no residue, on every kernel
+//!    workload — not approximately, to the cycle.
+//!
+//! Plus a schema check: the Chrome `trace_event` export must be JSON
+//! that `chrome://tracing` / Perfetto will accept.
+
+use tms_core::cost::CostModel;
+use tms_core::par::Parallelism;
+use tms_core::{schedule_tms_traced, TmsConfig};
+use tms_machine::{ArchParams, MachineModel};
+use tms_sim::{simulate_spmt, simulate_spmt_traced, SimConfig};
+use tms_trace::Trace;
+use tms_verify::sweep::{run_sweep, SweepConfig};
+use tms_workloads::kernels;
+
+/// Cycle-attribution counters reconcile exactly against `SimStats` on
+/// every kernel workload, and tracing never perturbs the simulation.
+#[test]
+fn cycle_attribution_reconciles_on_every_kernel() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let mut pop = kernels::all_kernels();
+    // Force misspeculation so squash/cascade cycles are exercised too.
+    pop.push(kernels::maybe_aliasing_update(1.0));
+    for ddg in &pop {
+        let trace = Trace::enabled();
+        let Ok(tms) = schedule_tms_traced(ddg, &machine, &model, &TmsConfig::default(), &trace)
+        else {
+            continue;
+        };
+        let cfg = SimConfig::with_ncore(200, arch.ncore);
+        let untraced = simulate_spmt(ddg, &tms.schedule, &cfg);
+        let traced = simulate_spmt_traced(ddg, &tms.schedule, &cfg, &trace);
+        assert_eq!(
+            untraced.stats,
+            traced.stats,
+            "{}: tracing changed the simulation",
+            ddg.name()
+        );
+        let attributed = trace.counter("sim.cycles.commit")
+            + trace.counter("sim.cycles.exec")
+            + trace.counter("sim.cycles.wait");
+        assert_eq!(
+            attributed,
+            traced.stats.total_cycles,
+            "{}: cycle attribution does not sum to total_cycles",
+            ddg.name()
+        );
+        assert_eq!(
+            trace.counter("sim.threads.committed"),
+            traced.stats.committed_threads,
+            "{}: committed-thread counter drifted",
+            ddg.name()
+        );
+    }
+}
+
+/// A traced sweep — with differential simulation on, so the simulator
+/// counters run — produces a byte-identical report, and the metrics
+/// slice is identical serial vs parallel.
+#[test]
+fn traced_sweep_matches_untraced_with_simulation_enabled() {
+    let base = SweepConfig {
+        fuzz: 6,
+        specfp_cap: 1,
+        sim_iters: 12,
+        quick: true,
+        jobs: Parallelism::Serial,
+        ..Default::default()
+    };
+    let untraced = run_sweep(&base).report.to_json();
+    let serial_trace = Trace::enabled();
+    let traced = run_sweep(&SweepConfig {
+        trace: serial_trace.clone(),
+        ..base.clone()
+    })
+    .report
+    .to_json();
+    assert_eq!(untraced, traced, "tracing changed the verify report");
+
+    let parallel_trace = Trace::enabled();
+    let parallel = run_sweep(&SweepConfig {
+        trace: parallel_trace.clone(),
+        jobs: Parallelism::Jobs(4),
+        ..base
+    })
+    .report
+    .to_json();
+    assert_eq!(untraced, parallel, "jobs=4 traced report diverged");
+    assert_eq!(
+        serial_trace.metrics(),
+        parallel_trace.metrics(),
+        "metrics slice diverged between worker counts"
+    );
+    // The simulator ran, so its counters must be populated.
+    assert!(serial_trace.counter("sim.threads.committed") > 0);
+    assert!(serial_trace.counter("sim.cycles.commit") > 0);
+}
+
+/// Both exporters emit well-formed JSON, and the Chrome export carries
+/// the `trace_event` fields Perfetto requires on every event.
+#[test]
+fn exporters_emit_wellformed_json() {
+    let trace = Trace::enabled();
+    run_sweep(&SweepConfig {
+        fuzz: 2,
+        specfp_cap: 1,
+        sim_iters: 8,
+        quick: true,
+        jobs: Parallelism::Serial,
+        trace: trace.clone(),
+        ..Default::default()
+    });
+
+    let metrics: serde_json::Value =
+        serde_json::from_str(&trace.metrics_json()).expect("metrics JSON parses");
+    assert!(metrics.get("counters").is_some(), "metrics lack counters");
+    assert!(metrics.get("timers_ns").is_some(), "metrics lack timers");
+
+    let chrome: serde_json::Value =
+        serde_json::from_str(&trace.chrome_json()).expect("chrome JSON parses");
+    let events = chrome
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert_eq!(events.len(), trace.event_count());
+    assert!(!events.is_empty(), "traced sweep produced no events");
+    for ev in events {
+        assert_eq!(
+            ev.get("ph").and_then(|v| v.as_str()),
+            Some("X"),
+            "only complete events are emitted"
+        );
+        for key in ["pid", "tid", "ts", "dur"] {
+            assert!(
+                ev.get(key).and_then(|v| v.as_u64()).is_some(),
+                "event missing numeric {key}"
+            );
+        }
+        for key in ["name", "cat"] {
+            assert!(
+                ev.get(key).and_then(|v| v.as_str()).is_some(),
+                "event missing string {key}"
+            );
+        }
+    }
+
+    // A disabled trace exports empty but still-valid documents.
+    let off = Trace::disabled();
+    let m: serde_json::Value = serde_json::from_str(&off.metrics_json()).expect("parses");
+    assert!(m.as_object().is_some_and(|o| o.is_empty()));
+    let c: serde_json::Value = serde_json::from_str(&off.chrome_json()).expect("parses");
+    assert_eq!(
+        c.get("traceEvents")
+            .and_then(|v| v.as_array())
+            .map(<[serde_json::Value]>::len),
+        Some(0)
+    );
+}
