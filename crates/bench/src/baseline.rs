@@ -1,0 +1,169 @@
+//! Perf-regression gate for the scheduling-throughput benchmark.
+//!
+//! A committed baseline (`results/bench_baseline.json`) pins the
+//! serial scheduling rate a machine class is expected to sustain,
+//! together with an **explicit noise window**: the gate fails only
+//! when the measured `total.loops_per_sec_serial` drops below
+//! `baseline × (1 − noise_frac)`. The window is wide on purpose —
+//! shared CI runners jitter by tens of percent, and a gate that cries
+//! wolf gets deleted; the point is to catch the 2–10× cliffs an
+//! accidental `O(n²)` or a debug-build artifact introduces, not 5%
+//! drift. `sched-throughput --gate PATH` enforces it,
+//! `--write-baseline PATH` refreshes it from the run it just did.
+
+use crate::throughput::ThroughputReport;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// The committed `results/bench_baseline.json` payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfBaseline {
+    /// Pinned serial rate (`total.loops_per_sec_serial`).
+    pub loops_per_sec_serial: f64,
+    /// Fractional noise window: the gate floor is
+    /// `loops_per_sec_serial × (1 − noise_frac)`.
+    pub noise_frac: f64,
+    /// Whether the baseline was measured in `--smoke` mode. A gate run
+    /// must match — smoke and full populations time differently.
+    pub smoke: bool,
+    /// Master seed the baseline run used (population shape).
+    pub seed: u64,
+}
+
+/// What a gate comparison concluded.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Measured serial rate.
+    pub current: f64,
+    /// `baseline × (1 − noise_frac)` — failing threshold.
+    pub floor: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether the measurement clears the floor.
+    pub pass: bool,
+}
+
+impl PerfBaseline {
+    /// Pin a baseline from a finished run.
+    pub fn from_report(report: &ThroughputReport, noise_frac: f64) -> PerfBaseline {
+        PerfBaseline {
+            loops_per_sec_serial: report.total.loops_per_sec_serial,
+            noise_frac,
+            smoke: report.smoke,
+            seed: report.seed,
+        }
+    }
+
+    /// Read a baseline file.
+    pub fn load(path: &Path) -> io::Result<PerfBaseline> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// Write a baseline file, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let json = serde_json::to_string_pretty(self).expect("baseline serialises");
+        std::fs::write(path, json + "\n")
+    }
+
+    /// Compare a finished run against this baseline. `Err` means the
+    /// comparison itself is invalid (mismatched run shape or a
+    /// degenerate baseline), not a regression.
+    pub fn check(&self, report: &ThroughputReport) -> Result<GateOutcome, String> {
+        if !self.loops_per_sec_serial.is_finite() || self.loops_per_sec_serial <= 0.0 {
+            return Err("baseline rate must be positive".to_string());
+        }
+        if !(0.0..1.0).contains(&self.noise_frac) {
+            return Err(format!("noise_frac {} outside [0, 1)", self.noise_frac));
+        }
+        if report.smoke != self.smoke {
+            return Err(format!(
+                "baseline was {} but this run is {} — not comparable",
+                if self.smoke { "smoke" } else { "full" },
+                if report.smoke { "smoke" } else { "full" },
+            ));
+        }
+        if report.seed != self.seed {
+            return Err(format!(
+                "baseline seed {} != run seed {} — different populations",
+                self.seed, report.seed
+            ));
+        }
+        let current = report.total.loops_per_sec_serial;
+        let floor = self.loops_per_sec_serial * (1.0 - self.noise_frac);
+        Ok(GateOutcome {
+            current,
+            floor,
+            ratio: current / self.loops_per_sec_serial,
+            pass: current >= floor,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::throughput::{run, ThroughputConfig};
+    use tms_core::par::Parallelism;
+
+    fn smoke_report() -> ThroughputReport {
+        run(&ThroughputConfig {
+            jobs: Parallelism::Jobs(2),
+            smoke: true,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn baseline_round_trips_and_gates() {
+        let report = smoke_report();
+        let base = PerfBaseline::from_report(&report, 0.4);
+        let dir = std::env::temp_dir().join("tms_bench_baseline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        base.write(&path).unwrap();
+        let loaded = PerfBaseline::load(&path).unwrap();
+        assert_eq!(loaded.smoke, base.smoke);
+        assert_eq!(loaded.seed, base.seed);
+        assert!((loaded.loops_per_sec_serial - base.loops_per_sec_serial).abs() < 1e-9);
+
+        // A run gates cleanly against its own baseline…
+        let outcome = loaded.check(&report).unwrap();
+        assert!(outcome.pass);
+        assert!((outcome.ratio - 1.0).abs() < 1e-9);
+
+        // …and a 10× faster pinned rate fails it.
+        let brutal = PerfBaseline {
+            loops_per_sec_serial: base.loops_per_sec_serial * 10.0,
+            ..loaded
+        };
+        let outcome = brutal.check(&report).unwrap();
+        assert!(!outcome.pass);
+        assert!(outcome.current < outcome.floor);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_runs_are_rejected_not_failed() {
+        let report = smoke_report();
+        let mut base = PerfBaseline::from_report(&report, 0.4);
+        base.smoke = false;
+        assert!(base.check(&report).unwrap_err().contains("not comparable"));
+        let mut base = PerfBaseline::from_report(&report, 0.4);
+        base.seed ^= 1;
+        assert!(base.check(&report).unwrap_err().contains("seed"));
+        let base = PerfBaseline::from_report(&report, 1.5);
+        assert!(base.check(&report).unwrap_err().contains("noise_frac"));
+    }
+}

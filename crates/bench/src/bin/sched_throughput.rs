@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! sched-throughput [--jobs N] [--fuzz N] [--seed S] [--out PATH] [--smoke]
+//!                  [--gate PATH] [--write-baseline PATH]
 //! ```
 //!
 //! `--jobs 0` (the default) uses every available core; `TMS_JOBS` sets
@@ -10,9 +11,18 @@
 //! timings are not meaningful there, but the determinism check
 //! (`verify_sweep.reports_identical`) still is. Exits nonzero if the
 //! parallel verification sweep diverges from the serial one.
+//!
+//! `--gate PATH` loads a committed [`PerfBaseline`] and fails the run
+//! if `total.loops_per_sec_serial` falls below the baseline's noise
+//! window; `--write-baseline PATH` pins a fresh baseline from this
+//! run. The default window is 60%: the gate floor is 40% of the
+//! pinned rate, wide enough that a different machine class or a busy
+//! shared runner passes, while an accidental `O(n²)` or debug-build
+//! cliff still fails.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use tms_bench::baseline::PerfBaseline;
 use tms_bench::throughput::{render, run, write, ThroughputConfig};
 use tms_core::par::Parallelism;
 
@@ -22,6 +32,8 @@ fn main() -> ExitCode {
         ..Default::default()
     };
     let mut out = PathBuf::from("results/bench_sched.json");
+    let mut gate: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -44,9 +56,24 @@ fn main() -> ExitCode {
                 cfg.smoke = true;
                 Ok(())
             }
+            "--gate" => match it.next() {
+                Some(p) => {
+                    gate = Some(PathBuf::from(p));
+                    Ok(())
+                }
+                None => Err("--gate needs a value".to_string()),
+            },
+            "--write-baseline" => match it.next() {
+                Some(p) => {
+                    write_baseline = Some(PathBuf::from(p));
+                    Ok(())
+                }
+                None => Err("--write-baseline needs a value".to_string()),
+            },
             "--help" | "-h" => {
                 println!(
-                    "sched-throughput [--jobs N] [--fuzz N] [--seed S] [--out PATH] [--smoke]"
+                    "sched-throughput [--jobs N] [--fuzz N] [--seed S] [--out PATH] [--smoke] \
+                     [--gate PATH] [--write-baseline PATH]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -82,6 +109,52 @@ fn main() -> ExitCode {
             report.trace_overhead.disabled_overhead
         );
         return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &write_baseline {
+        let base = PerfBaseline::from_report(&report, 0.60);
+        if let Err(e) = base.write(path) {
+            eprintln!("sched-throughput: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "pinned baseline {} ({:.1} loops/s serial, noise window {:.0}%)",
+            path.display(),
+            base.loops_per_sec_serial,
+            base.noise_frac * 100.0
+        );
+    }
+    if let Some(path) = &gate {
+        let base = match PerfBaseline::load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("sched-throughput: cannot load baseline: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match base.check(&report) {
+            Err(e) => {
+                eprintln!("sched-throughput: gate not comparable: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(outcome) if !outcome.pass => {
+                eprintln!(
+                    "sched-throughput: PERF REGRESSION — {:.1} loops/s serial is below \
+                     the gate floor {:.1} (baseline {:.1} − {:.0}% noise window)",
+                    outcome.current,
+                    outcome.floor,
+                    base.loops_per_sec_serial,
+                    base.noise_frac * 100.0
+                );
+                return ExitCode::FAILURE;
+            }
+            Ok(outcome) => {
+                println!(
+                    "perf gate: {:.1} loops/s serial vs baseline {:.1} ({:.2}x, floor {:.1}) — ok",
+                    outcome.current, base.loops_per_sec_serial, outcome.ratio, outcome.floor
+                );
+            }
+        }
     }
     ExitCode::SUCCESS
 }

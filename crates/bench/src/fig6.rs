@@ -32,6 +32,20 @@ pub struct Fig6Row {
     pub sms_comm: u64,
     /// TMS communication overhead.
     pub tms_comm: u64,
+    /// SMS squashed threads (misspeculations + cascade squashes),
+    /// summed over the set's loops.
+    #[serde(default)]
+    pub sms_squashes: u64,
+    /// TMS squashed threads (misspeculations + cascade squashes).
+    #[serde(default)]
+    pub tms_squashes: u64,
+    /// SMS committed threads — the denominator of
+    /// [`Fig6Row::sms_squash_frequency`].
+    #[serde(default)]
+    pub sms_committed: u64,
+    /// TMS committed threads.
+    #[serde(default)]
+    pub tms_committed: u64,
 }
 
 impl Fig6Row {
@@ -65,6 +79,26 @@ impl Fig6Row {
             self.tms_comm as f64 / self.sms_comm as f64
         }
     }
+
+    /// Squashed threads per committed thread under SMS — the set-level
+    /// aggregate of [`tms_sim::SimStats::total_squash_frequency`]
+    /// (cascade squashes included).
+    pub fn sms_squash_frequency(&self) -> f64 {
+        if self.sms_committed == 0 {
+            0.0
+        } else {
+            self.sms_squashes as f64 / self.sms_committed as f64
+        }
+    }
+
+    /// Squashed threads per committed thread under TMS.
+    pub fn tms_squash_frequency(&self) -> f64 {
+        if self.tms_committed == 0 {
+            0.0
+        } else {
+            self.tms_squashes as f64 / self.tms_committed as f64
+        }
+    }
 }
 
 /// Run the Figure 6 experiment.
@@ -83,6 +117,10 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
                 tms_pairs: 0,
                 sms_comm: 0,
                 tms_comm: 0,
+                sms_squashes: 0,
+                tms_squashes: 0,
+                sms_committed: 0,
+                tms_committed: 0,
             };
             for l in &loops {
                 let r = schedule_both(&l.ddg, cfg);
@@ -94,6 +132,10 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
                 row.tms_pairs += t.send_recv_pairs;
                 row.sms_comm += s.communication_overhead(c_reg_com);
                 row.tms_comm += t.communication_overhead(c_reg_com);
+                row.sms_squashes += s.misspeculations + s.cascade_squashes;
+                row.tms_squashes += t.misspeculations + t.cascade_squashes;
+                row.sms_committed += s.committed_threads;
+                row.tms_committed += t.committed_threads;
             }
             row
         })
@@ -112,6 +154,8 @@ pub fn render(rows: &[Fig6Row]) -> String {
                 format!("{:.2}", r.stall_ratio()),
                 pct(r.pair_increase_pct()),
                 format!("{:.2}", r.comm_ratio()),
+                format!("{:.4}", r.sms_squash_frequency()),
+                format!("{:.4}", r.tms_squash_frequency()),
             ]
         })
         .collect();
@@ -124,6 +168,8 @@ pub fn render(rows: &[Fig6Row]) -> String {
             "(a) TMS/SMS stalls",
             "(b) pair increase",
             "(c) TMS/SMS comm",
+            "SMS squash/commit",
+            "TMS squash/commit",
         ],
         &body,
     )
@@ -161,13 +207,20 @@ mod tests {
             tms_pairs: 13,
             sms_comm: 130,
             tms_comm: 79,
+            sms_squashes: 5,
+            tms_squashes: 2,
+            sms_committed: 50,
+            tms_committed: 40,
         };
         assert!((r.stall_ratio() - 0.4).abs() < 1e-12);
         assert!((r.pair_increase_pct() - 30.0).abs() < 1e-9);
         assert!((r.comm_ratio() - 79.0 / 130.0).abs() < 1e-12);
+        assert!((r.sms_squash_frequency() - 0.1).abs() < 1e-12);
+        assert!((r.tms_squash_frequency() - 0.05).abs() < 1e-12);
         let t = render(&[r]);
         assert!(t.contains("Figure 6"));
         assert!(t.contains("0.40"));
+        assert!(t.contains("0.1000"));
     }
 
     #[test]
@@ -180,9 +233,15 @@ mod tests {
             tms_pairs: 0,
             sms_comm: 0,
             tms_comm: 0,
+            sms_squashes: 0,
+            tms_squashes: 0,
+            sms_committed: 0,
+            tms_committed: 0,
         };
         assert_eq!(r.stall_ratio(), 1.0);
         assert_eq!(r.pair_increase_pct(), 0.0);
         assert_eq!(r.comm_ratio(), 1.0);
+        assert_eq!(r.sms_squash_frequency(), 0.0);
+        assert_eq!(r.tms_squash_frequency(), 0.0);
     }
 }

@@ -22,6 +22,7 @@
 //! under `benches/` time the same entry points.
 
 pub mod ablation;
+pub mod baseline;
 pub mod config;
 pub mod design_ablations;
 pub mod fig4;

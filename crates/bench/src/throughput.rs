@@ -106,6 +106,24 @@ pub struct TraceOverhead {
     pub disabled_overhead: f64,
 }
 
+/// Chrome-exporter micro-benchmark: render a synthetic population of
+/// span + counter events to the `trace_event` JSON and report the
+/// sustained rate. This is the path `fix per-event allocations` claims
+/// to have sped up — the numbers keep it honest.
+#[derive(Debug, Clone, Serialize)]
+pub struct RenderBench {
+    /// Events in the synthetic trace (half spans, half counters).
+    pub events: usize,
+    /// Timing passes (best-of).
+    pub reps: usize,
+    /// Best render wall-clock (seconds).
+    pub render_s: f64,
+    /// `events / render_s`.
+    pub events_per_sec: f64,
+    /// Rendered document size (bytes).
+    pub bytes: usize,
+}
+
 /// The `results/bench_sched.json` payload.
 #[derive(Debug, Clone, Serialize)]
 pub struct ThroughputReport {
@@ -126,6 +144,8 @@ pub struct ThroughputReport {
     pub verify_sweep: SweepThroughput,
     /// Disabled-tracing cost comparison.
     pub trace_overhead: TraceOverhead,
+    /// Chrome-exporter render micro-benchmark.
+    pub render_bench: RenderBench,
 }
 
 fn family_populations(cfg: &ThroughputConfig) -> Vec<(String, Vec<Ddg>)> {
@@ -222,6 +242,54 @@ fn measure_trace_overhead(ddgs: &[Ddg], reps: usize, exp: &ExperimentConfig) -> 
     }
 }
 
+/// Time the Chrome exporter on a synthetic trace of `events` records
+/// (alternating virtual-time spans and counter samples, realistic arg
+/// shapes), best-of-`reps`.
+fn measure_render(events: usize, reps: usize) -> RenderBench {
+    let trace = Trace::enabled();
+    for i in 0..events as u64 {
+        if i % 2 == 0 {
+            trace.event_at(
+                "sim.vthread",
+                || format!("t{i}"),
+                i % 8,
+                i * 3,
+                2,
+                || {
+                    vec![
+                        ("thread", i.to_string()),
+                        ("commit_end", (i * 3 + 2).to_string()),
+                    ]
+                },
+            );
+        } else {
+            trace.counter_sample(
+                "sim.vcounter",
+                || "sim.prune.log_len".to_string(),
+                0,
+                i * 3,
+                i % 13,
+            );
+        }
+    }
+    let mut render_s = f64::INFINITY;
+    let mut bytes = 0usize;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let json = trace.chrome_json();
+        render_s = render_s.min(t0.elapsed().as_secs_f64());
+        bytes = json.len();
+        black_box(json);
+    }
+    RenderBench {
+        events,
+        reps: reps.max(1),
+        render_s,
+        events_per_sec: ratio(events as f64, render_s),
+        bytes,
+    }
+}
+
 /// Run the whole benchmark.
 pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     let exp = ExperimentConfig::default();
@@ -287,6 +355,11 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         overhead_pop.extend(livermore_suite());
     }
     let trace_overhead = measure_trace_overhead(&overhead_pop, if cfg.smoke { 1 } else { 3 }, &exp);
+    let render_bench = if cfg.smoke {
+        measure_render(2_000, 1)
+    } else {
+        measure_render(50_000, 3)
+    };
 
     ThroughputReport {
         jobs: cfg.jobs.workers(),
@@ -302,6 +375,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
             reports_identical: serial_report == parallel_report,
         },
         trace_overhead,
+        render_bench,
     }
 }
 
@@ -350,6 +424,14 @@ pub fn render(r: &ThroughputReport) -> String {
         r.trace_overhead.disabled_overhead,
         r.trace_overhead.enabled_trace_s,
     ));
+    out.push_str(&format!(
+        "chrome render ({} events, best of {}): {:.3}s, {:.0} events/s, {} bytes\n",
+        r.render_bench.events,
+        r.render_bench.reps,
+        r.render_bench.render_s,
+        r.render_bench.events_per_sec,
+        r.render_bench.bytes,
+    ));
     out
 }
 
@@ -389,9 +471,14 @@ mod tests {
         assert!(report.trace_overhead.loops > 0);
         assert!(report.trace_overhead.baseline_s > 0.0);
         assert!(report.trace_overhead.disabled_overhead > 0.0);
+        assert!(report.render_bench.events > 0);
+        assert!(report.render_bench.bytes > 0);
+        assert!(report.render_bench.events_per_sec > 0.0);
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"verify_sweep\""));
         assert!(json.contains("\"trace_overhead\""));
+        assert!(json.contains("\"render_bench\""));
         assert!(render(&report).contains("trace overhead"));
+        assert!(render(&report).contains("chrome render"));
     }
 }

@@ -587,6 +587,14 @@ pub fn schedule_tms_traced(
     }
 
     trace.record("tms.attempts_per_loop", attempts as u64);
+    // Wall-clock counter track: attempts spent on each loop, sampled
+    // as the scheduler finishes it, so a sweep's hot loops stand out
+    // as spikes in Perfetto.
+    trace.counter_sample_now(
+        "tms.counter",
+        || "tms.attempts_per_loop".to_string(),
+        attempts as u64,
+    );
     match resolution {
         Some(Resolution::Accept {
             schedule,

@@ -89,7 +89,11 @@ pub fn simulate_spmt(ddg: &Ddg, schedule: &Schedule, config: &SimConfig) -> Spmt
 /// * **virtual-time thread events** (category `sim.vthread`, one track
 ///   per core, cycle timestamps) when [`SimConfig::collect_trace`] is
 ///   set, mirroring the [`RunTrace`] records on a Perfetto-loadable
-///   timeline.
+///   timeline;
+/// * **virtual-time counter tracks** (category `sim.vcounter`, `"ph":"C"`,
+///   also [`SimConfig::collect_trace`]-gated): `sim.prune.log_len`
+///   sampled at every commit, and a `core{n}.busy` square wave per
+///   core, so Perfetto plots resource pressure over the cycle axis.
 pub fn simulate_spmt_traced(
     ddg: &Ddg,
     schedule: &Schedule,
@@ -305,6 +309,33 @@ pub fn simulate_spmt_traced(
                         ("squashes", squashes_this_thread.to_string()),
                     ]
                 },
+            );
+            // Counter tracks over the same cycle axis: store-log
+            // length sampled at every commit (pressure on the
+            // violation-detection window), and a per-core occupancy
+            // square wave (1 while a thread runs on the core). Tied
+            // samples keep commit order under the stable render sort,
+            // so a back-to-back handoff renders off-then-on.
+            tracer.counter_sample(
+                "sim.vcounter",
+                || "sim.prune.log_len".to_string(),
+                0,
+                commit_end,
+                log_threads.len() as u64,
+            );
+            tracer.counter_sample(
+                "sim.vcounter",
+                || format!("core{core}.busy"),
+                core as u64,
+                run_start,
+                1,
+            );
+            tracer.counter_sample(
+                "sim.vcounter",
+                || format!("core{core}.busy"),
+                core as u64,
+                run.end.max(run_start + 1),
+                0,
             );
         }
 

@@ -1,24 +1,32 @@
 //! Chrome `trace_event` export.
 //!
-//! Every recorded span becomes a *complete* event (`"ph": "X"`) in the
+//! Every recorded span becomes a *complete* event (`"ph": "X"`) and
+//! every counter sample a *counter* event (`"ph": "C"`) in the
 //! [Trace Event Format] understood by `chrome://tracing` and
 //! [Perfetto](https://ui.perfetto.dev): `name`, `cat`, timestamp `ts`
-//! and duration `dur` in microseconds, and a `(pid, tid)` track. Two
-//! kinds of track coexist in one file:
+//! (and duration `dur` for spans) in microseconds, and a `(pid, tid)`
+//! track. Two kinds of track coexist in one file:
 //!
 //! * `pid 1` — **wall-clock** spans; `tid` is the recording worker
 //!   thread (first-use order, main thread is 0);
 //! * `pid 2` — **virtual-time** records from the SpMT engine, where
 //!   `ts`/`dur` are simulated cycles and `tid` is the core number, so a
-//!   loop's thread timeline renders as a per-core Gantt chart.
+//!   loop's thread timeline renders as a per-core Gantt chart, and
+//!   counter series (`sim.prune.log_len`, per-core occupancy) plot
+//!   resource pressure over the same cycle axis.
 //!
 //! Events are sorted by `(pid, tid, ts, name)` before rendering so the
-//! file is stable for a given set of recorded events.
+//! file is stable for a given set of recorded events; the sort is
+//! stable, so ties keep recording order. The renderer is generic over
+//! [`ChromeEvent`] so the offline merge path ([`crate::merge`]) renders
+//! parsed spill events through the exact same bytes-out code path —
+//! that is what makes `tms trace merge` output byte-identical to an
+//! in-memory [`crate::Trace::chrome_json`] of the same events.
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
-use crate::json::write_str;
-use crate::sink::Event;
+use crate::json::{push_u64, write_str};
+use crate::sink::{Event, EventPhase};
 
 /// Process id for wall-clock span tracks.
 pub const PID_WALL: u64 = 1;
@@ -26,23 +34,106 @@ pub const PID_WALL: u64 = 1;
 pub const PID_VIRTUAL: u64 = 2;
 
 /// Categories whose events live on the virtual-time process.
-fn pid_of(ev: &Event) -> u64 {
-    if ev.cat.starts_with("sim.v") {
+pub fn pid_of_cat(cat: &str) -> u64 {
+    if cat.starts_with("sim.v") {
         PID_VIRTUAL
     } else {
         PID_WALL
     }
 }
 
+/// Accessor view of one renderable event — implemented by the live
+/// [`Event`] and by the owned events [`crate::merge`] parses back out
+/// of `.trace.ndjson` spill files.
+pub trait ChromeEvent {
+    /// Chrome phase.
+    fn phase(&self) -> EventPhase;
+    /// Category string.
+    fn cat(&self) -> &str;
+    /// Event name.
+    fn name(&self) -> &str;
+    /// Track (`tid`).
+    fn track(&self) -> u64;
+    /// Timestamp (µs or cycles).
+    fn ts_us(&self) -> u64;
+    /// Duration (µs or cycles; ignored for counters).
+    fn dur_us(&self) -> u64;
+    /// Key/value annotations in recording order.
+    fn args(&self) -> impl Iterator<Item = (&str, &str)>;
+}
+
+impl ChromeEvent for Event {
+    fn phase(&self) -> EventPhase {
+        self.ph
+    }
+    fn cat(&self) -> &str {
+        self.cat
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn track(&self) -> u64 {
+        self.track
+    }
+    fn ts_us(&self) -> u64 {
+        self.ts_us
+    }
+    fn dur_us(&self) -> u64 {
+        self.dur_us
+    }
+    fn args(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.args.iter().map(|(k, v)| (*k, v.as_str()))
+    }
+}
+
+/// Append one event in Chrome `trace_event` form. Numbers go through
+/// [`push_u64`] — no per-event `format!` allocations on this path.
+fn write_event<E: ChromeEvent>(out: &mut String, ev: &E) {
+    match ev.phase() {
+        EventPhase::Complete => out.push_str("\n{\"ph\":\"X\",\"name\":"),
+        EventPhase::Counter => out.push_str("\n{\"ph\":\"C\",\"name\":"),
+    }
+    write_str(out, ev.name());
+    out.push_str(",\"cat\":");
+    write_str(out, ev.cat());
+    out.push_str(",\"pid\":");
+    push_u64(out, pid_of_cat(ev.cat()));
+    out.push_str(",\"tid\":");
+    push_u64(out, ev.track());
+    out.push_str(",\"ts\":");
+    push_u64(out, ev.ts_us());
+    if ev.phase() == EventPhase::Complete {
+        out.push_str(",\"dur\":");
+        push_u64(out, ev.dur_us());
+    }
+    out.push_str(",\"args\":{");
+    for (j, (k, v)) in ev.args().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        if ev.phase() == EventPhase::Counter {
+            // Counter series values are numeric — Perfetto only plots
+            // numbers. The sink records them from `u64`s, and the
+            // spill parser re-validates them as integers.
+            out.push_str(v);
+        } else {
+            write_str(out, v);
+        }
+    }
+    out.push_str("}}");
+}
+
 /// Render the full `{"traceEvents": [...]}` document.
-pub fn render(events: &[Event]) -> String {
-    let mut order: Vec<&Event> = events.iter().collect();
+pub fn render<E: ChromeEvent>(events: &[E]) -> String {
+    let mut order: Vec<&E> = events.iter().collect();
     order.sort_by(|a, b| {
-        (pid_of(a), a.track, a.ts_us, a.name.as_str()).cmp(&(
-            pid_of(b),
-            b.track,
-            b.ts_us,
-            b.name.as_str(),
+        (pid_of_cat(a.cat()), a.track(), a.ts_us(), a.name()).cmp(&(
+            pid_of_cat(b.cat()),
+            b.track(),
+            b.ts_us(),
+            b.name(),
         ))
     });
 
@@ -51,27 +142,7 @@ pub fn render(events: &[Event]) -> String {
         if i > 0 {
             out.push(',');
         }
-        out.push_str("\n{\"ph\":\"X\",\"name\":");
-        write_str(&mut out, &ev.name);
-        out.push_str(",\"cat\":");
-        write_str(&mut out, ev.cat);
-        out.push_str(&format!(
-            ",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}",
-            pid_of(ev),
-            ev.track,
-            ev.ts_us,
-            ev.dur_us
-        ));
-        out.push_str(",\"args\":{");
-        for (j, (k, v)) in ev.args.iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            write_str(&mut out, k);
-            out.push(':');
-            write_str(&mut out, v);
-        }
-        out.push_str("}}");
+        write_event(&mut out, *ev);
     }
     out.push_str("\n]}\n");
     out
@@ -83,6 +154,7 @@ mod tests {
 
     fn ev(cat: &'static str, name: &str, track: u64, ts: u64) -> Event {
         Event {
+            ph: EventPhase::Complete,
             cat,
             name: name.to_string(),
             track,
@@ -113,7 +185,25 @@ mod tests {
     }
 
     #[test]
+    fn counter_events_render_numeric_args_without_dur() {
+        let events = vec![Event {
+            ph: EventPhase::Counter,
+            cat: "sim.vcounter",
+            name: "sim.prune.log_len".to_string(),
+            track: 0,
+            ts_us: 12,
+            dur_us: 0,
+            args: vec![("value", "7".to_string())],
+        }];
+        let json = render(&events);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":7}"));
+        assert!(!json.contains("\"dur\""), "counters carry no duration");
+        assert!(json.contains(&format!("\"pid\":{PID_VIRTUAL}")));
+    }
+
+    #[test]
     fn empty_trace_is_valid() {
-        assert_eq!(render(&[]), "{\"traceEvents\":[\n]}\n");
+        assert_eq!(render::<Event>(&[]), "{\"traceEvents\":[\n]}\n");
     }
 }

@@ -11,15 +11,40 @@
 //!   deterministic at any worker count *provided the recording sites
 //!   are* (the scheduler records its accounting in the serial fold,
 //!   keyed by candidate index, never by arrival order);
-//! * **value histograms** — named `(count, sum, min, max)` summaries of
-//!   deterministic quantities (store-log lengths, attempt counts);
+//! * **value histograms** — named summaries of deterministic
+//!   quantities (store-log lengths, attempt counts): exact
+//!   `count`/`sum`/`min`/`max` plus power-of-two buckets from which
+//!   p50/p95/p99 are estimated deterministically;
 //! * **timers** — the same summaries over wall-clock span durations
 //!   (nondeterministic by nature, reported separately);
 //! * **span events** — begin/duration records with monotonic
 //!   timestamps, exportable as a Chrome `trace_event` JSON that
 //!   `chrome://tracing` and [Perfetto](https://ui.perfetto.dev) load
 //!   directly. The SpMT engine also emits *virtual-time* events (cycle
-//!   timestamps) so a loop's thread timeline can be inspected visually.
+//!   timestamps) so a loop's thread timeline can be inspected visually;
+//! * **counter samples** — `"ph":"C"` series points (store-log length,
+//!   per-core occupancy, attempts per loop) that Perfetto plots as
+//!   counter tracks: resource pressure over time, not just end totals.
+//!
+//! # Bounded memory: streaming sinks
+//!
+//! [`Trace::enabled`] buffers every event in memory — fine for one
+//! loop, unacceptable for a `--specfp-cap 0` sweep. [`Trace::streaming`]
+//! spills completed events to a `.trace.ndjson` file (one JSON object
+//! per line, see [`stream`]) through a buffer of at most `buffer_cap`
+//! events, while counters/histograms stay resident; the offline
+//! [`merge`] step (`tms trace merge`) converts one-or-many spill files
+//! into the same sorted Chrome document the in-memory sink renders —
+//! byte-identical for the same events.
+//!
+//! # Sharding: metrics are a monoid
+//!
+//! [`MetricsSnapshot`] merges commutatively and associatively
+//! ([`MetricsSnapshot::merge`]): counters add, histograms combine
+//! exactly (including their percentile buckets). A sweep sharded
+//! across processes with `--shard i/n` merges its per-shard snapshots
+//! (`tms-verify merge-metrics`) into byte-for-byte the single-process
+//! report.
 //!
 //! # Disabled cost
 //!
@@ -49,6 +74,12 @@
 
 mod chrome;
 mod json;
+pub mod merge;
+mod parse;
 mod sink;
+pub mod stream;
 
-pub use sink::{Event, Histogram, MetricsSnapshot, SpanGuard, Trace};
+pub use chrome::{ChromeEvent, PID_VIRTUAL, PID_WALL};
+pub use sink::{
+    Event, EventPhase, Histogram, MetricsSnapshot, SpanGuard, Trace, HISTOGRAM_BUCKETS,
+};

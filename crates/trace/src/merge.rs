@@ -1,0 +1,206 @@
+//! Offline merge of spilled traces and sharded metrics.
+//!
+//! Two converters live here, both consuming files the exporters wrote:
+//!
+//! * **Spill → Chrome.** [`chrome_from_spills`] reads one-or-many
+//!   `.trace.ndjson` spill files and renders the single Chrome
+//!   `trace_event` document the in-memory sink would have produced for
+//!   the same events — same sort, same renderer, byte-identical
+//!   output. This is the `tms trace merge` backend.
+//! * **Snapshot merge.** [`parse_snapshot`] reads the deterministic
+//!   metrics slice back out of a snapshot (or full metrics) JSON, and
+//!   [`merge_snapshot_files`] folds any number of per-shard files into
+//!   one [`MetricsSnapshot`] — the `tms-verify merge-metrics` backend.
+//!   Because snapshots are a commutative monoid, the merged report is
+//!   byte-identical to a single-process run at any shard count.
+
+use crate::parse::{parse, Json};
+use crate::sink::{Histogram, MetricsSnapshot};
+use crate::stream::{parse_spill, OwnedEvent};
+use std::io;
+use std::path::Path;
+
+fn invalid<E: std::fmt::Display>(path: &Path, e: E) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{}: {e}", path.display()),
+    )
+}
+
+/// Parse every `.trace.ndjson` file in `paths` (in order) into one
+/// event list. Within a file, spill order is recording order, so the
+/// stable render sort reproduces the in-memory tie-breaking.
+pub fn events_from_spills<P: AsRef<Path>>(paths: &[P]) -> io::Result<Vec<OwnedEvent>> {
+    let mut events = Vec::new();
+    for p in paths {
+        let p = p.as_ref();
+        let text = std::fs::read_to_string(p)?;
+        events.extend(parse_spill(&text).map_err(|e| invalid(p, e))?);
+    }
+    Ok(events)
+}
+
+/// Render one-or-many spill files as a single Chrome `trace_event`
+/// JSON document.
+pub fn chrome_from_spills<P: AsRef<Path>>(paths: &[P]) -> io::Result<String> {
+    Ok(crate::chrome::render(&events_from_spills(paths)?))
+}
+
+fn histogram_from_json(name: &str, v: &Json) -> Result<Histogram, String> {
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("histogram '{name}': missing '{key}'"))
+    };
+    let buckets = match v.get("buckets") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|pair| match pair {
+                Json::Arr(p) if p.len() == 2 => match (p[0].as_u64(), p[1].as_u64()) {
+                    (Some(i), Some(n)) => Ok((i, n)),
+                    _ => Err(format!("histogram '{name}': non-integer bucket pair")),
+                },
+                _ => Err(format!("histogram '{name}': malformed bucket pair")),
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(format!("histogram '{name}': missing 'buckets'")),
+    };
+    Histogram::from_parts(
+        field("count")?,
+        field("sum")?,
+        field("min")?,
+        field("max")?,
+        &buckets,
+    )
+    .map_err(|e| format!("histogram '{name}': {e}"))
+}
+
+/// Parse the deterministic metrics slice out of a snapshot JSON
+/// ([`MetricsSnapshot::to_json`]) or a full metrics JSON
+/// ([`crate::Trace::metrics_json`] — the `timers_ns` / `span_events`
+/// sections are ignored).
+pub fn parse_snapshot(text: &str) -> Result<MetricsSnapshot, String> {
+    let doc = parse(text)?;
+    let mut snap = MetricsSnapshot::default();
+    if let Some(counters) = doc.get("counters").and_then(Json::as_obj) {
+        for (k, v) in counters {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("counter '{k}' is not an unsigned integer"))?;
+            snap.counters.insert(k.clone(), n);
+        }
+    } else {
+        return Err("missing 'counters' object".to_string());
+    }
+    if let Some(values) = doc.get("values").and_then(Json::as_obj) {
+        for (k, v) in values {
+            snap.values.insert(k.clone(), histogram_from_json(k, v)?);
+        }
+    } else {
+        return Err("missing 'values' object".to_string());
+    }
+    Ok(snap)
+}
+
+/// Read and fold any number of snapshot/metrics files into one merged
+/// snapshot.
+pub fn merge_snapshot_files<P: AsRef<Path>>(paths: &[P]) -> io::Result<MetricsSnapshot> {
+    let mut merged = MetricsSnapshot::default();
+    for p in paths {
+        let p = p.as_ref();
+        let text = std::fs::read_to_string(p)?;
+        let snap = parse_snapshot(&text).map_err(|e| invalid(p, e))?;
+        merged.merge(&snap);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    fn record_run(t: &Trace, offset: u64) {
+        for i in 0..40u64 {
+            t.event_at(
+                "sim.vthread",
+                || format!("t{}", offset + i),
+                i % 4,
+                offset + i * 3,
+                2,
+                || vec![("thread", (offset + i).to_string())],
+            );
+            t.counter_sample("sim.vcounter", || "len".into(), 0, offset + i * 3, i % 7);
+            t.count("n", 1);
+            t.record("v", i);
+        }
+    }
+
+    #[test]
+    fn spill_merge_reproduces_in_memory_chrome_bytes() {
+        let dir = std::env::temp_dir().join("tms_trace_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.trace.ndjson");
+
+        let mem = Trace::enabled();
+        record_run(&mem, 0);
+        let streamed = Trace::streaming(&path, 5).unwrap();
+        record_run(&streamed, 0);
+        streamed.flush().unwrap();
+
+        assert!(streamed.spill_high_water() <= 5);
+        let merged = chrome_from_spills(&[&path]).unwrap();
+        assert_eq!(merged, mem.chrome_json(), "merge diverged from in-memory");
+        assert_eq!(streamed.metrics(), mem.metrics());
+        assert_eq!(streamed.snapshot_json(), mem.snapshot_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let t = Trace::enabled();
+        record_run(&t, 0);
+        let snap = t.metrics();
+        let back = parse_snapshot(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), snap.to_json());
+        // The full metrics JSON parses to the same slice.
+        let from_full = parse_snapshot(&t.metrics_json()).unwrap();
+        assert_eq!(from_full, snap);
+    }
+
+    #[test]
+    fn snapshot_files_merge_to_the_single_run() {
+        let dir = std::env::temp_dir().join("tms_trace_merge_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let single = Trace::enabled();
+        record_run(&single, 0);
+        record_run(&single, 1000);
+
+        let a = Trace::enabled();
+        record_run(&a, 0);
+        let b = Trace::enabled();
+        record_run(&b, 1000);
+        let pa = dir.join("a.json");
+        let pb = dir.join("b.json");
+        a.write_snapshot(&pa).unwrap();
+        b.write_snapshot(&pb).unwrap();
+
+        let ab = merge_snapshot_files(&[&pa, &pb]).unwrap();
+        let ba = merge_snapshot_files(&[&pb, &pa]).unwrap();
+        assert_eq!(ab.to_json(), single.snapshot_json());
+        assert_eq!(
+            ba.to_json(),
+            single.snapshot_json(),
+            "merge not commutative"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_snapshot_rejects_malformed_documents() {
+        assert!(parse_snapshot("{}").is_err());
+        assert!(parse_snapshot("{\"counters\": {\"a\": \"x\"}}").is_err());
+        assert!(parse_snapshot("{\"counters\": {}, \"values\": {\"h\": {\"count\": 1}}}").is_err());
+    }
+}

@@ -3,6 +3,7 @@
 use crate::json;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io::{self, Write as _};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -18,8 +19,37 @@ fn track_id() -> u64 {
     TRACK.with(|t| *t)
 }
 
-/// `(count, sum, min, max)` summary of a stream of `u64` samples.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Power-of-two bucket count: bucket 0 holds the sample value 0 and
+/// bucket `i ≥ 1` holds `[2^(i-1), 2^i)`, so 65 buckets cover `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// Summary of a stream of `u64` samples: exact `count`/`sum`/`min`/`max`
+/// plus power-of-two bucket counts, from which p50/p95/p99 are
+/// estimated (each percentile reports its bucket's upper bound, clamped
+/// to the observed `[min, max]` — deterministic, and exact for streams
+/// whose values fall in one bucket).
+///
+/// Histograms form a commutative monoid under [`Histogram::merge`]:
+/// every field either adds (`count`, `sum`, buckets) or takes an
+/// extremum (`min`, `max`), so merging per-shard histograms in any
+/// order or grouping reproduces the single-process histogram exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Histogram {
     /// Samples recorded.
     pub count: u64,
@@ -29,10 +59,24 @@ pub struct Histogram {
     pub min: u64,
     /// Largest sample (0 when empty).
     pub max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
 }
 
 impl Histogram {
-    fn record(&mut self, v: u64) {
+    /// Record one sample.
+    pub fn record_sample(&mut self, v: u64) {
         if self.count == 0 {
             self.min = v;
             self.max = v;
@@ -42,6 +86,7 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += v;
+        self.buckets[bucket_index(v)] += 1;
     }
 
     /// Mean sample value (0.0 when empty).
@@ -52,13 +97,115 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The power-of-two bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Estimated value at percentile `pct` (integer 1..=100): the upper
+    /// bound of the bucket containing the rank-`ceil(count·pct/100)`
+    /// sample, clamped to `[min, max]`. 0 when empty.
+    pub fn percentile(&self, pct: u8) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as u128 * pct as u128).div_ceil(100)).max(1) as u64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate ([`Histogram::percentile`] at 50).
+    pub fn p50(&self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.percentile(95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99)
+    }
+
+    /// Fold `other` into `self`. Commutative and associative; the empty
+    /// histogram is the identity.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Rebuild a histogram from serialized parts (the merge tools parse
+    /// these back out of metrics JSON). Bucket counts must sum to
+    /// `count`.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        bucket_pairs: &[(u64, u64)],
+    ) -> Result<Histogram, String> {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut total = 0u64;
+        for &(i, n) in bucket_pairs {
+            let idx = usize::try_from(i).ok().filter(|&i| i < HISTOGRAM_BUCKETS);
+            let Some(idx) = idx else {
+                return Err(format!("bucket index {i} out of range"));
+            };
+            buckets[idx] += n;
+            total += n;
+        }
+        if total != count {
+            return Err(format!("bucket counts sum to {total}, count is {count}"));
+        }
+        Ok(Histogram {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
 }
 
-/// One completed span, in Chrome `trace_event` terms: a complete
-/// (`"ph": "X"`) event on track `track` starting at `ts_us` for
-/// `dur_us` microseconds.
+/// Chrome `trace_event` phase of a recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPhase {
+    /// A complete span (`"ph": "X"`): has a duration, string args.
+    Complete,
+    /// A counter sample (`"ph": "C"`): no duration; args are numeric
+    /// series values and render unquoted, so Perfetto plots them as a
+    /// counter track.
+    Counter,
+}
+
+/// One completed event, in Chrome `trace_event` terms: a complete
+/// (`"ph": "X"`) span or a counter sample (`"ph": "C"`) on track
+/// `track` at `ts_us` microseconds.
 #[derive(Debug, Clone)]
 pub struct Event {
+    /// Chrome phase (complete span or counter sample).
+    pub ph: EventPhase,
     /// Event category (Chrome `cat`).
     pub cat: &'static str,
     /// Event name.
@@ -69,10 +216,41 @@ pub struct Event {
     /// Start timestamp in microseconds (wall-clock since the sink's
     /// epoch, or virtual cycles for engine events).
     pub ts_us: u64,
-    /// Duration in microseconds (or cycles).
+    /// Duration in microseconds (or cycles). 0 for counter samples.
     pub dur_us: u64,
-    /// Key/value annotations (`args` in the Chrome schema).
+    /// Key/value annotations (`args` in the Chrome schema). For
+    /// counter samples the values are decimal integers and render
+    /// unquoted.
     pub args: Vec<(&'static str, String)>,
+}
+
+/// Spill half of a streaming sink: completed events drain to a
+/// newline-delimited JSON file whenever the resident buffer reaches
+/// `cap`, so a traced run holds at most `cap` events in memory.
+struct SpillState {
+    writer: io::BufWriter<std::fs::File>,
+    cap: usize,
+    high_water: usize,
+    spilled: u64,
+    error: Option<io::Error>,
+}
+
+fn drain_to_spill(sp: &mut SpillState, events: &mut Vec<Event>) {
+    if sp.error.is_some() {
+        events.clear();
+        return;
+    }
+    let mut line = String::new();
+    for ev in events.iter() {
+        line.clear();
+        crate::stream::write_ndjson_line(&mut line, ev);
+        if let Err(e) = sp.writer.write_all(line.as_bytes()) {
+            sp.error = Some(e);
+            break;
+        }
+        sp.spilled += 1;
+    }
+    events.clear();
 }
 
 #[derive(Default)]
@@ -81,20 +259,50 @@ struct State {
     values: BTreeMap<String, Histogram>,
     timers: BTreeMap<String, Histogram>,
     events: Vec<Event>,
+    spill: Option<SpillState>,
+}
+
+impl State {
+    fn push_event(&mut self, ev: Event) {
+        self.events.push(ev);
+        if let Some(sp) = &mut self.spill {
+            sp.high_water = sp.high_water.max(self.events.len());
+            if self.events.len() >= sp.cap {
+                drain_to_spill(sp, &mut self.events);
+            }
+        }
+    }
 }
 
 /// The shared collector. Private on purpose: the only way to obtain one
-/// is [`Trace::enabled`], and the only disabled representation is *no
-/// sink at all* — there is no half-constructed state to pay for.
+/// is [`Trace::enabled`] / [`Trace::streaming`], and the only disabled
+/// representation is *no sink at all* — there is no half-constructed
+/// state to pay for.
 struct Sink {
     epoch: Instant,
     state: Mutex<State>,
 }
 
+impl Drop for Sink {
+    fn drop(&mut self) {
+        // Best-effort final spill; explicit `Trace::flush` is the
+        // error-reporting path.
+        if let Ok(st) = self.state.get_mut() {
+            let State { events, spill, .. } = st;
+            if let Some(sp) = spill {
+                drain_to_spill(sp, events);
+                let _ = sp.writer.flush();
+            }
+        }
+    }
+}
+
 /// A cheaply clonable tracing handle: either **disabled** (no sink, all
 /// recording methods are one-branch no-ops) or **enabled** (an
 /// `Arc`-shared, mutex-protected sink safe to use from
-/// `tms_core::par` worker threads).
+/// `tms_core::par` worker threads). [`Trace::streaming`] is an enabled
+/// handle whose completed events spill to disk through a bounded
+/// buffer.
 #[derive(Clone, Default)]
 pub struct Trace {
     inner: Option<Arc<Sink>>,
@@ -118,12 +326,59 @@ impl fmt::Debug for Trace {
 }
 
 /// Deterministic snapshot of everything but the wall-clock data.
+///
+/// Snapshots form a **commutative monoid** under
+/// [`MetricsSnapshot::merge`]: counters add and histograms merge, both
+/// commutative and associative with [`MetricsSnapshot::default`] as
+/// identity. A sweep sharded with `--shard i/n` therefore merges its
+/// per-shard snapshots — in any order — into exactly the snapshot a
+/// single-process run records.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// All counters, sorted by name.
     pub counters: BTreeMap<String, u64>,
     /// All value histograms, sorted by name.
     pub values: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Fold `other` into `self`: counters add, histograms merge.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.values {
+            self.values.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.values.is_empty()
+    }
+
+    /// Canonical sorted-JSON rendering: `{"counters": {...}, "values":
+    /// {...}}`. Byte-identical for equal snapshots; this is the format
+    /// `tms-verify merge-metrics` both consumes and emits.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        json::write_map(&mut out, self.counters.iter(), |out, v| {
+            json::push_u64(out, *v)
+        });
+        out.push_str(",\n  \"values\": {");
+        json::write_map(&mut out, self.values.iter(), |out, h| {
+            json::write_histogram(out, h)
+        });
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parse a snapshot back from [`MetricsSnapshot::to_json`] output
+    /// (or from a full `metrics_json` document — the wall-clock
+    /// sections are ignored).
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        crate::merge::parse_snapshot(text)
+    }
 }
 
 impl Trace {
@@ -143,10 +398,96 @@ impl Trace {
         }
     }
 
+    /// An enabled handle whose completed events stream to `path` as
+    /// newline-delimited JSON (one event per line) through a resident
+    /// buffer of at most `buffer_cap` events — counters, value
+    /// histograms and timers stay resident, so [`Trace::metrics`] and
+    /// [`Trace::metrics_json`] are byte-identical to an in-memory sink
+    /// recording the same run. Convert the spill file(s) to the Chrome
+    /// JSON with `tms trace merge` (or [`crate::merge::chrome_from_spills`]).
+    ///
+    /// Call [`Trace::flush`] when the run completes to drain the buffer
+    /// and surface any I/O error.
+    pub fn streaming(path: &std::path::Path, buffer_cap: usize) -> io::Result<Trace> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(Trace {
+            inner: Some(Arc::new(Sink {
+                epoch: Instant::now(),
+                state: Mutex::new(State {
+                    spill: Some(SpillState {
+                        writer: io::BufWriter::new(file),
+                        cap: buffer_cap.max(1),
+                        high_water: 0,
+                        spilled: 0,
+                        error: None,
+                    }),
+                    ..State::default()
+                }),
+            })),
+        })
+    }
+
     /// Whether this handle records anything.
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Whether this handle spills events to disk.
+    pub fn is_streaming(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|s| s.state.lock().unwrap().spill.is_some())
+    }
+
+    /// Drain any buffered events to the spill file and flush it,
+    /// surfacing the first I/O error the stream hit. A no-op for
+    /// disabled and non-streaming handles.
+    pub fn flush(&self) -> io::Result<()> {
+        let Some(sink) = &self.inner else {
+            return Ok(());
+        };
+        let mut st = sink.state.lock().unwrap();
+        let State { events, spill, .. } = &mut *st;
+        if let Some(sp) = spill {
+            drain_to_spill(sp, events);
+            if let Some(e) = sp.error.take() {
+                return Err(e);
+            }
+            sp.writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Largest number of events the spill buffer ever held (0 for
+    /// non-streaming handles). Bounded by the `buffer_cap` passed to
+    /// [`Trace::streaming`].
+    pub fn spill_high_water(&self) -> usize {
+        self.inner.as_ref().map_or(0, |s| {
+            s.state
+                .lock()
+                .unwrap()
+                .spill
+                .as_ref()
+                .map_or(0, |sp| sp.high_water)
+        })
+    }
+
+    /// Events written to the spill file so far.
+    pub fn spilled_events(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| {
+            s.state
+                .lock()
+                .unwrap()
+                .spill
+                .as_ref()
+                .map_or(0, |sp| sp.spilled)
+        })
     }
 
     /// Add `n` to counter `name` (created at 0 on first use).
@@ -177,10 +518,10 @@ impl Trace {
         let Some(sink) = &self.inner else { return };
         let mut st = sink.state.lock().unwrap();
         match st.values.get_mut(name) {
-            Some(h) => h.record(v),
+            Some(h) => h.record_sample(v),
             None => {
                 let mut h = Histogram::default();
-                h.record(v);
+                h.record_sample(v);
                 st.values.insert(name.to_string(), h);
             }
         }
@@ -196,10 +537,10 @@ impl Trace {
         let ns = t0.elapsed().as_nanos() as u64;
         let mut st = sink.state.lock().unwrap();
         match st.timers.get_mut(name) {
-            Some(h) => h.record(ns),
+            Some(h) => h.record_sample(ns),
             None => {
                 let mut h = Histogram::default();
-                h.record(ns);
+                h.record_sample(ns);
                 st.timers.insert(name.to_string(), h);
             }
         }
@@ -253,6 +594,7 @@ impl Trace {
     ) {
         let Some(sink) = &self.inner else { return };
         let ev = Event {
+            ph: EventPhase::Complete,
             cat,
             name: name_fn(),
             track,
@@ -260,7 +602,46 @@ impl Trace {
             dur_us,
             args: args_fn(),
         };
-        sink.state.lock().unwrap().events.push(ev);
+        sink.state.lock().unwrap().push_event(ev);
+    }
+
+    /// Record a counter sample (`"ph": "C"`) at an explicit timestamp:
+    /// one point of the series `name` on `(pid_of(cat), track)`.
+    /// Perfetto renders consecutive samples as a counter track —
+    /// resource pressure over (virtual or wall) time. `name_fn` runs
+    /// only when enabled.
+    pub fn counter_sample(
+        &self,
+        cat: &'static str,
+        name_fn: impl FnOnce() -> String,
+        track: u64,
+        ts_us: u64,
+        value: u64,
+    ) {
+        let Some(sink) = &self.inner else { return };
+        let ev = Event {
+            ph: EventPhase::Counter,
+            cat,
+            name: name_fn(),
+            track,
+            ts_us,
+            dur_us: 0,
+            args: vec![("value", value.to_string())],
+        };
+        sink.state.lock().unwrap().push_event(ev);
+    }
+
+    /// [`Trace::counter_sample`] stamped with the current wall-clock
+    /// offset from the sink's epoch, on the calling thread's track.
+    pub fn counter_sample_now(
+        &self,
+        cat: &'static str,
+        name_fn: impl FnOnce() -> String,
+        value: u64,
+    ) {
+        let Some(sink) = &self.inner else { return };
+        let ts = sink.epoch.elapsed().as_micros() as u64;
+        self.counter_sample(cat, name_fn, track_id(), ts, value);
     }
 
     /// Current value of counter `name` (0 if absent or disabled).
@@ -294,11 +675,20 @@ impl Trace {
         }
     }
 
-    /// Number of span events recorded so far.
+    /// Number of span/counter events recorded so far, including events
+    /// already spilled by a streaming sink.
     pub fn event_count(&self) -> usize {
-        self.inner
-            .as_ref()
-            .map_or(0, |s| s.state.lock().unwrap().events.len())
+        self.inner.as_ref().map_or(0, |s| {
+            let st = s.state.lock().unwrap();
+            st.events.len() + st.spill.as_ref().map_or(0, |sp| sp.spilled as usize)
+        })
+    }
+
+    /// The deterministic metrics slice as canonical sorted JSON
+    /// ([`MetricsSnapshot::to_json`]): what `--snapshot` writes and
+    /// `merge-metrics` compares.
+    pub fn snapshot_json(&self) -> String {
+        self.metrics().to_json()
     }
 
     /// The JSON metrics dump: counters and value histograms (sorted,
@@ -311,7 +701,7 @@ impl Trace {
         let st = sink.state.lock().unwrap();
         let mut out = String::from("{\n  \"counters\": {");
         json::write_map(&mut out, st.counters.iter(), |out, v| {
-            out.push_str(&v.to_string())
+            json::push_u64(out, *v)
         });
         out.push_str(",\n  \"values\": {");
         json::write_map(&mut out, st.values.iter(), |out, h| {
@@ -322,12 +712,18 @@ impl Trace {
             json::write_histogram(out, h)
         });
         out.push_str(",\n  \"span_events\": ");
-        out.push_str(&st.events.len().to_string());
+        json::push_u64(
+            &mut out,
+            (st.events.len() + st.spill.as_ref().map_or(0, |sp| sp.spilled as usize)) as u64,
+        );
         out.push_str("\n}\n");
         out
     }
 
-    /// The Chrome `trace_event` JSON (see [`crate::chrome`]).
+    /// The Chrome `trace_event` JSON (see [`crate::chrome`]) of the
+    /// *resident* events. For a streaming sink the spilled events are
+    /// on disk, not here — render those with `tms trace merge` /
+    /// [`crate::merge::chrome_from_spills`] instead.
     pub fn chrome_json(&self) -> String {
         let Some(sink) = &self.inner else {
             return "{\"traceEvents\":[]}\n".to_string();
@@ -341,6 +737,11 @@ impl Trace {
         write_creating_dirs(path, &self.metrics_json())
     }
 
+    /// Write [`Trace::snapshot_json`] to `path`, creating parents.
+    pub fn write_snapshot(&self, path: &std::path::Path) -> std::io::Result<()> {
+        write_creating_dirs(path, &self.snapshot_json())
+    }
+
     /// Write [`Trace::chrome_json`] to `path`, creating parents.
     pub fn write_chrome(&self, path: &std::path::Path) -> std::io::Result<()> {
         write_creating_dirs(path, &self.chrome_json())
@@ -350,6 +751,7 @@ impl Trace {
         let ts_us = span.start.duration_since(sink.epoch).as_micros() as u64;
         let dur = span.start.elapsed();
         let ev = Event {
+            ph: EventPhase::Complete,
             cat: span.cat,
             name: std::mem::take(&mut span.name),
             track: track_id(),
@@ -360,14 +762,14 @@ impl Trace {
         let timer_key = format!("{}.{}", span.cat, ev.name);
         let mut st = sink.state.lock().unwrap();
         match st.timers.get_mut(&timer_key) {
-            Some(h) => h.record(dur.as_nanos() as u64),
+            Some(h) => h.record_sample(dur.as_nanos() as u64),
             None => {
                 let mut h = Histogram::default();
-                h.record(dur.as_nanos() as u64);
+                h.record_sample(dur.as_nanos() as u64);
                 st.timers.insert(timer_key, h);
             }
         }
-        st.events.push(ev);
+        st.push_event(ev);
     }
 }
 
@@ -423,6 +825,7 @@ mod tests {
         t.count("a", 3);
         t.record("b", 9);
         t.time("c", || ());
+        t.counter_sample("cat", || "n".into(), 0, 0, 1);
         {
             let mut s = t.span("cat", "name");
             s.arg("k", 1);
@@ -433,6 +836,8 @@ mod tests {
         assert_eq!(t.metrics(), MetricsSnapshot::default());
         assert_eq!(t.metrics_json(), "{}");
         assert!(!t.is_enabled());
+        assert!(!t.is_streaming());
+        assert!(t.flush().is_ok());
         assert!(!Trace::default().is_enabled());
     }
 
@@ -504,6 +909,19 @@ mod tests {
     }
 
     #[test]
+    fn counter_samples_render_as_counter_tracks() {
+        let t = Trace::enabled();
+        t.counter_sample("sim.vcounter", || "sim.live".into(), 0, 10, 3);
+        t.counter_sample_now("tms.counter", || "attempts".into(), 7);
+        assert_eq!(t.event_count(), 2);
+        let json = t.chrome_json();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":3}"));
+        // Counter samples are events, not metrics.
+        assert!(t.metrics().is_empty());
+    }
+
+    #[test]
     fn metrics_snapshot_is_order_independent() {
         let a = Trace::enabled();
         a.count("x", 1);
@@ -514,5 +932,89 @@ mod tests {
         b.count("y", 2);
         b.count("x", 1);
         assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn histogram_percentiles_are_bucket_bounds_clamped() {
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record_sample(v);
+        }
+        // Rank 50 lands in bucket [32, 63]; upper bound 63.
+        assert_eq!(h.p50(), 63);
+        // p95/p99 land in bucket [64, 127], clamped to max = 100.
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        // Degenerate stream: all percentiles equal the single value.
+        let mut one = Histogram::default();
+        one.record_sample(42);
+        assert_eq!((one.p50(), one.p95(), one.p99()), (42, 42, 42));
+        assert_eq!(Histogram::default().p50(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_a_commutative_monoid() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [1u64, 5, 9, 1000] {
+            a.record_sample(v);
+        }
+        for v in [3u64, 70, 2] {
+            b.record_sample(v);
+        }
+        let mut whole = Histogram::default();
+        for v in [1u64, 5, 9, 1000, 3, 70, 2] {
+            whole.record_sample(v);
+        }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, whole);
+        // Identity.
+        let mut id = a;
+        id.merge(&Histogram::default());
+        assert_eq!(id, a);
+        let mut id2 = Histogram::default();
+        id2.merge(&a);
+        assert_eq!(id2, a);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_single_run() {
+        let single = Trace::enabled();
+        let s1 = Trace::enabled();
+        let s2 = Trace::enabled();
+        for (i, t) in [(0u64, &s1), (1, &s2), (2, &s1), (3, &s2)] {
+            single.count("n", i + 1);
+            single.record("v", i * 10);
+            t.count("n", i + 1);
+            t.record("v", i * 10);
+        }
+        let mut merged = s1.metrics();
+        merged.merge(&s2.metrics());
+        assert_eq!(merged, single.metrics());
+        assert_eq!(merged.to_json(), single.snapshot_json());
+    }
+
+    #[test]
+    fn streaming_sink_spills_and_bounds_memory() {
+        let dir = std::env::temp_dir().join("tms_trace_sink_test");
+        let path = dir.join("spill.trace.ndjson");
+        let t = Trace::streaming(&path, 8).unwrap();
+        for i in 0..100u64 {
+            t.event_at("sim.vthread", || format!("t{i}"), i % 4, i, 1, Vec::new);
+        }
+        t.count("n", 100);
+        t.flush().unwrap();
+        assert!(t.is_streaming());
+        assert_eq!(t.event_count(), 100);
+        assert!(t.spill_high_water() <= 8, "buffer exceeded its cap");
+        assert_eq!(t.spilled_events(), 100);
+        assert_eq!(t.counter("n"), 100, "metrics stay resident");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 100);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,235 @@
+//! The `.trace.ndjson` spill format: one event per line, newline-
+//! delimited JSON.
+//!
+//! A [`crate::Trace::streaming`] sink writes completed events here as
+//! its bounded buffer fills, so a traced `--specfp-cap 0` sweep never
+//! holds more than the buffer cap of span events in memory. Each line
+//! is a self-contained JSON object in Chrome-adjacent terms:
+//!
+//! ```json
+//! {"ph":"X","cat":"sweep","name":"kernels","tid":0,"ts":12,"dur":3400,"args":{"loops":"18"}}
+//! {"ph":"C","cat":"sim.vcounter","name":"sim.prune.log_len","tid":0,"ts":96,"args":{"value":7}}
+//! ```
+//!
+//! `pid` is not stored — it is a pure function of `cat` (see
+//! [`crate::chrome::pid_of_cat`]) and is re-derived at render time.
+//! Span (`"ph":"X"`) args are strings; counter (`"ph":"C"`) args are
+//! unsigned integers, the same distinction the Chrome exporter makes.
+//! [`parse_line`] inverts [`write_ndjson_line`] exactly, which is what
+//! lets `tms trace merge` reproduce the in-memory exporter's bytes.
+
+use crate::json::{push_u64, write_str};
+use crate::parse::{parse, Json};
+use crate::sink::{Event, EventPhase};
+
+/// An event parsed back from a spill file — same shape as
+/// [`Event`] with owned strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Chrome phase.
+    pub ph: EventPhase,
+    /// Category.
+    pub cat: String,
+    /// Event name.
+    pub name: String,
+    /// Track (`tid`).
+    pub track: u64,
+    /// Timestamp (µs or cycles).
+    pub ts_us: u64,
+    /// Duration (µs or cycles); 0 for counters.
+    pub dur_us: u64,
+    /// Annotations in recording order. Counter values are canonical
+    /// decimal integers.
+    pub args: Vec<(String, String)>,
+}
+
+impl crate::chrome::ChromeEvent for OwnedEvent {
+    fn phase(&self) -> EventPhase {
+        self.ph
+    }
+    fn cat(&self) -> &str {
+        &self.cat
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn track(&self) -> u64 {
+        self.track
+    }
+    fn ts_us(&self) -> u64 {
+        self.ts_us
+    }
+    fn dur_us(&self) -> u64 {
+        self.dur_us
+    }
+    fn args(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.args.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+/// Append `ev` as one ndjson line (including the trailing newline).
+pub fn write_ndjson_line(out: &mut String, ev: &Event) {
+    match ev.ph {
+        EventPhase::Complete => out.push_str("{\"ph\":\"X\",\"cat\":"),
+        EventPhase::Counter => out.push_str("{\"ph\":\"C\",\"cat\":"),
+    }
+    write_str(out, ev.cat);
+    out.push_str(",\"name\":");
+    write_str(out, &ev.name);
+    out.push_str(",\"tid\":");
+    push_u64(out, ev.track);
+    out.push_str(",\"ts\":");
+    push_u64(out, ev.ts_us);
+    if ev.ph == EventPhase::Complete {
+        out.push_str(",\"dur\":");
+        push_u64(out, ev.dur_us);
+    }
+    out.push_str(",\"args\":{");
+    for (j, (k, v)) in ev.args.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        if ev.ph == EventPhase::Counter {
+            out.push_str(v);
+        } else {
+            write_str(out, v);
+        }
+    }
+    out.push_str("}}\n");
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer '{key}'"))
+}
+
+/// Parse one spill line back into an [`OwnedEvent`].
+pub fn parse_line(line: &str) -> Result<OwnedEvent, String> {
+    let v = parse(line)?;
+    let ph = match v.get("ph").and_then(Json::as_str) {
+        Some("X") => EventPhase::Complete,
+        Some("C") => EventPhase::Counter,
+        other => return Err(format!("bad ph {other:?}")),
+    };
+    let cat = v
+        .get("cat")
+        .and_then(Json::as_str)
+        .ok_or("missing 'cat'")?
+        .to_string();
+    let name = v
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing 'name'")?
+        .to_string();
+    let track = field_u64(&v, "tid")?;
+    let ts_us = field_u64(&v, "ts")?;
+    let dur_us = match ph {
+        EventPhase::Complete => field_u64(&v, "dur")?,
+        EventPhase::Counter => 0,
+    };
+    let args_obj = v
+        .get("args")
+        .and_then(Json::as_obj)
+        .ok_or("missing 'args' object")?;
+    let mut args = Vec::with_capacity(args_obj.len());
+    for (k, val) in args_obj {
+        let rendered = match (ph, val) {
+            (EventPhase::Complete, Json::Str(s)) => s.clone(),
+            (EventPhase::Counter, Json::U64(n)) => n.to_string(),
+            _ => return Err(format!("arg '{k}' has the wrong type for ph")),
+        };
+        args.push((k.clone(), rendered));
+    }
+    Ok(OwnedEvent {
+        ph,
+        cat,
+        name,
+        track,
+        ts_us,
+        dur_us,
+        args,
+    })
+}
+
+/// Parse a whole spill file (empty lines are not produced and not
+/// accepted). Errors carry the 1-based line number.
+pub fn parse_spill(text: &str) -> Result<Vec<OwnedEvent>, String> {
+    text.lines()
+        .enumerate()
+        .map(|(i, line)| parse_line(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, args: Vec<(&'static str, String)>) -> Event {
+        Event {
+            ph: EventPhase::Complete,
+            cat: "sweep",
+            name: name.to_string(),
+            track: 3,
+            ts_us: 10,
+            dur_us: 20,
+            args,
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_exactly() {
+        let ev = span(
+            "ker\"nel\n",
+            vec![("loops", "18".into()), ("k", "v\\x".into())],
+        );
+        let mut line = String::new();
+        write_ndjson_line(&mut line, &ev);
+        assert!(line.ends_with('\n'));
+        let back = parse_line(line.trim_end()).unwrap();
+        assert_eq!(back.ph, EventPhase::Complete);
+        assert_eq!(back.cat, "sweep");
+        assert_eq!(back.name, "ker\"nel\n");
+        assert_eq!((back.track, back.ts_us, back.dur_us), (3, 10, 20));
+        assert_eq!(
+            back.args,
+            vec![
+                ("loops".to_string(), "18".to_string()),
+                ("k".to_string(), "v\\x".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn counters_round_trip_with_numeric_args() {
+        let ev = Event {
+            ph: EventPhase::Counter,
+            cat: "sim.vcounter",
+            name: "sim.prune.log_len".to_string(),
+            track: 0,
+            ts_us: 96,
+            dur_us: 0,
+            args: vec![("value", "7".to_string())],
+        };
+        let mut line = String::new();
+        write_ndjson_line(&mut line, &ev);
+        assert!(line.contains("\"args\":{\"value\":7}"));
+        assert!(!line.contains("\"dur\""));
+        let back = parse_line(line.trim_end()).unwrap();
+        assert_eq!(back.ph, EventPhase::Counter);
+        assert_eq!(back.args, vec![("value".to_string(), "7".to_string())]);
+    }
+
+    #[test]
+    fn parse_spill_reports_line_numbers() {
+        let err = parse_spill("{\"ph\":\"X\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let ev = span("a", vec![]);
+        let mut text = String::new();
+        write_ndjson_line(&mut text, &ev);
+        write_ndjson_line(&mut text, &ev);
+        assert_eq!(parse_spill(&text).unwrap().len(), 2);
+    }
+}

@@ -4,7 +4,9 @@
 //! ```text
 //! tms-verify [--fuzz N] [--seed S] [--out PATH] [--sim-iters N]
 //!            [--specfp-cap N] [--jobs N] [--no-sim] [--quick]
-//!            [--trace PATH] [--metrics PATH]
+//!            [--shard I/N] [--trace PATH] [--stream PATH]
+//!            [--stream-buffer N] [--metrics PATH] [--snapshot PATH]
+//! tms-verify merge-metrics [--out PATH] FILE...
 //! ```
 //!
 //! Exits nonzero if any check fails.
@@ -20,7 +22,10 @@ struct Args {
     sweep: SweepConfig,
     out: PathBuf,
     trace_out: Option<PathBuf>,
+    stream_out: Option<PathBuf>,
+    stream_buffer: usize,
     metrics_out: Option<PathBuf>,
+    snapshot_out: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -33,15 +38,20 @@ impl Default for Args {
             },
             out: PathBuf::from("results/verify.json"),
             trace_out: None,
+            stream_out: None,
+            stream_buffer: 4096,
             metrics_out: None,
+            snapshot_out: None,
         }
     }
 }
 
 fn usage() -> String {
     "tms-verify [--fuzz N] [--seed S] [--out PATH] [--sim-iters N] \
-     [--specfp-cap N] [--jobs N] [--no-sim] [--quick] \
-     [--trace PATH] [--metrics PATH]\n\n\
+     [--specfp-cap N] [--jobs N] [--no-sim] [--quick] [--shard I/N] \
+     [--trace PATH] [--stream PATH] [--stream-buffer N] \
+     [--metrics PATH] [--snapshot PATH]\n\
+     tms-verify merge-metrics [--out PATH] FILE...\n\n\
      --jobs N       worker threads for the per-loop fan-out; 0 or the\n\
                     default uses every available core. The TMS_JOBS\n\
                     environment variable sets the default; the flag\n\
@@ -50,13 +60,42 @@ fn usage() -> String {
      --quick        cheaper per-loop check grid\n\
      --no-sim       skip differential execution\n\
      --specfp-cap N loops per SPECfp profile (0 = all)\n\
+     --shard I/N    check only loops with global index = I (mod N);\n\
+                    the N shards partition the sweep, and their\n\
+                    --snapshot files merge (merge-metrics) to exactly\n\
+                    the single-process metrics\n\
      --trace PATH   enable tracing; write a Chrome trace_event JSON\n\
                     (load in chrome://tracing or ui.perfetto.dev)\n\
+     --stream PATH  enable tracing with a bounded-memory streaming\n\
+                    sink: completed events spill to PATH as ndjson\n\
+                    (one JSON object per line); convert with\n\
+                    `tms trace merge`\n\
+     --stream-buffer N  resident event cap for --stream (default 4096)\n\
      --metrics PATH enable tracing; write the counter/timer metrics\n\
                     JSON (default results/verify_metrics.json when\n\
-                    --trace is given). Tracing never changes the\n\
-                    report: verify.json stays byte-identical."
+                    --trace or --stream is given)\n\
+     --snapshot PATH  enable tracing; write the deterministic metrics\n\
+                    snapshot (counters + value histograms only) for\n\
+                    merge-metrics. Tracing never changes the report:\n\
+                    verify.json stays byte-identical.\n\n\
+     merge-metrics  fold per-shard snapshot/metrics JSON files into\n\
+                    one snapshot (stdout, or --out PATH)"
         .to_string()
+}
+
+fn parse_shard(text: &str) -> Result<(u32, u32), String> {
+    let (i, n) = text
+        .split_once('/')
+        .ok_or_else(|| format!("--shard wants I/N, got '{text}'"))?;
+    let i: u32 = i.parse().map_err(|e| format!("--shard index: {e}"))?;
+    let n: u32 = n.parse().map_err(|e| format!("--shard count: {e}"))?;
+    if n == 0 {
+        return Err("--shard count must be at least 1".to_string());
+    }
+    if i >= n {
+        return Err(format!("--shard index {i} out of range for {n} shards"));
+    }
+    Ok((i, n))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,8 +127,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-sim" => args.sweep.no_sim = true,
             "--quick" => args.sweep.quick = true,
+            "--shard" => args.sweep.shard = Some(parse_shard(&val("--shard")?)?),
             "--trace" => args.trace_out = Some(PathBuf::from(val("--trace")?)),
+            "--stream" => args.stream_out = Some(PathBuf::from(val("--stream")?)),
+            "--stream-buffer" => {
+                args.stream_buffer = val("--stream-buffer")?
+                    .parse()
+                    .map_err(|e| format!("--stream-buffer: {e}"))?
+            }
             "--metrics" => args.metrics_out = Some(PathBuf::from(val("--metrics")?)),
+            "--snapshot" => args.snapshot_out = Some(PathBuf::from(val("--snapshot")?)),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -97,10 +144,70 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
+    if args.trace_out.is_some() && args.stream_out.is_some() {
+        return Err("--trace and --stream are mutually exclusive".to_string());
+    }
     Ok(args)
 }
 
+/// `tms-verify merge-metrics [--out PATH] FILE...`
+fn cmd_merge_metrics(argv: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("tms-verify merge-metrics: --out needs a value");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("tms-verify merge-metrics [--out PATH] FILE...");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("tms-verify merge-metrics: no input files");
+        return ExitCode::from(2);
+    }
+    let merged = match tms_trace::merge::merge_snapshot_files(&files) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("tms-verify merge-metrics: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = merged.to_json();
+    match out {
+        None => print!("{json}"),
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!(
+                    "tms-verify merge-metrics: cannot write {}: {e}",
+                    path.display()
+                );
+                return ExitCode::from(2);
+            }
+            println!("merged {} file(s) -> {}", files.len(), path.display());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("merge-metrics") {
+        return cmd_merge_metrics(&argv[1..]);
+    }
+
     let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -108,10 +215,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let tracing = args.trace_out.is_some() || args.metrics_out.is_some();
+    let tracing = args.trace_out.is_some()
+        || args.stream_out.is_some()
+        || args.metrics_out.is_some()
+        || args.snapshot_out.is_some();
     if tracing {
-        args.sweep.trace = Trace::enabled();
-        if args.metrics_out.is_none() {
+        args.sweep.trace = match &args.stream_out {
+            None => Trace::enabled(),
+            Some(path) => {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                match Trace::streaming(path, args.stream_buffer) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("tms-verify: cannot open {}: {e}", path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        };
+        if args.metrics_out.is_none() && args.snapshot_out.is_none() {
             args.metrics_out = Some(PathBuf::from("results/verify_metrics.json"));
         }
     }
@@ -157,8 +281,27 @@ fn main() -> ExitCode {
             args.sweep.trace.event_count()
         );
     }
+    if let Some(path) = &args.stream_out {
+        if let Err(e) = args.sweep.trace.flush() {
+            eprintln!("tms-verify: cannot flush {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} events spilled, peak {} resident; convert with `tms trace merge`)",
+            path.display(),
+            args.sweep.trace.spilled_events(),
+            args.sweep.trace.spill_high_water()
+        );
+    }
     if let Some(path) = &args.metrics_out {
         if let Err(e) = args.sweep.trace.write_metrics(path) {
+            eprintln!("tms-verify: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Some(path) = &args.snapshot_out {
+        if let Err(e) = args.sweep.trace.write_snapshot(path) {
             eprintln!("tms-verify: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

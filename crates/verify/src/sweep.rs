@@ -35,6 +35,14 @@ pub struct SweepConfig {
     pub quick: bool,
     /// Worker threads for the per-loop fan-out.
     pub jobs: Parallelism,
+    /// Process-level sharding: `Some((i, n))` checks only the loops
+    /// whose **global index** (position in the fixed family order,
+    /// counted across every family) is `≡ i (mod n)`. The shards
+    /// partition the sweep exactly: each loop lands in precisely one
+    /// shard, so shard metrics snapshots merge
+    /// ([`tms_trace::MetricsSnapshot::merge`]) byte-identically to a
+    /// single-process run.
+    pub shard: Option<(u32, u32)>,
     /// Instrumentation sink (disabled by default). When enabled, the
     /// sweep records a span per family and per loop plus the scheduler
     /// and simulator counters underneath; the [`VerifyReport`] itself
@@ -52,6 +60,7 @@ impl Default for SweepConfig {
             no_sim: false,
             quick: false,
             jobs: Parallelism::Auto,
+            shard: None,
             trace: Trace::disabled(),
         }
     }
@@ -109,12 +118,31 @@ pub fn run_sweep(sweep: &SweepConfig) -> SweepOutcome {
         timings: Vec::new(),
         notes: Vec::new(),
     };
+    if let Some((i, n)) = sweep.shard {
+        outcome.notes.push(format!(
+            "shard {i}/{n}: checking loops with global index = {i} (mod {n})"
+        ));
+    }
 
+    // Loops are numbered globally across the fixed family order; a
+    // shard keeps the loops whose global index is `≡ i (mod n)`.
+    let next_global = std::cell::Cell::new(0u64);
     let run_family = |outcome: &mut SweepOutcome, family: &str, ddgs: &[tms_ddg::Ddg]| {
+        let base = next_global.get();
+        next_global.set(base + ddgs.len() as u64);
+        let kept: Vec<&tms_ddg::Ddg> = ddgs
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| match sweep.shard {
+                None => true,
+                Some((i, n)) => (base + *j as u64) % u64::from(n) == u64::from(i),
+            })
+            .map(|(_, g)| g)
+            .collect();
         let mut span = sweep.trace.span("sweep", family);
-        span.arg("loops", ddgs.len());
+        span.arg("loops", kept.len());
         let t0 = Instant::now();
-        let verdicts: Vec<LoopVerdict> = par_map(sweep.jobs, ddgs, |_, g| {
+        let verdicts: Vec<LoopVerdict> = par_map(sweep.jobs, &kept, |_, &g| {
             check_loop_traced(g, &cfg, &sweep.trace)
         });
         outcome.report.add_family(family, &verdicts);
@@ -237,5 +265,32 @@ mod tests {
             untraced.report.total_loops as u64
         );
         assert!(t_serial.counter("tms.attempts") > 0);
+    }
+
+    #[test]
+    fn shards_partition_the_sweep_and_metrics_merge_exactly() {
+        let single_trace = Trace::enabled();
+        let single = run_sweep(&SweepConfig {
+            trace: single_trace.clone(),
+            ..tiny()
+        });
+
+        let n = 3u32;
+        let mut merged = tms_trace::MetricsSnapshot::default();
+        let mut loops = 0usize;
+        for i in 0..n {
+            let t = Trace::enabled();
+            let out = run_sweep(&SweepConfig {
+                shard: Some((i, n)),
+                trace: t.clone(),
+                ..tiny()
+            });
+            loops += out.report.total_loops;
+            merged.merge(&t.metrics());
+        }
+        // Every loop lands in exactly one shard…
+        assert_eq!(loops, single.report.total_loops);
+        // …and the merged metrics are byte-identical to one process.
+        assert_eq!(merged.to_json(), single_trace.snapshot_json());
     }
 }

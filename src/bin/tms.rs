@@ -7,6 +7,7 @@
 //! tms simulate <loop> [opts]        schedule + run on the SpMT system
 //! tms dot <loop> [opts]             DOT of the TMS-scheduled kernel
 //! tms trace <loop> [opts]           per-thread SpMT execution timeline
+//! tms trace merge <out> <in>...     spilled .trace.ndjson -> Chrome JSON
 //! tms codegen <loop> [opts]         prologue/kernel/epilogue listing
 //! tms export <loop> <file.json>     write the DDG as JSON
 //! tms import <file.json> <cmd>      run show/schedule/simulate on it
@@ -16,6 +17,9 @@
 //!          --unroll F    unroll before scheduling
 //!          --trace PATH  (trace) also write a Chrome trace_event JSON
 //!                        timeline — load it in ui.perfetto.dev
+//!          --stream PATH (trace) bounded-memory sink: spill events to
+//!                        PATH as ndjson; convert with `tms trace merge`
+//!          --buffer N    (trace --stream) resident event cap (default 4096)
 //! ```
 
 use std::process::ExitCode;
@@ -27,6 +31,8 @@ struct Opts {
     iters: u64,
     unroll: u32,
     trace_out: Option<String>,
+    stream_out: Option<String>,
+    buffer: usize,
 }
 
 fn named_workloads() -> Vec<Ddg> {
@@ -47,6 +53,8 @@ fn parse_opts(args: &[String]) -> Opts {
         iters: 1000,
         unroll: 1,
         trace_out: None,
+        stream_out: None,
+        buffer: 4096,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -55,6 +63,8 @@ fn parse_opts(args: &[String]) -> Opts {
             "--iters" => o.iters = it.next().and_then(|v| v.parse().ok()).unwrap_or(1000),
             "--unroll" => o.unroll = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
             "--trace" => o.trace_out = it.next().cloned(),
+            "--stream" => o.stream_out = it.next().cloned(),
+            "--buffer" => o.buffer = it.next().and_then(|v| v.parse().ok()).unwrap_or(4096),
             _ => {}
         }
     }
@@ -167,7 +177,15 @@ fn cmd_trace(g: &Ddg, o: &Opts) {
     let machine = MachineModel::icpp2008();
     let arch = ArchParams::with_ncore(o.ncore);
     let model = CostModel::new(arch.costs, arch.ncore);
-    let sink = if o.trace_out.is_some() {
+    let sink = if let Some(path) = &o.stream_out {
+        match Trace::streaming(std::path::Path::new(path), o.buffer) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return;
+            }
+        }
+    } else if o.trace_out.is_some() {
         Trace::enabled()
     } else {
         Trace::disabled()
@@ -186,6 +204,17 @@ fn cmd_trace(g: &Ddg, o: &Opts) {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
+    if let Some(path) = &o.stream_out {
+        match sink.flush() {
+            Ok(()) => println!(
+                "wrote {path} ({} events spilled, peak {} resident; \
+                 convert with `tms trace merge <out.json> {path}`)",
+                sink.spilled_events(),
+                sink.spill_high_water()
+            ),
+            Err(e) => eprintln!("cannot flush {path}: {e}"),
+        }
+    }
     let trace = out.trace.expect("trace requested");
     print!("{}", trace.timeline(72));
     println!(
@@ -198,6 +227,30 @@ fn cmd_trace(g: &Ddg, o: &Opts) {
             .map(|u| format!("{:.0}%", u * 100.0))
             .collect::<Vec<_>>()
     );
+}
+
+/// `tms trace merge <out.json> <in.trace.ndjson>...` — render one or
+/// more spill files as a single Chrome trace_event document, byte-
+/// identical to what an in-memory sink would have written for the
+/// same events.
+fn cmd_trace_merge(out: &str, inputs: &[String]) -> ExitCode {
+    match tms_trace::merge::chrome_from_spills(inputs) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "merged {} file(s) -> {out} (load in chrome://tracing or ui.perfetto.dev)",
+                inputs.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tms trace merge: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_codegen(g: &Ddg, o: &Opts) {
@@ -224,7 +277,9 @@ fn main() -> ExitCode {
     let usage = || {
         eprintln!(
             "usage: tms <list|show|schedule|simulate|dot|trace|codegen|export|import> [loop] [opts]\n\
-             see `tms list` for loop names; options: --ncore N --iters N --unroll F --trace PATH"
+             \x20      tms trace merge <out.json> <in.trace.ndjson>...\n\
+             see `tms list` for loop names; options: --ncore N --iters N --unroll F \
+             --trace PATH --stream PATH --buffer N"
         );
         ExitCode::FAILURE
     };
@@ -237,6 +292,17 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "show" | "schedule" | "simulate" | "dot" | "trace" | "codegen" => {
+            if cmd == "trace" && args.get(1).map(String::as_str) == Some("merge") {
+                let (Some(out), inputs) = (args.get(2), &args[3.min(args.len())..]) else {
+                    eprintln!("usage: tms trace merge <out.json> <in.trace.ndjson>...");
+                    return ExitCode::FAILURE;
+                };
+                if inputs.is_empty() {
+                    eprintln!("usage: tms trace merge <out.json> <in.trace.ndjson>...");
+                    return ExitCode::FAILURE;
+                }
+                return cmd_trace_merge(out, inputs);
+            }
             let Some(name) = args.get(1) else {
                 return usage();
             };

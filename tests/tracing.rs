@@ -133,13 +133,14 @@ fn exporters_emit_wellformed_json() {
         .expect("traceEvents array");
     assert_eq!(events.len(), trace.event_count());
     assert!(!events.is_empty(), "traced sweep produced no events");
+    let mut counters_seen = 0usize;
     for ev in events {
-        assert_eq!(
-            ev.get("ph").and_then(|v| v.as_str()),
-            Some("X"),
-            "only complete events are emitted"
+        let ph = ev.get("ph").and_then(|v| v.as_str());
+        assert!(
+            matches!(ph, Some("X") | Some("C")),
+            "only complete and counter events are emitted, got {ph:?}"
         );
-        for key in ["pid", "tid", "ts", "dur"] {
+        for key in ["pid", "tid", "ts"] {
             assert!(
                 ev.get(key).and_then(|v| v.as_u64()).is_some(),
                 "event missing numeric {key}"
@@ -151,7 +152,32 @@ fn exporters_emit_wellformed_json() {
                 "event missing string {key}"
             );
         }
+        if ph == Some("X") {
+            assert!(
+                ev.get("dur").and_then(|v| v.as_u64()).is_some(),
+                "span missing numeric dur"
+            );
+        } else {
+            counters_seen += 1;
+            // Counter samples carry no duration, and Perfetto only
+            // plots numeric series values.
+            assert!(ev.get("dur").is_none(), "counter carries a dur");
+            let args = ev
+                .get("args")
+                .and_then(|v| v.as_object())
+                .expect("counter args object");
+            assert!(!args.is_empty(), "counter with no series value");
+            for (k, v) in args {
+                assert!(v.as_u64().is_some(), "counter arg {k} is not an integer");
+            }
+        }
     }
+    // The scheduler ran, so its attempts-per-loop counter track must
+    // be present.
+    assert!(
+        counters_seen > 0,
+        "traced sweep produced no counter samples"
+    );
 
     // A disabled trace exports empty but still-valid documents.
     let off = Trace::disabled();
