@@ -96,6 +96,21 @@ pub enum Diagnostic {
         /// The violated cap.
         max_stages: u32,
     },
+    /// The TMS candidate search ran out of its attempt/deadline budget
+    /// before accepting a thread-sensitive schedule, and the loop was
+    /// degraded to the plain SMS schedule. Not a legality violation —
+    /// the fallback schedule is still verified — but reported so
+    /// sweeps can distinguish "SMS won on cost" from "TMS never got to
+    /// finish".
+    DegradedToSms {
+        /// The degraded loop.
+        loop_name: String,
+        /// Candidate attempts actually spent.
+        attempts: usize,
+        /// The exhausted budget (0 when a deadline, not the attempt
+        /// budget, cut the search short).
+        budget: usize,
+    },
 }
 
 impl Diagnostic {
@@ -108,6 +123,7 @@ impl Diagnostic {
             Diagnostic::SyncExceeded { .. } => "sync-exceeded",
             Diagnostic::MisspecExceeded { .. } => "misspec-exceeded",
             Diagnostic::StageOverflow { .. } => "stage-overflow",
+            Diagnostic::DegradedToSms { .. } => "degraded-to-sms",
         }
     }
 }
@@ -162,6 +178,15 @@ impl fmt::Display for Diagnostic {
             Diagnostic::StageOverflow { stages, max_stages } => {
                 write!(f, "kernel has {stages} stages, cap is {max_stages}")
             }
+            Diagnostic::DegradedToSms {
+                loop_name,
+                attempts,
+                budget,
+            } => write!(
+                f,
+                "{loop_name}: TMS search exhausted its budget \
+                 ({attempts} of {budget} attempts), degraded to SMS"
+            ),
         }
     }
 }
@@ -232,6 +257,15 @@ impl Serialize for Diagnostic {
             Diagnostic::StageOverflow { stages, max_stages } => {
                 put("stages", stages.to_value());
                 put("max_stages", max_stages.to_value());
+            }
+            Diagnostic::DegradedToSms {
+                loop_name,
+                attempts,
+                budget,
+            } => {
+                put("loop", loop_name.to_value());
+                put("attempts", attempts.to_value());
+                put("budget", budget.to_value());
             }
         }
         Value::Object(obj)

@@ -13,8 +13,37 @@
 //! worker busy while the others drain the tail), and each worker
 //! collects `(index, result)` pairs that are merged and sorted once at
 //! the end.
+//!
+//! # Panic containment
+//!
+//! A panicking item must not take down the whole fan-out (one
+//! pathological loop would otherwise abort an entire sharded sweep),
+//! and — just as important — must not perturb the results of its
+//! neighbours. Each item runs under [`catch_unwind`]; on a panic the
+//! worker discards its scratch state (the unwound closure may have
+//! left it inconsistent), notes the item's index, and moves on. After
+//! the pool drains, the failed items are re-executed serially **in
+//! input order** with fresh scratch, so a transient panic (e.g. an
+//! injected fault that fires once) converges to exactly the serial
+//! result at any worker count. An item that panics again on the serial
+//! retry has a genuine, deterministic bug — that second panic
+//! propagates. Every caught panic increments the process-wide
+//! [`panics_caught`] counter so harnesses can assert on containment.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide count of worker panics caught (and recovered) by
+/// [`par_map_with`]. Monotonic; see [`panics_caught`].
+static PANICS_CAUGHT: AtomicU64 = AtomicU64::new(0);
+
+/// Total worker panics caught and recovered since process start.
+/// Harnesses snapshot this before/after a region to check that every
+/// injected panic was contained.
+pub fn panics_caught() -> u64 {
+    PANICS_CAUGHT.load(Ordering::Relaxed)
+}
 
 /// How many workers a parallel region may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,14 +118,23 @@ where
     let workers = par.workers().min(items.len());
     if workers <= 1 {
         let mut scratch = init();
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, t)| f(&mut scratch, i, t))
-            .collect();
+        let mut out: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        let mut failed: Vec<usize> = Vec::new();
+        for (i, t) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut scratch, i, t))) {
+                Ok(r) => out.push((i, r)),
+                Err(_) => {
+                    PANICS_CAUGHT.fetch_add(1, Ordering::Relaxed);
+                    scratch = init();
+                    failed.push(i);
+                }
+            }
+        }
+        return finish(items, out, failed, &init, &f);
     }
 
     let cursor = AtomicUsize::new(0);
+    let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
     let shards: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -108,7 +146,17 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(&mut scratch, i, &items[i])));
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut scratch, i, &items[i]))) {
+                            Ok(r) => out.push((i, r)),
+                            Err(_) => {
+                                PANICS_CAUGHT.fetch_add(1, Ordering::Relaxed);
+                                scratch = init();
+                                failed
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                    .push(i);
+                            }
+                        }
                     }
                     out
                 })
@@ -116,11 +164,40 @@ where
             .collect();
         handles
             .into_iter()
+            // With per-item containment the worker body cannot unwind;
+            // this expect is an unreachable backstop.
             .map(|h| h.join().expect("par_map worker panicked"))
             .collect()
     });
 
-    let mut merged: Vec<(usize, R)> = shards.into_iter().flatten().collect();
+    let merged: Vec<(usize, R)> = shards.into_iter().flatten().collect();
+    let failed = failed
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    finish(items, merged, failed, &init, &f)
+}
+
+/// Re-execute `failed` items serially in input order with fresh
+/// scratch, then sort everything back to input order. A second panic
+/// here is a deterministic bug and propagates to the caller.
+fn finish<T, R, S, I, F>(
+    items: &[T],
+    mut merged: Vec<(usize, R)>,
+    mut failed: Vec<usize>,
+    init: &I,
+    f: &F,
+) -> Vec<R>
+where
+    I: Fn() -> S,
+    F: Fn(&mut S, usize, &T) -> R,
+{
+    if !failed.is_empty() {
+        failed.sort_unstable();
+        let mut scratch = init();
+        for i in failed {
+            merged.push((i, f(&mut scratch, i, &items[i])));
+        }
+    }
     debug_assert_eq!(merged.len(), items.len());
     merged.sort_unstable_by_key(|&(i, _)| i);
     merged.into_iter().map(|(_, r)| r).collect()
@@ -175,6 +252,47 @@ mod tests {
         assert_eq!(Parallelism::Serial.workers(), 1);
         assert_eq!(Parallelism::Jobs(3).workers(), 3);
         assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn transient_panic_is_caught_and_retried_in_order() {
+        use std::collections::BTreeSet;
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for par in [Parallelism::Serial, Parallelism::Jobs(4)] {
+            // Items 5 and 40 panic on their first execution only.
+            let tripped: Mutex<BTreeSet<usize>> = Mutex::new(BTreeSet::new());
+            let before = panics_caught();
+            let got = par_map(par, &items, |i, &x| {
+                if (i == 5 || i == 40) && tripped.lock().unwrap().insert(i) {
+                    panic!("injected");
+                }
+                x * 3
+            });
+            assert_eq!(got, expect, "{par:?}");
+            assert_eq!(panics_caught() - before, 2, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_rebuilt_after_a_caught_panic() {
+        // The panicking item bumps the scratch before unwinding; the
+        // retry must see a fresh one, not the poisoned survivor.
+        let items: Vec<u32> = (0..8).collect();
+        let first = std::sync::atomic::AtomicBool::new(true);
+        let got = par_map_with(
+            Parallelism::Serial,
+            &items,
+            || 0u32,
+            |dirty, i, &x| {
+                if i == 3 && first.swap(false, Ordering::Relaxed) {
+                    *dirty = 99;
+                    panic!("injected");
+                }
+                x + *dirty
+            },
+        );
+        assert_eq!(got, items);
     }
 
     #[test]

@@ -44,6 +44,23 @@ pub struct TmsConfig {
     pub c_delay_max: Option<u32>,
     /// Safety cap on the number of `(II, C_delay, P_max)` attempts.
     pub max_attempts: usize,
+    /// Graceful-degradation budget: when set, the search stops after
+    /// this many attempts and *degrades* to the SMS schedule (reported
+    /// as [`Diagnostic::DegradedToSms`] in [`TmsResult::degraded`])
+    /// instead of erroring — even when [`TmsConfig::allow_sms_fallback`]
+    /// is off, because running out of budget is an operational
+    /// condition, not an infeasibility proof. Unlike
+    /// [`TmsConfig::max_attempts`] (a correctness backstop), exhausting
+    /// this budget is always reported. Deterministic: the same budget
+    /// degrades the same loops at every worker count.
+    pub attempt_budget: Option<usize>,
+    /// Wall-clock analogue of [`TmsConfig::attempt_budget`]: checked
+    /// between attempts (serial) or wavefront chunks (parallel), so a
+    /// pathological loop cannot stall a sweep indefinitely. Inherently
+    /// machine-dependent — campaigns that need bit-identical reports
+    /// use `attempt_budget` instead. `Duration::ZERO` degrades before
+    /// the first attempt, deterministically.
+    pub deadline: Option<std::time::Duration>,
     /// Try every integer `C_delay` candidate. When false (default) the
     /// grid is thinned for large thresholds — dense near the minimum,
     /// stride 2 beyond `min+8`, stride 4 beyond `min+24` — trading an
@@ -79,6 +96,8 @@ impl Default for TmsConfig {
             ii_max: None,
             c_delay_max: None,
             max_attempts: 200_000,
+            attempt_budget: None,
+            deadline: None,
             dense_candidates: false,
             allow_sms_fallback: true,
             max_extra_stages: 2,
@@ -149,6 +168,11 @@ pub struct TmsResult {
     pub rejected_candidates: usize,
     /// Diagnostics of up to [`REJECT_LOG_CAP`] rejected candidates.
     pub rejects: Vec<CandidateReject>,
+    /// Set iff the search was cut short by its attempt/deadline budget
+    /// and the result is the degraded SMS fallback (always a
+    /// [`Diagnostic::DegradedToSms`]). `None` for accepted candidates
+    /// *and* for ordinary cost-driven SMS fallbacks.
+    pub degraded: Option<Diagnostic>,
 }
 
 /// The TMS slot admission policy (conditions C1 and C2 of Figure 3).
@@ -385,10 +409,22 @@ pub fn schedule_tms_traced(
     // folded into the index range (serially the budget was checked
     // before each attempt, so at most `max_attempts` ever ran).
     let p_count = config.p_max_values.len();
-    let total = candidates
+    let natural_total = candidates
         .len()
         .saturating_mul(p_count)
         .min(config.max_attempts);
+    // The degradation budget caps the index range on top of the safety
+    // cap; `budget_cut` records that it actually bit, so exhausting the
+    // range without a resolution degrades instead of erroring.
+    let total = natural_total.min(config.attempt_budget.unwrap_or(usize::MAX));
+    let budget_cut = total < natural_total;
+    let search_started = std::time::Instant::now();
+    let past_deadline = || {
+        config
+            .deadline
+            .is_some_and(|d| search_started.elapsed() >= d)
+    };
+    let mut deadline_cut = false;
 
     // One `(II, C_delay, P_max)` attempt. Pure given its index: reads
     // only attempt-invariant state (plus the frames cache and a
@@ -515,6 +551,10 @@ pub fn schedule_tms_traced(
     if workers <= 1 || total <= 1 {
         // Serial search: lazily computed frames, one persistent scratch.
         for idx in 0..total {
+            if past_deadline() {
+                deadline_cut = true;
+                break;
+            }
             let (ii, c_delay, key, p_max) = cand_of(idx);
             let frames = frames_cache
                 .entry(ii)
@@ -545,6 +585,10 @@ pub fn schedule_tms_traced(
         let mut base = 0usize;
         let mut chunk = workers;
         'wave: while base < total {
+            if past_deadline() {
+                deadline_cut = true;
+                break;
+            }
             let len = chunk.min(total - base);
             // Frames for the chunk's IIs are filled serially up front;
             // workers then share the cache read-only.
@@ -595,6 +639,10 @@ pub fn schedule_tms_traced(
         || "tms.attempts_per_loop".to_string(),
         attempts as u64,
     );
+    // The search degraded iff its budget (attempts or deadline) cut it
+    // short of a resolution; a full, unresolved sweep of the candidate
+    // space is the ordinary fallback/unschedulable path instead.
+    let exhausted_early = resolution.is_none() && (deadline_cut || budget_cut);
     match resolution {
         Some(Resolution::Accept {
             schedule,
@@ -616,10 +664,23 @@ pub fn schedule_tms_traced(
                 attempts,
                 rejected_candidates: rejected,
                 rejects,
+                degraded: None,
             })
         }
-        // `Resolution::Fallback` only arises with `allow_sms_fallback`.
-        _ if config.allow_sms_fallback => {
+        // `Resolution::Fallback` only arises with `allow_sms_fallback`;
+        // a budget-exhausted search falls back here too — degrading to
+        // SMS is an operational answer, erroring would lose the loop.
+        _ if config.allow_sms_fallback || exhausted_early => {
+            let degraded = if exhausted_early {
+                trace.count("tms.degraded_to_sms", 1);
+                Some(Diagnostic::DegradedToSms {
+                    loop_name: ddg.name().to_string(),
+                    attempts,
+                    budget: config.attempt_budget.unwrap_or(0),
+                })
+            } else {
+                None
+            };
             trace.count("tms.fallback", 1);
             let ii = sms.schedule.ii();
             Ok(TmsResult {
@@ -634,6 +695,7 @@ pub fn schedule_tms_traced(
                 attempts,
                 rejected_candidates: rejected,
                 rejects,
+                degraded,
             })
         }
         _ => {
@@ -781,6 +843,94 @@ mod tests {
         let r = schedule_tms(&g, &machine(), &model(4), &TmsConfig::no_speculation()).unwrap();
         // Whatever path was taken, the result must be legal.
         assert!(r.schedule.check_legal(&g).is_none());
+    }
+
+    #[test]
+    fn exhausted_attempt_budget_degrades_to_sms() {
+        let g = motivating_shape();
+        // One attempt is nowhere near enough for this loop (its
+        // cheapest candidates fail C1/C2), so the search must degrade
+        // instead of erroring — even with the fallback switched off.
+        let cfg = TmsConfig {
+            attempt_budget: Some(1),
+            allow_sms_fallback: false,
+            ..TmsConfig::default()
+        };
+        let r = schedule_tms(&g, &machine(), &model(4), &cfg).unwrap();
+        assert!(r.fell_back_to_sms);
+        assert!(r.attempts <= 1);
+        match &r.degraded {
+            Some(Diagnostic::DegradedToSms {
+                loop_name, budget, ..
+            }) => {
+                assert_eq!(loop_name, "shape");
+                assert_eq!(*budget, 1);
+            }
+            other => panic!("expected DegradedToSms, got {other:?}"),
+        }
+        // The degraded schedule is still the legal SMS kernel.
+        assert!(r.schedule.check_legal(&g).is_none());
+        assert!(r.schedule.check_resources(&g, &machine()));
+    }
+
+    #[test]
+    fn zero_deadline_degrades_before_the_first_attempt() {
+        let g = motivating_shape();
+        let cfg = TmsConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..TmsConfig::default()
+        };
+        let r = schedule_tms(&g, &machine(), &model(4), &cfg).unwrap();
+        assert!(r.fell_back_to_sms);
+        assert_eq!(r.attempts, 0);
+        assert!(matches!(r.degraded, Some(Diagnostic::DegradedToSms { .. })));
+    }
+
+    #[test]
+    fn generous_budget_is_not_reported_as_degraded() {
+        let g = motivating_shape();
+        let cfg = TmsConfig {
+            attempt_budget: Some(1_000_000),
+            ..TmsConfig::default()
+        };
+        let r = schedule_tms(&g, &machine(), &model(2), &cfg).unwrap();
+        assert!(!r.fell_back_to_sms);
+        assert!(r.degraded.is_none());
+    }
+
+    #[test]
+    fn budget_degradation_is_identical_at_any_worker_count() {
+        let g = motivating_shape();
+        for budget in [1usize, 3, 7] {
+            let serial = schedule_tms(
+                &g,
+                &machine(),
+                &model(4),
+                &TmsConfig {
+                    attempt_budget: Some(budget),
+                    ..TmsConfig::default()
+                },
+            )
+            .unwrap();
+            let parallel = schedule_tms(
+                &g,
+                &machine(),
+                &model(4),
+                &TmsConfig {
+                    attempt_budget: Some(budget),
+                    parallelism: Parallelism::Jobs(4),
+                    ..TmsConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(serial.attempts, parallel.attempts, "budget={budget}");
+            assert_eq!(
+                serial.fell_back_to_sms, parallel.fell_back_to_sms,
+                "budget={budget}"
+            );
+            assert_eq!(serial.degraded, parallel.degraded, "budget={budget}");
+            assert_eq!(serial.ii, parallel.ii, "budget={budget}");
+        }
     }
 
     #[test]

@@ -31,6 +31,7 @@ use std::collections::{HashMap, VecDeque};
 use tms_core::postpass::CommPlan;
 use tms_core::schedule::Schedule;
 use tms_ddg::{Ddg, InstId};
+use tms_faults::FaultPlan;
 use tms_trace::Trace;
 
 /// Result of an SpMT simulation.
@@ -100,6 +101,36 @@ pub fn simulate_spmt_traced(
     config: &SimConfig,
     tracer: &Trace,
 ) -> SpmtOutcome {
+    simulate_spmt_injected(ddg, schedule, config, tracer, &FaultPlan::disabled())
+}
+
+/// [`simulate_spmt_traced`] under a deterministic fault plan.
+///
+/// Two injection sites, both pure functions of `(seed, loop, thread)`
+/// so the run is reproducible at any sweep worker count:
+///
+/// * **forced misspeculation** (`sim.misspec`): a thread that found no
+///   genuine violation is squashed anyway, charged `C_inv`, its L1
+///   flushed, and replayed through the *real* rollback path. The site
+///   is latched fire-once per `(loop, thread)`, so the replay converges
+///   exactly like a genuine violation and the memory image still equals
+///   the sequential reference — misspeculation perturbs timing, never
+///   results. Requires [`SimConfig::detect_violations`] (the squash
+///   machinery it exercises).
+/// * **stall jitter** (`sim.stall_jitter`): selected threads see every
+///   inter-thread register value arrive a few cycles late, modelling
+///   ring-queue contention. Pure delay — RECV stalls may grow, commits
+///   never reorder.
+///
+/// With a disabled plan this is byte-identical to
+/// [`simulate_spmt_traced`].
+pub fn simulate_spmt_injected(
+    ddg: &Ddg,
+    schedule: &Schedule,
+    config: &SimConfig,
+    tracer: &Trace,
+    faults: &FaultPlan,
+) -> SpmtOutcome {
     let plan = CommPlan::build(ddg, schedule);
     let program = ThreadProgram::lower(ddg, schedule, &plan);
     let addr_map = AddressMap::new(ddg, config.seed);
@@ -163,6 +194,18 @@ pub fn simulate_spmt_traced(
                 }
             }
         }
+        if faults.is_enabled() && !arrivals.is_empty() {
+            // Injected ring-queue contention: every value bound for this
+            // thread is uniformly late. Applied to the arrival map (not
+            // per-op) so relays downstream see the same times the clean
+            // run recorded.
+            let extra = faults.stall_jitter(ddg.name(), k);
+            if extra > 0 {
+                for t in arrivals.values_mut() {
+                    *t += extra;
+                }
+            }
+        }
 
         // Execute; replay on violation (bounded, converges because the
         // replay starts after every offending store).
@@ -196,6 +239,14 @@ pub fn simulate_spmt_traced(
                         }
                     }
                 }
+            }
+            if detect.is_none() && faults.forced_misspec(ddg.name(), k) {
+                // Injected misspeculation burst: squash a clean thread
+                // through the genuine rollback path. The offending
+                // "store" is pinned at the run's start, so the replay
+                // begins at `run_start + C_inv` — the fire-once latch
+                // guarantees the replayed run passes.
+                detect = Some(run_start);
             }
             match detect {
                 None => break run,
@@ -716,6 +767,91 @@ mod tests {
             t_narrow > t_wide,
             "narrow queues ({t_narrow}) must cost more than wide ({t_wide})"
         );
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_byte_identical() {
+        let (g, sch) = doall();
+        let clean = simulate_spmt(&g, &sch, &cfg(100, 4));
+        let injected = simulate_spmt_injected(
+            &g,
+            &sch,
+            &cfg(100, 4),
+            &Trace::disabled(),
+            &tms_faults::FaultPlan::disabled(),
+        );
+        assert_eq!(clean.stats, injected.stats);
+        assert_eq!(clean.memory_image, injected.memory_image);
+    }
+
+    #[test]
+    fn forced_misspec_perturbs_timing_but_not_results() {
+        let (g, sch) = doall();
+        let clean = simulate_spmt(&g, &sch, &cfg(100, 4));
+        assert_eq!(clean.stats.misspeculations, 0);
+
+        let rates = tms_faults::FaultRates {
+            misspec_per_1024: 512, // roughly half the threads
+            jitter_per_1024: 0,
+            ..tms_faults::FaultRates::default()
+        };
+        let plan = tms_faults::FaultPlan::with_rates(7, rates);
+        let out = simulate_spmt_injected(&g, &sch, &cfg(100, 4), &Trace::disabled(), &plan);
+
+        assert!(out.stats.misspeculations > 0, "injection must fire");
+        assert_eq!(
+            out.stats.misspeculations,
+            *plan
+                .injected()
+                .get(tms_faults::SITE_SIM_MISSPEC)
+                .expect("site recorded"),
+            "every injected squash is accounted"
+        );
+        // The rollback path is the real one: every thread still
+        // commits, C_inv is charged, and the memory image is untouched.
+        assert_eq!(out.stats.committed_threads, 100);
+        assert!(out.stats.invalidation_cycles >= 15 * out.stats.misspeculations);
+        assert_eq!(out.memory_image, clean.memory_image);
+        assert!(out.stats.total_cycles > clean.stats.total_cycles);
+
+        // Deterministic: a fresh plan with the same seed reproduces it.
+        let plan2 = tms_faults::FaultPlan::with_rates(7, rates);
+        let again = simulate_spmt_injected(&g, &sch, &cfg(100, 4), &Trace::disabled(), &plan2);
+        assert_eq!(again.stats, out.stats);
+    }
+
+    #[test]
+    fn stall_jitter_only_delays() {
+        // A kernel with real inter-thread communication so arrivals
+        // exist to be jittered.
+        let mut b = DdgBuilder::new("sync");
+        let cons = b.inst("cons", OpClass::IntAlu);
+        let prod = b.inst("prod", OpClass::IntAlu);
+        b.reg_flow(cons, prod, 0);
+        b.reg_flow(prod, cons, 1);
+        let g = b.build().unwrap();
+        let sch = Schedule::from_times(&g, 4, vec![0, 2]);
+        let clean = simulate_spmt(&g, &sch, &cfg(80, 4));
+
+        let rates = tms_faults::FaultRates {
+            misspec_per_1024: 0,
+            jitter_per_1024: 1024, // every thread
+            jitter_max_cycles: 9,
+            ..tms_faults::FaultRates::default()
+        };
+        let plan = tms_faults::FaultPlan::with_rates(11, rates);
+        let out = simulate_spmt_injected(&g, &sch, &cfg(80, 4), &Trace::disabled(), &plan);
+
+        assert_eq!(out.stats.committed_threads, clean.stats.committed_threads);
+        assert_eq!(out.stats.misspeculations, 0);
+        assert_eq!(out.memory_image, clean.memory_image);
+        assert!(
+            out.stats.total_cycles >= clean.stats.total_cycles,
+            "jitter ({}) can only slow the run ({})",
+            out.stats.total_cycles,
+            clean.stats.total_cycles
+        );
+        assert!(out.stats.sync_stall_cycles > clean.stats.sync_stall_cycles);
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod stats;
 pub mod trace;
 
 pub use config::SimConfig;
-pub use engine::{simulate_spmt, simulate_spmt_traced, SpmtOutcome};
+pub use engine::{simulate_spmt, simulate_spmt_injected, simulate_spmt_traced, SpmtOutcome};
 pub use seq::{simulate_sequential, SeqOutcome};
 pub use stats::SimStats;
 pub use trace::{RunTrace, ThreadTrace};

@@ -1,0 +1,72 @@
+//! The error type of the trace streaming/merge public API.
+//!
+//! The sink and merge paths used to mix `io::Result` with stringly
+//! errors and the occasional `unwrap`; everything fallible now funnels
+//! through [`TraceError`], which always names the file involved —
+//! a sweep that dies on "Invalid argument" with no path is not
+//! debuggable at 2am.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What went wrong in a trace I/O or merge operation, and where.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An operating-system I/O failure on `path`.
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// `path` held data the parser could not accept (a malformed spill
+    /// line, a snapshot with a bad histogram, …).
+    Malformed {
+        /// The offending file.
+        path: PathBuf,
+        /// What exactly failed, with a line number where applicable.
+        detail: String,
+    },
+}
+
+impl TraceError {
+    pub(crate) fn io(path: &Path, source: io::Error) -> TraceError {
+        TraceError::Io {
+            path: path.to_path_buf(),
+            source,
+        }
+    }
+
+    pub(crate) fn malformed(path: &Path, detail: impl Into<String>) -> TraceError {
+        TraceError::Malformed {
+            path: path.to_path_buf(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The file the error concerns.
+    pub fn path(&self) -> &Path {
+        match self {
+            TraceError::Io { path, .. } | TraceError::Malformed { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            TraceError::Malformed { path, detail } => write!(f, "{}: {detail}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io { source, .. } => Some(source),
+            TraceError::Malformed { .. } => None,
+        }
+    }
+}

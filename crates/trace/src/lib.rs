@@ -37,6 +37,23 @@
 //! into the same sorted Chrome document the in-memory sink renders —
 //! byte-identical for the same events.
 //!
+//! # Robustness: retry, degrade, recover
+//!
+//! Spill lines are written **line-atomically** (full frame + newline in
+//! one write), so a killed process tears at most the final line —
+//! which [`stream::parse_spill_lossy`] / [`merge::events_from_spills_lossy`]
+//! drop and report while recovering everything before it. Transient
+//! write errors are retried with bounded backoff; on exhaustion (or a
+//! torn/persistent failure) the sink **degrades to the in-memory
+//! mode** — no event or metric is lost, the memory bound is traded
+//! away, and the condition is recorded as the `trace.spill.degraded`
+//! counter plus [`Trace::spill_degraded`]. Every fallible public entry
+//! point returns a [`TraceError`] naming the file involved; the final
+//! `Drop` flush never panics (swallowed failures are counted by
+//! [`drop_flush_failures`] and logged once). The whole ladder is
+//! exercised deterministically by `tms-verify --faults` through
+//! [`Trace::streaming_faulted`].
+//!
 //! # Sharding: metrics are a monoid
 //!
 //! [`MetricsSnapshot`] merges commutatively and associatively
@@ -73,6 +90,7 @@
 //! ```
 
 mod chrome;
+mod error;
 mod json;
 pub mod merge;
 mod parse;
@@ -80,6 +98,8 @@ mod sink;
 pub mod stream;
 
 pub use chrome::{ChromeEvent, PID_VIRTUAL, PID_WALL};
+pub use error::TraceError;
 pub use sink::{
-    Event, EventPhase, Histogram, MetricsSnapshot, SpanGuard, Trace, HISTOGRAM_BUCKETS,
+    drop_flush_failures, Event, EventPhase, Histogram, MetricsSnapshot, SpanGuard, Trace,
+    HISTOGRAM_BUCKETS,
 };

@@ -14,36 +14,77 @@
 //!   Because snapshots are a commutative monoid, the merged report is
 //!   byte-identical to a single-process run at any shard count.
 
+use crate::error::TraceError;
 use crate::parse::{parse, Json};
 use crate::sink::{Histogram, MetricsSnapshot};
-use crate::stream::{parse_spill, OwnedEvent};
-use std::io;
+use crate::stream::{parse_spill, parse_spill_lossy, OwnedEvent};
 use std::path::Path;
 
-fn invalid<E: std::fmt::Display>(path: &Path, e: E) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("{}: {e}", path.display()),
-    )
+fn read_file(p: &Path) -> Result<String, TraceError> {
+    std::fs::read_to_string(p).map_err(|e| TraceError::io(p, e))
 }
 
 /// Parse every `.trace.ndjson` file in `paths` (in order) into one
 /// event list. Within a file, spill order is recording order, so the
 /// stable render sort reproduces the in-memory tie-breaking.
-pub fn events_from_spills<P: AsRef<Path>>(paths: &[P]) -> io::Result<Vec<OwnedEvent>> {
+pub fn events_from_spills<P: AsRef<Path>>(paths: &[P]) -> Result<Vec<OwnedEvent>, TraceError> {
     let mut events = Vec::new();
     for p in paths {
         let p = p.as_ref();
-        let text = std::fs::read_to_string(p)?;
-        events.extend(parse_spill(&text).map_err(|e| invalid(p, e))?);
+        let text = read_file(p)?;
+        events.extend(parse_spill(&text).map_err(|e| TraceError::malformed(p, e))?);
     }
     Ok(events)
 }
 
+/// Events recovered from one-or-many possibly-truncated spill files,
+/// with a note per dropped tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpillRecovery {
+    /// Every event on a complete, valid line, in file-then-line order.
+    pub events: Vec<OwnedEvent>,
+    /// One `"<path>: <detail>"` note per truncated file (empty when all
+    /// files were intact). Never silently dropped — callers print or
+    /// record these.
+    pub notes: Vec<String>,
+}
+
+/// Crash-tolerant variant of [`events_from_spills`]: each file's valid
+/// prefix is recovered and a truncated final line (a killed process, a
+/// torn write) is dropped and reported in
+/// [`SpillRecovery::notes`] rather than failing the merge. Mid-file
+/// corruption still errors — that is damage, not truncation.
+pub fn events_from_spills_lossy<P: AsRef<Path>>(paths: &[P]) -> Result<SpillRecovery, TraceError> {
+    let mut out = SpillRecovery {
+        events: Vec::new(),
+        notes: Vec::new(),
+    };
+    for p in paths {
+        let p = p.as_ref();
+        let text = read_file(p)?;
+        let rec = parse_spill_lossy(&text).map_err(|e| TraceError::malformed(p, e))?;
+        out.events.extend(rec.events);
+        if let Some(note) = rec.truncated {
+            out.notes.push(format!("{}: {note}", p.display()));
+        }
+    }
+    Ok(out)
+}
+
 /// Render one-or-many spill files as a single Chrome `trace_event`
 /// JSON document.
-pub fn chrome_from_spills<P: AsRef<Path>>(paths: &[P]) -> io::Result<String> {
+pub fn chrome_from_spills<P: AsRef<Path>>(paths: &[P]) -> Result<String, TraceError> {
     Ok(crate::chrome::render(&events_from_spills(paths)?))
+}
+
+/// [`chrome_from_spills`] over [`events_from_spills_lossy`]: renders
+/// whatever survives truncation, returning the recovery notes next to
+/// the document.
+pub fn chrome_from_spills_lossy<P: AsRef<Path>>(
+    paths: &[P],
+) -> Result<(String, Vec<String>), TraceError> {
+    let rec = events_from_spills_lossy(paths)?;
+    Ok((crate::chrome::render(&rec.events), rec.notes))
 }
 
 fn histogram_from_json(name: &str, v: &Json) -> Result<Histogram, String> {
@@ -104,12 +145,12 @@ pub fn parse_snapshot(text: &str) -> Result<MetricsSnapshot, String> {
 
 /// Read and fold any number of snapshot/metrics files into one merged
 /// snapshot.
-pub fn merge_snapshot_files<P: AsRef<Path>>(paths: &[P]) -> io::Result<MetricsSnapshot> {
+pub fn merge_snapshot_files<P: AsRef<Path>>(paths: &[P]) -> Result<MetricsSnapshot, TraceError> {
     let mut merged = MetricsSnapshot::default();
     for p in paths {
         let p = p.as_ref();
-        let text = std::fs::read_to_string(p)?;
-        let snap = parse_snapshot(&text).map_err(|e| invalid(p, e))?;
+        let text = read_file(p)?;
+        let snap = parse_snapshot(&text).map_err(|e| TraceError::malformed(p, e))?;
         merged.merge(&snap);
     }
     Ok(merged)

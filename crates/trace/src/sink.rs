@@ -1,12 +1,35 @@
 //! The trace handle and its thread-safe sink.
 
+use crate::error::TraceError;
 use crate::json;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write as _};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+use tms_faults::{FaultPlan, IoFault};
+
+/// Lock the sink state, tolerating poison: a worker panic caught by
+/// `tms_core::par` may have unwound while holding this mutex, and the
+/// sink's maps are update-in-place monotonic accumulators — the worst a
+/// torn update leaves behind is one missing count, never an invalid
+/// structure. Propagating the poison would turn one contained panic
+/// into a panic on every later recording call.
+fn lock_state(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Flush failures swallowed by `Sink::drop` since process start (the
+/// destructor must never panic — and has no way to return the error).
+static DROP_FLUSH_FAILURES: AtomicU64 = AtomicU64::new(0);
+
+/// How many spill-flush failures `Drop` has had to swallow. The first
+/// one per process is also logged to stderr; harnesses can assert this
+/// stayed 0.
+pub fn drop_flush_failures() -> u64 {
+    DROP_FLUSH_FAILURES.load(Ordering::Relaxed)
+}
 
 /// Stable per-OS-thread track id for span events (`std::thread::ThreadId`
 /// has no stable integer form). Ids are assigned in first-use order, so
@@ -224,33 +247,91 @@ pub struct Event {
     pub args: Vec<(&'static str, String)>,
 }
 
+/// Retry attempts per spill line for transient (`Interrupted`) write
+/// errors, after which the sink degrades to the in-memory mode.
+const SPILL_WRITE_RETRIES: u32 = 3;
+
+/// Base backoff between spill-write retries; attempt `n` sleeps
+/// `SPILL_BACKOFF_US << n` microseconds (50, 100, 200 — bounded, tiny,
+/// and only ever paid on a failing disk).
+const SPILL_BACKOFF_US: u64 = 50;
+
 /// Spill half of a streaming sink: completed events drain to a
 /// newline-delimited JSON file whenever the resident buffer reaches
 /// `cap`, so a traced run holds at most `cap` events in memory.
+///
+/// # Crash consistency and degradation
+///
+/// Every event is written **line-atomically**: the full frame including
+/// its trailing newline is rendered into one buffer and handed to the
+/// writer in a single `write_all`, so as long as writes succeed the
+/// file is a clean prefix of complete lines at any instant (a killed
+/// process tears at most the final line, which the lossy readers in
+/// [`crate::stream`]/[`crate::merge`] drop and report). The `BufWriter`
+/// is flushed only on [`Trace::flush`]/drop — batching policy, not a
+/// consistency requirement.
+///
+/// A failed write is retried up to [`SPILL_WRITE_RETRIES`] times with
+/// bounded backoff when transient (`ErrorKind::Interrupted`); on
+/// exhaustion — or immediately for torn/persistent failures — the sink
+/// **degrades**: it stops spilling and keeps all further events
+/// resident (the memory bound is gone, but no event and no metric is
+/// lost), recording `trace.spill.degraded` and the retry total in the
+/// metrics so the degradation is itself observable in snapshots.
 struct SpillState {
     writer: io::BufWriter<std::fs::File>,
+    path: std::path::PathBuf,
     cap: usize,
     high_water: usize,
     spilled: u64,
-    error: Option<io::Error>,
+    /// Write attempts made (including retries). Faults key off this, so
+    /// for a fixed event population the injected failure sequence is
+    /// identical at any worker count.
+    writes: u64,
+    retries: u64,
+    /// Why the sink stopped spilling, once it has.
+    degraded: Option<String>,
+    faults: FaultPlan,
 }
 
-fn drain_to_spill(sp: &mut SpillState, events: &mut Vec<Event>) {
-    if sp.error.is_some() {
-        events.clear();
-        return;
-    }
-    let mut line = String::new();
-    for ev in events.iter() {
-        line.clear();
-        crate::stream::write_ndjson_line(&mut line, ev);
-        if let Err(e) = sp.writer.write_all(line.as_bytes()) {
-            sp.error = Some(e);
-            break;
+impl SpillState {
+    /// Write one already-rendered ndjson line, retrying transient
+    /// failures. `Err(reason)` means the sink must degrade.
+    fn write_line(&mut self, line: &str) -> Result<(), String> {
+        let mut attempt = 0u32;
+        loop {
+            self.writes += 1;
+            let outcome = match self.faults.spill_write_fault(self.writes) {
+                Some(IoFault::ShortWrite) => {
+                    // Tear the line for real — write only a prefix —
+                    // so the recovery path downstream is exercised
+                    // against a genuinely torn file, then degrade:
+                    // the file's tail is no longer line-atomic.
+                    let cut = line.len() / 2;
+                    let _ = self.writer.write_all(&line.as_bytes()[..cut]);
+                    return Err("torn spill write".to_string());
+                }
+                Some(fault) => Err(fault.to_io_error()),
+                None => self.writer.write_all(line.as_bytes()),
+            };
+            match outcome {
+                Ok(()) => {
+                    self.spilled += 1;
+                    return Ok(());
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::Interrupted && attempt < SPILL_WRITE_RETRIES =>
+                {
+                    self.retries += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        SPILL_BACKOFF_US << attempt,
+                    ));
+                    attempt += 1;
+                }
+                Err(e) => return Err(format!("spill write failed: {e}")),
+            }
         }
-        sp.spilled += 1;
     }
-    events.clear();
 }
 
 #[derive(Default)]
@@ -262,14 +343,60 @@ struct State {
     spill: Option<SpillState>,
 }
 
+/// Drain the resident events into the spill file. On a write failure
+/// the sink degrades in place: the unwritten events (including the one
+/// that failed) stay resident, the degradation is recorded in the
+/// counters, and no further drains run. Never panics.
+fn drain_to_spill(st: &mut State) {
+    let Some(sp) = &mut st.spill else { return };
+    if sp.degraded.is_some() {
+        return;
+    }
+    let mut line = String::new();
+    let mut written = 0usize;
+    let mut failure: Option<String> = None;
+    for ev in st.events.iter() {
+        line.clear();
+        crate::stream::write_ndjson_line(&mut line, ev);
+        match sp.write_line(&line) {
+            Ok(()) => written += 1,
+            Err(reason) => {
+                failure = Some(reason);
+                break;
+            }
+        }
+    }
+    st.events.drain(..written);
+    if let Some(reason) = failure {
+        sp.degraded = Some(reason);
+        // Abandon the file, but push what the BufWriter holds to disk
+        // first (best-effort): the file is left as a maximal valid
+        // prefix — plus at most one torn line — for the lossy readers.
+        let _ = sp.writer.flush();
+        *st.counters
+            .entry("trace.spill.degraded".to_string())
+            .or_insert(0) += 1;
+    }
+    if sp.retries > 0 {
+        // Idempotent overwrite (not an add): `retries` is the running
+        // total, so repeated drains keep the counter exact.
+        st.counters
+            .insert("trace.spill.retries".to_string(), sp.retries);
+    }
+}
+
 impl State {
     fn push_event(&mut self, ev: Event) {
         self.events.push(ev);
-        if let Some(sp) = &mut self.spill {
-            sp.high_water = sp.high_water.max(self.events.len());
-            if self.events.len() >= sp.cap {
-                drain_to_spill(sp, &mut self.events);
-            }
+        let Some(sp) = &mut self.spill else { return };
+        if sp.degraded.is_some() {
+            // Degraded mode: behave like the in-memory sink — keep
+            // everything resident, lose nothing.
+            return;
+        }
+        sp.high_water = sp.high_water.max(self.events.len());
+        if self.events.len() >= sp.cap {
+            drain_to_spill(self);
         }
     }
 }
@@ -286,13 +413,26 @@ struct Sink {
 impl Drop for Sink {
     fn drop(&mut self) {
         // Best-effort final spill; explicit `Trace::flush` is the
-        // error-reporting path.
-        if let Ok(st) = self.state.get_mut() {
-            let State { events, spill, .. } = st;
-            if let Some(sp) = spill {
-                drain_to_spill(sp, events);
-                let _ = sp.writer.flush();
-            }
+        // error-reporting path. This destructor must never panic (it
+        // can run during an unwind, where a second panic aborts), so
+        // poison is tolerated and failures are counted, with the first
+        // one per process logged to stderr.
+        let st = self
+            .state
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.spill.is_some() {
+            drain_to_spill(st);
+        }
+        let failed = match &mut st.spill {
+            None => false,
+            Some(sp) => sp.degraded.is_some() || sp.writer.flush().is_err(),
+        };
+        if failed && DROP_FLUSH_FAILURES.fetch_add(1, Ordering::Relaxed) == 0 {
+            eprintln!(
+                "tms-trace: spill flush failed in drop; trailing events were \
+                 kept in memory and are lost with this sink (logged once)"
+            );
         }
     }
 }
@@ -313,7 +453,7 @@ impl fmt::Debug for Trace {
         match &self.inner {
             None => f.write_str("Trace(disabled)"),
             Some(s) => {
-                let st = s.state.lock().unwrap();
+                let st = lock_state(&s.state);
                 write!(
                     f,
                     "Trace(enabled: {} counters, {} events)",
@@ -406,25 +546,43 @@ impl Trace {
     /// recording the same run. Convert the spill file(s) to the Chrome
     /// JSON with `tms trace merge` (or [`crate::merge::chrome_from_spills`]).
     ///
-    /// Call [`Trace::flush`] when the run completes to drain the buffer
-    /// and surface any I/O error.
-    pub fn streaming(path: &std::path::Path, buffer_cap: usize) -> io::Result<Trace> {
+    /// Call [`Trace::flush`] when the run completes to drain the buffer.
+    /// Write failures mid-run never error and never lose events: the
+    /// sink retries transient failures and otherwise degrades to the
+    /// in-memory mode (see [`Trace::spill_degraded`]).
+    pub fn streaming(path: &std::path::Path, buffer_cap: usize) -> Result<Trace, TraceError> {
+        Self::streaming_faulted(path, buffer_cap, FaultPlan::disabled())
+    }
+
+    /// [`Trace::streaming`] with a fault-injection plan applied to
+    /// every spill write — the `--faults` campaign uses this to drive
+    /// the retry/degradation ladder deterministically. A disabled plan
+    /// is exactly [`Trace::streaming`].
+    pub fn streaming_faulted(
+        path: &std::path::Path,
+        buffer_cap: usize,
+        faults: FaultPlan,
+    ) -> Result<Trace, TraceError> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)?;
+                std::fs::create_dir_all(dir).map_err(|e| TraceError::io(path, e))?;
             }
         }
-        let file = std::fs::File::create(path)?;
+        let file = std::fs::File::create(path).map_err(|e| TraceError::io(path, e))?;
         Ok(Trace {
             inner: Some(Arc::new(Sink {
                 epoch: Instant::now(),
                 state: Mutex::new(State {
                     spill: Some(SpillState {
                         writer: io::BufWriter::new(file),
+                        path: path.to_path_buf(),
                         cap: buffer_cap.max(1),
                         high_water: 0,
                         spilled: 0,
-                        error: None,
+                        writes: 0,
+                        retries: 0,
+                        degraded: None,
+                        faults,
                     }),
                     ..State::default()
                 }),
@@ -442,26 +600,54 @@ impl Trace {
     pub fn is_streaming(&self) -> bool {
         self.inner
             .as_ref()
-            .is_some_and(|s| s.state.lock().unwrap().spill.is_some())
+            .is_some_and(|s| lock_state(&s.state).spill.is_some())
     }
 
-    /// Drain any buffered events to the spill file and flush it,
-    /// surfacing the first I/O error the stream hit. A no-op for
-    /// disabled and non-streaming handles.
-    pub fn flush(&self) -> io::Result<()> {
+    /// Drain any buffered events to the spill file and flush it. A
+    /// no-op for disabled and non-streaming handles.
+    ///
+    /// A **degraded** sink (see [`Trace::spill_degraded`]) returns
+    /// `Ok`: degradation is a survived condition, reported through the
+    /// `trace.spill.degraded` counter and the accessors, not an error —
+    /// the run's metrics and resident events are all intact. Only a
+    /// flush failure on a healthy sink errors.
+    pub fn flush(&self) -> Result<(), TraceError> {
         let Some(sink) = &self.inner else {
             return Ok(());
         };
-        let mut st = sink.state.lock().unwrap();
-        let State { events, spill, .. } = &mut *st;
-        if let Some(sp) = spill {
-            drain_to_spill(sp, events);
-            if let Some(e) = sp.error.take() {
-                return Err(e);
+        let mut st = lock_state(&sink.state);
+        if st.spill.is_some() {
+            drain_to_spill(&mut st);
+        }
+        if let Some(sp) = &mut st.spill {
+            if sp.degraded.is_none() {
+                let path = sp.path.clone();
+                sp.writer.flush().map_err(|e| TraceError::io(&path, e))?;
             }
-            sp.writer.flush()?;
         }
         Ok(())
+    }
+
+    /// Why the streaming sink stopped spilling, if it has degraded to
+    /// the in-memory mode (`None`: healthy, non-streaming or disabled).
+    pub fn spill_degraded(&self) -> Option<String> {
+        self.inner.as_ref().and_then(|s| {
+            lock_state(&s.state)
+                .spill
+                .as_ref()
+                .and_then(|sp| sp.degraded.clone())
+        })
+    }
+
+    /// Transient spill-write retries performed so far (0 when healthy
+    /// throughout, non-streaming or disabled).
+    pub fn spill_retries(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |s| {
+            lock_state(&s.state)
+                .spill
+                .as_ref()
+                .map_or(0, |sp| sp.retries)
+        })
     }
 
     /// Largest number of events the spill buffer ever held (0 for
@@ -494,7 +680,7 @@ impl Trace {
     #[inline]
     pub fn count(&self, name: &str, n: u64) {
         let Some(sink) = &self.inner else { return };
-        let mut st = sink.state.lock().unwrap();
+        let mut st = lock_state(&sink.state);
         match st.counters.get_mut(name) {
             Some(c) => *c += n,
             None => {
@@ -516,7 +702,7 @@ impl Trace {
     #[inline]
     pub fn record(&self, name: &str, v: u64) {
         let Some(sink) = &self.inner else { return };
-        let mut st = sink.state.lock().unwrap();
+        let mut st = lock_state(&sink.state);
         match st.values.get_mut(name) {
             Some(h) => h.record_sample(v),
             None => {
@@ -535,7 +721,7 @@ impl Trace {
         let t0 = Instant::now();
         let r = f();
         let ns = t0.elapsed().as_nanos() as u64;
-        let mut st = sink.state.lock().unwrap();
+        let mut st = lock_state(&sink.state);
         match st.timers.get_mut(name) {
             Some(h) => h.record_sample(ns),
             None => {
@@ -602,7 +788,7 @@ impl Trace {
             dur_us,
             args: args_fn(),
         };
-        sink.state.lock().unwrap().push_event(ev);
+        lock_state(&sink.state).push_event(ev);
     }
 
     /// Record a counter sample (`"ph": "C"`) at an explicit timestamp:
@@ -628,7 +814,7 @@ impl Trace {
             dur_us: 0,
             args: vec![("value", value.to_string())],
         };
-        sink.state.lock().unwrap().push_event(ev);
+        lock_state(&sink.state).push_event(ev);
     }
 
     /// [`Trace::counter_sample`] stamped with the current wall-clock
@@ -648,7 +834,7 @@ impl Trace {
     pub fn counter(&self, name: &str) -> u64 {
         match &self.inner {
             None => 0,
-            Some(s) => *s.state.lock().unwrap().counters.get(name).unwrap_or(&0),
+            Some(s) => *lock_state(&s.state).counters.get(name).unwrap_or(&0),
         }
     }
 
@@ -656,7 +842,7 @@ impl Trace {
     pub fn value_stats(&self, name: &str) -> Option<Histogram> {
         self.inner
             .as_ref()
-            .and_then(|s| s.state.lock().unwrap().values.get(name).copied())
+            .and_then(|s| lock_state(&s.state).values.get(name).copied())
     }
 
     /// Deterministic snapshot: counters and value histograms only (no
@@ -666,7 +852,7 @@ impl Trace {
         match &self.inner {
             None => MetricsSnapshot::default(),
             Some(s) => {
-                let st = s.state.lock().unwrap();
+                let st = lock_state(&s.state);
                 MetricsSnapshot {
                     counters: st.counters.clone(),
                     values: st.values.clone(),
@@ -679,7 +865,7 @@ impl Trace {
     /// already spilled by a streaming sink.
     pub fn event_count(&self) -> usize {
         self.inner.as_ref().map_or(0, |s| {
-            let st = s.state.lock().unwrap();
+            let st = lock_state(&s.state);
             st.events.len() + st.spill.as_ref().map_or(0, |sp| sp.spilled as usize)
         })
     }
@@ -698,7 +884,7 @@ impl Trace {
         let Some(sink) = &self.inner else {
             return "{}".to_string();
         };
-        let st = sink.state.lock().unwrap();
+        let st = lock_state(&sink.state);
         let mut out = String::from("{\n  \"counters\": {");
         json::write_map(&mut out, st.counters.iter(), |out, v| {
             json::push_u64(out, *v)
@@ -728,22 +914,22 @@ impl Trace {
         let Some(sink) = &self.inner else {
             return "{\"traceEvents\":[]}\n".to_string();
         };
-        let st = sink.state.lock().unwrap();
+        let st = lock_state(&sink.state);
         crate::chrome::render(&st.events)
     }
 
     /// Write [`Trace::metrics_json`] to `path`, creating parents.
-    pub fn write_metrics(&self, path: &std::path::Path) -> std::io::Result<()> {
+    pub fn write_metrics(&self, path: &std::path::Path) -> Result<(), TraceError> {
         write_creating_dirs(path, &self.metrics_json())
     }
 
     /// Write [`Trace::snapshot_json`] to `path`, creating parents.
-    pub fn write_snapshot(&self, path: &std::path::Path) -> std::io::Result<()> {
+    pub fn write_snapshot(&self, path: &std::path::Path) -> Result<(), TraceError> {
         write_creating_dirs(path, &self.snapshot_json())
     }
 
     /// Write [`Trace::chrome_json`] to `path`, creating parents.
-    pub fn write_chrome(&self, path: &std::path::Path) -> std::io::Result<()> {
+    pub fn write_chrome(&self, path: &std::path::Path) -> Result<(), TraceError> {
         write_creating_dirs(path, &self.chrome_json())
     }
 
@@ -760,7 +946,7 @@ impl Trace {
             args: std::mem::take(&mut span.args),
         };
         let timer_key = format!("{}.{}", span.cat, ev.name);
-        let mut st = sink.state.lock().unwrap();
+        let mut st = lock_state(&sink.state);
         match st.timers.get_mut(&timer_key) {
             Some(h) => h.record_sample(dur.as_nanos() as u64),
             None => {
@@ -806,13 +992,13 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
-fn write_creating_dirs(path: &std::path::Path, text: &str) -> std::io::Result<()> {
+fn write_creating_dirs(path: &std::path::Path, text: &str) -> Result<(), TraceError> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir)?;
+            std::fs::create_dir_all(dir).map_err(|e| TraceError::io(path, e))?;
         }
     }
-    std::fs::write(path, text)
+    std::fs::write(path, text).map_err(|e| TraceError::io(path, e))
 }
 
 #[cfg(test)]
@@ -1015,6 +1201,131 @@ mod tests {
         assert_eq!(t.counter("n"), 100, "metrics stay resident");
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 100);
+        assert_eq!(t.spill_degraded(), None);
+        assert_eq!(t.spill_retries(), 0);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn stream_n_events(t: &Trace, n: u64) {
+        for i in 0..n {
+            t.event_at("sim.vthread", || format!("t{i}"), i % 4, i, 1, Vec::new);
+        }
+    }
+
+    #[test]
+    fn torn_write_degrades_and_keeps_events_resident() {
+        use tms_faults::{FaultPlan, FaultRates};
+        let dir = std::env::temp_dir().join("tms_trace_torn_write_test");
+        let path = dir.join("torn.trace.ndjson");
+        let plan = FaultPlan::with_rates(
+            1,
+            FaultRates {
+                spill_transient_per_1024: 0,
+                spill_torn_at: Some(10),
+                spill_fail_after: None,
+                ..FaultRates::default()
+            },
+        );
+        let t = Trace::streaming_faulted(&path, 4, plan).unwrap();
+        stream_n_events(&t, 30);
+        t.flush().unwrap(); // degradation is NOT an error
+                            // Write 10 tore: 9 events on disk, the rest held resident.
+        assert_eq!(t.spilled_events(), 9);
+        assert_eq!(t.event_count(), 30, "no event may be lost");
+        assert!(t.spill_degraded().unwrap().contains("torn"));
+        assert_eq!(t.counter("trace.spill.degraded"), 1);
+        // The file ends in a torn line; the lossy reader recovers the
+        // 9-line valid prefix (the 10th, half-written line drops).
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(crate::stream::parse_spill(&text).is_err());
+        let rec = crate::stream::parse_spill_lossy(&text).unwrap();
+        assert_eq!(rec.events.len(), 9);
+        assert!(rec.truncated.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_full_degrades_without_retry_loops() {
+        use tms_faults::{FaultPlan, FaultRates};
+        let dir = std::env::temp_dir().join("tms_trace_disk_full_test");
+        let path = dir.join("full.trace.ndjson");
+        let plan = FaultPlan::with_rates(
+            2,
+            FaultRates {
+                spill_transient_per_1024: 0,
+                spill_torn_at: None,
+                spill_fail_after: Some(5),
+                ..FaultRates::default()
+            },
+        );
+        let t = Trace::streaming_faulted(&path, 2, plan).unwrap();
+        stream_n_events(&t, 20);
+        t.count("n", 20);
+        t.flush().unwrap();
+        assert_eq!(t.spilled_events(), 5);
+        assert_eq!(t.event_count(), 20);
+        assert!(t.spill_degraded().is_some());
+        assert_eq!(t.counter("n"), 20, "metrics survive degradation");
+        // Everything on disk is intact — disk-full never tears a line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::stream::parse_spill(&text).unwrap().len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_faults_retry_and_the_stream_survives() {
+        use tms_faults::{FaultPlan, FaultRates};
+        let dir = std::env::temp_dir().join("tms_trace_transient_test");
+        let path = dir.join("flaky.trace.ndjson");
+        // ~12% of write attempts fail transiently; each gets up to 3
+        // retries at fresh attempt indices, so the probability of any
+        // line exhausting its retries is ~0.02% — and the seed makes
+        // the whole sequence deterministic, so this test cannot flake.
+        let plan = FaultPlan::with_rates(
+            0xC0FFEE,
+            FaultRates {
+                spill_transient_per_1024: 128,
+                spill_torn_at: None,
+                spill_fail_after: None,
+                ..FaultRates::default()
+            },
+        );
+        let t = Trace::streaming_faulted(&path, 8, plan.clone()).unwrap();
+        stream_n_events(&t, 200);
+        t.flush().unwrap();
+        assert_eq!(t.spill_degraded(), None, "retries should absorb these");
+        assert_eq!(t.spilled_events(), 200);
+        assert!(t.spill_retries() > 0, "the fault plan never fired");
+        assert_eq!(t.counter("trace.spill.retries"), t.spill_retries());
+        assert!(plan.injected_total() > 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::stream::parse_spill(&text).unwrap().len(), 200);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sink_survives_a_panic_unwinding_through_its_users() {
+        // The realistic failure mode under fault injection: a worker
+        // panics between recording calls (possibly mid-span), the
+        // panic is caught upstream, and the shared sink must keep
+        // working for every other clone. `lock_state` additionally
+        // tolerates a poisoned mutex, which cannot be provoked from
+        // the public API precisely because no recording path can panic
+        // while holding the guard.
+        let t = Trace::enabled();
+        let t2 = t.clone();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut span = t2.span("w", "doomed");
+            span.arg("k", 1);
+            t2.count("before", 1);
+            panic!("injected");
+        }));
+        assert!(caught.is_err());
+        t.count("after", 2);
+        assert_eq!(t.counter("before"), 1);
+        assert_eq!(t.counter("after"), 2);
+        // The doomed span still recorded on unwind (guard drop ran).
+        assert_eq!(t.event_count(), 1);
+        assert!(t.flush().is_ok());
     }
 }

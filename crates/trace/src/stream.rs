@@ -163,6 +163,48 @@ pub fn parse_spill(text: &str) -> Result<Vec<OwnedEvent>, String> {
         .collect()
 }
 
+/// Outcome of [`parse_spill_lossy`]: the recovered events plus a note
+/// about the dropped tail, if the file was truncated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredSpill {
+    /// Every event on a complete, valid line.
+    pub events: Vec<OwnedEvent>,
+    /// Human-readable description of the dropped final line (`None`
+    /// when the file was fully intact).
+    pub truncated: Option<String>,
+}
+
+/// Crash-tolerant spill parse. The sink writes line-atomically, so a
+/// killed process (or an injected torn write) damages at most the
+/// **final** line of the file: this parser recovers the valid prefix
+/// and reports the dropped tail instead of failing the whole file. A
+/// bad line anywhere *before* the end is not a truncation artefact —
+/// that stays a hard error, as in [`parse_spill`].
+pub fn parse_spill_lossy(text: &str) -> Result<RecoveredSpill, String> {
+    let total = text.lines().count();
+    let mut events = Vec::with_capacity(total);
+    for (i, line) in text.lines().enumerate() {
+        match parse_line(line) {
+            Ok(ev) => events.push(ev),
+            Err(e) if i + 1 == total => {
+                return Ok(RecoveredSpill {
+                    events,
+                    truncated: Some(format!(
+                        "dropped truncated final line {} ({} byte(s): {e})",
+                        i + 1,
+                        line.len()
+                    )),
+                });
+            }
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok(RecoveredSpill {
+        events,
+        truncated: None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +262,38 @@ mod tests {
         let back = parse_line(line.trim_end()).unwrap();
         assert_eq!(back.ph, EventPhase::Counter);
         assert_eq!(back.args, vec![("value".to_string(), "7".to_string())]);
+    }
+
+    #[test]
+    fn lossy_parse_recovers_the_valid_prefix() {
+        let ev = span("a", vec![("k", "v".into())]);
+        let mut text = String::new();
+        write_ndjson_line(&mut text, &ev);
+        write_ndjson_line(&mut text, &ev);
+        let whole_len = text.len();
+        write_ndjson_line(&mut text, &ev);
+        // Tear the final line mid-frame, as a killed process would.
+        let torn = &text[..whole_len + 20];
+        assert!(parse_spill(torn).is_err(), "strict parse must reject");
+        let rec = parse_spill_lossy(torn).unwrap();
+        assert_eq!(rec.events.len(), 2);
+        let note = rec.truncated.expect("truncation must be reported");
+        assert!(note.contains("line 3"), "{note}");
+
+        // An intact file recovers everything with no note.
+        let rec = parse_spill_lossy(&text).unwrap();
+        assert_eq!(rec.events.len(), 3);
+        assert_eq!(rec.truncated, None);
+        assert_eq!(parse_spill_lossy("").unwrap().events.len(), 0);
+    }
+
+    #[test]
+    fn lossy_parse_still_rejects_mid_file_corruption() {
+        let ev = span("a", vec![]);
+        let mut text = String::from("{\"ph\":\"X\"}\n");
+        write_ndjson_line(&mut text, &ev);
+        let err = parse_spill_lossy(&text).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
     }
 
     #[test]

@@ -19,8 +19,9 @@ use tms_core::diagnostics::{verify_schedule, VerifyLimits};
 use tms_core::metrics::achieved_c_delay;
 use tms_core::{schedule_sms, schedule_tms_traced, CostModel, TmsConfig};
 use tms_ddg::Ddg;
+use tms_faults::FaultPlan;
 use tms_machine::{ArchParams, MachineModel};
-use tms_sim::{simulate_sequential, simulate_spmt_traced, SimConfig};
+use tms_sim::{simulate_sequential, simulate_spmt_injected, SimConfig};
 use tms_trace::Trace;
 
 /// One failed check on one loop.
@@ -45,6 +46,13 @@ pub struct CheckConfig {
     pub simulate: bool,
     /// Original loop iterations per simulation.
     pub sim_iters: u64,
+    /// Fault-injection plan ([`FaultPlan::disabled`] by default).
+    /// Selected loops get a starved TMS attempt budget (exercising the
+    /// SMS degradation path) and their simulations run under forced
+    /// misspeculation and stall jitter. Every differential invariant
+    /// must still hold — injection perturbs timing and search effort,
+    /// never correctness.
+    pub faults: FaultPlan,
 }
 
 impl Default for CheckConfig {
@@ -54,6 +62,7 @@ impl Default for CheckConfig {
             p_max_values: vec![0.05, 0.20],
             simulate: true,
             sim_iters: 24,
+            faults: FaultPlan::disabled(),
         }
     }
 }
@@ -67,6 +76,7 @@ impl CheckConfig {
             p_max_values: vec![0.05, 0.20],
             simulate: true,
             sim_iters: 12,
+            faults: FaultPlan::disabled(),
         }
     }
 }
@@ -80,6 +90,12 @@ pub struct LoopVerdict {
     pub checks: usize,
     /// Checks failed.
     pub violations: Vec<Violation>,
+    /// Graceful degradations taken while checking this loop (one entry
+    /// per `(point, diagnostic)` — e.g. a TMS search that exhausted an
+    /// injected budget and fell back to SMS). Degradation is *not* a
+    /// violation: the fallback result passed every check, but the
+    /// report records that the primary path was not the one taken.
+    pub degraded: Vec<String>,
 }
 
 impl LoopVerdict {
@@ -121,6 +137,7 @@ pub fn check_loop_traced(ddg: &Ddg, cfg: &CheckConfig, trace: &Trace) -> LoopVer
     trace.count("verify.loops", 1);
     trace.count("verify.checks", v.checks as u64);
     trace.count("verify.violations", v.violations.len() as u64);
+    trace.count("verify.degraded", v.degraded.len() as u64);
     v
 }
 
@@ -161,6 +178,10 @@ fn check_loop_impl(ddg: &Ddg, cfg: &CheckConfig, trace: &Trace) -> LoopVerdict {
             v.checks += 1;
             let config = TmsConfig {
                 p_max_values: vec![p_max],
+                // Injection: a selected loop's search is starved down
+                // to a handful of attempts; exhausting them must
+                // degrade to SMS, never error.
+                attempt_budget: cfg.faults.sched_budget(ddg.name()),
                 ..TmsConfig::default()
             };
             let point = format!("ncore={ncore} P_max={p_max}");
@@ -171,6 +192,9 @@ fn check_loop_impl(ddg: &Ddg, cfg: &CheckConfig, trace: &Trace) -> LoopVerdict {
                     continue;
                 }
             };
+            if let Some(d) = &tms.degraded {
+                v.degraded.push(format!("{point}: {d}"));
+            }
             // The accepted schedule must hold every invariant under the
             // thresholds it was accepted with. An SMS fallback carries
             // its achieved delay as threshold and P_max = 1; the stage
@@ -226,7 +250,7 @@ fn check_loop_impl(ddg: &Ddg, cfg: &CheckConfig, trace: &Trace) -> LoopVerdict {
         let seq = simulate_sequential(ddg, &machine, &sim);
         let mut run = |tag: &str, schedule, config: &SimConfig| {
             v.checks += 1;
-            let out = simulate_spmt_traced(ddg, schedule, config, trace);
+            let out = simulate_spmt_injected(ddg, schedule, config, trace, &cfg.faults);
             let diff = image_diff(&out.memory_image, &seq.memory_image);
             if diff > 0 {
                 v.fail(
@@ -284,6 +308,27 @@ mod tests {
         let v = check_loop(&kernels::daxpy(), &CheckConfig::default());
         assert!(v.violations.is_empty(), "{:?}", v.violations);
         assert!(v.checks >= 8, "ran only {} checks", v.checks);
+    }
+
+    #[test]
+    fn injected_faults_never_break_the_contract() {
+        // Starve every TMS search and force misspec/jitter in every
+        // simulation: the checks must all still pass, with the
+        // degradations recorded rather than failed.
+        let rates = tms_faults::FaultRates {
+            sched_budget_per_1024: 1024,
+            sched_budget_attempts: 1,
+            misspec_per_1024: 256,
+            jitter_per_1024: 256,
+            ..tms_faults::FaultRates::default()
+        };
+        let cfg = CheckConfig {
+            faults: FaultPlan::with_rates(3, rates),
+            ..CheckConfig::default()
+        };
+        let v = check_loop(&kernels::daxpy(), &cfg);
+        assert!(v.violations.is_empty(), "{:?}", v.violations);
+        assert!(!v.degraded.is_empty(), "budget starvation must degrade");
     }
 
     #[test]

@@ -33,5 +33,5 @@ pub mod sweep;
 
 pub use checks::{check_loop, CheckConfig, LoopVerdict, Violation};
 pub use fuzz::{fuzz_ddgs, fuzz_spec};
-pub use report::{FamilySummary, VerifyReport};
+pub use report::{DegradedLoop, FamilySummary, VerifyReport};
 pub use sweep::{run_sweep, SweepConfig, SweepOutcome};

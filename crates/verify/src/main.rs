@@ -6,15 +6,23 @@
 //!            [--specfp-cap N] [--jobs N] [--no-sim] [--quick]
 //!            [--shard I/N] [--trace PATH] [--stream PATH]
 //!            [--stream-buffer N] [--metrics PATH] [--snapshot PATH]
+//!            [--faults SEED]
 //! tms-verify merge-metrics [--out PATH] FILE...
 //! ```
 //!
-//! Exits nonzero if any check fails.
+//! Exits nonzero if any check fails. `--faults SEED` runs the sweep as
+//! a fault-injection campaign: seeded, deterministic failures are
+//! forced into the scheduler search (attempt starvation), the SpMT
+//! engine (misspeculation bursts, stall jitter), the sweep worker pool
+//! (panicking workers) and the streaming trace sink (write faults) —
+//! and the run must still complete with a clean report, recovering or
+//! degrading gracefully at every site.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 use tms_core::par::Parallelism;
+use tms_faults::FaultPlan;
 use tms_trace::Trace;
 use tms_verify::sweep::{run_sweep, SweepConfig};
 
@@ -26,6 +34,7 @@ struct Args {
     stream_buffer: usize,
     metrics_out: Option<PathBuf>,
     snapshot_out: Option<PathBuf>,
+    faults_seed: Option<u64>,
 }
 
 impl Default for Args {
@@ -42,6 +51,7 @@ impl Default for Args {
             stream_buffer: 4096,
             metrics_out: None,
             snapshot_out: None,
+            faults_seed: None,
         }
     }
 }
@@ -50,7 +60,7 @@ fn usage() -> String {
     "tms-verify [--fuzz N] [--seed S] [--out PATH] [--sim-iters N] \
      [--specfp-cap N] [--jobs N] [--no-sim] [--quick] [--shard I/N] \
      [--trace PATH] [--stream PATH] [--stream-buffer N] \
-     [--metrics PATH] [--snapshot PATH]\n\
+     [--metrics PATH] [--snapshot PATH] [--faults SEED]\n\
      tms-verify merge-metrics [--out PATH] FILE...\n\n\
      --jobs N       worker threads for the per-loop fan-out; 0 or the\n\
                     default uses every available core. The TMS_JOBS\n\
@@ -77,10 +87,24 @@ fn usage() -> String {
      --snapshot PATH  enable tracing; write the deterministic metrics\n\
                     snapshot (counters + value histograms only) for\n\
                     merge-metrics. Tracing never changes the report:\n\
-                    verify.json stays byte-identical.\n\n\
+                    verify.json stays byte-identical.\n\
+     --faults SEED  fault-injection campaign (hex 0x... or decimal):\n\
+                    seeded failures in the scheduler search, the SpMT\n\
+                    engine, the worker pool and the streaming sink.\n\
+                    The sweep must survive them all — degradations are\n\
+                    reported, panics are contained, and the report is\n\
+                    still bit-identical at every --jobs.\n\n\
      merge-metrics  fold per-shard snapshot/metrics JSON files into\n\
                     one snapshot (stdout, or --out PATH)"
         .to_string()
+}
+
+fn parse_seed(text: &str) -> Result<u64, String> {
+    let parsed = match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    };
+    parsed.map_err(|e| format!("--faults: {e}"))
 }
 
 fn parse_shard(text: &str) -> Result<(u32, u32), String> {
@@ -137,6 +161,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--metrics" => args.metrics_out = Some(PathBuf::from(val("--metrics")?)),
             "--snapshot" => args.snapshot_out = Some(PathBuf::from(val("--snapshot")?)),
+            "--faults" => args.faults_seed = Some(parse_seed(&val("--faults")?)?),
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -215,6 +240,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(seed) = args.faults_seed {
+        args.sweep.faults = FaultPlan::seeded(seed);
+        println!("fault campaign: seed 0x{seed:X} (deterministic injection)");
+    }
     let tracing = args.trace_out.is_some()
         || args.stream_out.is_some()
         || args.metrics_out.is_some()
@@ -226,7 +255,11 @@ fn main() -> ExitCode {
                 if let Some(dir) = path.parent() {
                     let _ = std::fs::create_dir_all(dir);
                 }
-                match Trace::streaming(path, args.stream_buffer) {
+                // Under a campaign the sink itself is a fault site:
+                // injected write errors exercise its retry/degrade
+                // ladder while the sweep keeps running.
+                match Trace::streaming_faulted(path, args.stream_buffer, args.sweep.faults.clone())
+                {
                     Ok(t) => t,
                     Err(e) => {
                         eprintln!("tms-verify: cannot open {}: {e}", path.display());
@@ -241,6 +274,7 @@ fn main() -> ExitCode {
     }
 
     let started = Instant::now();
+    let panics_before = tms_core::par::panics_caught();
     let outcome = run_sweep(&args.sweep);
     let report = &outcome.report;
 
@@ -256,15 +290,36 @@ fn main() -> ExitCode {
     for x in &report.violations {
         eprintln!("  FAIL {} [{}] {}", x.loop_name, x.check, x.detail);
     }
+    for d in &report.degraded {
+        println!("  degraded {}: {}", d.loop_name, d.detail);
+    }
 
     println!(
-        "total: {} loops, {} checks, {} violations ({:.1}s, jobs={})",
+        "total: {} loops, {} checks, {} violations, {} degraded ({:.1}s, jobs={})",
         report.total_loops,
         report.total_checks,
         report.total_violations,
+        report.total_degraded,
         started.elapsed().as_secs_f64(),
         args.sweep.jobs.workers()
     );
+    if args.faults_seed.is_some() {
+        let recovered = tms_core::par::panics_caught() - panics_before;
+        let injected = args.sweep.faults.injected();
+        let summary = if injected.is_empty() {
+            "none fired".to_string()
+        } else {
+            injected
+                .iter()
+                .map(|(site, n)| format!("{site}={n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "fault campaign: {} injection(s) [{summary}]; {recovered} worker panic(s) contained",
+            args.sweep.faults.injected_total()
+        );
+    }
     if let Err(e) = report.write(&args.out) {
         eprintln!("tms-verify: cannot write {}: {e}", args.out.display());
         return ExitCode::from(2);
@@ -286,12 +341,48 @@ fn main() -> ExitCode {
             eprintln!("tms-verify: cannot flush {}: {e}", path.display());
             return ExitCode::from(2);
         }
-        println!(
-            "wrote {} ({} events spilled, peak {} resident; convert with `tms trace merge`)",
-            path.display(),
-            args.sweep.trace.spilled_events(),
-            args.sweep.trace.spill_high_water()
-        );
+        match args.sweep.trace.spill_degraded() {
+            Some(reason) => println!(
+                "wrote {} ({} events spilled before degrading to in-memory: {reason}; \
+                 {} retries)",
+                path.display(),
+                args.sweep.trace.spilled_events(),
+                args.sweep.trace.spill_retries()
+            ),
+            None => println!(
+                "wrote {} ({} events spilled, peak {} resident; convert with `tms trace merge`)",
+                path.display(),
+                args.sweep.trace.spilled_events(),
+                args.sweep.trace.spill_high_water()
+            ),
+        }
+        if args.faults_seed.is_some() {
+            // Campaign invariant: whatever reached disk — including a
+            // torn final line from an injected short write — must be
+            // recoverable as a valid prefix.
+            match std::fs::read_to_string(path) {
+                Err(e) => {
+                    eprintln!("tms-verify: cannot re-read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                Ok(text) => match tms_trace::stream::parse_spill_lossy(&text) {
+                    Err(e) => {
+                        eprintln!(
+                            "tms-verify: spill {} corrupt beyond truncation: {e}",
+                            path.display()
+                        );
+                        return ExitCode::from(2);
+                    }
+                    Ok(rec) => {
+                        println!(
+                            "spill self-check: {} event(s) recovered{}",
+                            rec.events.len(),
+                            rec.truncated.map(|n| format!(" ({n})")).unwrap_or_default()
+                        );
+                    }
+                },
+            }
+        }
     }
     if let Some(path) = &args.metrics_out {
         if let Err(e) = args.sweep.trace.write_metrics(path) {

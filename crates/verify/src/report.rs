@@ -16,6 +16,24 @@ pub struct FamilySummary {
     pub checks: usize,
     /// Checks failed.
     pub violations: usize,
+    /// Graceful degradations taken (not failures — see
+    /// [`DegradedLoop`]).
+    pub degraded: usize,
+}
+
+/// One graceful degradation recorded during the sweep: the loop still
+/// passed every check, but a fallback path produced the result (e.g. a
+/// TMS search that exhausted an injected attempt budget and handed back
+/// the SMS schedule). Kept separate from [`Violation`] because the
+/// contract *held* — the report only records that the primary path was
+/// not the one taken, so a fault campaign can assert the count instead
+/// of grepping logs.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradedLoop {
+    /// Loop the degradation happened on.
+    pub loop_name: String,
+    /// Which fallback, at which grid point, and why.
+    pub detail: String,
 }
 
 /// Everything one `tms-verify` run establishes.
@@ -29,10 +47,14 @@ pub struct VerifyReport {
     pub total_checks: usize,
     /// Checks failed across all families.
     pub total_violations: usize,
+    /// Graceful degradations across all families.
+    pub total_degraded: usize,
     /// Per-family roll-ups.
     pub families: Vec<FamilySummary>,
     /// Every individual violation (empty on a clean run).
     pub violations: Vec<Violation>,
+    /// Every graceful degradation (empty outside fault campaigns).
+    pub degraded: Vec<DegradedLoop>,
 }
 
 impl VerifyReport {
@@ -40,17 +62,25 @@ impl VerifyReport {
     pub fn add_family(&mut self, family: &str, verdicts: &[LoopVerdict]) {
         let checks: usize = verdicts.iter().map(|v| v.checks).sum();
         let violations: usize = verdicts.iter().map(|v| v.violations.len()).sum();
+        let degraded: usize = verdicts.iter().map(|v| v.degraded.len()).sum();
         self.families.push(FamilySummary {
             family: family.to_string(),
             loops: verdicts.len(),
             checks,
             violations,
+            degraded,
         });
         self.total_loops += verdicts.len();
         self.total_checks += checks;
         self.total_violations += violations;
+        self.total_degraded += degraded;
         for v in verdicts {
             self.violations.extend(v.violations.iter().cloned());
+            self.degraded
+                .extend(v.degraded.iter().map(|d| DegradedLoop {
+                    loop_name: v.name.clone(),
+                    detail: d.clone(),
+                }));
         }
     }
 
@@ -86,6 +116,7 @@ mod tests {
             name: "a".into(),
             checks: 5,
             violations: vec![],
+            degraded: vec!["ncore=4 P_max=0.05: degraded to SMS".into()],
         };
         let dirty = LoopVerdict {
             name: "b".into(),
@@ -95,11 +126,15 @@ mod tests {
                 check: "tms-threshold".into(),
                 detail: "x".into(),
             }],
+            degraded: vec![],
         };
         r.add_family("f", &[clean, dirty]);
         assert_eq!(r.total_loops, 2);
         assert_eq!(r.total_checks, 8);
         assert_eq!(r.total_violations, 1);
+        assert_eq!(r.total_degraded, 1);
+        assert_eq!(r.degraded.len(), 1);
+        assert_eq!(r.degraded[0].loop_name, "a");
         assert!(!r.ok());
         let json = r.to_json();
         assert!(json.contains("\"tms-threshold\""));

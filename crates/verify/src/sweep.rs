@@ -10,11 +10,13 @@
 //! test calls it directly and compares whole-report JSON across worker
 //! counts.
 
-use crate::checks::{check_loop_traced, CheckConfig, LoopVerdict};
+use crate::checks::{check_loop_traced, CheckConfig, LoopVerdict, Violation};
 use crate::fuzz::fuzz_ddgs;
 use crate::report::VerifyReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use tms_core::par::{par_map, Parallelism};
+use tms_faults::FaultPlan;
 use tms_trace::Trace;
 use tms_workloads::{doacross_suite, figure1, kernels, livermore_suite, specfp_profiles};
 
@@ -48,6 +50,13 @@ pub struct SweepConfig {
     /// and simulator counters underneath; the [`VerifyReport`] itself
     /// is byte-identical either way.
     pub trace: Trace,
+    /// Fault-injection plan (disabled by default; `--faults SEED`
+    /// enables the campaign). Threads through [`CheckConfig::faults`]
+    /// into the scheduler and simulator, and additionally panics the
+    /// worker on selected loops — which [`tms_core::par`] must catch
+    /// and re-execute serially, keeping the report byte-identical at
+    /// any `jobs`.
+    pub faults: FaultPlan,
 }
 
 impl Default for SweepConfig {
@@ -62,6 +71,7 @@ impl Default for SweepConfig {
             jobs: Parallelism::Auto,
             shard: None,
             trace: Trace::disabled(),
+            faults: FaultPlan::disabled(),
         }
     }
 }
@@ -78,6 +88,7 @@ impl SweepConfig {
         if self.no_sim {
             cfg.simulate = false;
         }
+        cfg.faults = self.faults.clone();
         cfg
     }
 }
@@ -143,7 +154,38 @@ pub fn run_sweep(sweep: &SweepConfig) -> SweepOutcome {
         span.arg("loops", kept.len());
         let t0 = Instant::now();
         let verdicts: Vec<LoopVerdict> = par_map(sweep.jobs, &kept, |_, &g| {
-            check_loop_traced(g, &cfg, &sweep.trace)
+            // Injected worker panic: deliberately *outside* the local
+            // catch below, so it unwinds into `par_map`'s containment
+            // and the loop is re-executed serially (the site latches,
+            // so the retry runs clean). This is the campaign's proof
+            // that a dying worker loses no loop.
+            if sweep.faults.worker_panic_once(g.name()) {
+                panic!("injected worker panic on '{}'", g.name());
+            }
+            // A genuine panic inside the checks themselves (a scheduler
+            // or simulator bug on one pathological loop) becomes a
+            // structured violation instead of killing the whole sweep —
+            // it would otherwise panic again on the serial retry.
+            catch_unwind(AssertUnwindSafe(|| {
+                check_loop_traced(g, &cfg, &sweep.trace)
+            }))
+            .unwrap_or_else(|e| {
+                let msg = e
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| e.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                LoopVerdict {
+                    name: g.name().to_string(),
+                    checks: 1,
+                    violations: vec![Violation {
+                        loop_name: g.name().to_string(),
+                        check: "panic".to_string(),
+                        detail: msg,
+                    }],
+                    degraded: Vec::new(),
+                }
+            })
         });
         outcome.report.add_family(family, &verdicts);
         outcome.timings.push(FamilyTiming {
@@ -265,6 +307,56 @@ mod tests {
             untraced.report.total_loops as u64
         );
         assert!(t_serial.counter("tms.attempts") > 0);
+    }
+
+    #[test]
+    fn fault_campaign_survives_and_is_jobs_invariant() {
+        // Hot rates so a tiny sweep still exercises every site: every
+        // loop gets a starved scheduler budget, panicking workers are
+        // common, and the simulator is left on so misspec/jitter fire.
+        let rates = tms_faults::FaultRates {
+            sched_budget_per_1024: 1024,
+            sched_budget_attempts: 1,
+            worker_panic_per_1024: 512,
+            ..tms_faults::FaultRates::default()
+        };
+        let campaign = |jobs| {
+            let cfg = SweepConfig {
+                faults: tms_faults::FaultPlan::with_rates(0xC0FFEE, rates),
+                jobs,
+                no_sim: false,
+                sim_iters: 6,
+                ..tiny()
+            };
+            (run_sweep(&cfg), cfg.faults)
+        };
+        let (serial, plan_serial) = campaign(Parallelism::Serial);
+        // Degradation happened (every loop was budget-starved), no
+        // check failed, and the injected panics left no trace in the
+        // verdicts — every loop is present exactly once.
+        assert_eq!(
+            serial.report.total_violations, 0,
+            "{:?}",
+            serial.report.violations
+        );
+        assert!(serial.report.total_degraded > 0);
+        assert!(plan_serial.injected_total() > 0);
+        assert!(
+            *plan_serial
+                .injected()
+                .get(tms_faults::SITE_PAR_PANIC)
+                .unwrap_or(&0)
+                > 0,
+            "panic site must fire at these rates: {:?}",
+            plan_serial.injected()
+        );
+
+        let (parallel, _) = campaign(Parallelism::Jobs(3));
+        assert_eq!(
+            serial.report.to_json(),
+            parallel.report.to_json(),
+            "campaign report must be bit-identical at any worker count"
+        );
     }
 
     #[test]

@@ -67,6 +67,7 @@ fn report_json_carries_violation_details() {
                 check: "tms-invariant".into(),
                 detail: "sync a->b (d_ker=1) takes 12 > C_delay 9".into(),
             }],
+            degraded: vec![],
         }],
     );
     assert!(!report.ok());
