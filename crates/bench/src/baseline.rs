@@ -29,6 +29,15 @@ pub struct PerfBaseline {
     pub smoke: bool,
     /// Master seed the baseline run used (population shape).
     pub seed: u64,
+    /// Pinned parallel speedup (`total.speedup`), or `None` when the
+    /// baseline was measured on a single-core host — there the
+    /// "parallel" pass is serial work plus pool overhead and the ratio
+    /// carries no signal. The gate compares speedup only when *both*
+    /// the baseline pinned one *and* the gated run's
+    /// `speedup_meaningful` is set; otherwise it is skipped, never
+    /// failed.
+    #[serde(default)]
+    pub speedup: Option<f64>,
 }
 
 /// What a gate comparison concluded.
@@ -42,6 +51,14 @@ pub struct GateOutcome {
     pub ratio: f64,
     /// Whether the measurement clears the floor.
     pub pass: bool,
+    /// Whether the parallel-speedup comparison actually ran. `false`
+    /// on single-core hosts (either side of the comparison) — a skip,
+    /// not a failure.
+    pub speedup_checked: bool,
+    /// Measured `total.speedup` when the comparison ran.
+    pub speedup_current: Option<f64>,
+    /// Failing threshold for the speedup comparison when it ran.
+    pub speedup_floor: Option<f64>,
 }
 
 impl PerfBaseline {
@@ -52,6 +69,7 @@ impl PerfBaseline {
             noise_frac,
             smoke: report.smoke,
             seed: report.seed,
+            speedup: report.speedup_meaningful.then_some(report.total.speedup),
         }
     }
 
@@ -102,11 +120,30 @@ impl PerfBaseline {
         }
         let current = report.total.loops_per_sec_serial;
         let floor = self.loops_per_sec_serial * (1.0 - self.noise_frac);
+        // The speedup comparison needs a meaningful ratio on both
+        // sides: a baseline pinned on a single-core host has nothing to
+        // compare against, and a single-core gate run cannot exhibit a
+        // speedup however healthy the parallel path is. Either way the
+        // comparison is skipped, not failed.
+        let speedup_pair = match self.speedup {
+            Some(base) if report.speedup_meaningful => Some((report.total.speedup, base)),
+            _ => None,
+        };
+        let (speedup_checked, speedup_current, speedup_floor, speedup_pass) = match speedup_pair {
+            Some((cur, base)) => {
+                let sfloor = base * (1.0 - self.noise_frac);
+                (true, Some(cur), Some(sfloor), cur >= sfloor)
+            }
+            None => (false, None, None, true),
+        };
         Ok(GateOutcome {
             current,
             floor,
             ratio: current / self.loops_per_sec_serial,
-            pass: current >= floor,
+            pass: current >= floor && speedup_pass,
+            speedup_checked,
+            speedup_current,
+            speedup_floor,
         })
     }
 }
@@ -152,6 +189,58 @@ mod tests {
         assert!(!outcome.pass);
         assert!(outcome.current < outcome.floor);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn speedup_gate_skips_on_single_core_hosts() {
+        let mut report = smoke_report();
+        let mut base = PerfBaseline::from_report(&report, 0.4);
+
+        // Pretend the baseline host measured a healthy 3× speedup while
+        // the gated run happens on a single-core box: the comparison
+        // must be skipped, not failed, however poor the measured ratio.
+        base.speedup = Some(3.0);
+        report.speedup_meaningful = false;
+        report.total.speedup = 0.5;
+        let outcome = base.check(&report).unwrap();
+        assert!(
+            outcome.pass,
+            "single-core run must not fail the speedup gate"
+        );
+        assert!(!outcome.speedup_checked);
+        assert!(outcome.speedup_current.is_none());
+
+        // A baseline pinned on a single-core host never checks speedup
+        // either, even against a multi-core run.
+        base.speedup = None;
+        report.speedup_meaningful = true;
+        let outcome = base.check(&report).unwrap();
+        assert!(outcome.pass);
+        assert!(!outcome.speedup_checked);
+
+        // With both sides meaningful the comparison runs and can fail.
+        base.speedup = Some(3.0);
+        report.total.speedup = 0.5;
+        let outcome = base.check(&report).unwrap();
+        assert!(outcome.speedup_checked);
+        assert!(!outcome.pass, "0.5x against a 3.0x baseline must fail");
+        report.total.speedup = 2.9;
+        let outcome = base.check(&report).unwrap();
+        assert!(outcome.pass, "2.9x is inside the 40% noise window of 3.0x");
+    }
+
+    #[test]
+    fn baseline_without_speedup_field_still_loads() {
+        // Baselines written before the speedup pin lack the field;
+        // serde must default it to None instead of rejecting the file.
+        let legacy = r#"{
+            "loops_per_sec_serial": 9.0,
+            "noise_frac": 0.6,
+            "smoke": true,
+            "seed": 42
+        }"#;
+        let base: PerfBaseline = serde_json::from_str(legacy).unwrap();
+        assert!(base.speedup.is_none());
     }
 
     #[test]

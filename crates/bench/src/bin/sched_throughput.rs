@@ -138,20 +138,44 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
             Ok(outcome) if !outcome.pass => {
-                eprintln!(
-                    "sched-throughput: PERF REGRESSION — {:.1} loops/s serial is below \
-                     the gate floor {:.1} (baseline {:.1} − {:.0}% noise window)",
-                    outcome.current,
-                    outcome.floor,
-                    base.loops_per_sec_serial,
-                    base.noise_frac * 100.0
-                );
+                if outcome.current < outcome.floor {
+                    eprintln!(
+                        "sched-throughput: PERF REGRESSION — {:.1} loops/s serial is below \
+                         the gate floor {:.1} (baseline {:.1} − {:.0}% noise window)",
+                        outcome.current,
+                        outcome.floor,
+                        base.loops_per_sec_serial,
+                        base.noise_frac * 100.0
+                    );
+                } else {
+                    eprintln!(
+                        "sched-throughput: PERF REGRESSION — parallel speedup {:.2}x is below \
+                         the gate floor {:.2}x (baseline {:.2}x − {:.0}% noise window)",
+                        outcome.speedup_current.unwrap_or(0.0),
+                        outcome.speedup_floor.unwrap_or(0.0),
+                        base.speedup.unwrap_or(0.0),
+                        base.noise_frac * 100.0
+                    );
+                }
                 return ExitCode::FAILURE;
             }
             Ok(outcome) => {
+                let speedup_note = if outcome.speedup_checked {
+                    format!(
+                        ", speedup {:.2}x vs floor {:.2}x",
+                        outcome.speedup_current.unwrap_or(0.0),
+                        outcome.speedup_floor.unwrap_or(0.0)
+                    )
+                } else {
+                    ", speedup comparison skipped (single-core host or baseline)".to_string()
+                };
                 println!(
-                    "perf gate: {:.1} loops/s serial vs baseline {:.1} ({:.2}x, floor {:.1}) — ok",
-                    outcome.current, base.loops_per_sec_serial, outcome.ratio, outcome.floor
+                    "perf gate: {:.1} loops/s serial vs baseline {:.1} ({:.2}x, floor {:.1}){} — ok",
+                    outcome.current,
+                    base.loops_per_sec_serial,
+                    outcome.ratio,
+                    outcome.floor,
+                    speedup_note
                 );
             }
         }

@@ -132,6 +132,12 @@ pub struct ThroughputReport {
     /// `std::thread::available_parallelism()` on the machine that ran
     /// the benchmark — speedup is bounded by this, whatever `jobs` says.
     pub available_parallelism: usize,
+    /// Whether the parallel-vs-serial speedup columns mean anything on
+    /// this host. On a single-core machine the "parallel" pass is the
+    /// serial path plus thread-pool overhead, so `speedup < 1` is the
+    /// expected shape, not a regression — consumers (and the perf
+    /// gate) must skip speedup comparisons when this is false.
+    pub speedup_meaningful: bool,
     /// True when this was a smoke run (timings not meaningful).
     pub smoke: bool,
     /// Master seed of the run.
@@ -361,9 +367,11 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
         measure_render(50_000, 3)
     };
 
+    let available_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     ThroughputReport {
         jobs: cfg.jobs.workers(),
-        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        available_parallelism,
+        speedup_meaningful: available_parallelism > 1,
         smoke: cfg.smoke,
         seed: cfg.seed,
         families,
@@ -382,11 +390,16 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
 /// Human-readable rendering of the report.
 pub fn render(r: &ThroughputReport) -> String {
     let mut out = format!(
-        "sched-throughput: jobs={} available={}{}\n\
+        "sched-throughput: jobs={} available={}{}{}\n\
          {:>10} {:>6} {:>9} {:>9} {:>8} {:>12} {:>12}\n",
         r.jobs,
         r.available_parallelism,
         if r.smoke { " (smoke)" } else { "" },
+        if r.speedup_meaningful {
+            ""
+        } else {
+            " (single core: speedup columns not meaningful)"
+        },
         "family",
         "loops",
         "serial_s",
@@ -459,6 +472,14 @@ mod tests {
         });
         assert_eq!(report.jobs, 2);
         assert!(report.smoke);
+        assert_eq!(
+            report.speedup_meaningful,
+            report.available_parallelism > 1,
+            "speedup_meaningful must mirror the host's core count"
+        );
+        if !report.speedup_meaningful {
+            assert!(render(&report).contains("single core"));
+        }
         assert_eq!(report.families.len(), 5);
         assert_eq!(
             report.total.loops,

@@ -155,21 +155,159 @@ impl CostModel {
         self.t_nomiss(ii, c_delay, n_iter) + self.t_mis_spec(ii, c_delay, p_m, n_iter)
     }
 
+    /// Admissible lower bound on the cost key of *any* legal schedule
+    /// at initiation interval `ii`, over every `C_delay` a schedule
+    /// could achieve. The achieved `C_delay` is clamped at 0 and
+    /// [`CostModel::cost_key`] is monotone non-decreasing in `C_delay`,
+    /// so `cost_key(ii, 0)` floors the realised key of every attempt at
+    /// this II — the bound the branch-and-bound search prunes with.
+    pub fn floor_key(&self, ii: u32) -> CostKey {
+        self.cost_key(ii, 0)
+    }
+
+    /// The `C_delay` ladder shared by every II row of the candidate
+    /// grid. `dense` tries every integer value; otherwise the ladder is
+    /// thinned — dense near the Definition-2 minimum, stride 2 beyond
+    /// `min+8`, stride 4 beyond `min+24` — with the cap always
+    /// included.
+    pub fn c_delay_ladder(&self, c_delay_max: u32, dense: bool) -> Vec<u32> {
+        let cd_min = self.costs.min_c_delay();
+        let cd_hi = c_delay_max.max(cd_min);
+        let mut cds: Vec<u32> = Vec::new();
+        let mut cd = cd_min;
+        while cd <= cd_hi {
+            cds.push(cd);
+            cd += if dense || cd < cd_min + 8 {
+                1
+            } else if cd < cd_min + 24 {
+                2
+            } else {
+                4
+            };
+        }
+        if *cds.last().unwrap() != cd_hi {
+            cds.push(cd_hi);
+        }
+        cds
+    }
+
+    /// Lazy cost-ordered candidate enumeration — see
+    /// [`CandidateStream`].
+    pub fn candidate_stream(
+        &self,
+        mii: u32,
+        ii_max: u32,
+        c_delay_max: u32,
+        dense: bool,
+    ) -> CandidateStream {
+        CandidateStream::new(
+            *self,
+            mii,
+            ii_max.max(mii),
+            self.c_delay_ladder(c_delay_max, dense),
+        )
+    }
+
     /// Candidate `(II, C_delay)` pairs within the paper's bounds,
     /// sorted by increasing cost key (then II, then C_delay). This is
     /// the exact-arithmetic equivalent of Figure 3's iterative
     /// `F_min++` sweep over every pair with `F(II, C_delay) = F_min`.
+    /// Materialises the whole grid eagerly; the search itself uses
+    /// [`CostModel::candidate_stream`], which yields the same sequence
+    /// lazily.
     pub fn candidates(&self, mii: u32, ii_max: u32, c_delay_max: u32) -> Vec<(u32, u32, CostKey)> {
-        let cd_min = self.costs.min_c_delay();
-        let cd_hi = c_delay_max.max(cd_min);
-        let mut v: Vec<(u32, u32, CostKey)> = Vec::new();
-        for ii in mii..=ii_max.max(mii) {
-            for cd in cd_min..=cd_hi {
-                v.push((ii, cd, self.cost_key(ii, cd)));
-            }
+        let mut stream = self.candidate_stream(mii, ii_max, c_delay_max, true);
+        (0..stream.total()).map(|i| *stream.get(i)).collect()
+    }
+}
+
+/// Lazy generator of `(II, C_delay, CostKey)` candidates in increasing
+/// `(key, II, C_delay)` order — the same sequence
+/// [`CostModel::candidates`] materialises, produced one cost shell at a
+/// time so a search that resolves (or prunes) early never pays for
+/// sorting the full grid.
+///
+/// The grid is `[mii, ii_max] × ladder` with the key monotone
+/// non-decreasing along both axes, so a frontier heap holding at most
+/// one element per *opened* II row enumerates it in sorted order:
+/// popping a row's ladder head opens the next II row (whose head cannot
+/// be cheaper, by monotonicity in II), and popping any element pushes
+/// its successor along the ladder (monotonicity in `C_delay`). Emitted
+/// candidates are memoised so the wavefront search can random-access
+/// the prefix it has dispatched.
+#[derive(Debug, Clone)]
+pub struct CandidateStream {
+    model: CostModel,
+    ladder: Vec<u32>,
+    mii: u32,
+    ii_max: u32,
+    /// Next II row whose ladder head has not been pushed yet.
+    next_row: u32,
+    /// Frontier min-heap of `(key, ii, c_delay, ladder position)`.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(CostKey, u32, u32, u32)>>,
+    /// Memoised sorted prefix, in emission order.
+    emitted: Vec<(u32, u32, CostKey)>,
+}
+
+impl CandidateStream {
+    fn new(model: CostModel, mii: u32, ii_max: u32, ladder: Vec<u32>) -> Self {
+        let mut heap = std::collections::BinaryHeap::new();
+        let head = ladder[0];
+        heap.push(std::cmp::Reverse((model.cost_key(mii, head), mii, head, 0)));
+        CandidateStream {
+            model,
+            ladder,
+            mii,
+            ii_max,
+            next_row: mii + 1,
+            heap,
+            emitted: Vec::new(),
         }
-        v.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
-        v
+    }
+
+    /// Total number of candidates the stream will emit.
+    pub fn total(&self) -> usize {
+        ((self.ii_max - self.mii) as usize + 1) * self.ladder.len()
+    }
+
+    /// The `idx`-th candidate in sorted order (0-based). Advances and
+    /// memoises the stream as needed; `idx` must be `< total()`.
+    pub fn get(&mut self, idx: usize) -> &(u32, u32, CostKey) {
+        while self.emitted.len() <= idx {
+            self.advance();
+        }
+        &self.emitted[idx]
+    }
+
+    fn advance(&mut self) {
+        let std::cmp::Reverse((key, ii, cd, pos)) = self
+            .heap
+            .pop()
+            .expect("CandidateStream advanced past total()");
+        // Successor along this row's ladder.
+        if let Some(&next_cd) = self.ladder.get(pos as usize + 1) {
+            self.heap.push(std::cmp::Reverse((
+                self.model.cost_key(ii, next_cd),
+                ii,
+                next_cd,
+                pos + 1,
+            )));
+        }
+        // Popping the newest row's ladder head opens the next row: its
+        // head has key ≥ this one (monotone in II), so enumeration
+        // order is preserved, and the heap invariant — no unpushed
+        // element can be cheaper than any heap element — holds again.
+        if pos == 0 && ii + 1 == self.next_row && self.next_row <= self.ii_max {
+            let head = self.ladder[0];
+            self.heap.push(std::cmp::Reverse((
+                self.model.cost_key(self.next_row, head),
+                self.next_row,
+                head,
+                0,
+            )));
+            self.next_row += 1;
+        }
+        self.emitted.push((ii, cd, key));
     }
 }
 
@@ -288,6 +426,88 @@ mod tests {
         let cands = m.candidates(8, 10, 15);
         assert!(cands.iter().all(|&(_, cd, _)| cd <= 15));
         assert!(cands.iter().any(|&(_, cd, _)| cd == 15));
+    }
+
+    /// Reference enumeration: materialise the grid over an arbitrary
+    /// ladder and sort by `(key, II, C_delay)`.
+    fn sorted_grid(
+        m: &CostModel,
+        mii: u32,
+        ii_max: u32,
+        ladder: &[u32],
+    ) -> Vec<(u32, u32, CostKey)> {
+        let mut v: Vec<(u32, u32, CostKey)> = Vec::new();
+        for ii in mii..=ii_max {
+            for &cd in ladder {
+                v.push((ii, cd, m.cost_key(ii, cd)));
+            }
+        }
+        v.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        v
+    }
+
+    #[test]
+    fn candidate_stream_matches_materialised_sort() {
+        for ncore in [1, 2, 4, 8] {
+            let m = model(ncore);
+            for (mii, ii_max, cd_max, dense) in [
+                (1, 1, 4, true),
+                (3, 9, 12, true),
+                (8, 40, 60, false),
+                (2, 25, 80, false),
+            ] {
+                let ladder = m.c_delay_ladder(cd_max, dense);
+                let want = sorted_grid(&m, mii, ii_max, &ladder);
+                let mut stream = m.candidate_stream(mii, ii_max, cd_max, dense);
+                assert_eq!(stream.total(), want.len());
+                let got: Vec<_> = (0..stream.total()).map(|i| *stream.get(i)).collect();
+                assert_eq!(got, want, "ncore={ncore} mii={mii} ii_max={ii_max}");
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_stream_random_access_is_stable() {
+        let m = model(4);
+        let mut stream = m.candidate_stream(5, 20, 30, false);
+        let n = stream.total();
+        // Jumping ahead then reading back earlier indices returns the
+        // memoised values unchanged.
+        let late = *stream.get(n - 1);
+        let early = *stream.get(0);
+        assert_eq!(*stream.get(n - 1), late);
+        assert_eq!(early.0, 5);
+        assert_eq!(early.1, m.costs.min_c_delay());
+    }
+
+    #[test]
+    fn ladder_matches_dense_and_thinned_shapes() {
+        let m = model(4);
+        let cd_min = m.costs.min_c_delay();
+        let dense = m.c_delay_ladder(cd_min + 40, true);
+        assert_eq!(dense, (cd_min..=cd_min + 40).collect::<Vec<_>>());
+        let thin = m.c_delay_ladder(cd_min + 40, false);
+        // Dense through min+8, stride 2 to min+24, stride 4 after, cap
+        // always present.
+        assert!(thin.windows(2).all(|w| w[1] > w[0]));
+        assert!((cd_min..=cd_min + 8).all(|cd| thin.contains(&cd)));
+        assert!(thin.contains(&(cd_min + 40)));
+        assert!(thin.len() < dense.len());
+        // A cap below the minimum still yields the minimum.
+        assert_eq!(m.c_delay_ladder(0, false), vec![cd_min]);
+    }
+
+    #[test]
+    fn floor_key_bounds_every_candidate_key() {
+        let m = model(4);
+        for ii in 1..40 {
+            for cd in 0..40 {
+                assert!(m.floor_key(ii) <= m.cost_key(ii, cd));
+            }
+            // Monotone in II as well, so a floor crossing the incumbent
+            // stays crossed for all larger II at the same C_delay.
+            assert!(m.floor_key(ii) <= m.floor_key(ii + 1));
+        }
     }
 
     #[test]

@@ -11,7 +11,39 @@
 use tms_ddg::OpClass;
 use tms_machine::{MachineModel, ResourceClass};
 
+/// Bit `r % 64` of word `r / 64`.
+#[inline]
+fn bit_at(words: &[u64], r: usize) -> bool {
+    words[r >> 6] >> (r & 63) & 1 != 0
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], r: usize) {
+    words[r >> 6] |= 1u64 << (r & 63);
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], r: usize) {
+    words[r >> 6] &= !(1u64 << (r & 63));
+}
+
+/// The low `n` bits set, for `n ≤ 64`.
+#[inline]
+fn low_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
 /// Occupancy of the `II` modulo rows of a partial schedule.
+///
+/// Row availability is mirrored into per-class `u64` bitsets (bit set ⇔
+/// the row can still take one more op of that class / one more issue
+/// slot), so the hot [`Mrt::can_place`] probe is a couple of word tests
+/// with no allocation; the exact `used` counters remain authoritative
+/// for placement, removal and diagnostics.
 #[derive(Debug, Clone)]
 pub struct Mrt {
     ii: u32,
@@ -20,18 +52,29 @@ pub struct Mrt {
     used: Vec<u32>,
     /// Operations issued in each row (issue-width accounting).
     row_total: Vec<u32>,
+    /// Words per bitset row map: `ceil(ii / 64)`.
+    nwords: usize,
+    /// `free_unit[class * nwords ..][r]` — row `r` has a free unit of
+    /// `class` (`used < units`).
+    free_unit: Vec<u64>,
+    /// Row `r` has issue bandwidth left (`row_total < issue_width`).
+    free_issue: Vec<u64>,
 }
 
 impl Mrt {
     /// An empty table for the given `II` and machine.
     pub fn new(ii: u32, machine: &MachineModel) -> Self {
-        assert!(ii >= 1, "II must be at least 1");
-        Mrt {
-            ii,
+        let mut mrt = Mrt {
+            ii: 0,
             machine: machine.clone(),
-            used: vec![0; ii as usize * ResourceClass::ALL.len()],
-            row_total: vec![0; ii as usize],
-        }
+            used: Vec::new(),
+            row_total: Vec::new(),
+            nwords: 0,
+            free_unit: Vec::new(),
+            free_issue: Vec::new(),
+        };
+        mrt.reset(ii, machine);
+        mrt
     }
 
     /// The II this table was built for.
@@ -52,6 +95,24 @@ impl Mrt {
         self.used.resize(ii as usize * ResourceClass::ALL.len(), 0);
         self.row_total.clear();
         self.row_total.resize(ii as usize, 0);
+        self.nwords = (ii as usize).div_ceil(64);
+        self.free_unit.clear();
+        self.free_unit
+            .resize(ResourceClass::ALL.len() * self.nwords, 0);
+        self.free_issue.clear();
+        self.free_issue.resize(self.nwords, 0);
+        // An empty row is available wherever capacity exists at all.
+        for w in 0..self.nwords {
+            let live = low_mask((ii as usize - w * 64).min(64) as u32);
+            if self.machine.issue_width > 0 {
+                self.free_issue[w] = live;
+            }
+            for class in ResourceClass::ALL {
+                if self.machine.units_of(class) > 0 {
+                    self.free_unit[class.index() * self.nwords + w] = live;
+                }
+            }
+        }
     }
 
     /// Modulo row of an absolute issue cycle (cycles may be negative
@@ -64,49 +125,88 @@ impl Mrt {
     /// Rows an op of `class` occupies when issued at `cycle`: the issue
     /// row plus `occupancy − 1` successors (modulo II), clamped so a
     /// slow unit at small II simply occupies every row once.
-    fn occupied_rows(&self, class: ResourceClass, cycle: i64) -> Vec<usize> {
-        let occ = self.machine.occupancy_of(class).min(self.ii) as i64;
-        (0..occ).map(|k| self.row_of(cycle + k)).collect()
+    #[inline]
+    fn occupancy_span(&self, class: ResourceClass) -> u32 {
+        self.machine.occupancy_of(class).min(self.ii)
     }
 
     /// Whether an operation of class `op` can issue at `cycle` without
     /// oversubscribing a unit (across its whole occupancy) or the issue
     /// width (at the issue row).
+    #[inline]
     pub fn can_place(&self, op: OpClass, cycle: i64) -> bool {
         let class = ResourceClass::for_op(op);
-        if self.row_total[self.row_of(cycle)] >= self.machine.issue_width {
+        let r = self.row_of(cycle);
+        if !bit_at(&self.free_issue, r) {
             return false;
         }
-        let units = self.machine.units_of(class);
-        self.occupied_rows(class, cycle)
-            .into_iter()
-            .all(|row| self.used[row * ResourceClass::ALL.len() + class.index()] < units)
+        let base = class.index() * self.nwords;
+        let unit = &self.free_unit[base..base + self.nwords];
+        let occ = self.occupancy_span(class);
+        if occ == 1 {
+            // Fully pipelined (the common case): one bit test.
+            return bit_at(unit, r);
+        }
+        if self.ii <= 64 {
+            // The occupancy span as a mask rotated to start at row r,
+            // within the live low `ii` bits: free iff every spanned row
+            // is free, i.e. the mask survives ANDing with the word.
+            let span = low_mask(occ);
+            let rot = r as u32;
+            let wrapped = if rot == 0 {
+                span
+            } else {
+                (span << rot | span >> (self.ii - rot)) & low_mask(self.ii)
+            };
+            return unit[0] & wrapped == wrapped;
+        }
+        (0..occ as i64).all(|k| bit_at(unit, self.row_of(cycle + k)))
     }
 
-    /// Reserve a slot. Panics if the slot would be oversubscribed —
-    /// callers must check [`Mrt::can_place`] first.
+    /// Reserve a slot. Callers must check [`Mrt::can_place`] first —
+    /// debug builds assert it, release builds trust the probe the
+    /// scheduling engines already performed.
     pub fn place(&mut self, op: OpClass, cycle: i64) {
-        assert!(self.can_place(op, cycle), "MRT slot oversubscribed");
+        debug_assert!(self.can_place(op, cycle), "MRT slot oversubscribed");
         let class = ResourceClass::for_op(op);
-        for row in self.occupied_rows(class, cycle) {
-            self.used[row * ResourceClass::ALL.len() + class.index()] += 1;
+        let units = self.machine.units_of(class);
+        let base = class.index() * self.nwords;
+        for k in 0..self.occupancy_span(class) as i64 {
+            let row = self.row_of(cycle + k);
+            let cell = &mut self.used[row * ResourceClass::ALL.len() + class.index()];
+            *cell += 1;
+            if *cell >= units {
+                clear_bit(&mut self.free_unit[base..base + self.nwords], row);
+            }
         }
         let issue_row = self.row_of(cycle);
         self.row_total[issue_row] += 1;
+        if self.row_total[issue_row] >= self.machine.issue_width {
+            clear_bit(&mut self.free_issue, issue_row);
+        }
     }
 
     /// Release a previously reserved slot.
     pub fn remove(&mut self, op: OpClass, cycle: i64) {
         let class = ResourceClass::for_op(op);
-        for row in self.occupied_rows(class, cycle) {
+        let units = self.machine.units_of(class);
+        let base = class.index() * self.nwords;
+        for k in 0..self.occupancy_span(class) as i64 {
+            let row = self.row_of(cycle + k);
             let cell = &mut self.used[row * ResourceClass::ALL.len() + class.index()];
             assert!(*cell > 0, "removing empty unit slot");
             *cell -= 1;
+            if *cell < units {
+                set_bit(&mut self.free_unit[base..base + self.nwords], row);
+            }
         }
         let issue_row = self.row_of(cycle);
         let total = &mut self.row_total[issue_row];
         assert!(*total > 0, "removing empty issue slot");
         *total -= 1;
+        if *total < self.machine.issue_width {
+            set_bit(&mut self.free_issue, issue_row);
+        }
     }
 
     /// Operations currently issued in `row`.
@@ -170,9 +270,14 @@ mod tests {
         assert!(m.can_place(OpClass::FpMul, 2));
     }
 
+    /// The oversubscription probe in `place` is a `debug_assert!` —
+    /// the engines always probe `can_place` first, so release builds
+    /// skip the duplicate scan — but debug builds must still catch a
+    /// caller that skips the probe.
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "oversubscribed")]
-    fn double_place_panics() {
+    fn double_place_panics_in_debug() {
         let mut m = mrt(1);
         m.place(OpClass::FpMul, 0);
         m.place(OpClass::FpMul, 0);
@@ -194,6 +299,81 @@ mod tests {
         assert_eq!(m.row_occupancy(2), 0);
         m.remove(OpClass::FpMul, 1);
         assert!(m.can_place(OpClass::FpMul, 2));
+    }
+
+    /// A counter-backed reference model: the bitset fast paths must
+    /// agree with first-principles `used < units` / `row_total <
+    /// issue_width` checks under an arbitrary place/remove history.
+    fn reference_can_place(m: &Mrt, op: OpClass, cycle: i64) -> bool {
+        let class = ResourceClass::for_op(op);
+        if m.row_occupancy(m.row_of(cycle)) >= m.machine.issue_width {
+            return false;
+        }
+        let occ = m.machine.occupancy_of(class).min(m.ii()) as i64;
+        (0..occ).all(|k| m.used_in_row(m.row_of(cycle + k), class) < m.machine.units_of(class))
+    }
+
+    #[test]
+    fn bitset_probe_matches_counter_reference() {
+        // Mixed pipelined + non-pipelined classes, IIs straddling the
+        // single-word boundary, deterministic pseudo-random history.
+        for ii in [1u32, 3, 17, 63, 64, 65, 130] {
+            let mut m = Mrt::new(ii, &MachineModel::figure1_example());
+            let mut placed: Vec<(OpClass, i64)> = Vec::new();
+            let mut state = 0x2008_u64;
+            for step in 0..400 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let op = match state >> 60 & 3 {
+                    0 => OpClass::FpMul,
+                    1 => OpClass::IntAlu,
+                    2 => OpClass::Load,
+                    _ => OpClass::FpAdd,
+                };
+                let cycle = (state >> 8 & 0x1ff) as i64 - 200;
+                assert_eq!(
+                    m.can_place(op, cycle),
+                    reference_can_place(&m, op, cycle),
+                    "ii={ii} step={step} op={op:?} cycle={cycle}"
+                );
+                if m.can_place(op, cycle) && state & 1 == 0 {
+                    m.place(op, cycle);
+                    placed.push((op, cycle));
+                } else if !placed.is_empty() && state & 2 == 0 {
+                    let (op, cycle) = placed.swap_remove((state >> 16) as usize % placed.len());
+                    m.remove(op, cycle);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_ii_spans_multiple_words() {
+        // II = 100 needs two bitset words; saturate a row far into the
+        // second word and check the modulo aliases.
+        let mut m = Mrt::new(100, &MachineModel::icpp2008());
+        assert!(m.can_place(OpClass::FpMul, 90));
+        m.place(OpClass::FpMul, 90);
+        assert!(!m.can_place(OpClass::FpMul, 90));
+        assert!(!m.can_place(OpClass::FpMul, 190)); // same modulo row
+        assert!(m.can_place(OpClass::FpMul, 91));
+        m.remove(OpClass::FpMul, 90);
+        assert!(m.can_place(OpClass::FpMul, 190));
+    }
+
+    #[test]
+    fn non_pipelined_occupancy_crosses_word_boundary() {
+        // Occupancy 4 issued at row 62 of II=66 spans rows 62..65 —
+        // straddling the u64 boundary — and wraps at row 65 of II=66.
+        let mut m = Mrt::new(66, &MachineModel::figure1_example());
+        m.place(OpClass::FpMul, 62);
+        for row in [62, 63, 64, 65] {
+            assert!(!m.can_place(OpClass::FpMul, row), "row {row} busy");
+        }
+        assert!(m.can_place(OpClass::FpMul, 2));
+        // Issue width is only consumed at the issue row.
+        assert_eq!(m.row_occupancy(64), 0);
     }
 
     #[test]

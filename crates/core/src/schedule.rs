@@ -17,6 +17,10 @@ pub struct PartialSchedule {
     times: Vec<Option<i64>>,
     mrt: Mrt,
     placed: usize,
+    /// Cached minimum placed cycle — the slot-admission policies query
+    /// it on every probe, so it is maintained incrementally: O(1) on
+    /// place, a rescan only when the current minimum is removed.
+    min_time: Option<i64>,
 }
 
 impl PartialSchedule {
@@ -27,6 +31,7 @@ impl PartialSchedule {
             times: vec![None; ddg.num_insts()],
             mrt: Mrt::new(ii, machine),
             placed: 0,
+            min_time: None,
         }
     }
 
@@ -39,6 +44,7 @@ impl PartialSchedule {
         self.times.resize(ddg.num_insts(), None);
         self.mrt.reset(ii, machine);
         self.placed = 0;
+        self.min_time = None;
     }
 
     /// The initiation interval.
@@ -65,8 +71,9 @@ impl PartialSchedule {
 
     /// Earliest placed issue cycle — the origin the final schedule will
     /// be normalised to. `None` while nothing is placed.
+    #[inline]
     pub fn min_time(&self) -> Option<i64> {
-        self.times.iter().flatten().min().copied()
+        self.min_time
     }
 
     /// The reservation table.
@@ -99,6 +106,9 @@ impl PartialSchedule {
         self.mrt.place(ddg.inst(n).op, cycle);
         self.times[n.index()] = Some(cycle);
         self.placed += 1;
+        if self.min_time.is_none_or(|m| cycle < m) {
+            self.min_time = Some(cycle);
+        }
     }
 
     /// Whether `n` could issue at `cycle` without resource conflicts.
@@ -112,6 +122,9 @@ impl PartialSchedule {
         self.mrt.remove(ddg.inst(n).op, t);
         self.times[n.index()] = None;
         self.placed -= 1;
+        if self.min_time == Some(t) {
+            self.min_time = self.times.iter().flatten().min().copied();
+        }
     }
 
     /// Placed instructions currently occupying modulo row `row`.

@@ -124,6 +124,18 @@ pub fn try_schedule(
     )
 }
 
+/// Priority map of a node order: `result[n] = position of n in order`
+/// (lower = higher priority). Attempt-invariant — the TMS search
+/// computes it once per loop and shares it across every candidate
+/// attempt via [`try_schedule_prepared`].
+pub fn order_priorities(order: &[InstId], num_insts: usize) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; num_insts];
+    for (i, &n) in order.iter().enumerate() {
+        pos[n.index()] = i;
+    }
+    pos
+}
+
 /// [`try_schedule`] with attempt-invariant inputs hoisted out: the
 /// caller supplies the [`TimeFrames`] for this `ii` (memoizable across
 /// `P_max` retries at the same candidate) and a [`SchedScratch`] whose
@@ -138,6 +150,32 @@ pub fn try_schedule_with(
     frames: &TimeFrames,
     scratch: &mut SchedScratch,
 ) -> Option<Schedule> {
+    // Priority of each node = its position in the SMS order.
+    let mut pos = std::mem::take(&mut scratch.pos);
+    pos.clear();
+    pos.resize(ddg.num_insts(), usize::MAX);
+    for (i, &n) in order.iter().enumerate() {
+        pos[n.index()] = i;
+    }
+    let out = try_schedule_prepared(ddg, machine, ii, order, &pos, policy, frames, scratch);
+    scratch.pos = pos;
+    out
+}
+
+/// [`try_schedule_with`] for callers that also hoisted the
+/// order-priority map (see [`order_priorities`]) out of the attempt
+/// loop. Results are identical to [`try_schedule`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_schedule_prepared(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    ii: u32,
+    order: &[InstId],
+    pos: &[usize],
+    policy: &dyn SlotPolicy,
+    frames: &TimeFrames,
+    scratch: &mut SchedScratch,
+) -> Option<Schedule> {
     debug_assert_eq!(frames.ii, ii, "frames computed for a different II");
     let mut ps = match scratch.ps.take() {
         Some(mut ps) => {
@@ -146,7 +184,7 @@ pub fn try_schedule_with(
         }
         None => PartialSchedule::new(ddg, ii, machine),
     };
-    let complete = schedule_all(ddg, &mut ps, ii, order, policy, frames, scratch);
+    let complete = schedule_all(ddg, &mut ps, ii, order, pos, policy, frames, scratch);
     let out = complete.then(|| ps.snapshot(ddg));
     scratch.ps = Some(ps);
     out
@@ -155,28 +193,32 @@ pub fn try_schedule_with(
 /// The engine proper: place every node or report failure. Split from
 /// [`try_schedule_with`] so the partial schedule can be returned to the
 /// scratch on every exit path.
+#[allow(clippy::too_many_arguments)]
 fn schedule_all(
     ddg: &Ddg,
     ps: &mut PartialSchedule,
     ii: u32,
     order: &[InstId],
+    pos: &[usize],
     policy: &dyn SlotPolicy,
     frames: &TimeFrames,
     scratch: &mut SchedScratch,
 ) -> bool {
-    // Priority of each node = its position in the SMS order.
-    let pos = &mut scratch.pos;
-    pos.clear();
-    pos.resize(ddg.num_insts(), usize::MAX);
-    for (i, &n) in order.iter().enumerate() {
-        pos[n.index()] = i;
-    }
     let mut eject_budget = (ddg.num_insts() * 10).max(100);
+    // Topological sweep orders for the window bounds: DDG-static,
+    // computed once per attempt and reused by every probe below.
+    scratch.win.prepare(ddg);
     // Monotone forced-slot floor per node (IMS forward progress).
     let earliest = &mut scratch.earliest;
     earliest.clear();
     earliest.resize(ddg.num_insts(), i64::MIN);
-    while let Some(&v) = order.iter().find(|&&n| !ps.is_placed(n)) {
+    // Next-unplaced cursor: nodes before it are placed, so the common
+    // (ejection-free) path walks `order` once instead of rescanning it
+    // per placement. Ejections unplace arbitrary nodes — rewind.
+    let mut cursor = 0usize;
+    while let Some(off) = order[cursor..].iter().position(|&n| !ps.is_placed(n)) {
+        cursor += off;
+        let v = order[cursor];
         window_into(ddg, ps, frames, v, &mut scratch.win);
         let slot = scratch
             .win
@@ -185,7 +227,10 @@ fn schedule_all(
             .copied()
             .find(|&c| ps.fits(ddg, v, c) && policy.accept(ddg, ps, v, c));
         match slot {
-            Some(c) => ps.place(ddg, v, c),
+            Some(c) => {
+                ps.place(ddg, v, c);
+                cursor += 1;
+            }
             None => {
                 if eject_budget == 0 {
                     return false;
@@ -204,7 +249,7 @@ fn schedule_all(
                 // monotone and the budget is finite.
                 let lb = match scratch.win.cycles.iter().min().copied() {
                     Some(lb) => lb,
-                    None => force_floor_with(ddg, ps, frames, v, scratch.win.dist_buf()),
+                    None => force_floor_with(ddg, ps, frames, v, &mut scratch.win),
                 };
                 let floor = lb.max(scratch.earliest[v.index()]);
                 let Some(c) = (floor..floor + ii as i64).find(|&x| policy.accept(ddg, ps, v, x))
@@ -212,12 +257,13 @@ fn schedule_all(
                     return false;
                 };
                 scratch.earliest[v.index()] = c + 1;
-                eject_row_conflicts(ddg, ps, v, c, &scratch.pos, &mut scratch.occupants);
+                eject_row_conflicts(ddg, ps, v, c, pos, &mut scratch.occupants);
                 if !ps.fits(ddg, v, c) {
                     return false;
                 }
                 ps.place(ddg, v, c);
                 eject_violated_neighbours(ddg, ps, v, ii);
+                cursor = 0;
             }
         }
     }

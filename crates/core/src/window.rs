@@ -16,6 +16,17 @@
 //! transitive bounds collapse to the classic ES/LS whenever only direct
 //! neighbours constrain the node, so SMS behaviour is unchanged on the
 //! common path.
+//!
+//! The longest-path relaxation is the engine's hottest loop (it runs
+//! twice per node visit, and ejection cascades revisit nodes freely),
+//! so the edge sweeps run in a precomputed topological order of the
+//! intra-iteration (distance-0) subgraph: a single sweep then reaches
+//! the fixpoint unless a loop-carried back edge propagated *behind*
+//! the sweep, which is detected per relaxation and triggers classic
+//! repeat-until-stable passes. The fixpoint is a pure `max` (resp.
+//! `min`) over paths — independent of edge iteration order — so the
+//! bounds, and therefore the schedules, are bit-identical to the
+//! naive repeated sweep.
 
 use crate::schedule::PartialSchedule;
 use tms_ddg::analysis::TimeFrames;
@@ -44,21 +55,91 @@ pub enum WindowKind {
 }
 
 /// Reusable buffers for repeated window computations. One scratch per
-/// worker amortises the two `O(n)` distance vectors and the candidate
-/// list across every node of every scheduling attempt.
+/// worker amortises the distance vector, the topological edge orders,
+/// and the candidate list across every node of every scheduling
+/// attempt.
+///
+/// [`WindowScratch::prepare`] must run once per DDG before
+/// [`window_into`] / [`force_floor_with`] (the engine does this at the
+/// top of each attempt); the convenience wrappers [`window_of`] and
+/// [`force_floor`] prepare their own scratch.
 #[derive(Debug, Default, Clone)]
 pub struct WindowScratch {
-    dist: Vec<Option<i64>>,
+    /// Distance values; `i64::MIN` / `i64::MAX` sentinels mean
+    /// “unreached” in the lower / upper sweeps respectively.
+    dist: Vec<i64>,
+    /// Topological rank of each node over the distance-0 subgraph
+    /// (loop-carried edges excluded; any residual cycle gets arbitrary
+    /// ranks — correctness falls back to the repeat passes).
+    rank: Vec<u32>,
+    /// Edge indices sorted ascending by `rank[src]`: the forward
+    /// (early-start) sweep order.
+    fwd_edges: Vec<u32>,
+    /// Edge indices sorted descending by `rank[dst]`: the backward
+    /// (late-start) sweep order.
+    bwd_edges: Vec<u32>,
+    /// Kahn worklist buffers.
+    indeg: Vec<u32>,
+    queue: Vec<u32>,
     /// Candidate cycles of the most recent [`window_into`] call,
     /// first-preference first.
     pub cycles: Vec<i64>,
 }
 
 impl WindowScratch {
-    /// The internal distance buffer, for callers that run the bound
-    /// computations directly (e.g. [`force_floor_with`]).
-    pub fn dist_buf(&mut self) -> &mut Vec<Option<i64>> {
-        &mut self.dist
+    /// Precompute the topological sweep orders for `ddg`. `O(V + E log
+    /// E)`; called once per scheduling attempt, amortised over every
+    /// window probe of that attempt.
+    pub fn prepare(&mut self, ddg: &Ddg) {
+        let n = ddg.num_insts();
+        let edges = ddg.edges();
+        // Kahn over the intra-iteration (distance-0) subgraph, which a
+        // legal DDG keeps acyclic. Nodes stuck on a residual cycle (a
+        // malformed graph) are ranked after all others in index order;
+        // the back-edge detection then simply forces repeat passes.
+        self.indeg.clear();
+        self.indeg.resize(n, 0);
+        for e in edges {
+            if e.distance == 0 && e.src != e.dst {
+                self.indeg[e.dst.index()] += 1;
+            }
+        }
+        self.queue.clear();
+        self.queue
+            .extend((0..n as u32).filter(|&i| self.indeg[i as usize] == 0));
+        self.rank.clear();
+        self.rank.resize(n, u32::MAX);
+        let mut next_rank = 0u32;
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head] as usize;
+            head += 1;
+            self.rank[u] = next_rank;
+            next_rank += 1;
+            for e in edges {
+                if e.distance == 0 && e.src.index() == u && e.src != e.dst {
+                    let d = e.dst.index();
+                    self.indeg[d] -= 1;
+                    if self.indeg[d] == 0 {
+                        self.queue.push(d as u32);
+                    }
+                }
+            }
+        }
+        for r in &mut self.rank {
+            if *r == u32::MAX {
+                *r = next_rank;
+                next_rank += 1;
+            }
+        }
+        self.fwd_edges.clear();
+        self.fwd_edges.extend(0..edges.len() as u32);
+        self.fwd_edges
+            .sort_unstable_by_key(|&ei| self.rank[edges[ei as usize].src.index()]);
+        self.bwd_edges.clear();
+        self.bwd_edges.extend(0..edges.len() as u32);
+        self.bwd_edges
+            .sort_unstable_by_key(|&ei| u32::MAX - self.rank[edges[ei as usize].dst.index()]);
     }
 }
 
@@ -66,68 +147,102 @@ impl WindowScratch {
 /// unscheduled intermediates: `max` over paths `p : u ⤳ v` with `u`
 /// scheduled and interior nodes unscheduled of
 /// `t(u) + Σ_e (delay(e) − II·distance(e))`.
+///
+/// Requires [`WindowScratch::prepare`] for this DDG.
 fn lower_bound_with(
     ddg: &Ddg,
     ps: &PartialSchedule,
     v: InstId,
-    dist: &mut Vec<Option<i64>>,
+    scratch: &mut WindowScratch,
 ) -> Option<i64> {
     let ii = ps.ii() as i64;
-    let n = ddg.num_insts();
+    debug_assert_eq!(
+        scratch.rank.len(),
+        ddg.num_insts(),
+        "WindowScratch::prepare was not run for this DDG"
+    );
+    let dist = &mut scratch.dist;
     dist.clear();
-    dist.extend(ddg.inst_ids().map(|u| ps.time(u)));
-    // v participates as an unscheduled node (its entry starts None).
-    for _ in 0..=n {
-        let mut changed = false;
-        for e in ddg.edges() {
+    dist.extend(ddg.inst_ids().map(|u| ps.time(u).unwrap_or(i64::MIN)));
+    let edges = ddg.edges();
+    // Scheduled times are fixed, so only edges into unscheduled nodes
+    // can relax anything; v participates as an unscheduled node (its
+    // entry starts at the `i64::MIN` sentinel, the “unreached” value).
+    // Each sweep runs in topological order — a relaxation that writes
+    // at or behind its own sweep position (`rank[dst] ≤ rank[src]`,
+    // i.e. a loop-carried back edge that actually fired) is the only
+    // way a sweep can miss the fixpoint, so sweeps repeat exactly
+    // until one completes without such a write (no separate
+    // confirmation pass is needed).
+    for _ in 0..=scratch.fwd_edges.len() {
+        let mut rerun = false;
+        for &ei in &scratch.fwd_edges {
+            let e = &edges[ei as usize];
             if ps.is_placed(e.dst) {
-                continue; // scheduled times are fixed
+                continue;
             }
-            if let Some(ds) = dist[e.src.index()] {
+            let ds = dist[e.src.index()];
+            if ds != i64::MIN {
                 let cand = ds + e.delay - ii * e.distance as i64;
-                if dist[e.dst.index()].is_none_or(|d| cand > d) {
-                    dist[e.dst.index()] = Some(cand);
-                    changed = true;
+                if cand > dist[e.dst.index()] {
+                    dist[e.dst.index()] = cand;
+                    rerun |= scratch.rank[e.dst.index()] <= scratch.rank[e.src.index()];
                 }
             }
         }
-        if !changed {
+        if !rerun {
             break;
         }
     }
-    dist[v.index()]
+    let d = dist[v.index()];
+    (d != i64::MIN).then_some(d)
 }
 
 /// Symmetric upper bound on `t(v)` toward scheduled successors.
+///
+/// Requires [`WindowScratch::prepare`] for this DDG.
 fn upper_bound_with(
     ddg: &Ddg,
     ps: &PartialSchedule,
     v: InstId,
-    dist: &mut Vec<Option<i64>>,
+    scratch: &mut WindowScratch,
 ) -> Option<i64> {
     let ii = ps.ii() as i64;
-    let n = ddg.num_insts();
+    debug_assert_eq!(
+        scratch.rank.len(),
+        ddg.num_insts(),
+        "WindowScratch::prepare was not run for this DDG"
+    );
+    let dist = &mut scratch.dist;
     dist.clear();
-    dist.extend(ddg.inst_ids().map(|u| ps.time(u)));
-    for _ in 0..=n {
-        let mut changed = false;
-        for e in ddg.edges() {
+    dist.extend(ddg.inst_ids().map(|u| ps.time(u).unwrap_or(i64::MAX)));
+    let edges = ddg.edges();
+    // Mirror image of the forward sweep: propagation flows dst → src,
+    // so sweeps run in reverse topological order (sentinel `i64::MAX`,
+    // `min` relaxation) and a relaxation with `rank[src] ≥ rank[dst]`
+    // is the back-edge signal that forces another sweep.
+    for _ in 0..=scratch.bwd_edges.len() {
+        let mut rerun = false;
+        for &ei in &scratch.bwd_edges {
+            let e = &edges[ei as usize];
             if ps.is_placed(e.src) {
                 continue;
             }
-            if let Some(dd) = dist[e.dst.index()] {
+            let dd = dist[e.dst.index()];
+            if dd != i64::MAX {
                 let cand = dd - e.delay + ii * e.distance as i64;
-                if dist[e.src.index()].is_none_or(|d| cand < d) {
-                    dist[e.src.index()] = Some(cand);
-                    changed = true;
+                if cand < dist[e.src.index()] {
+                    dist[e.src.index()] = cand;
+                    rerun |= scratch.rank[e.src.index()] >= scratch.rank[e.dst.index()];
                 }
             }
         }
-        if !changed {
+        if !rerun {
             break;
         }
     }
-    dist[v.index()]
+    let d = dist[v.index()];
+    (d != i64::MAX).then_some(d)
 }
 
 /// The floor for a *forced* (IMS-style) placement of `v`: the
@@ -136,18 +251,21 @@ fn upper_bound_with(
 /// ignored — forcing past them is the point; violated successors get
 /// ejected and rescheduled.
 pub fn force_floor(ddg: &Ddg, ps: &PartialSchedule, frames: &TimeFrames, v: InstId) -> i64 {
-    force_floor_with(ddg, ps, frames, v, &mut Vec::new())
+    let mut scratch = WindowScratch::default();
+    scratch.prepare(ddg);
+    force_floor_with(ddg, ps, frames, v, &mut scratch)
 }
 
-/// [`force_floor`] with a caller-provided distance buffer.
+/// [`force_floor`] with caller-provided buffers. Requires
+/// [`WindowScratch::prepare`] for this DDG.
 pub fn force_floor_with(
     ddg: &Ddg,
     ps: &PartialSchedule,
     frames: &TimeFrames,
     v: InstId,
-    dist: &mut Vec<Option<i64>>,
+    scratch: &mut WindowScratch,
 ) -> i64 {
-    lower_bound_with(ddg, ps, v, dist).unwrap_or(frames.asap[v.index()])
+    lower_bound_with(ddg, ps, v, scratch).unwrap_or(frames.asap[v.index()])
 }
 
 /// Compute the scheduling window of `v` against the partial schedule.
@@ -161,6 +279,7 @@ pub fn force_floor_with(
 /// exactly once among `II` consecutive cycles.
 pub fn window_of(ddg: &Ddg, ps: &PartialSchedule, frames: &TimeFrames, v: InstId) -> Window {
     let mut scratch = WindowScratch::default();
+    scratch.prepare(ddg);
     let kind = window_into(ddg, ps, frames, v, &mut scratch);
     Window {
         cycles: scratch.cycles,
@@ -170,7 +289,8 @@ pub fn window_of(ddg: &Ddg, ps: &PartialSchedule, frames: &TimeFrames, v: InstId
 
 /// [`window_of`] into reusable buffers: the candidate cycles land in
 /// `scratch.cycles` (replacing its previous contents) and the derived
-/// [`WindowKind`] is returned.
+/// [`WindowKind`] is returned. Requires [`WindowScratch::prepare`] for
+/// this DDG.
 pub fn window_into(
     ddg: &Ddg,
     ps: &PartialSchedule,
@@ -179,8 +299,8 @@ pub fn window_into(
     scratch: &mut WindowScratch,
 ) -> WindowKind {
     let ii = ps.ii() as i64;
-    let early = lower_bound_with(ddg, ps, v, &mut scratch.dist);
-    let late = upper_bound_with(ddg, ps, v, &mut scratch.dist);
+    let early = lower_bound_with(ddg, ps, v, scratch);
+    let late = upper_bound_with(ddg, ps, v, scratch);
 
     scratch.cycles.clear();
     match (early, late) {
@@ -339,5 +459,94 @@ mod tests {
         let w = window_of(&g, &ps, &frames, n2);
         assert_eq!(w.kind, WindowKind::Both);
         assert_eq!(w.cycles, vec![4], "recurrence forces exactly cycle 4");
+    }
+
+    #[test]
+    fn topological_sweep_matches_naive_fixpoint() {
+        // Differential check of the ordered sweep against a reference
+        // repeat-until-stable relaxation, across partial placements of
+        // a loop whose back edges actually fire (a two-cycle recurrence
+        // with a chord). Bounds are fixpoints of order-independent
+        // max/min relaxations, so both must agree exactly.
+        let mut b = DdgBuilder::new("diff");
+        let n0 = b.inst_lat("n0", OpClass::Load, 3);
+        let n1 = b.inst_lat("n1", OpClass::FpMul, 4);
+        let n2 = b.inst_lat("n2", OpClass::IntAlu, 1);
+        let n3 = b.inst_lat("n3", OpClass::Store, 1);
+        b.reg_flow(n0, n1, 0);
+        b.reg_flow(n1, n2, 0);
+        b.reg_flow(n2, n0, 1); // recurrence
+        b.reg_flow(n2, n3, 0);
+        b.mem_flow(n3, n0, 1, 0.05); // loop-carried chord
+        b.reg_flow(n3, n1, 2); // second back edge
+        let g = b.build().unwrap();
+        let m = MachineModel::icpp2008();
+        let ii = 9u32;
+
+        // Reference: naive Bellman over all edges until stable.
+        let naive = |ps: &PartialSchedule, v: InstId, upper: bool| -> Option<i64> {
+            let iil = ii as i64;
+            let mut dist: Vec<Option<i64>> = g.inst_ids().map(|u| ps.time(u)).collect();
+            for _ in 0..=g.edges().len() {
+                let mut changed = false;
+                for e in g.edges() {
+                    if upper {
+                        if ps.is_placed(e.src) {
+                            continue;
+                        }
+                        if let Some(dd) = dist[e.dst.index()] {
+                            let cand = dd - e.delay + iil * e.distance as i64;
+                            if dist[e.src.index()].is_none_or(|d| cand < d) {
+                                dist[e.src.index()] = Some(cand);
+                                changed = true;
+                            }
+                        }
+                    } else {
+                        if ps.is_placed(e.dst) {
+                            continue;
+                        }
+                        if let Some(ds) = dist[e.src.index()] {
+                            let cand = ds + e.delay - iil * e.distance as i64;
+                            if dist[e.dst.index()].is_none_or(|d| cand > d) {
+                                dist[e.dst.index()] = Some(cand);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            dist[v.index()]
+        };
+
+        let mut scratch = WindowScratch::default();
+        scratch.prepare(&g);
+        let nodes = [n0, n1, n2, n3];
+        // Every subset of placements at representative slots.
+        for mask in 0u32..16 {
+            let mut ps = PartialSchedule::new(&g, ii, &m);
+            for (i, &n) in nodes.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    ps.place(&g, n, (i as i64) * 3 + 1);
+                }
+            }
+            for &v in &nodes {
+                if ps.is_placed(v) {
+                    continue;
+                }
+                assert_eq!(
+                    lower_bound_with(&g, &ps, v, &mut scratch),
+                    naive(&ps, v, false),
+                    "lower bound diverged (mask {mask:#06b}, node {v:?})"
+                );
+                assert_eq!(
+                    upper_bound_with(&g, &ps, v, &mut scratch),
+                    naive(&ps, v, true),
+                    "upper bound diverged (mask {mask:#06b}, node {v:?})"
+                );
+            }
+        }
     }
 }

@@ -94,6 +94,7 @@ mod error;
 mod json;
 pub mod merge;
 mod parse;
+pub mod schema;
 mod sink;
 pub mod stream;
 

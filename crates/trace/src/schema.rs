@@ -1,0 +1,159 @@
+//! Metric-name schema for the deterministic metrics slice.
+//!
+//! The counters and value histograms a sweep records are a *contract*:
+//! downstream consumers (the CI schema checks, trace diffing, the
+//! sharded `merge-metrics` comparisons) key on exact names, so a typo
+//! in a recording site — or a renamed counter that CI still asserts on
+//! — silently produces empty-looking metrics. This module pins the
+//! known names and prefixes in one place and lets tests validate a
+//! [`MetricsSnapshot`] against them.
+//!
+//! The registry covers *production* metrics only. Scratch names used
+//! by unit tests inside `tms-trace` itself are not listed — validation
+//! is for the instrumented subsystems (`tms.*`, `sim.*`, `verify.*`)
+//! plus the `demo.*` namespace the CLI examples use.
+
+use crate::sink::MetricsSnapshot;
+
+/// Exact counter names the schedulers, simulator, and verifier record.
+pub const KNOWN_COUNTERS: &[&str] = &[
+    "sim.cycles.commit",
+    "sim.cycles.exec",
+    "sim.cycles.wait",
+    "sim.prune.popped",
+    "sim.threads.committed",
+    "tms.accepted",
+    "tms.attempts",
+    "tms.degraded_to_sms",
+    "tms.fallback",
+    "tms.pruned.cost-bound",
+    "tms.pruned.p-max-dup",
+    "tms.rejected",
+    "tms.unschedulable",
+    "verify.checks",
+    "verify.degraded",
+    "verify.loops",
+    "verify.violations",
+];
+
+/// Counter-name prefixes whose suffix is data-dependent (diagnostic
+/// kinds, demo scratch names). `tms.reject.<kind>` covers both the
+/// post-search verification kinds (`tms.reject.sync-exceeded`, …) and
+/// the search-level outcomes (`tms.reject.no-schedule`,
+/// `tms.reject.lost-to-baseline`).
+pub const KNOWN_COUNTER_PREFIXES: &[&str] = &["tms.reject.", "demo."];
+
+/// Exact value-histogram names.
+pub const KNOWN_VALUES: &[&str] = &[
+    "sim.prune.log_len",
+    "tms.attempts_per_loop",
+    "tms.pruned_per_loop",
+];
+
+/// Value-name prefixes whose suffix is data-dependent.
+pub const KNOWN_VALUE_PREFIXES: &[&str] = &["demo."];
+
+/// Counters every TMS scheduling run is expected to *populate* (the
+/// recording sites insert the key even at zero, so absence means the
+/// site was deleted or renamed, not that nothing happened).
+pub const TMS_REQUIRED_COUNTERS: &[&str] = &[
+    "tms.attempts",
+    "tms.pruned.cost-bound",
+    "tms.pruned.p-max-dup",
+];
+
+/// Value histograms every TMS scheduling run records per loop.
+pub const TMS_REQUIRED_VALUES: &[&str] = &["tms.attempts_per_loop", "tms.pruned_per_loop"];
+
+fn known(name: &str, exact: &[&str], prefixes: &[&str]) -> bool {
+    exact.contains(&name) || prefixes.iter().any(|p| name.starts_with(p))
+}
+
+/// Whether `name` is a registered counter name.
+pub fn is_known_counter(name: &str) -> bool {
+    known(name, KNOWN_COUNTERS, KNOWN_COUNTER_PREFIXES)
+}
+
+/// Whether `name` is a registered value-histogram name.
+pub fn is_known_value(name: &str) -> bool {
+    known(name, KNOWN_VALUES, KNOWN_VALUE_PREFIXES)
+}
+
+/// Every metric name in `snapshot` that the registry does not know,
+/// prefixed with its section (`counter:` / `value:`). Empty means the
+/// snapshot conforms to the schema.
+pub fn unknown_metrics(snapshot: &MetricsSnapshot) -> Vec<String> {
+    let mut unknown = Vec::new();
+    for name in snapshot.counters.keys() {
+        if !is_known_counter(name) {
+            unknown.push(format!("counter:{name}"));
+        }
+    }
+    for name in snapshot.values.keys() {
+        if !is_known_value(name) {
+            unknown.push(format!("value:{name}"));
+        }
+    }
+    unknown
+}
+
+/// Every TMS-required metric *missing* from `snapshot`, prefixed with
+/// its section. Empty means all scheduler recording sites fired.
+pub fn missing_tms_metrics(snapshot: &MetricsSnapshot) -> Vec<String> {
+    let mut missing = Vec::new();
+    for name in TMS_REQUIRED_COUNTERS {
+        if !snapshot.counters.contains_key(*name) {
+            missing.push(format!("counter:{name}"));
+        }
+    }
+    for name in TMS_REQUIRED_VALUES {
+        if !snapshot.values.contains_key(*name) {
+            missing.push(format!("value:{name}"));
+        }
+    }
+    missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::Trace;
+
+    #[test]
+    fn registry_accepts_known_and_flags_unknown() {
+        assert!(is_known_counter("tms.pruned.cost-bound"));
+        assert!(is_known_counter("tms.reject.sync-exceeded"));
+        assert!(is_known_counter("tms.reject.lost-to-baseline"));
+        assert!(is_known_value("tms.pruned_per_loop"));
+        assert!(!is_known_counter("tms.prnued.cost-bound")); // typo
+        assert!(!is_known_value("tms.attempts")); // wrong section
+    }
+
+    #[test]
+    fn snapshot_validation_reports_sectioned_names() {
+        let trace = Trace::enabled();
+        trace.count("tms.attempts", 1);
+        trace.count("totally.unknown", 1);
+        trace.record("tms.attempts_per_loop", 1);
+        trace.record("also.unknown", 2);
+        let snap = trace.metrics();
+        let unknown = unknown_metrics(&snap);
+        assert_eq!(
+            unknown,
+            vec![
+                "counter:totally.unknown".to_string(),
+                "value:also.unknown".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn missing_tms_metrics_names_unfired_sites() {
+        let trace = Trace::enabled();
+        trace.count("tms.attempts", 1);
+        let missing = missing_tms_metrics(&trace.metrics());
+        assert!(missing.contains(&"counter:tms.pruned.cost-bound".to_string()));
+        assert!(missing.contains(&"value:tms.pruned_per_loop".to_string()));
+        assert!(!missing.contains(&"counter:tms.attempts".to_string()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Branch-and-bound ≡ exhaustive search.
+//!
+//! The pruned TMS search (`TmsConfig { prune: true, .. }`, the
+//! default) is contracted to return the **same resolution** as the
+//! exhaustive cost-ordered sweep: identical schedule, identical
+//! accepted `(II, C_delay, P_max)`, identical realised cost key,
+//! identical fallback decision. Only the accounting may differ — the
+//! pruned search dispatches fewer attempts and reports what it skipped
+//! in `TmsResult::pruned`. These properties are pinned over the kernel
+//! suite plus a seeded fuzzed population, at one and four workers.
+
+use tms_core::cost::CostModel;
+use tms_core::par::Parallelism;
+use tms_core::{schedule_tms, TmsConfig, TmsResult};
+use tms_ddg::{Ddg, InstId};
+use tms_machine::{ArchParams, MachineModel};
+use tms_verify::fuzz::fuzz_ddgs;
+use tms_workloads::kernels;
+
+fn population() -> Vec<Ddg> {
+    let mut pop = kernels::all_kernels();
+    pop.push(kernels::maybe_aliasing_update(1.0));
+    pop.extend(fuzz_ddgs(40, 0xB4B_2008));
+    pop
+}
+
+fn tms_at(ddg: &Ddg, prune: bool, jobs: Parallelism) -> Option<TmsResult> {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let cfg = TmsConfig {
+        prune,
+        parallelism: jobs,
+        ..TmsConfig::default()
+    };
+    schedule_tms(ddg, &machine, &model, &cfg).ok()
+}
+
+/// The *resolution* of a search — everything except the
+/// attempts/pruned accounting, which branch-and-bound is allowed (and
+/// expected) to shrink.
+fn resolution(ddg: &Ddg, r: &TmsResult) -> impl PartialEq + std::fmt::Debug {
+    let times: Vec<i64> = (0..ddg.num_insts())
+        .map(|i| r.schedule.time(InstId(i as u32)))
+        .collect();
+    (
+        (
+            r.ii,
+            r.c_delay_threshold,
+            r.p_max.to_bits(),
+            r.cost_key,
+            r.fell_back_to_sms,
+        ),
+        (r.mii, r.ldp, times),
+    )
+}
+
+#[test]
+fn pruned_search_resolves_identically_to_exhaustive() {
+    let mut pruned_somewhere = false;
+    for ddg in &population() {
+        let bnb = tms_at(ddg, true, Parallelism::Serial);
+        let exh = tms_at(ddg, false, Parallelism::Serial);
+        match (&bnb, &exh) {
+            (Some(b), Some(e)) => {
+                assert_eq!(
+                    resolution(ddg, b),
+                    resolution(ddg, e),
+                    "{}: pruning changed the resolution",
+                    ddg.name()
+                );
+                // Accounting invariants: the exhaustive sweep never
+                // prunes; branch-and-bound only ever *removes*
+                // dispatched attempts, and when nothing was prunable it
+                // must replay the exhaustive attempt sequence exactly.
+                assert_eq!(e.pruned, 0, "{}: exhaustive search pruned", ddg.name());
+                assert!(
+                    b.attempts <= e.attempts,
+                    "{}: pruning added attempts ({} > {})",
+                    ddg.name(),
+                    b.attempts,
+                    e.attempts
+                );
+                if b.pruned == 0 {
+                    assert_eq!(
+                        b.attempts,
+                        e.attempts,
+                        "{}: attempts diverged without any pruning",
+                        ddg.name()
+                    );
+                }
+                // Both searches walk the same candidate order, so up
+                // to the resolution point every index is either
+                // dispatched or pruned: the pruned search can be
+                // behind by at most what it skipped.
+                assert!(
+                    b.attempts + b.pruned >= e.attempts,
+                    "{}: attempts {} + pruned {} cannot cover exhaustive {}",
+                    ddg.name(),
+                    b.attempts,
+                    b.pruned,
+                    e.attempts
+                );
+                pruned_somewhere |= b.pruned > 0;
+            }
+            (None, None) => {}
+            _ => panic!(
+                "{}: schedulability differs between pruned and exhaustive",
+                ddg.name()
+            ),
+        }
+    }
+    assert!(
+        pruned_somewhere,
+        "branch-and-bound never fired on the whole population — the cuts are dead code"
+    );
+}
+
+#[test]
+fn pruned_search_is_identical_at_one_and_four_workers() {
+    for ddg in &population() {
+        let serial = tms_at(ddg, true, Parallelism::Serial);
+        let par = tms_at(ddg, true, Parallelism::Jobs(4));
+        match (&serial, &par) {
+            (Some(s), Some(p)) => {
+                assert_eq!(
+                    resolution(ddg, s),
+                    resolution(ddg, p),
+                    "{}: jobs=4 pruned search diverged",
+                    ddg.name()
+                );
+                // The pruning accounting itself is part of the
+                // determinism contract.
+                assert_eq!(s.attempts, p.attempts, "{}", ddg.name());
+                assert_eq!(s.pruned, p.pruned, "{}", ddg.name());
+                assert_eq!(s.lost_to_baseline, p.lost_to_baseline, "{}", ddg.name());
+                assert_eq!(s.budget_cut, p.budget_cut, "{}", ddg.name());
+            }
+            (None, None) => {}
+            _ => panic!(
+                "{}: schedulability differs between jobs=1 and jobs=4",
+                ddg.name()
+            ),
+        }
+    }
+}
+
+/// Degradation budgets compose with pruning: the budget caps
+/// *dispatched* attempts, so a pruned search under a tight budget gets
+/// further through the candidate space than the exhaustive one — but
+/// both report the cut deterministically at every worker count.
+#[test]
+fn budgets_compose_with_pruning_deterministically() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    for ddg in population().iter().take(16) {
+        for budget in [1usize, 4, 9] {
+            let mut results = Vec::new();
+            for jobs in [Parallelism::Serial, Parallelism::Jobs(4)] {
+                let cfg = TmsConfig {
+                    prune: true,
+                    attempt_budget: Some(budget),
+                    parallelism: jobs,
+                    ..TmsConfig::default()
+                };
+                let r = schedule_tms(ddg, &machine, &model, &cfg).ok();
+                results.push(r.map(|r| {
+                    (
+                        resolution(ddg, &r),
+                        r.attempts,
+                        r.pruned,
+                        r.budget_cut,
+                        r.degraded.is_some(),
+                    )
+                }));
+            }
+            assert_eq!(
+                results[0],
+                results[1],
+                "{}: budget={budget} diverged across worker counts",
+                ddg.name()
+            );
+            if let Some((_, attempts, _, _, _)) = &results[0] {
+                assert!(*attempts <= budget, "{}: budget overrun", ddg.name());
+            }
+        }
+    }
+}

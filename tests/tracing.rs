@@ -103,6 +103,20 @@ fn traced_sweep_matches_untraced_with_simulation_enabled() {
     // The simulator ran, so its counters must be populated.
     assert!(serial_trace.counter("sim.threads.committed") > 0);
     assert!(serial_trace.counter("sim.cycles.commit") > 0);
+    // Every metric a sweep records must be in the schema registry, and
+    // every scheduler recording site must have fired — `tms.pruned.*`
+    // included (the sites insert their keys even when nothing pruned).
+    let snap = serial_trace.metrics();
+    assert_eq!(
+        tms_trace::schema::unknown_metrics(&snap),
+        Vec::<String>::new(),
+        "sweep recorded metrics outside the schema registry"
+    );
+    assert_eq!(
+        tms_trace::schema::missing_tms_metrics(&snap),
+        Vec::<String>::new(),
+        "a scheduler recording site did not fire"
+    );
 }
 
 /// Both exporters emit well-formed JSON, and the Chrome export carries
