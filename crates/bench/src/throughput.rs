@@ -106,6 +106,34 @@ pub struct TraceOverhead {
     pub disabled_overhead: f64,
 }
 
+/// Aggregated wall-clock of one scheduler phase over the traced pass.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseStat {
+    /// Phase name (the `tms.phase.` timer suffix: `order`, `ldp`,
+    /// `sms_baseline`, `frames`, `place`, `verify`).
+    pub phase: String,
+    /// Times the phase timer fired.
+    pub calls: u64,
+    /// Total wall-clock across all calls (seconds).
+    pub total_s: f64,
+    /// Share of the summed per-phase time (0..1).
+    pub share: f64,
+}
+
+/// Where scheduling time goes: one dedicated traced pass over the
+/// specfp family (separate from the timing passes, which run
+/// un-instrumented), with every `tms.phase.*` timer aggregated. Shares
+/// answer "which phase do I optimise next" without a profiler.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseBreakdown {
+    /// Family the traced pass scheduled.
+    pub family: String,
+    /// Loops in the pass.
+    pub loops: usize,
+    /// Per-phase totals, in descending `total_s` order.
+    pub phases: Vec<PhaseStat>,
+}
+
 /// Chrome-exporter micro-benchmark: render a synthetic population of
 /// span + counter events to the `trace_event` JSON and report the
 /// sustained rate. This is the path `fix per-event allocations` claims
@@ -148,6 +176,8 @@ pub struct ThroughputReport {
     pub total: FamilyThroughput,
     /// The verification-sweep comparison.
     pub verify_sweep: SweepThroughput,
+    /// Per-phase scheduler time breakdown (dedicated traced pass).
+    pub phase_breakdown: PhaseBreakdown,
     /// Disabled-tracing cost comparison.
     pub trace_overhead: TraceOverhead,
     /// Chrome-exporter render micro-benchmark.
@@ -207,6 +237,41 @@ fn ratio(n: f64, d: f64) -> f64 {
         n / d
     } else {
         0.0
+    }
+}
+
+/// One serial traced pass over `ddgs`, aggregating every `tms.phase.*`
+/// timer. Runs apart from the timing passes so instrumentation cost
+/// never leaks into the throughput numbers.
+fn measure_phase_breakdown(family: &str, ddgs: &[Ddg], exp: &ExperimentConfig) -> PhaseBreakdown {
+    let machine = exp.machine();
+    let arch = exp.arch();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let tms_cfg = TmsConfig::default();
+    let trace = Trace::enabled();
+    for ddg in ddgs {
+        black_box(
+            schedule_tms_traced(ddg, &machine, &model, &tms_cfg, &trace)
+                .map(|r| (r.ii, r.cost_key))
+                .ok(),
+        );
+    }
+    let timers = trace.timers_with_prefix("tms.phase.");
+    let total_ns: u64 = timers.iter().map(|(_, h)| h.sum).sum();
+    let mut phases: Vec<PhaseStat> = timers
+        .into_iter()
+        .map(|(name, h)| PhaseStat {
+            phase: name.strip_prefix("tms.phase.").unwrap_or(&name).to_string(),
+            calls: h.count,
+            total_s: h.sum as f64 / 1e9,
+            share: ratio(h.sum as f64, total_ns as f64),
+        })
+        .collect();
+    phases.sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.phase.cmp(&b.phase)));
+    PhaseBreakdown {
+        family: family.to_string(),
+        loops: ddgs.len(),
+        phases,
     }
 }
 
@@ -354,6 +419,17 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
     .to_json();
     let sweep_parallel_s = t0.elapsed().as_secs_f64();
 
+    // Per-phase breakdown on the heaviest family (specfp — it
+    // dominates total scheduling time), traced apart from the timing
+    // passes above.
+    let phase_breakdown = {
+        let (name, ddgs) = fams
+            .iter()
+            .find(|(name, _)| name == "specfp")
+            .expect("specfp family always present");
+        measure_phase_breakdown(name, ddgs, &exp)
+    };
+
     // Disabled-tracing cost on the two hand-written families (stable
     // populations; large enough to time, small enough to repeat).
     let mut overhead_pop: Vec<Ddg> = kernels::all_kernels();
@@ -382,6 +458,7 @@ pub fn run(cfg: &ThroughputConfig) -> ThroughputReport {
             speedup: ratio(sweep_serial_s, sweep_parallel_s),
             reports_identical: serial_report == parallel_report,
         },
+        phase_breakdown,
         trace_overhead,
         render_bench,
     }
@@ -426,6 +503,25 @@ pub fn render(r: &ThroughputReport) -> String {
         r.verify_sweep.parallel_s,
         r.verify_sweep.speedup,
         r.verify_sweep.reports_identical,
+    ));
+    let phases = r
+        .phase_breakdown
+        .phases
+        .iter()
+        .map(|p| {
+            format!(
+                "{} {:.1}% ({:.3}s/{})",
+                p.phase,
+                p.share * 100.0,
+                p.total_s,
+                p.calls
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    out.push_str(&format!(
+        "phase breakdown ({}, {} loops): {}\n",
+        r.phase_breakdown.family, r.phase_breakdown.loops, phases,
     ));
     out.push_str(&format!(
         "trace overhead ({} loops, best of {}): baseline {:.3}s, \
@@ -489,6 +585,27 @@ mod tests {
             report.verify_sweep.reports_identical,
             "parallel sweep diverged from serial"
         );
+        assert_eq!(report.phase_breakdown.family, "specfp");
+        assert!(report.phase_breakdown.loops > 0);
+        assert!(
+            !report.phase_breakdown.phases.is_empty(),
+            "no tms.phase.* timers fired in the traced pass"
+        );
+        let share_sum: f64 = report.phase_breakdown.phases.iter().map(|p| p.share).sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "phase shares must partition the total ({share_sum})"
+        );
+        for name in ["order", "ldp", "place", "verify"] {
+            assert!(
+                report
+                    .phase_breakdown
+                    .phases
+                    .iter()
+                    .any(|p| p.phase == name),
+                "phase {name} missing from the breakdown"
+            );
+        }
         assert!(report.trace_overhead.loops > 0);
         assert!(report.trace_overhead.baseline_s > 0.0);
         assert!(report.trace_overhead.disabled_overhead > 0.0);
@@ -497,8 +614,10 @@ mod tests {
         assert!(report.render_bench.events_per_sec > 0.0);
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"verify_sweep\""));
+        assert!(json.contains("\"phase_breakdown\""));
         assert!(json.contains("\"trace_overhead\""));
         assert!(json.contains("\"render_bench\""));
+        assert!(render(&report).contains("phase breakdown"));
         assert!(render(&report).contains("trace overhead"));
         assert!(render(&report).contains("chrome render"));
     }

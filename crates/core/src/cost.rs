@@ -247,6 +247,20 @@ pub struct CandidateStream {
     heap: std::collections::BinaryHeap<std::cmp::Reverse<(CostKey, u32, u32, u32)>>,
     /// Memoised sorted prefix, in emission order.
     emitted: Vec<(u32, u32, CostKey)>,
+    /// Adaptive coarsening, when latched (see [`CandidateStream::coarsen`]).
+    coarsen: Option<Coarsen>,
+    /// Ladder rungs dropped by coarsening so far.
+    skipped: u64,
+}
+
+/// Latched coarsening state: rows step their ladder by `factor` while
+/// the popped key is strictly below `refine_above`; at or above it
+/// (the refinement band around the incumbent, where the win/lose
+/// boundary lies) the full ladder resolution is restored.
+#[derive(Debug, Clone, Copy)]
+struct Coarsen {
+    factor: u32,
+    refine_above: i64,
 }
 
 impl CandidateStream {
@@ -262,35 +276,84 @@ impl CandidateStream {
             next_row: mii + 1,
             heap,
             emitted: Vec::new(),
+            coarsen: None,
+            skipped: 0,
         }
     }
 
-    /// Total number of candidates the stream will emit.
+    /// Total number of candidates the stream will emit — exact until
+    /// [`CandidateStream::coarsen`] is called, an upper bound after
+    /// (skipped rungs shrink the real count; callers iterating to
+    /// `total()` must then use [`CandidateStream::try_get`]).
     pub fn total(&self) -> usize {
         ((self.ii_max - self.mii) as usize + 1) * self.ladder.len()
     }
 
-    /// The `idx`-th candidate in sorted order (0-based). Advances and
-    /// memoises the stream as needed; `idx` must be `< total()`.
-    pub fn get(&mut self, idx: usize) -> &(u32, u32, CostKey) {
-        while self.emitted.len() <= idx {
-            self.advance();
+    /// Coarsen the `C_delay` grid for the *remaining* stream: every row
+    /// steps its ladder by `factor` rungs at a time while the candidate
+    /// key sits more than `margin` below `incumbent`, reverting to full
+    /// resolution inside that refinement band (and the ladder cap stays
+    /// reachable — an over-stepping row clamps to its last rung). The
+    /// already-emitted prefix is immutable, so indices the search has
+    /// dispatched never change meaning. Sorted emission order is
+    /// preserved: a row's key is monotone along its ladder, so stepping
+    /// further ahead keeps the frontier-heap invariant intact.
+    pub fn coarsen(&mut self, factor: u32, incumbent: CostKey, margin: i64) {
+        if factor > 1 {
+            self.coarsen = Some(Coarsen {
+                factor,
+                refine_above: incumbent.0.saturating_sub(margin),
+            });
         }
-        &self.emitted[idx]
     }
 
-    fn advance(&mut self) {
-        let std::cmp::Reverse((key, ii, cd, pos)) = self
-            .heap
-            .pop()
-            .expect("CandidateStream advanced past total()");
-        // Successor along this row's ladder.
-        if let Some(&next_cd) = self.ladder.get(pos as usize + 1) {
+    /// Ladder rungs dropped by coarsening so far.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The `idx`-th candidate in sorted order (0-based). Advances and
+    /// memoises the stream as needed; `idx` must be `< total()` and the
+    /// stream must not have been coarsened (use
+    /// [`CandidateStream::try_get`] then).
+    pub fn get(&mut self, idx: usize) -> &(u32, u32, CostKey) {
+        self.try_get(idx)
+            .expect("CandidateStream advanced past total()")
+    }
+
+    /// The `idx`-th candidate in sorted order, or `None` once the
+    /// (possibly coarsened) stream has fewer than `idx + 1` candidates.
+    pub fn try_get(&mut self, idx: usize) -> Option<&(u32, u32, CostKey)> {
+        while self.emitted.len() <= idx {
+            if !self.advance() {
+                return None;
+            }
+        }
+        Some(&self.emitted[idx])
+    }
+
+    fn advance(&mut self) -> bool {
+        let Some(std::cmp::Reverse((key, ii, cd, pos))) = self.heap.pop() else {
+            return false;
+        };
+        // Successor along this row's ladder: the next rung at full
+        // resolution, `factor` rungs ahead when coarsened outside the
+        // refinement band (clamped so the cap rung is never skipped).
+        let step = match self.coarsen {
+            Some(c) if key.0 < c.refine_above => c.factor as usize,
+            _ => 1,
+        };
+        let mut next = pos as usize + step;
+        if next >= self.ladder.len() && (pos as usize) + 1 < self.ladder.len() {
+            next = self.ladder.len() - 1;
+        }
+        if let Some(&next_cd) = self.ladder.get(next) {
+            self.skipped += (next - pos as usize - 1) as u64;
             self.heap.push(std::cmp::Reverse((
                 self.model.cost_key(ii, next_cd),
                 ii,
                 next_cd,
-                pos + 1,
+                next as u32,
             )));
         }
         // Popping the newest row's ladder head opens the next row: its
@@ -308,6 +371,7 @@ impl CandidateStream {
             self.next_row += 1;
         }
         self.emitted.push((ii, cd, key));
+        true
     }
 }
 

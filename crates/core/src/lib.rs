@@ -63,6 +63,7 @@ pub mod sms;
 pub mod tms;
 pub mod unrolling;
 pub mod viz;
+pub mod warm;
 pub mod window;
 
 pub use codegen::PipelinedLoop;
@@ -76,3 +77,4 @@ pub use schedule::{PartialSchedule, Schedule};
 pub use sms::{schedule_sms, schedule_sms_with, SchedError, SchedScratch, SmsResult};
 pub use tms::{schedule_tms, schedule_tms_traced, CandidateReject, TmsConfig, TmsResult};
 pub use unrolling::{schedule_tms_unrolled, UnrolledTms};
+pub use warm::AttemptLog;

@@ -101,8 +101,12 @@ impl PartialSchedule {
     }
 
     /// Place `n` (an op of class taken from `ddg`) at `cycle`.
+    ///
+    /// Placing an already-placed node is an engine bug; like the MRT's
+    /// occupancy check, it is asserted in debug builds only — this is
+    /// the innermost call of every scheduling attempt.
     pub fn place(&mut self, ddg: &Ddg, n: InstId, cycle: i64) {
-        assert!(self.times[n.index()].is_none(), "{n} placed twice");
+        debug_assert!(self.times[n.index()].is_none(), "{n} placed twice");
         self.mrt.place(ddg.inst(n).op, cycle);
         self.times[n.index()] = Some(cycle);
         self.placed += 1;
@@ -149,12 +153,10 @@ impl PartialSchedule {
     /// (and its buffers) stays usable for the next attempt.
     pub fn snapshot(&self, ddg: &Ddg) -> Schedule {
         assert_eq!(self.placed, ddg.num_insts(), "incomplete schedule");
-        let min = self
-            .times
-            .iter()
-            .map(|t| t.expect("all placed"))
-            .min()
-            .expect("non-empty");
+        // The running minimum is maintained incrementally, so the
+        // normalisation origin needs no rescan.
+        let min = self.min_time.expect("non-empty");
+        debug_assert_eq!(self.times.iter().flatten().min().copied(), Some(min));
         let times: Vec<i64> = self.times.iter().map(|t| t.unwrap() - min).collect();
         Schedule::from_times(ddg, self.ii, times)
     }

@@ -11,6 +11,7 @@
 
 use crate::order::sms_order;
 use crate::schedule::{PartialSchedule, Schedule};
+use crate::warm::{AttemptLog, FailKind, Probe, Step, StepAction};
 use crate::window::{force_floor_with, window_into, WindowScratch};
 use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
 use tms_ddg::{Ddg, InstId};
@@ -33,6 +34,7 @@ pub struct SchedScratch {
     earliest: Vec<i64>,
     win: WindowScratch,
     occupants: Vec<InstId>,
+    ejected: Vec<InstId>,
 }
 
 impl SchedScratch {
@@ -47,6 +49,30 @@ pub trait SlotPolicy {
     /// May `v` be placed at `cycle` given the current partial schedule?
     /// Resource feasibility has already been checked.
     fn accept(&self, ddg: &Ddg, ps: &PartialSchedule, v: InstId, cycle: i64) -> bool;
+
+    /// [`accept`](SlotPolicy::accept) that also reports the
+    /// knob-independent facts behind the verdict, for warm-start replay
+    /// (see [`crate::warm`]). The default records [`Probe::Opaque`] —
+    /// correct for any policy, but opaque probes never revalidate, so
+    /// such policies simply get no replay reuse.
+    fn accept_probed(
+        &self,
+        ddg: &Ddg,
+        ps: &PartialSchedule,
+        v: InstId,
+        cycle: i64,
+        probe: &mut Probe,
+    ) -> bool {
+        *probe = Probe::Opaque;
+        self.accept(ddg, ps, v, cycle)
+    }
+
+    /// Would a probe recorded by an earlier attempt yield the same
+    /// verdict under this policy's current knobs? `false` is always
+    /// safe — the engine falls back to a cold evaluation of the step.
+    fn probe_holds(&self, _probe: &Probe) -> bool {
+        false
+    }
 }
 
 /// SMS's policy: any resource-feasible slot in the window is fine.
@@ -177,6 +203,58 @@ pub fn try_schedule_prepared(
     scratch: &mut SchedScratch,
 ) -> Option<Schedule> {
     debug_assert_eq!(frames.ii, ii, "frames computed for a different II");
+    run_prepared(ddg, machine, ii, order, pos, policy, frames, scratch, None)
+}
+
+/// [`try_schedule_prepared`] with warm-start record/replay through an
+/// [`AttemptLog`] (see [`crate::warm`]). The log carries the decision
+/// trace of the previous attempt at this `ii`; steps whose recorded
+/// policy verdicts still hold under `policy`'s current knobs are
+/// applied without recomputing windows or consulting the policy, and
+/// the remainder runs cold, refreshing the log. Results are
+/// byte-identical to [`try_schedule_prepared`] for *any* log contents —
+/// the log only changes how much work is recomputed. Pass a log
+/// recorded for a different loop, order, or II and the first probe
+/// mismatch simply falls back to the cold path (callers key their
+/// caches accordingly; see the TMS search).
+#[allow(clippy::too_many_arguments)]
+pub fn try_schedule_logged(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    ii: u32,
+    order: &[InstId],
+    pos: &[usize],
+    policy: &dyn SlotPolicy,
+    frames: &TimeFrames,
+    scratch: &mut SchedScratch,
+    log: &mut AttemptLog,
+) -> Option<Schedule> {
+    run_prepared(
+        ddg,
+        machine,
+        ii,
+        order,
+        pos,
+        policy,
+        frames,
+        scratch,
+        Some(log),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_prepared(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    ii: u32,
+    order: &[InstId],
+    pos: &[usize],
+    policy: &dyn SlotPolicy,
+    frames: &TimeFrames,
+    scratch: &mut SchedScratch,
+    log: Option<&mut AttemptLog>,
+) -> Option<Schedule> {
+    debug_assert_eq!(frames.ii, ii, "frames computed for a different II");
     let mut ps = match scratch.ps.take() {
         Some(mut ps) => {
             ps.reset_for(ddg, ii, machine);
@@ -184,7 +262,7 @@ pub fn try_schedule_prepared(
         }
         None => PartialSchedule::new(ddg, ii, machine),
     };
-    let complete = schedule_all(ddg, &mut ps, ii, order, pos, policy, frames, scratch);
+    let complete = schedule_all(ddg, &mut ps, ii, order, pos, policy, frames, scratch, log);
     let out = complete.then(|| ps.snapshot(ddg));
     scratch.ps = Some(ps);
     out
@@ -193,6 +271,11 @@ pub fn try_schedule_prepared(
 /// The engine proper: place every node or report failure. Split from
 /// [`try_schedule_with`] so the partial schedule can be returned to the
 /// scratch on every exit path.
+///
+/// With `log = Some(..)` the engine first replays the log's validated
+/// prefix (see [`crate::warm`]), then runs the cold loop from the
+/// resulting state, recording every executed step. With `None` it is
+/// the plain cold engine. Both modes take byte-identical decisions.
 #[allow(clippy::too_many_arguments)]
 fn schedule_all(
     ddg: &Ddg,
@@ -203,15 +286,70 @@ fn schedule_all(
     policy: &dyn SlotPolicy,
     frames: &TimeFrames,
     scratch: &mut SchedScratch,
+    mut log: Option<&mut AttemptLog>,
 ) -> bool {
     let mut eject_budget = (ddg.num_insts() * 10).max(100);
     // Topological sweep orders for the window bounds: DDG-static,
-    // computed once per attempt and reused by every probe below.
+    // memoized on the graph's uid and reused by every probe below.
     scratch.win.prepare(ddg);
     // Monotone forced-slot floor per node (IMS forward progress).
     let earliest = &mut scratch.earliest;
     earliest.clear();
     earliest.resize(ddg.num_insts(), i64::MIN);
+
+    // --- Warm replay: apply the log's prefix while its recorded
+    // verdicts still hold under the current policy knobs. A validated
+    // step is exactly the step the cold loop would take from this
+    // state, so applying it directly — no window computation, no
+    // policy calls — preserves byte-identical behaviour. The first
+    // diverging step truncates the log; the cold loop below resumes
+    // from the intermediate state (its cursor rescan skips whatever is
+    // already placed) and appends fresh steps.
+    if let Some(log) = log.as_deref_mut() {
+        log.replayed = 0;
+        log.executed = 0;
+        let mut upto = 0usize;
+        'replay: for step in &log.steps {
+            if !step.probes.iter().all(|p| policy.probe_holds(p)) {
+                break 'replay;
+            }
+            match &step.action {
+                StepAction::Place { v, cycle } => ps.place(ddg, *v, *cycle),
+                StepAction::Force {
+                    v,
+                    cycle,
+                    eject_before,
+                    eject_after,
+                } => {
+                    debug_assert!(eject_budget > 0, "replay exceeded the cold budget");
+                    eject_budget -= 1;
+                    scratch.earliest[v.index()] = cycle + 1;
+                    for &n in eject_before {
+                        ps.remove(ddg, n);
+                    }
+                    ps.place(ddg, *v, *cycle);
+                    for &n in eject_after {
+                        ps.remove(ddg, n);
+                    }
+                }
+                StepAction::Fail(_) => {
+                    // The whole attempt still fails at this step; the
+                    // partial state is discarded by the caller, so the
+                    // recorded post-probe mutations need not be applied.
+                    log.replayed = (upto + 1) as u64;
+                    return false;
+                }
+            }
+            upto += 1;
+        }
+        log.replayed = upto as u64;
+        if upto < log.steps.len() {
+            log.steps.truncate(upto);
+            log.complete = false;
+        }
+    }
+    let recording = log.is_some();
+
     // Next-unplaced cursor: nodes before it are placed, so the common
     // (ejection-free) path walks `order` once instead of rescanning it
     // per placement. Ejections unplace arbitrary nodes — rewind.
@@ -220,19 +358,40 @@ fn schedule_all(
         cursor += off;
         let v = order[cursor];
         window_into(ddg, ps, frames, v, &mut scratch.win);
-        let slot = scratch
-            .win
-            .cycles
-            .iter()
-            .copied()
-            .find(|&c| ps.fits(ddg, v, c) && policy.accept(ddg, ps, v, c));
+        let mut probes: Vec<Probe> = Vec::new();
+        let mut probe = Probe::Opaque;
+        let mut slot = None;
+        for &c in scratch.win.cycles.iter() {
+            if !ps.fits(ddg, v, c) {
+                continue;
+            }
+            let ok = if recording {
+                let ok = policy.accept_probed(ddg, ps, v, c, &mut probe);
+                probes.push(probe);
+                ok
+            } else {
+                policy.accept(ddg, ps, v, c)
+            };
+            if ok {
+                slot = Some(c);
+                break;
+            }
+        }
         match slot {
             Some(c) => {
                 ps.place(ddg, v, c);
                 cursor += 1;
+                if let Some(log) = log.as_deref_mut() {
+                    log.executed += 1;
+                    log.steps.push(Step {
+                        probes,
+                        action: StepAction::Place { v, cycle: c },
+                    });
+                }
             }
             None => {
                 if eject_budget == 0 {
+                    record_fail(log, probes, FailKind::EjectBudget);
                     return false;
                 }
                 eject_budget -= 1;
@@ -252,28 +411,95 @@ fn schedule_all(
                     None => force_floor_with(ddg, ps, frames, v, &mut scratch.win),
                 };
                 let floor = lb.max(scratch.earliest[v.index()]);
-                let Some(c) = (floor..floor + ii as i64).find(|&x| policy.accept(ddg, ps, v, x))
-                else {
+                let mut forced = None;
+                for x in floor..floor + ii as i64 {
+                    let ok = if recording {
+                        let ok = policy.accept_probed(ddg, ps, v, x, &mut probe);
+                        probes.push(probe);
+                        ok
+                    } else {
+                        policy.accept(ddg, ps, v, x)
+                    };
+                    if ok {
+                        forced = Some(x);
+                        break;
+                    }
+                }
+                let Some(c) = forced else {
+                    record_fail(log, probes, FailKind::NoForcedSlot);
                     return false;
                 };
                 scratch.earliest[v.index()] = c + 1;
-                eject_row_conflicts(ddg, ps, v, c, pos, &mut scratch.occupants);
+                let mut eject_before = std::mem::take(&mut scratch.ejected);
+                eject_before.clear();
+                eject_row_conflicts(
+                    ddg,
+                    ps,
+                    v,
+                    c,
+                    pos,
+                    &mut scratch.occupants,
+                    &mut eject_before,
+                );
                 if !ps.fits(ddg, v, c) {
+                    scratch.ejected = eject_before;
+                    record_fail(log, probes, FailKind::ForcedUnfit);
                     return false;
                 }
                 ps.place(ddg, v, c);
-                eject_violated_neighbours(ddg, ps, v, ii);
+                if let Some(log) = log.as_deref_mut() {
+                    let mut eject_after = Vec::new();
+                    eject_violated_neighbours(ddg, ps, v, ii, &mut eject_after);
+                    log.executed += 1;
+                    log.steps.push(Step {
+                        probes,
+                        action: StepAction::Force {
+                            v,
+                            cycle: c,
+                            eject_before,
+                            eject_after,
+                        },
+                    });
+                } else {
+                    // Reuse the scratch buffer for the second eviction
+                    // list too — nothing reads it when not recording.
+                    eject_before.clear();
+                    eject_violated_neighbours(ddg, ps, v, ii, &mut eject_before);
+                    scratch.ejected = eject_before;
+                }
                 cursor = 0;
             }
         }
     }
+    if let Some(log) = log {
+        log.complete = true;
+    }
     true
+}
+
+/// Terminal failure step of a recorded attempt.
+fn record_fail(log: Option<&mut AttemptLog>, probes: Vec<Probe>, kind: FailKind) {
+    if let Some(log) = log {
+        log.executed += 1;
+        log.steps.push(Step {
+            probes,
+            action: StepAction::Fail(kind),
+        });
+        log.complete = false;
+    }
 }
 
 /// After a forced placement of `v`, unschedule every placed neighbour
 /// whose dependence with `v` the new slot violates; they will be
-/// rescheduled on a later pass.
-fn eject_violated_neighbours(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, ii: u32) {
+/// rescheduled on a later pass. Victims are appended to `removed` (in
+/// eviction order) so warm-start recording can replay them verbatim.
+fn eject_violated_neighbours(
+    ddg: &Ddg,
+    ps: &mut PartialSchedule,
+    v: InstId,
+    ii: u32,
+    removed: &mut Vec<InstId>,
+) {
     let iil = ii as i64;
     loop {
         let victim = ddg.edges().iter().find_map(|e| {
@@ -290,7 +516,10 @@ fn eject_violated_neighbours(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, ii:
             }
         });
         match victim {
-            Some(n) if n != v => ps.remove(ddg, n),
+            Some(n) if n != v => {
+                ps.remove(ddg, n);
+                removed.push(n);
+            }
             // A violated self-edge means the II itself is too small;
             // leave it for the legality check to reject.
             _ => break,
@@ -300,7 +529,9 @@ fn eject_violated_neighbours(ddg: &Ddg, ps: &mut PartialSchedule, v: InstId, ii:
 
 /// Unschedule the lowest-priority occupants of `cycle`'s modulo row
 /// until `v` fits there: first same-resource-class ops, then (if the
-/// issue width still blocks) any op.
+/// issue width still blocks) any op. Victims are appended to `removed`
+/// (in eviction order) so warm-start recording can replay them
+/// verbatim.
 fn eject_row_conflicts(
     ddg: &Ddg,
     ps: &mut PartialSchedule,
@@ -308,6 +539,7 @@ fn eject_row_conflicts(
     cycle: i64,
     pos: &[usize],
     occupants: &mut Vec<InstId>,
+    removed: &mut Vec<InstId>,
 ) {
     use tms_machine::ResourceClass;
     let class = ResourceClass::for_op(ddg.inst(v).op);
@@ -323,7 +555,10 @@ fn eject_row_conflicts(
             .max_by_key(|&n| pos[n.index()])
             .or_else(|| occupants.iter().copied().max_by_key(|&n| pos[n.index()]));
         match victim {
-            Some(n) => ps.remove(ddg, n),
+            Some(n) => {
+                ps.remove(ddg, n);
+                removed.push(n);
+            }
             None => return, // row empty yet still unfit: impossible
         }
     }

@@ -18,9 +18,10 @@ use crate::order::sms_order;
 use crate::par::{par_map_with, Parallelism};
 use crate::schedule::{PartialSchedule, Schedule};
 use crate::sms::{
-    ii_search_ceiling_from, order_priorities, schedule_sms_with, try_schedule_prepared, SchedError,
-    SchedScratch, SlotPolicy,
+    ii_search_ceiling_from, order_priorities, schedule_sms_with, try_schedule_logged,
+    try_schedule_prepared, SchedError, SchedScratch, SlotPolicy,
 };
+use crate::warm::{AttemptLog, Probe};
 use std::collections::HashMap;
 use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
 use tms_ddg::{Ddg, InstId};
@@ -105,6 +106,29 @@ pub struct TmsConfig {
     /// [`Parallelism::Serial`]: callers that already parallelise at the
     /// loop level (sweeps, benches) keep the inner search serial.
     pub parallelism: Parallelism,
+    /// Warm-start attempts across the candidate stream (default on).
+    /// The serial search keeps one [`AttemptLog`] per II and replays
+    /// the recorded decision prefix of the previous attempt at that II
+    /// under the new `(C_delay, P_max)` knobs, re-running the engine
+    /// only from the first step whose policy verdict changed. Replay is
+    /// equivalence-preserving — schedules and accounting are
+    /// byte-identical to the cold path (`tests/bnb_equivalence.rs` pins
+    /// this) — so the flag exists for A/B measurement, not correctness.
+    /// The wavefront search always runs cold: concurrent attempts at
+    /// one II would race on the log, and warm≡cold makes the results
+    /// identical anyway.
+    pub warm_start: bool,
+    /// Counter-driven adaptive candidate density (default **off**).
+    /// When the rejection diagnostics of dispatched attempts are
+    /// dominated by sync-delay infeasibility, the search coarsens the
+    /// `C_delay` ladder for the rest of the stream — except within a
+    /// refinement band near the SMS incumbent's cost key, where the
+    /// full grid is kept. Changes which candidates are visited, so the
+    /// resolved schedule may differ from the exhaustive search (always
+    /// to a candidate the exhaustive grid also contains); excluded from
+    /// the serial≡parallel identity guarantee and off in every default
+    /// path.
+    pub adaptive: bool,
 }
 
 impl Default for TmsConfig {
@@ -121,6 +145,8 @@ impl Default for TmsConfig {
             allow_sms_fallback: true,
             max_extra_stages: 2,
             parallelism: Parallelism::Serial,
+            warm_start: true,
+            adaptive: false,
         }
     }
 }
@@ -240,10 +266,14 @@ impl<'a> TmsPolicy<'a> {
             ps.time(n)
         }
     }
-}
 
-impl SlotPolicy for TmsPolicy<'_> {
-    fn accept(&self, ddg: &Ddg, ps: &PartialSchedule, v: InstId, c: i64) -> bool {
+    /// Evaluate conditions C1/C2 for placing `v` at `c`, returning the
+    /// verdict together with the knob-independent facts behind it (the
+    /// sync delays and misspeculation product are pure functions of the
+    /// placement — `c_delay`/`p_max` enter only as comparison
+    /// thresholds), which is what lets warm-start replay revalidate the
+    /// verdict under different knobs without re-deriving the facts.
+    fn probe(&self, ddg: &Ddg, ps: &PartialSchedule, v: InstId, c: i64) -> Probe {
         let ii = ps.ii() as i64;
         // Rows and stages are normalisation-dependent (the final
         // schedule shifts its minimum time to 0); anchoring the
@@ -261,6 +291,7 @@ impl SlotPolicy for TmsPolicy<'_> {
         // replace a scan of the whole edge set (self-edges appear in
         // both lists; take them from the successor side only).
         let mut v_adds_mem_dep = false;
+        let mut sync_max = i64::MIN;
         let incident = ddg
             .succ_edges(v)
             .chain(ddg.pred_edges(v).filter(|(_, e)| e.src != e.dst));
@@ -278,8 +309,9 @@ impl SlotPolicy for TmsPolicy<'_> {
             if e.is_register_flow() {
                 let s = sync_delay(row(ts), row(td), ddg.inst(e.src).latency, self.costs);
                 if s > self.c_delay as i64 {
-                    return false;
+                    return Probe::C1Reject { sync: s };
                 }
+                sync_max = sync_max.max(s);
             } else if e.is_memory_flow() {
                 v_adds_mem_dep = true;
             }
@@ -288,7 +320,10 @@ impl SlotPolicy for TmsPolicy<'_> {
         // --- C2: only checked when v introduces a new speculated
         // dependence (M_v ≠ ∅ in Figure 3).
         if !v_adds_mem_dep {
-            return true;
+            return Probe::Accept {
+                sync_max,
+                misspec: None,
+            };
         }
 
         // R_all: all inter-iteration register flow dependences among
@@ -337,7 +372,56 @@ impl SlotPolicy for TmsPolicy<'_> {
                 probs.push(e.prob);
             }
         }
-        misspec_probability(probs) <= self.p_max
+        let misspec = misspec_probability(probs);
+        if misspec <= self.p_max {
+            Probe::Accept {
+                sync_max,
+                misspec: Some(misspec),
+            }
+        } else {
+            Probe::C2Reject { sync_max, misspec }
+        }
+    }
+}
+
+impl SlotPolicy for TmsPolicy<'_> {
+    fn accept(&self, ddg: &Ddg, ps: &PartialSchedule, v: InstId, c: i64) -> bool {
+        self.probe(ddg, ps, v, c).accepted()
+    }
+
+    fn accept_probed(
+        &self,
+        ddg: &Ddg,
+        ps: &PartialSchedule,
+        v: InstId,
+        c: i64,
+        probe: &mut Probe,
+    ) -> bool {
+        *probe = self.probe(ddg, ps, v, c);
+        probe.accepted()
+    }
+
+    /// Revalidation rules per [`Probe`] variant. Each rule asks: does
+    /// the cold engine, evaluated at the identical partial-schedule
+    /// state, reach the *same verdict* under the current knobs? (Not
+    /// necessarily for the same reason — a slot recorded as a C2
+    /// rejection may now reject via C1; the verdict, and therefore the
+    /// engine's next action, is unchanged.)
+    fn probe_holds(&self, probe: &Probe) -> bool {
+        let cd = self.c_delay as i64;
+        match *probe {
+            Probe::Opaque => false,
+            // Some new register dependence still exceeds the threshold.
+            Probe::C1Reject { sync } => sync > cd,
+            // Either the register sync or the misspeculation product
+            // still rejects.
+            Probe::C2Reject { sync_max, misspec } => sync_max > cd || misspec > self.p_max,
+            // Both conditions still pass (`misspec == None` means C2
+            // was vacuous — a placement fact, stable across knobs).
+            Probe::Accept { sync_max, misspec } => {
+                sync_max <= cd && misspec.is_none_or(|q| q <= self.p_max)
+            }
+        }
     }
 }
 
@@ -464,7 +548,8 @@ pub fn schedule_tms_traced(
                        key: CostKey,
                        p_max: f64,
                        frames: Option<&TimeFrames>,
-                       scratch: &mut SchedScratch|
+                       scratch: &mut SchedScratch,
+                       log: Option<&mut AttemptLog>|
      -> AttemptOutcome {
         let mut span = trace.span("tms", "attempt");
         span.arg("loop", ddg.name());
@@ -481,8 +566,14 @@ pub fn schedule_tms_traced(
             return AttemptOutcome::NoSchedule;
         }
         let policy = TmsPolicy::new(&model.costs, c_delay, p_max);
-        let Some(schedule) = trace.time("tms.phase.place", || {
-            try_schedule_prepared(ddg, machine, ii, order, &pos, &policy, frames, scratch)
+        let Some(schedule) = trace.time("tms.phase.place", || match log {
+            // Warm path (serial search only): replay the previous
+            // attempt's validated decision prefix, run cold from the
+            // first divergence. Byte-identical to the cold call below.
+            Some(log) => {
+                try_schedule_logged(ddg, machine, ii, order, &pos, &policy, frames, scratch, log)
+            }
+            None => try_schedule_prepared(ddg, machine, ii, order, &pos, &policy, frames, scratch),
         }) else {
             return AttemptOutcome::NoSchedule;
         };
@@ -583,29 +674,43 @@ pub fn schedule_tms_traced(
     // Classify one candidate-major index without dispatching it.
     // Returns which prune (if any) removes it; classification order is
     // fixed (P_max dedup before cost bound) so the per-kind counters
-    // are deterministic.
+    // are deterministic. `None` means the stream ran out of candidates
+    // before `total_indices` — possible only after adaptive coarsening
+    // shrank the grid (`total()` is then an upper bound).
     let mut pruned_cost = 0usize;
     let mut pruned_pmax = 0usize;
-    let classify =
-        |stream: &mut CandidateStream, idx: usize| -> (u32, u32, CostKey, f64, Option<PruneKind>) {
-            let p_idx = idx % p_count;
-            let &(ii, c_delay, key) = stream.get(idx / p_count);
-            let p_max = config.p_max_values[p_idx];
-            let prune = if p_max_dup && p_idx != 0 {
-                Some(PruneKind::PMaxDup)
-            } else if cost_bound.is_some_and(|b| model.floor_key(ii) > b) {
-                Some(PruneKind::CostBound)
-            } else {
-                None
-            };
-            (ii, c_delay, key, p_max, prune)
+    let classify = |stream: &mut CandidateStream,
+                    idx: usize|
+     -> Option<(u32, u32, CostKey, f64, Option<PruneKind>)> {
+        let p_idx = idx % p_count;
+        let &(ii, c_delay, key) = stream.try_get(idx / p_count)?;
+        let p_max = config.p_max_values[p_idx];
+        let prune = if p_max_dup && p_idx != 0 {
+            Some(PruneKind::PMaxDup)
+        } else if cost_bound.is_some_and(|b| model.floor_key(ii) > b) {
+            Some(PruneKind::CostBound)
+        } else {
+            None
         };
+        Some((ii, c_delay, key, p_max, prune))
+    };
 
     // Scheduling windows depend only on (DDG, II), not on the C_delay /
     // P_max of the attempt, so the ASAP/ALAP frames are memoised per II
     // across the whole search — including across adjacent II rows the
     // cost shells revisit out of numeric order.
     let mut frames_cache: HashMap<u32, Option<TimeFrames>> = HashMap::new();
+    // Per-II decision logs for the warm-started serial search, plus the
+    // reuse accounting recorded as `tms.reuse.*` after the search. The
+    // wavefront path never touches these (it runs every attempt cold).
+    let mut warm_logs: HashMap<u32, AttemptLog> = HashMap::new();
+    let mut warm_attempts = 0u64;
+    let mut steps_replayed = 0u64;
+    let mut steps_executed = 0u64;
+    // Adaptive-density accounting (serial search only; both stay zero
+    // when `TmsConfig::adaptive` is off or in the wavefront).
+    let mut sync_rejections = 0u64;
+    let mut coarsened = false;
 
     let workers = config.parallelism.workers();
     if workers <= 1 || total_indices <= 1 {
@@ -613,9 +718,24 @@ pub fn schedule_tms_traced(
         // frames, one persistent scratch. Prunes cost no attempt: the
         // budget / deadline gates sit *after* the prune checks so a
         // pruned index never trips them.
+        //
+        // Adaptive grid density (`TmsConfig::adaptive`): a sliding
+        // window of dispatched attempts watches for rejection evidence
+        // that the low-`C_delay` region is sync-infeasible — the engine
+        // failing to place anything at all, or a built kernel rejected
+        // for `sync-exceeded` — and, once a window is dominated by it,
+        // latches the stream into a coarser `C_delay` ladder outside a
+        // refinement band near the SMS incumbent's key. One-way and
+        // serial-only: the wavefront search never coarsens.
+        const ADAPT_WINDOW: u32 = 16;
+        let adapt_margin = (sms_key.0 / 8).max(4);
+        let mut adapt_seen = 0u32;
+        let mut adapt_sync = 0u32;
         let mut idx = 0usize;
         while idx < total_indices {
-            let (ii, c_delay, key, p_max, prune) = classify(&mut stream, idx);
+            let Some((ii, c_delay, key, p_max, prune)) = classify(&mut stream, idx) else {
+                break; // coarsened stream exhausted below total()
+            };
             match prune {
                 Some(PruneKind::PMaxDup) => {
                     pruned_pmax += 1;
@@ -642,9 +762,47 @@ pub fn schedule_tms_traced(
             }
             let frames = frames_cache
                 .entry(ii)
-                .or_insert_with(|| TimeFrames::compute(ddg, ii))
+                .or_insert_with(|| trace.time("tms.phase.frames", || TimeFrames::compute(ddg, ii)))
                 .as_ref();
-            let outcome = run_attempt(ii, c_delay, key, p_max, frames, &mut scratch);
+            let outcome = if config.warm_start {
+                let log = warm_logs.entry(ii).or_default();
+                // The floor/no-frames short-circuits in `run_attempt`
+                // return without entering the engine; zeroing here keeps
+                // the reuse accounting from re-counting the previous
+                // attempt's figures on such an early exit.
+                log.replayed = 0;
+                log.executed = 0;
+                let outcome = run_attempt(
+                    ii,
+                    c_delay,
+                    key,
+                    p_max,
+                    frames,
+                    &mut scratch,
+                    Some(&mut *log),
+                );
+                if log.replayed > 0 {
+                    warm_attempts += 1;
+                }
+                steps_replayed += log.replayed;
+                steps_executed += log.executed;
+                outcome
+            } else {
+                run_attempt(ii, c_delay, key, p_max, frames, &mut scratch, None)
+            };
+            // The fold consumes the outcome, so the adaptive evidence is
+            // taken off it first: an engine that placed nothing at all
+            // (a knob-independent failure persists across the whole
+            // ladder; a knob-dependent one at low `C_delay` is C1
+            // rejection pressure), or a built kernel rejected for
+            // `sync-exceeded`.
+            let sync_infeasible = match &outcome {
+                AttemptOutcome::NoSchedule => true,
+                AttemptOutcome::Rejected(ds) => ds
+                    .iter()
+                    .any(|d| matches!(d, Diagnostic::SyncExceeded { .. })),
+                AttemptOutcome::Built { .. } => false,
+            };
             resolution = fold(
                 ii,
                 c_delay,
@@ -657,6 +815,25 @@ pub fn schedule_tms_traced(
             );
             if resolution.is_some() {
                 break;
+            }
+            if config.adaptive {
+                if sync_infeasible {
+                    sync_rejections += 1;
+                }
+                if !coarsened {
+                    adapt_seen += 1;
+                    if sync_infeasible {
+                        adapt_sync += 1;
+                    }
+                    if adapt_seen >= ADAPT_WINDOW {
+                        if adapt_sync * 2 > adapt_seen {
+                            stream.coarsen(4, sms_key, adapt_margin);
+                            coarsened = true;
+                        }
+                        adapt_seen = 0;
+                        adapt_sync = 0;
+                    }
+                }
             }
             idx += 1;
         }
@@ -686,7 +863,10 @@ pub fn schedule_tms_traced(
                 // swept range), counting the prunes exactly as the
                 // serial loop would before it hit the gate.
                 while idx < total_indices {
-                    let (_, _, _, _, prune) = classify(&mut stream, idx);
+                    let Some((_, _, _, _, prune)) = classify(&mut stream, idx) else {
+                        idx = total_indices; // stream exhausted: fully swept
+                        break;
+                    };
                     match prune {
                         Some(PruneKind::PMaxDup) => pruned_pmax += 1,
                         Some(PruneKind::CostBound) => pruned_cost += 1,
@@ -707,7 +887,10 @@ pub fn schedule_tms_traced(
             let mut tail_cost = 0usize;
             let mut tail_pmax = 0usize;
             while idx < total_indices && specs.len() < want {
-                let (ii, c_delay, key, p_max, prune) = classify(&mut stream, idx);
+                let Some((ii, c_delay, key, p_max, prune)) = classify(&mut stream, idx) else {
+                    idx = total_indices; // stream exhausted: fully swept
+                    break;
+                };
                 match prune {
                     Some(PruneKind::PMaxDup) => tail_pmax += 1,
                     Some(PruneKind::CostBound) => tail_cost += 1,
@@ -735,9 +918,9 @@ pub fn schedule_tms_traced(
             // Frames for the chunk's IIs are filled serially up front;
             // workers then share the cache read-only.
             for spec in &specs {
-                frames_cache
-                    .entry(spec.ii)
-                    .or_insert_with(|| TimeFrames::compute(ddg, spec.ii));
+                frames_cache.entry(spec.ii).or_insert_with(|| {
+                    trace.time("tms.phase.frames", || TimeFrames::compute(ddg, spec.ii))
+                });
             }
             let cache = &frames_cache;
             let outcomes = par_map_with(
@@ -746,7 +929,15 @@ pub fn schedule_tms_traced(
                 SchedScratch::new,
                 |scratch, _, spec| {
                     let frames = cache.get(&spec.ii).and_then(|f| f.as_ref());
-                    run_attempt(spec.ii, spec.c_delay, spec.key, spec.p_max, frames, scratch)
+                    run_attempt(
+                        spec.ii,
+                        spec.c_delay,
+                        spec.key,
+                        spec.p_max,
+                        frames,
+                        scratch,
+                        None,
+                    )
                 },
             );
             for (spec, outcome) in specs.iter().zip(outcomes) {
@@ -785,6 +976,22 @@ pub fn schedule_tms_traced(
     let pruned = pruned_cost + pruned_pmax;
     trace.count("tms.pruned.cost-bound", pruned_cost as u64);
     trace.count("tms.pruned.p-max-dup", pruned_pmax as u64);
+    // Warm-start reuse accounting: attempts that replayed ≥ 1 recorded
+    // step, and the step totals replayed vs executed cold. All zero in
+    // the wavefront search (it runs cold) — `tms.reuse.*` describes the
+    // serial engine's work saved, not the search's observable results,
+    // and like wall-clock timers is excluded from the serial≡parallel
+    // metric-identity guarantee.
+    trace.count("tms.reuse.warm-attempts", warm_attempts);
+    trace.count("tms.reuse.steps-replayed", steps_replayed);
+    trace.count("tms.reuse.steps-executed", steps_executed);
+    // Adaptive-density accounting: attempts whose outcome evidenced
+    // sync-delay infeasibility, whether the coarsening latch fired, and
+    // the ladder rungs the coarsened stream dropped. All zero on the
+    // default (adaptive-off) path.
+    trace.count("tms.adaptive.sync-rejections", sync_rejections);
+    trace.count("tms.adaptive.coarsened", coarsened as u64);
+    trace.count("tms.adaptive.skipped", stream.skipped());
     trace.record("tms.pruned_per_loop", pruned as u64);
     trace.record("tms.attempts_per_loop", attempts as u64);
     // Wall-clock counter track: attempts spent on each loop, sampled

@@ -81,6 +81,13 @@ pub struct WindowScratch {
     /// Kahn worklist buffers.
     indeg: Vec<u32>,
     queue: Vec<u32>,
+    /// [`Ddg::uid`] the sweep orders were computed for; [`prepare`]
+    /// short-circuits when asked for the same graph again, which makes
+    /// repeated attempts on one loop pay the `O(V + E log E)` setup
+    /// once instead of once per attempt.
+    ///
+    /// [`prepare`]: WindowScratch::prepare
+    prepared_uid: Option<u64>,
     /// Candidate cycles of the most recent [`window_into`] call,
     /// first-preference first.
     pub cycles: Vec<i64>,
@@ -88,9 +95,13 @@ pub struct WindowScratch {
 
 impl WindowScratch {
     /// Precompute the topological sweep orders for `ddg`. `O(V + E log
-    /// E)`; called once per scheduling attempt, amortised over every
-    /// window probe of that attempt.
+    /// E)` cold; a no-op when the scratch is already prepared for this
+    /// exact graph (keyed on [`Ddg::uid`], so a different graph at the
+    /// same address or with the same shape can never alias).
     pub fn prepare(&mut self, ddg: &Ddg) {
+        if self.prepared_uid == Some(ddg.uid()) {
+            return;
+        }
         let n = ddg.num_insts();
         let edges = ddg.edges();
         // Kahn over the intra-iteration (distance-0) subgraph, which a
@@ -112,12 +123,12 @@ impl WindowScratch {
         let mut next_rank = 0u32;
         let mut head = 0usize;
         while head < self.queue.len() {
-            let u = self.queue[head] as usize;
+            let u = self.queue[head];
             head += 1;
-            self.rank[u] = next_rank;
+            self.rank[u as usize] = next_rank;
             next_rank += 1;
-            for e in edges {
-                if e.distance == 0 && e.src.index() == u && e.src != e.dst {
+            for (_, e) in ddg.succ_edges(InstId(u)) {
+                if e.distance == 0 && e.src != e.dst {
                     let d = e.dst.index();
                     self.indeg[d] -= 1;
                     if self.indeg[d] == 0 {
@@ -140,6 +151,7 @@ impl WindowScratch {
         self.bwd_edges.extend(0..edges.len() as u32);
         self.bwd_edges
             .sort_unstable_by_key(|&ei| u32::MAX - self.rank[edges[ei as usize].dst.index()]);
+        self.prepared_uid = Some(ddg.uid());
     }
 }
 
@@ -329,6 +341,37 @@ mod tests {
     use super::*;
     use tms_ddg::{DdgBuilder, OpClass};
     use tms_machine::MachineModel;
+
+    /// The `prepare` memoisation keys on [`Ddg::uid`], so one scratch
+    /// re-used across *different* graphs must transparently re-prepare
+    /// — a stale topological order would corrupt every window bound.
+    #[test]
+    fn scratch_reprepares_across_distinct_graphs() {
+        let build = |name: &str, lat: u32| {
+            let mut b = DdgBuilder::new(name);
+            let a = b.inst_lat("a", OpClass::FpMul, lat);
+            let c = b.inst("c", OpClass::IntAlu);
+            b.reg_flow(a, c, 0);
+            (b.build().unwrap(), a, c)
+        };
+        let (g1, a1, c1) = build("w1", 4);
+        let (g2, a2, c2) = build("w2", 2);
+        let m = MachineModel::icpp2008();
+        let mut shared = WindowScratch::default();
+        for (g, a, c) in [(&g1, a1, c1), (&g2, a2, c2), (&g1, a1, c1)] {
+            let frames = TimeFrames::compute(g, 4).unwrap();
+            let mut ps = PartialSchedule::new(g, 4, &m);
+            ps.place(g, a, 0);
+            shared.prepare(g);
+            let kind = window_into(g, &ps, &frames, c, &mut shared);
+            let fresh = window_of(g, &ps, &frames, c);
+            assert_eq!(kind, fresh.kind, "{}: kind drifted", g.name());
+            assert_eq!(shared.cycles, fresh.cycles, "{}: cycles drifted", g.name());
+        }
+        // Same graph twice in a row: the memo hit must be inert.
+        shared.prepare(&g1);
+        shared.prepare(&g1);
+    }
 
     #[test]
     fn preds_only_scans_upward() {

@@ -6,6 +6,14 @@ use crate::edge::{DepKind, Edge, EdgeId};
 use crate::inst::{InstId, Instruction, OpClass};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone source of process-unique [`Ddg::uid`] values.
+static NEXT_DDG_UID: AtomicU64 = AtomicU64::new(1);
+
+fn next_ddg_uid() -> u64 {
+    NEXT_DDG_UID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Errors produced while constructing or validating a [`Ddg`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +66,12 @@ pub struct Ddg {
     succs: Vec<Vec<EdgeId>>,
     /// `preds[n]` — ids of edges whose `dst == n`.
     preds: Vec<Vec<EdgeId>>,
+    /// Process-unique identity token (see [`Ddg::uid`]). Skipped by
+    /// serde: a deserialized graph is a *new* graph and gets a fresh
+    /// token; a `clone` shares the token, which is sound because the
+    /// contents are identical and immutable.
+    #[serde(skip, default = "next_ddg_uid")]
+    uid: u64,
 }
 
 impl Ddg {
@@ -96,6 +110,7 @@ impl Ddg {
             edges,
             succs,
             preds,
+            uid: next_ddg_uid(),
         };
         if g.has_zero_distance_cycle() {
             return Err(DdgError::ZeroDistanceCycle);
@@ -106,6 +121,19 @@ impl Ddg {
     /// Loop name (for reports).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Process-unique identity token, assigned at construction.
+    ///
+    /// Two `Ddg` values with the same `uid` are guaranteed to have
+    /// identical contents (graphs are immutable after construction and
+    /// the only way to share a token is `clone`), so per-graph derived
+    /// state — topological sweep orders, time frames — can be memoized
+    /// against it without risking stale reuse across distinct graphs
+    /// that happen to share an address or a shape.
+    #[inline]
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Number of instructions.
@@ -299,6 +327,14 @@ mod tests {
         assert_eq!(g.predecessors(d).collect::<Vec<_>>(), vec![c]);
         assert_eq!(g.predecessors(a).count(), 0);
         assert_eq!(g.successors(d).count(), 0);
+    }
+
+    #[test]
+    fn uids_are_unique_and_shared_only_by_clones() {
+        let a = chain3();
+        let b = chain3();
+        assert_ne!(a.uid(), b.uid(), "distinct graphs must not share a uid");
+        assert_eq!(a.uid(), a.clone().uid(), "clones share content and uid");
     }
 
     #[test]

@@ -23,12 +23,18 @@ pub const KNOWN_COUNTERS: &[&str] = &[
     "sim.prune.popped",
     "sim.threads.committed",
     "tms.accepted",
+    "tms.adaptive.coarsened",
+    "tms.adaptive.skipped",
+    "tms.adaptive.sync-rejections",
     "tms.attempts",
     "tms.degraded_to_sms",
     "tms.fallback",
     "tms.pruned.cost-bound",
     "tms.pruned.p-max-dup",
     "tms.rejected",
+    "tms.reuse.steps-executed",
+    "tms.reuse.steps-replayed",
+    "tms.reuse.warm-attempts",
     "tms.unschedulable",
     "verify.checks",
     "verify.degraded",
@@ -60,6 +66,9 @@ pub const TMS_REQUIRED_COUNTERS: &[&str] = &[
     "tms.attempts",
     "tms.pruned.cost-bound",
     "tms.pruned.p-max-dup",
+    "tms.reuse.steps-executed",
+    "tms.reuse.steps-replayed",
+    "tms.reuse.warm-attempts",
 ];
 
 /// Value histograms every TMS scheduling run records per loop.
@@ -124,6 +133,9 @@ mod tests {
         assert!(is_known_counter("tms.pruned.cost-bound"));
         assert!(is_known_counter("tms.reject.sync-exceeded"));
         assert!(is_known_counter("tms.reject.lost-to-baseline"));
+        assert!(is_known_counter("tms.reuse.warm-attempts"));
+        assert!(is_known_counter("tms.reuse.steps-replayed"));
+        assert!(is_known_counter("tms.adaptive.coarsened"));
         assert!(is_known_value("tms.pruned_per_loop"));
         assert!(!is_known_counter("tms.prnued.cost-bound")); // typo
         assert!(!is_known_value("tms.attempts")); // wrong section

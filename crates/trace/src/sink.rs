@@ -845,6 +845,31 @@ impl Trace {
             .and_then(|s| lock_state(&s.state).values.get(name).copied())
     }
 
+    /// Wall-clock timer histogram `name` (nanosecond samples recorded
+    /// by [`Trace::time`] and span guards), if any fired. Timers are
+    /// *not* part of [`Trace::metrics`] — they are inherently
+    /// machine-dependent — so consumers that aggregate them (e.g. the
+    /// bench's per-phase breakdown) read them through this accessor.
+    pub fn timer_stats(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .as_ref()
+            .and_then(|s| lock_state(&s.state).timers.get(name).copied())
+    }
+
+    /// All timer histograms whose name starts with `prefix`, in name
+    /// order.
+    pub fn timers_with_prefix(&self, prefix: &str) -> Vec<(String, Histogram)> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(s) => lock_state(&s.state)
+                .timers
+                .range(prefix.to_string()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, h)| (k.clone(), *h))
+                .collect(),
+        }
+    }
+
     /// Deterministic snapshot: counters and value histograms only (no
     /// wall-clock timers or events). Two runs that perform the same
     /// work record equal snapshots regardless of worker count.

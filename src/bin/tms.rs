@@ -15,6 +15,10 @@
 //! options: --ncore N     cores (default 4)
 //!          --iters N     simulated iterations (default 1000)
 //!          --unroll F    unroll before scheduling
+//!          --adaptive    (schedule) counter-driven adaptive C_delay
+//!                        grid density: coarsen the candidate ladder
+//!                        when rejections are sync-dominated, refine
+//!                        near the SMS incumbent
 //!          --trace PATH  (trace) also write a Chrome trace_event JSON
 //!                        timeline — load it in ui.perfetto.dev
 //!          --stream PATH (trace) bounded-memory sink: spill events to
@@ -30,6 +34,7 @@ struct Opts {
     ncore: u32,
     iters: u64,
     unroll: u32,
+    adaptive: bool,
     trace_out: Option<String>,
     stream_out: Option<String>,
     buffer: usize,
@@ -52,6 +57,7 @@ fn parse_opts(args: &[String]) -> Opts {
         ncore: 4,
         iters: 1000,
         unroll: 1,
+        adaptive: false,
         trace_out: None,
         stream_out: None,
         buffer: 4096,
@@ -62,6 +68,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--ncore" => o.ncore = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
             "--iters" => o.iters = it.next().and_then(|v| v.parse().ok()).unwrap_or(1000),
             "--unroll" => o.unroll = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--adaptive" => o.adaptive = true,
             "--trace" => o.trace_out = it.next().cloned(),
             "--stream" => o.stream_out = it.next().cloned(),
             "--buffer" => o.buffer = it.next().and_then(|v| v.parse().ok()).unwrap_or(4096),
@@ -115,7 +122,11 @@ fn cmd_schedule(g: &Ddg, o: &Opts) {
     let arch = ArchParams::with_ncore(o.ncore);
     let model = CostModel::new(arch.costs, arch.ncore);
     let sms = schedule_sms(&g, &machine).expect("SMS failed");
-    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    let cfg = TmsConfig {
+        adaptive: o.adaptive,
+        ..TmsConfig::default()
+    };
+    let tms = schedule_tms(&g, &machine, &model, &cfg).expect("TMS failed");
     for (name, sch) in [("SMS", &sms.schedule), ("TMS", &tms.schedule)] {
         let m = LoopMetrics::compute(&g, &machine, sch, &arch.costs);
         println!(

@@ -145,6 +145,170 @@ fn pruned_search_is_identical_at_one_and_four_workers() {
     }
 }
 
+fn tms_warm(ddg: &Ddg, warm_start: bool, jobs: Parallelism) -> Option<TmsResult> {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let cfg = TmsConfig {
+        warm_start,
+        parallelism: jobs,
+        ..TmsConfig::default()
+    };
+    schedule_tms(ddg, &machine, &model, &cfg).ok()
+}
+
+/// Resolution *and* the full search accounting: warm-started replay is
+/// contracted to change nothing observable, down to the attempt counts
+/// and the retained rejection records.
+fn full_fingerprint(ddg: &Ddg, r: &TmsResult) -> impl PartialEq + std::fmt::Debug {
+    let rejects: Vec<(u32, u32, u64, usize)> = r
+        .rejects
+        .iter()
+        .map(|c| (c.ii, c.c_delay, c.p_max.to_bits(), c.diagnostics.len()))
+        .collect();
+    (
+        format!("{:?}", resolution(ddg, r)),
+        (
+            r.attempts,
+            r.pruned,
+            r.rejected_candidates,
+            r.lost_to_baseline,
+            r.budget_cut,
+        ),
+        rejects,
+    )
+}
+
+/// Warm-started attempts (per-II decision-log replay) must be
+/// byte-identical to the cold path — schedules, accounting, and
+/// rejection records alike — at one and four workers (the wavefront
+/// always runs cold, so jobs=4 pins that the flag is inert there).
+#[test]
+fn warm_start_is_byte_identical_to_cold() {
+    for ddg in &population() {
+        for jobs in [Parallelism::Serial, Parallelism::Jobs(4)] {
+            let warm = tms_warm(ddg, true, jobs);
+            let cold = tms_warm(ddg, false, jobs);
+            match (&warm, &cold) {
+                (Some(w), Some(c)) => {
+                    assert_eq!(
+                        full_fingerprint(ddg, w),
+                        full_fingerprint(ddg, c),
+                        "{}: warm start diverged from cold at {jobs:?}",
+                        ddg.name()
+                    );
+                }
+                (None, None) => {}
+                _ => panic!(
+                    "{}: schedulability differs between warm and cold",
+                    ddg.name()
+                ),
+            }
+        }
+    }
+}
+
+/// Warm replay composes with tight degradation budgets: a `Fail` step
+/// validated under new knobs must reproduce the cold engine's failure
+/// (and its ejection-budget accounting) exactly, so budget cuts land on
+/// the identical attempt.
+#[test]
+fn warm_start_composes_with_budgets() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    for ddg in population().iter().take(16) {
+        for budget in [1usize, 4, 9] {
+            let run = |warm_start: bool| {
+                let cfg = TmsConfig {
+                    warm_start,
+                    attempt_budget: Some(budget),
+                    ..TmsConfig::default()
+                };
+                schedule_tms(ddg, &machine, &model, &cfg).ok().map(|r| {
+                    let fp = full_fingerprint(ddg, &r);
+                    (fp, r.degraded.is_some())
+                })
+            };
+            assert_eq!(
+                run(true),
+                run(false),
+                "{}: budget={budget} diverged between warm and cold",
+                ddg.name()
+            );
+        }
+    }
+}
+
+/// The warm cache must actually fire on this population — steps
+/// replayed is observable through the `tms.reuse.*` counters.
+#[test]
+fn warm_start_replays_steps_somewhere() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let trace = tms_trace::Trace::enabled();
+    for ddg in &population() {
+        let _ = tms_core::tms::schedule_tms_traced(
+            ddg,
+            &machine,
+            &model,
+            &TmsConfig::default(),
+            &trace,
+        );
+    }
+    let metrics = trace.metrics();
+    let replayed = metrics.counters.get("tms.reuse.steps-replayed").copied();
+    assert!(
+        replayed.is_some_and(|n| n > 0),
+        "warm-start replay never fired over the whole population (steps-replayed={replayed:?}) \
+         — the cache is dead code"
+    );
+}
+
+/// Adaptive grid density is allowed to visit fewer candidates (its
+/// whole point), but it must stay deterministic, legal, and agree on
+/// schedulability with the exhaustive-grid default.
+#[test]
+fn adaptive_search_stays_legal_and_deterministic() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    for ddg in &population() {
+        let run = || {
+            let cfg = TmsConfig {
+                adaptive: true,
+                ..TmsConfig::default()
+            };
+            schedule_tms(ddg, &machine, &model, &cfg).ok()
+        };
+        let (a, b) = (run(), run());
+        match (&a, &b) {
+            (Some(x), Some(y)) => {
+                assert_eq!(
+                    full_fingerprint(ddg, x),
+                    full_fingerprint(ddg, y),
+                    "{}: adaptive search is nondeterministic",
+                    ddg.name()
+                );
+                assert!(
+                    x.schedule.check_legal(ddg).is_none(),
+                    "{}: adaptive schedule is illegal",
+                    ddg.name()
+                );
+            }
+            (None, None) => {}
+            _ => panic!("{}: adaptive search is nondeterministic", ddg.name()),
+        }
+        assert_eq!(
+            a.is_some(),
+            tms_at(ddg, true, Parallelism::Serial).is_some(),
+            "{}: adaptive changed schedulability",
+            ddg.name()
+        );
+    }
+}
+
 /// Degradation budgets compose with pruning: the budget caps
 /// *dispatched* attempts, so a pruned search under a tight budget gets
 /// further through the candidate space than the exhaustive one — but

@@ -88,6 +88,47 @@ fn tms_search_is_identical_at_awkward_worker_counts() {
     }
 }
 
+/// The warm-start attempt cache (on by default) must leave every
+/// fingerprint unchanged: same schedules, same accounting, at every
+/// worker count, with and without the cache.
+#[test]
+fn warm_cache_leaves_fingerprints_unchanged() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    for ddg in &population() {
+        let mut fps = Vec::new();
+        for (warm_start, jobs) in [
+            (true, Parallelism::Serial),
+            (false, Parallelism::Serial),
+            (true, Parallelism::Jobs(4)),
+        ] {
+            let cfg = TmsConfig {
+                warm_start,
+                parallelism: jobs,
+                ..TmsConfig::default()
+            };
+            fps.push(
+                schedule_tms(ddg, &machine, &model, &cfg)
+                    .ok()
+                    .map(|r| fingerprint(ddg, &r)),
+            );
+        }
+        assert_eq!(
+            fps[0],
+            fps[1],
+            "{}: warm cache changed the serial fingerprint",
+            ddg.name()
+        );
+        assert_eq!(
+            fps[0],
+            fps[2],
+            "{}: warm serial diverged from cold wavefront",
+            ddg.name()
+        );
+    }
+}
+
 #[test]
 fn verify_sweep_report_is_identical_at_one_and_four_workers() {
     let cfg = SweepConfig {

@@ -59,6 +59,58 @@ fn campaign_report_and_metrics_are_identical_at_jobs_1_2_4() {
     assert_eq!(m1, m4, "metrics diverged between --jobs 1 and 4");
 }
 
+/// Scheduler-budget starvation composes with the warm attempt cache: a
+/// search starved down to a handful of attempts degrades to the *same*
+/// SMS schedule, with the same budget-cut accounting, whether its
+/// attempts replayed a decision log or ran cold — the degradation
+/// ladder cannot tell the difference.
+#[test]
+fn starved_search_degrades_to_sms_identically_warm_and_cold() {
+    use tms_core::cost::CostModel;
+    use tms_core::{schedule_tms, TmsConfig};
+    use tms_machine::{ArchParams, MachineModel};
+
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let mut degraded_somewhere = false;
+    for ddg in tms_workloads::kernels::all_kernels() {
+        for budget in [1usize, 2, 3] {
+            let run = |warm_start: bool| {
+                let cfg = TmsConfig {
+                    warm_start,
+                    attempt_budget: Some(budget),
+                    ..TmsConfig::default()
+                };
+                schedule_tms(&ddg, &machine, &model, &cfg).ok().map(|r| {
+                    let times: Vec<i64> = (0..ddg.num_insts())
+                        .map(|i| r.schedule.time(tms_ddg::InstId(i as u32)))
+                        .collect();
+                    (
+                        times,
+                        r.fell_back_to_sms,
+                        r.budget_cut,
+                        r.degraded.is_some(),
+                        r.attempts,
+                    )
+                })
+            };
+            let (warm, cold) = (run(true), run(false));
+            assert_eq!(
+                warm,
+                cold,
+                "{}: budget={budget} starved warm/cold runs diverged",
+                ddg.name()
+            );
+            degraded_somewhere |= warm.as_ref().is_some_and(|r| r.3);
+        }
+    }
+    assert!(
+        degraded_somewhere,
+        "starvation never degraded a kernel — the budgets are not binding"
+    );
+}
+
 /// A panicking worker must never lose or duplicate a loop: the faulted
 /// sweep checks exactly the loops the clean sweep checks, fails
 /// nothing, and records its degradations instead.
