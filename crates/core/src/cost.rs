@@ -298,13 +298,34 @@ impl CandidateStream {
     /// dispatched never change meaning. Sorted emission order is
     /// preserved: a row's key is monotone along its ladder, so stepping
     /// further ahead keeps the frontier-heap invariant intact.
+    ///
+    /// Re-latching **composes** monotonically rather than overwriting:
+    /// the factor ratchets to the max of the latches, and the
+    /// refinement band — the region kept at full resolution near the
+    /// incumbent — never shrinks (`refine_above` takes the min). A
+    /// weaker second latch is therefore absorbed, and an escalating one
+    /// strengthens the coarsening without giving up refinement an
+    /// earlier latch promised. A `factor` ≤ 1 cannot coarsen anything;
+    /// it trips a `debug_assert` and is ignored in release builds.
     pub fn coarsen(&mut self, factor: u32, incumbent: CostKey, margin: i64) {
-        if factor > 1 {
-            self.coarsen = Some(Coarsen {
-                factor,
-                refine_above: incumbent.0.saturating_sub(margin),
-            });
+        debug_assert!(
+            factor > 1,
+            "CandidateStream::coarsen(factor={factor}) cannot coarsen the ladder"
+        );
+        if factor <= 1 {
+            return;
         }
+        let refine_above = incumbent.0.saturating_sub(margin);
+        self.coarsen = Some(match self.coarsen {
+            Some(prev) => Coarsen {
+                factor: prev.factor.max(factor),
+                refine_above: prev.refine_above.min(refine_above),
+            },
+            None => Coarsen {
+                factor,
+                refine_above,
+            },
+        });
     }
 
     /// Ladder rungs dropped by coarsening so far.
@@ -542,6 +563,56 @@ mod tests {
         assert_eq!(*stream.get(n - 1), late);
         assert_eq!(early.0, 5);
         assert_eq!(early.1, m.costs.min_c_delay());
+    }
+
+    #[test]
+    fn coarsen_relatch_composes_monotonically() {
+        let m = model(4);
+        let mk = || m.candidate_stream(2, 6, 30, true);
+        fn drain(s: &mut CandidateStream) -> (Vec<(u32, u32, CostKey)>, u64) {
+            let mut out = Vec::new();
+            let mut i = 0;
+            while let Some(&c) = s.try_get(i) {
+                out.push(c);
+                i += 1;
+            }
+            (out, s.skipped())
+        }
+        let inc_lo = m.cost_key(3, 4);
+        let inc_hi = m.cost_key(6, 20);
+        assert!(inc_lo < inc_hi);
+        // Escalating: a second, stronger latch composes to exactly the
+        // stream a single latch at the composed parameters produces.
+        let mut twice = mk();
+        twice.coarsen(2, inc_hi, 2);
+        twice.coarsen(4, inc_lo, 2);
+        let mut once = mk();
+        once.coarsen(4, inc_lo, 2);
+        assert_eq!(drain(&mut twice), drain(&mut once));
+        // Absorbing: a weaker re-latch (smaller factor, band already
+        // covered) leaves the stronger latch in force.
+        let mut absorbed = mk();
+        absorbed.coarsen(4, inc_lo, 2);
+        absorbed.coarsen(2, inc_hi, 2);
+        let mut strong = mk();
+        strong.coarsen(4, inc_lo, 2);
+        assert_eq!(drain(&mut absorbed), drain(&mut strong));
+        // Degenerate factor (release behaviour): latch state unchanged.
+        if !cfg!(debug_assertions) {
+            let mut noop = mk();
+            noop.coarsen(1, inc_lo, 2);
+            let mut plain = mk();
+            assert_eq!(drain(&mut noop), drain(&mut plain));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "cannot coarsen the ladder")]
+    fn degenerate_coarsen_factor_asserts_in_debug() {
+        let m = model(4);
+        let mut stream = m.candidate_stream(2, 6, 30, true);
+        stream.coarsen(1, m.cost_key(3, 4), 2);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use crate::order::sms_order;
 use crate::schedule::{PartialSchedule, Schedule};
-use crate::warm::{AttemptLog, FailKind, Probe, Step, StepAction};
-use crate::window::{force_floor_with, window_into, WindowScratch};
+use crate::warm::{AttemptLog, FailKind, Probe, Step, StepAction, WinFacts};
+use crate::window::{force_floor_with, window_from_facts, window_into, WindowScratch};
 use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
 use tms_ddg::{Ddg, InstId};
 use tms_machine::{mii, MachineModel};
@@ -73,6 +73,97 @@ pub trait SlotPolicy {
     fn probe_holds(&self, _probe: &Probe) -> bool {
         false
     }
+
+    /// First cycle of `cycles` (in order) that is resource-feasible and
+    /// policy-accepted, or `None`. When `probes` is given, the probe of
+    /// every policy evaluation is pushed in scan order — resource-
+    /// blocked cycles evaluate no probe — exactly as a per-cycle
+    /// [`accept_probed`](SlotPolicy::accept_probed) loop would record
+    /// them. Policies may override this with an equivalent faster scan;
+    /// the contract is byte-identical results *and* recordings.
+    fn scan_window(
+        &self,
+        ddg: &Ddg,
+        ps: &PartialSchedule,
+        v: InstId,
+        cycles: &[i64],
+        probes: Option<&mut Vec<Probe>>,
+    ) -> Option<i64> {
+        generic_scan_window(self, ddg, ps, v, cycles, probes)
+    }
+
+    /// First cycle in `floor..floor + II` the policy accepts, or
+    /// `None`. Forced (IMS-style) placement: resource conflicts are
+    /// *not* checked — the engine ejects occupants afterwards. The
+    /// recording contract matches [`scan_window`](Self::scan_window).
+    fn scan_forced(
+        &self,
+        ddg: &Ddg,
+        ps: &PartialSchedule,
+        v: InstId,
+        floor: i64,
+        probes: Option<&mut Vec<Probe>>,
+    ) -> Option<i64> {
+        generic_scan_forced(self, ddg, ps, v, floor, probes)
+    }
+}
+
+/// The reference windowed scan every [`SlotPolicy::scan_window`]
+/// override must agree with: first resource-feasible, policy-accepted
+/// cycle, probing (and recording) in scan order.
+pub fn generic_scan_window<P: SlotPolicy + ?Sized>(
+    policy: &P,
+    ddg: &Ddg,
+    ps: &PartialSchedule,
+    v: InstId,
+    cycles: &[i64],
+    mut probes: Option<&mut Vec<Probe>>,
+) -> Option<i64> {
+    let mut probe = Probe::Opaque;
+    for &c in cycles {
+        if !ps.fits(ddg, v, c) {
+            continue;
+        }
+        let ok = match probes.as_deref_mut() {
+            Some(rec) => {
+                let ok = policy.accept_probed(ddg, ps, v, c, &mut probe);
+                rec.push(probe);
+                ok
+            }
+            None => policy.accept(ddg, ps, v, c),
+        };
+        if ok {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// The reference forced scan every [`SlotPolicy::scan_forced`] override
+/// must agree with (no resource check; see the trait method).
+pub fn generic_scan_forced<P: SlotPolicy + ?Sized>(
+    policy: &P,
+    ddg: &Ddg,
+    ps: &PartialSchedule,
+    v: InstId,
+    floor: i64,
+    mut probes: Option<&mut Vec<Probe>>,
+) -> Option<i64> {
+    let mut probe = Probe::Opaque;
+    for x in floor..floor + ps.ii() as i64 {
+        let ok = match probes.as_deref_mut() {
+            Some(rec) => {
+                let ok = policy.accept_probed(ddg, ps, v, x, &mut probe);
+                rec.push(probe);
+                ok
+            }
+            None => policy.accept(ddg, ps, v, x),
+        };
+        if ok {
+            return Some(x);
+        }
+    }
+    None
 }
 
 /// SMS's policy: any resource-feasible slot in the window is fine.
@@ -297,6 +388,28 @@ fn schedule_all(
     earliest.clear();
     earliest.resize(ddg.num_insts(), i64::MIN);
 
+    // --- Cross-II guide adoption: a log recorded at a *smaller* II is
+    // not probe-replayable (its facts are functions of rows mod II),
+    // but its per-step window facts transfer upward (see
+    // `crate::warm`). Demote the steps to a passive guide for the cold
+    // loop below; the log itself re-records from scratch at this II.
+    // A log from a *larger* II is discarded — bounds transfer in one
+    // direction only.
+    let mut guide: Vec<Step> = Vec::new();
+    if let Some(log) = log.as_deref_mut() {
+        log.cross_replayed = 0;
+        if log.ii != 0 && log.ii != ii {
+            let steps = std::mem::take(&mut log.steps);
+            if log.ii < ii {
+                guide = steps;
+            }
+            log.complete = false;
+        }
+        log.ii = ii;
+    }
+    let mut guide_pos = 0usize;
+    let mut guide_live = !guide.is_empty();
+
     // --- Warm replay: apply the log's prefix while its recorded
     // verdicts still hold under the current policy knobs. A validated
     // step is exactly the step the cold loop would take from this
@@ -357,41 +470,88 @@ fn schedule_all(
     while let Some(off) = order[cursor..].iter().position(|&n| !ps.is_placed(n)) {
         cursor += off;
         let v = order[cursor];
-        window_into(ddg, ps, frames, v, &mut scratch.win);
+        // While the guide is live, every executed action so far equals
+        // the recorded one, so the placed state is the recorded run's —
+        // a guide step whose facts are carried-free provably reproduces
+        // the sweeps at this larger II, and the sweeps are skipped. A
+        // guide step for a different node is a divergence in the making
+        // (the action comparison below will retire the guide); compute
+        // cold. The engine's hottest work is exactly these two sweeps,
+        // which is what makes the cross-II carryover pay.
+        let guide_facts = match guide.get(guide_pos) {
+            _ if !guide_live => None,
+            Some(gs) if gs.win.v == v && gs.win.carried_free => Some(gs.win),
+            Some(_) => None,
+            None => {
+                guide_live = false;
+                None
+            }
+        };
+        let facts = match guide_facts {
+            Some(f) => {
+                window_from_facts(
+                    f.kind,
+                    f.es,
+                    f.ls,
+                    ii,
+                    frames.asap[v.index()],
+                    &mut scratch.win.cycles,
+                );
+                // Differential check: the transferred facts must match
+                // what the sweeps compute at this II and state.
+                #[cfg(debug_assertions)]
+                {
+                    let regen = std::mem::take(&mut scratch.win.cycles);
+                    let kind = window_into(ddg, ps, frames, v, &mut scratch.win);
+                    debug_assert_eq!(kind, f.kind, "cross-II window kind diverged");
+                    debug_assert_eq!(
+                        scratch.win.cycles, regen,
+                        "cross-II window cycles diverged"
+                    );
+                    scratch.win.cycles = regen;
+                }
+                if let Some(log) = log.as_deref_mut() {
+                    log.cross_replayed += 1;
+                }
+                f
+            }
+            None => {
+                let kind = window_into(ddg, ps, frames, v, &mut scratch.win);
+                WinFacts {
+                    v,
+                    kind,
+                    es: scratch.win.last_es,
+                    ls: scratch.win.last_ls,
+                    carried_free: scratch.win.carried_free,
+                }
+            }
+        };
         let mut probes: Vec<Probe> = Vec::new();
-        let mut probe = Probe::Opaque;
-        let mut slot = None;
-        for &c in scratch.win.cycles.iter() {
-            if !ps.fits(ddg, v, c) {
-                continue;
-            }
-            let ok = if recording {
-                let ok = policy.accept_probed(ddg, ps, v, c, &mut probe);
-                probes.push(probe);
-                ok
-            } else {
-                policy.accept(ddg, ps, v, c)
-            };
-            if ok {
-                slot = Some(c);
-                break;
-            }
-        }
+        let slot = policy.scan_window(
+            ddg,
+            ps,
+            v,
+            &scratch.win.cycles,
+            recording.then_some(&mut probes),
+        );
         match slot {
             Some(c) => {
                 ps.place(ddg, v, c);
                 cursor += 1;
                 if let Some(log) = log.as_deref_mut() {
+                    let action = StepAction::Place { v, cycle: c };
+                    advance_guide(&guide, &mut guide_pos, &mut guide_live, &action);
                     log.executed += 1;
                     log.steps.push(Step {
                         probes,
-                        action: StepAction::Place { v, cycle: c },
+                        action,
+                        win: facts,
                     });
                 }
             }
             None => {
                 if eject_budget == 0 {
-                    record_fail(log, probes, FailKind::EjectBudget);
+                    record_fail(log, probes, facts, FailKind::EjectBudget);
                     return false;
                 }
                 eject_budget -= 1;
@@ -408,25 +568,28 @@ fn schedule_all(
                 // monotone and the budget is finite.
                 let lb = match scratch.win.cycles.iter().min().copied() {
                     Some(lb) => lb,
+                    None if guide_facts.is_some() => {
+                        // An empty window is always a `Both` whose late
+                        // start undercuts the early one (the other
+                        // kinds emit exactly II candidates), so the
+                        // transferred early start *is* what the forced
+                        // floor's lower sweep would recompute.
+                        let floor = facts.es.expect("empty window implies a bounded node");
+                        #[cfg(debug_assertions)]
+                        debug_assert_eq!(
+                            floor,
+                            force_floor_with(ddg, ps, frames, v, &mut scratch.win),
+                            "cross-II forced floor diverged"
+                        );
+                        floor
+                    }
                     None => force_floor_with(ddg, ps, frames, v, &mut scratch.win),
                 };
                 let floor = lb.max(scratch.earliest[v.index()]);
-                let mut forced = None;
-                for x in floor..floor + ii as i64 {
-                    let ok = if recording {
-                        let ok = policy.accept_probed(ddg, ps, v, x, &mut probe);
-                        probes.push(probe);
-                        ok
-                    } else {
-                        policy.accept(ddg, ps, v, x)
-                    };
-                    if ok {
-                        forced = Some(x);
-                        break;
-                    }
-                }
+                let forced =
+                    policy.scan_forced(ddg, ps, v, floor, recording.then_some(&mut probes));
                 let Some(c) = forced else {
-                    record_fail(log, probes, FailKind::NoForcedSlot);
+                    record_fail(log, probes, facts, FailKind::NoForcedSlot);
                     return false;
                 };
                 scratch.earliest[v.index()] = c + 1;
@@ -443,22 +606,25 @@ fn schedule_all(
                 );
                 if !ps.fits(ddg, v, c) {
                     scratch.ejected = eject_before;
-                    record_fail(log, probes, FailKind::ForcedUnfit);
+                    record_fail(log, probes, facts, FailKind::ForcedUnfit);
                     return false;
                 }
                 ps.place(ddg, v, c);
                 if let Some(log) = log.as_deref_mut() {
                     let mut eject_after = Vec::new();
                     eject_violated_neighbours(ddg, ps, v, ii, &mut eject_after);
+                    let action = StepAction::Force {
+                        v,
+                        cycle: c,
+                        eject_before,
+                        eject_after,
+                    };
+                    advance_guide(&guide, &mut guide_pos, &mut guide_live, &action);
                     log.executed += 1;
                     log.steps.push(Step {
                         probes,
-                        action: StepAction::Force {
-                            v,
-                            cycle: c,
-                            eject_before,
-                            eject_after,
-                        },
+                        action,
+                        win: facts,
                     });
                 } else {
                     // Reuse the scratch buffer for the second eviction
@@ -477,15 +643,32 @@ fn schedule_all(
     true
 }
 
+
 /// Terminal failure step of a recorded attempt.
-fn record_fail(log: Option<&mut AttemptLog>, probes: Vec<Probe>, kind: FailKind) {
+fn record_fail(log: Option<&mut AttemptLog>, probes: Vec<Probe>, win: WinFacts, kind: FailKind) {
     if let Some(log) = log {
         log.executed += 1;
         log.steps.push(Step {
             probes,
             action: StepAction::Fail(kind),
+            win,
         });
         log.complete = false;
+    }
+}
+
+/// Advance the cross-II guide past an executed step, or retire it on
+/// the first divergence. Action equality — eviction sets included — is
+/// what inductively pins the engine's placed state to the recorded
+/// run's, which is the soundness condition for consuming the guide's
+/// window facts on the *next* step.
+fn advance_guide(guide: &[Step], pos: &mut usize, live: &mut bool, action: &StepAction) {
+    if !*live {
+        return;
+    }
+    match guide.get(*pos) {
+        Some(gs) if gs.action == *action => *pos += 1,
+        _ => *live = false,
     }
 }
 

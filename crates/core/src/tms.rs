@@ -15,14 +15,15 @@ use crate::cost::{
 };
 use crate::diagnostics::{verify_schedule, Diagnostic, VerifyLimits};
 use crate::order::sms_order;
-use crate::par::{par_map_with, Parallelism};
+use crate::par::{par_map_with_slots, Parallelism};
 use crate::schedule::{PartialSchedule, Schedule};
 use crate::sms::{
-    ii_search_ceiling_from, order_priorities, schedule_sms_with, try_schedule_logged,
-    try_schedule_prepared, SchedError, SchedScratch, SlotPolicy,
+    generic_scan_forced, generic_scan_window, ii_search_ceiling_from, order_priorities,
+    schedule_sms_with, try_schedule_logged, try_schedule_prepared, SchedError, SchedScratch,
+    SlotPolicy,
 };
 use crate::warm::{AttemptLog, Probe};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
 use tms_ddg::{Ddg, InstId};
 use tms_machine::{mii, CostConstants, MachineModel};
@@ -107,16 +108,23 @@ pub struct TmsConfig {
     /// loop level (sweeps, benches) keep the inner search serial.
     pub parallelism: Parallelism,
     /// Warm-start attempts across the candidate stream (default on).
-    /// The serial search keeps one [`AttemptLog`] per II and replays
-    /// the recorded decision prefix of the previous attempt at that II
+    /// The search keeps one [`AttemptLog`] per II and replays the
+    /// recorded decision prefix of the previous attempt at that II
     /// under the new `(C_delay, P_max)` knobs, re-running the engine
-    /// only from the first step whose policy verdict changed. Replay is
-    /// equivalence-preserving — schedules and accounting are
-    /// byte-identical to the cold path (`tests/bnb_equivalence.rs` pins
-    /// this) — so the flag exists for A/B measurement, not correctness.
-    /// The wavefront search always runs cold: concurrent attempts at
-    /// one II would race on the log, and warm≡cold makes the results
-    /// identical anyway.
+    /// only from the first step whose policy verdict changed. The first
+    /// attempt at a new II seeds its log from the nearest *smaller* II
+    /// already tried, demoted to a cross-II guide: window bounds whose
+    /// derivation was carried-free transfer to the larger II and skip
+    /// the longest-path sweeps, while probes, fits, and ejections are
+    /// recomputed live (see `crate::warm`'s module docs and DESIGN.md
+    /// §9.4). Replay and guiding are both equivalence-preserving —
+    /// schedules and accounting are byte-identical to the cold path
+    /// (`tests/bnb_equivalence.rs` pins this) — so the flag exists for
+    /// A/B measurement, not correctness. Wavefront workers carry their
+    /// own per-II log slots across chunks ([`par_map_with_slots`]);
+    /// which attempts seed a worker's slot is scheduling-dependent, but
+    /// warm≡cold per attempt keeps the folded results identical at
+    /// every worker count. The `tms.reuse.*` counters stay serial-only.
     pub warm_start: bool,
     /// Counter-driven adaptive candidate density (default **off**).
     /// When the rejection diagnostics of dispatched attempts are
@@ -240,31 +248,256 @@ pub struct TmsResult {
     pub degraded: Option<Diagnostic>,
 }
 
+/// One incident edge of the C1 scan, flattened to exactly the fields
+/// the probe reads. Entries keep the probe's original visit order
+/// (successor edges first, then predecessor edges minus self loops);
+/// edges that are neither register nor memory flow are dropped at build
+/// time — they can neither reject a slot nor flag a speculated
+/// dependence, so their absence is invisible to the verdict *and* to
+/// the first-violation `sync` a `C1Reject` records.
+#[derive(Debug, Clone, Copy)]
+struct C1Entry {
+    /// Far endpoint (equal to the probed node for self edges).
+    other: u32,
+    distance: i64,
+    /// Latency of the edge *source* (what `sync_delay` charges).
+    lat_src: u32,
+    /// The probed node is the edge source (a successor-side edge).
+    src_is_v: bool,
+    is_reg: bool,
+}
+
+/// A register- or memory-flow edge of the C2 whole-graph scans,
+/// flattened the same way (kept in `Ddg::edges` order).
+#[derive(Debug, Clone, Copy)]
+struct FlatEdge {
+    src: u32,
+    dst: u32,
+    distance: i64,
+    lat_src: u32,
+    /// Misspeculation probability (memory-flow edges only; 0 for
+    /// register flow, which never reads it).
+    prob: f64,
+}
+
+/// Probe geometry precomputed once per DDG: the C1 incident scan as a
+/// CSR over nodes, and the C2 `R_all`/`M_all` scans prefiltered to the
+/// only edge kinds they inspect. [`TmsPolicy`] borrows one plan across
+/// every `(C_delay, P_max)` attempt on the loop — the probe is the
+/// engine's innermost call (tens of millions of evaluations per
+/// benchmark loop), and walking contiguous pre-projected entries
+/// replaces an iterator chain over the full `Edge` structs with their
+/// per-edge kind tests and latency gathers.
+#[derive(Debug, Clone)]
+pub struct ProbePlan {
+    /// [`Ddg::uid`] the plan was built for (debug-checked at probe
+    /// time).
+    uid: u64,
+    /// CSR offsets into `c1`, one slot per node plus a final sentinel.
+    starts: Vec<u32>,
+    c1: Vec<C1Entry>,
+    /// Per node: no incident memory-flow edge at all, so condition C2
+    /// is vacuous at every slot the node could probe (`v_adds_mem_dep`
+    /// can never fire) — the gate for the closed-form scan fast path.
+    mem_free: Vec<bool>,
+    /// All register-flow edges (the `R_all` candidates).
+    reg: Vec<FlatEdge>,
+    /// All memory-flow edges (the `M_all` candidates).
+    mem: Vec<FlatEdge>,
+}
+
+impl ProbePlan {
+    /// Build the plan for `ddg`. `O(V + E)`.
+    pub fn new(ddg: &Ddg) -> Self {
+        let flat = |e: &tms_ddg::Edge| FlatEdge {
+            src: e.src.index() as u32,
+            dst: e.dst.index() as u32,
+            distance: e.distance as i64,
+            lat_src: ddg.inst(e.src).latency,
+            prob: e.prob,
+        };
+        let mut starts = Vec::with_capacity(ddg.num_insts() + 1);
+        let mut c1 = Vec::new();
+        let mut mem_free = Vec::with_capacity(ddg.num_insts());
+        for v in ddg.inst_ids() {
+            starts.push(c1.len() as u32);
+            mem_free.push(
+                ddg.succ_edges(v)
+                    .chain(ddg.pred_edges(v))
+                    .all(|(_, e)| !e.is_memory_flow()),
+            );
+            for (_, e) in ddg.succ_edges(v) {
+                if e.is_register_flow() || e.is_memory_flow() {
+                    c1.push(C1Entry {
+                        other: e.dst.index() as u32,
+                        distance: e.distance as i64,
+                        lat_src: ddg.inst(e.src).latency,
+                        src_is_v: true,
+                        is_reg: e.is_register_flow(),
+                    });
+                }
+            }
+            for (_, e) in ddg.pred_edges(v) {
+                if e.src != e.dst && (e.is_register_flow() || e.is_memory_flow()) {
+                    c1.push(C1Entry {
+                        other: e.src.index() as u32,
+                        distance: e.distance as i64,
+                        lat_src: ddg.inst(e.src).latency,
+                        src_is_v: false,
+                        is_reg: e.is_register_flow(),
+                    });
+                }
+            }
+        }
+        starts.push(c1.len() as u32);
+        ProbePlan {
+            uid: ddg.uid(),
+            starts,
+            c1,
+            mem_free,
+            reg: ddg
+                .edges()
+                .iter()
+                .filter(|e| e.is_register_flow())
+                .map(flat)
+                .collect(),
+            mem: ddg
+                .edges()
+                .iter()
+                .filter(|e| e.is_memory_flow())
+                .map(flat)
+                .collect(),
+        }
+    }
+}
+
+/// One C1 constraint of a scan fast path, reduced to its closed form.
+/// Over a scan the placed state is frozen, so for each incident
+/// register edge the sync delay is *linear in the probed row* —
+/// `s = a·row + b` with `a ∈ {+1, 0, −1}` — and the `d_ker ≥ 1`
+/// activity condition is a stage-interval test `q_lo ≤ stage ≤ q_hi`.
+#[derive(Debug, Clone, Copy)]
+struct ScanEntry {
+    a: i64,
+    b: i64,
+    q_lo: i64,
+    q_hi: i64,
+}
+
 /// The TMS slot admission policy (conditions C1 and C2 of Figure 3).
 pub struct TmsPolicy<'a> {
     costs: &'a CostConstants,
+    plan: &'a ProbePlan,
     c_delay: u32,
     p_max: f64,
+    /// Reusable buffer for the scan fast path (policies are built,
+    /// used and dropped within one attempt on one thread).
+    scan_buf: std::cell::RefCell<Vec<ScanEntry>>,
 }
 
 impl<'a> TmsPolicy<'a> {
-    /// Policy for one `(C_delay, P_max)` candidate.
-    pub fn new(costs: &'a CostConstants, c_delay: u32, p_max: f64) -> Self {
+    /// Policy for one `(C_delay, P_max)` candidate. The [`ProbePlan`]
+    /// must have been built for the DDG the policy will probe.
+    pub fn new(costs: &'a CostConstants, plan: &'a ProbePlan, c_delay: u32, p_max: f64) -> Self {
         TmsPolicy {
             costs,
+            plan,
             c_delay,
             p_max,
+            scan_buf: std::cell::RefCell::new(Vec::new()),
         }
     }
 
-    /// Issue time of `n` under the tentative placement of `v` at `c`.
-    #[inline]
-    fn time_with(ps: &PartialSchedule, v: InstId, c: i64, n: InstId) -> Option<i64> {
-        if n == v {
-            Some(c)
-        } else {
-            ps.time(n)
+    /// Closed-form scan precondition. The fast path needs two frozen
+    /// facts the per-slot [`probe`](Self::probe) derives dynamically:
+    ///
+    /// * **C2 vacuous at every slot** — `v` has no incident memory-flow
+    ///   edge, so `v_adds_mem_dep` cannot fire at any cycle;
+    /// * **a fixed normalisation base** — every probed cycle is at or
+    ///   above the placed minimum, so `base = min_time` for the whole
+    ///   scan (a cycle *below* the minimum re-anchors the base and
+    ///   shifts every row).
+    ///
+    /// Returns the base, or `None` → caller takes the generic per-slot
+    /// scan.
+    fn fast_scan_base(&self, ps: &PartialSchedule, v: InstId, lowest_cycle: i64) -> Option<i64> {
+        if !self.plan.mem_free[v.index()] {
+            return None;
         }
+        let m = ps.min_time()?;
+        (lowest_cycle >= m).then_some(m)
+    }
+
+    /// Project `v`'s incident register edges against the frozen placed
+    /// state into [`ScanEntry`]s (CSR order preserved; edges that can
+    /// never constrain — far endpoint unplaced, or a `distance 0` self
+    /// edge — are dropped, exactly the edges the per-slot probe skips).
+    fn build_scan_entries(&self, ps: &PartialSchedule, v: InstId, base: i64, ii: i64) {
+        let mut entries = self.scan_buf.borrow_mut();
+        entries.clear();
+        let c_reg = self.costs.c_reg_com as i64;
+        let vi = v.index();
+        let row_range = self.plan.starts[vi] as usize..self.plan.starts[vi + 1] as usize;
+        for ent in &self.plan.c1[row_range] {
+            debug_assert!(ent.is_reg, "mem_free gate admitted a memory edge");
+            let lat = ent.lat_src as i64;
+            if ent.other as usize == vi {
+                // Self edge: d_ker = distance, sync = lat + C_reg_com.
+                if ent.distance >= 1 {
+                    entries.push(ScanEntry {
+                        a: 0,
+                        b: lat + c_reg,
+                        q_lo: i64::MIN,
+                        q_hi: i64::MAX,
+                    });
+                }
+                continue;
+            }
+            let Some(t) = ps.time(InstId(ent.other)) else {
+                continue;
+            };
+            let dt = t - base;
+            debug_assert!(dt >= 0);
+            let (q_o, r_o) = (dt / ii, dt % ii);
+            if ent.src_is_v {
+                // v produces: d_ker = dist + q_o − q_v ≥ 1,
+                // s = row_v − r_o + lat + C.
+                entries.push(ScanEntry {
+                    a: 1,
+                    b: lat + c_reg - r_o,
+                    q_lo: i64::MIN,
+                    q_hi: q_o + ent.distance - 1,
+                });
+            } else {
+                // v consumes: d_ker = dist + q_v − q_o ≥ 1,
+                // s = r_o − row_v + lat + C.
+                entries.push(ScanEntry {
+                    a: -1,
+                    b: r_o + lat + c_reg,
+                    q_lo: q_o - ent.distance + 1,
+                    q_hi: i64::MAX,
+                });
+            }
+        }
+    }
+
+    /// Evaluate one cycle against the projected entries: the C1 verdict
+    /// the per-slot probe would reach. `Err(sync)` is the first
+    /// violating constraint in probe order; `Ok(sync_max)` aggregates
+    /// every active constraint (`i64::MIN` when none are).
+    fn eval_scan(entries: &[ScanEntry], q: i64, r: i64, cd: i64) -> Result<i64, i64> {
+        let mut sync_max = i64::MIN;
+        for e in entries {
+            if q < e.q_lo || q > e.q_hi {
+                continue;
+            }
+            let s = e.a * r + e.b;
+            if s > cd {
+                return Err(s);
+            }
+            sync_max = sync_max.max(s);
+        }
+        Ok(sync_max)
     }
 
     /// Evaluate conditions C1/C2 for placing `v` at `c`, returning the
@@ -274,6 +507,11 @@ impl<'a> TmsPolicy<'a> {
     /// thresholds), which is what lets warm-start replay revalidate the
     /// verdict under different knobs without re-deriving the facts.
     fn probe(&self, ddg: &Ddg, ps: &PartialSchedule, v: InstId, c: i64) -> Probe {
+        debug_assert_eq!(
+            self.plan.uid,
+            ddg.uid(),
+            "ProbePlan was built for a different DDG"
+        );
         let ii = ps.ii() as i64;
         // Rows and stages are normalisation-dependent (the final
         // schedule shifts its minimum time to 0); anchoring the
@@ -282,37 +520,59 @@ impl<'a> TmsPolicy<'a> {
         // placement dips below the current minimum — the post-search
         // verification in `schedule_tms` catches that residual case.
         let base = ps.min_time().map_or(c, |m| m.min(c));
-        let stage = move |t: i64| (t - base).div_euclid(ii);
-        let row = move |t: i64| (t - base).rem_euclid(ii);
+        // `base` is the minimum over every placed time and `c` itself,
+        // so `t − base` is never negative and one plain division gives
+        // stage and row together (`div_euclid`/`rem_euclid` agree with
+        // `/`/`%` on non-negative operands). One call per endpoint
+        // replaces the former two-division closures on the hottest
+        // arithmetic in the engine.
+        let split = move |t: i64| {
+            let dt = t - base;
+            debug_assert!(dt >= 0, "time {t} below the normalisation base {base}");
+            (dt / ii, dt % ii)
+        };
+        let (stage_v, row_v) = split(c);
 
         // --- C1: every NEW inter-iteration register dependence formed
         // by placing v must synchronise within C_delay (Definition 2).
-        // Only edges incident to v can be new — the adjacency lists
-        // replace a scan of the whole edge set (self-edges appear in
-        // both lists; take them from the successor side only).
+        // Only edges incident to v can be new — the plan's CSR row
+        // replaces a scan of the whole edge set (self-edges appear on
+        // the successor side only). Only the far endpoint's time needs
+        // a split: v's side is the hoisted `(stage_v, row_v)`.
         let mut v_adds_mem_dep = false;
         let mut sync_max = i64::MIN;
-        let incident = ddg
-            .succ_edges(v)
-            .chain(ddg.pred_edges(v).filter(|(_, e)| e.src != e.dst));
-        for (_, e) in incident {
-            let (Some(ts), Some(td)) = (
-                Self::time_with(ps, v, c, e.src),
-                Self::time_with(ps, v, c, e.dst),
-            ) else {
-                continue;
+        let vi = v.index();
+        let row_range =
+            self.plan.starts[vi] as usize..self.plan.starts[vi + 1] as usize;
+        for ent in &self.plan.c1[row_range] {
+            let (stage_o, row_o) = if ent.other as usize == vi {
+                (stage_v, row_v)
+            } else {
+                let Some(t) = ps.time(InstId(ent.other)) else {
+                    continue;
+                };
+                split(t)
             };
-            let d_ker = e.distance as i64 + stage(td) - stage(ts);
+            let d_ker = ent.distance
+                + if ent.src_is_v {
+                    stage_o - stage_v
+                } else {
+                    stage_v - stage_o
+                };
             if d_ker < 1 {
                 continue; // intra-thread in the kernel
             }
-            if e.is_register_flow() {
-                let s = sync_delay(row(ts), row(td), ddg.inst(e.src).latency, self.costs);
+            if ent.is_reg {
+                let s = if ent.src_is_v {
+                    sync_delay(row_v, row_o, ent.lat_src, self.costs)
+                } else {
+                    sync_delay(row_o, row_v, ent.lat_src, self.costs)
+                };
                 if s > self.c_delay as i64 {
                     return Probe::C1Reject { sync: s };
                 }
                 sync_max = sync_max.max(s);
-            } else if e.is_memory_flow() {
+            } else {
                 v_adds_mem_dep = true;
             }
         }
@@ -328,46 +588,43 @@ impl<'a> TmsPolicy<'a> {
 
         // R_all: all inter-iteration register flow dependences among
         // placed ∪ {v}, as (sync, producer-row) pairs for Definition 3.
-        let mut r_all: Vec<(i64, i64)> = Vec::new();
-        for e in ddg.edges() {
-            if !e.is_register_flow() {
-                continue;
+        let time_of = |n: u32| {
+            if n as usize == vi {
+                Some(c)
+            } else {
+                ps.time(InstId(n))
             }
-            let (Some(ts), Some(td)) = (
-                Self::time_with(ps, v, c, e.src),
-                Self::time_with(ps, v, c, e.dst),
-            ) else {
+        };
+        let mut r_all: Vec<(i64, i64)> = Vec::new();
+        for e in &self.plan.reg {
+            let (Some(ts), Some(td)) = (time_of(e.src), time_of(e.dst)) else {
                 continue;
             };
-            let d_ker = e.distance as i64 + stage(td) - stage(ts);
+            let (stage_s, row_s) = split(ts);
+            let (stage_d, row_d) = split(td);
+            let d_ker = e.distance + stage_d - stage_s;
             if d_ker >= 1 {
-                let s = sync_delay(row(ts), row(td), ddg.inst(e.src).latency, self.costs);
-                r_all.push((s, row(ts)));
+                let s = sync_delay(row_s, row_d, e.lat_src, self.costs);
+                r_all.push((s, row_s));
             }
         }
 
         // M_all: non-preserved inter-iteration memory flow dependences
         // among placed ∪ {v}.
         let mut probs: Vec<f64> = Vec::new();
-        for e in ddg.edges() {
-            if !e.is_memory_flow() {
-                continue;
-            }
-            let (Some(ts), Some(td)) = (
-                Self::time_with(ps, v, c, e.src),
-                Self::time_with(ps, v, c, e.dst),
-            ) else {
+        for e in &self.plan.mem {
+            let (Some(ts), Some(td)) = (time_of(e.src), time_of(e.dst)) else {
                 continue;
             };
-            let d_ker = e.distance as i64 + stage(td) - stage(ts);
+            let (stage_s, rx) = split(ts);
+            let (stage_d, ry) = split(td);
+            let d_ker = e.distance + stage_d - stage_s;
             if d_ker < 1 {
                 continue;
             }
-            let (rx, ry) = (row(ts), row(td));
-            let lat_x = ddg.inst(e.src).latency;
             let kept = r_all
                 .iter()
-                .any(|&(s_uv, row_u)| preserves(s_uv, row_u, rx, ry, lat_x, d_ker));
+                .any(|&(s_uv, row_u)| preserves(s_uv, row_u, rx, ry, e.lat_src, d_ker));
             if !kept {
                 probs.push(e.prob);
             }
@@ -423,6 +680,128 @@ impl SlotPolicy for TmsPolicy<'_> {
             }
         }
     }
+
+    /// Closed-form windowed scan. When the precondition holds (see
+    /// [`fast_scan_base`](TmsPolicy::fast_scan_base)) the placed state
+    /// is projected into [`ScanEntry`]s once, and each candidate cycle
+    /// is a handful of compares instead of a full [`probe`]
+    /// (TmsPolicy::probe) — the C2 machinery, per-cycle endpoint
+    /// splits and per-entry kind branches all drop out. Every cycle's
+    /// verdict (and recorded probe) is asserted against the per-slot
+    /// probe in debug builds.
+    fn scan_window(
+        &self,
+        ddg: &Ddg,
+        ps: &PartialSchedule,
+        v: InstId,
+        cycles: &[i64],
+        mut probes: Option<&mut Vec<Probe>>,
+    ) -> Option<i64> {
+        let Some(lowest) = cycles.iter().copied().min() else {
+            return None;
+        };
+        let Some(base) = self.fast_scan_base(ps, v, lowest) else {
+            return generic_scan_window(self, ddg, ps, v, cycles, probes);
+        };
+        let ii = ps.ii() as i64;
+        self.build_scan_entries(ps, v, base, ii);
+        let entries = self.scan_buf.borrow();
+        let cd = self.c_delay as i64;
+        for &c in cycles {
+            if !ps.fits(ddg, v, c) {
+                continue;
+            }
+            let dt = c - base;
+            let probe = match Self::eval_scan(&entries, dt / ii, dt % ii, cd) {
+                Ok(sync_max) => Probe::Accept {
+                    sync_max,
+                    misspec: None,
+                },
+                Err(sync) => Probe::C1Reject { sync },
+            };
+            #[cfg(debug_assertions)]
+            {
+                let mut want = Probe::Opaque;
+                self.accept_probed(ddg, ps, v, c, &mut want);
+                debug_assert_eq!(
+                    probe, want,
+                    "windowed fast scan diverged from probe at cycle {c}"
+                );
+            }
+            if let Some(rec) = probes.as_deref_mut() {
+                rec.push(probe);
+            }
+            if probe.accepted() {
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Closed-form forced scan: same fast path as
+    /// [`scan_window`](SlotPolicy::scan_window) over `floor..floor+II`
+    /// without the resource check (forced placement ejects occupants
+    /// afterwards).
+    fn scan_forced(
+        &self,
+        ddg: &Ddg,
+        ps: &PartialSchedule,
+        v: InstId,
+        floor: i64,
+        mut probes: Option<&mut Vec<Probe>>,
+    ) -> Option<i64> {
+        let Some(base) = self.fast_scan_base(ps, v, floor) else {
+            return generic_scan_forced(self, ddg, ps, v, floor, probes);
+        };
+        let ii = ps.ii() as i64;
+        self.build_scan_entries(ps, v, base, ii);
+        let entries = self.scan_buf.borrow();
+        let cd = self.c_delay as i64;
+        for x in floor..floor + ii {
+            let dt = x - base;
+            let probe = match Self::eval_scan(&entries, dt / ii, dt % ii, cd) {
+                Ok(sync_max) => Probe::Accept {
+                    sync_max,
+                    misspec: None,
+                },
+                Err(sync) => Probe::C1Reject { sync },
+            };
+            #[cfg(debug_assertions)]
+            {
+                let mut want = Probe::Opaque;
+                self.accept_probed(ddg, ps, v, x, &mut want);
+                debug_assert_eq!(
+                    probe, want,
+                    "forced fast scan diverged from probe at cycle {x}"
+                );
+            }
+            if let Some(rec) = probes.as_deref_mut() {
+                rec.push(probe);
+            }
+            if probe.accepted() {
+                return Some(x);
+            }
+        }
+        None
+    }
+}
+
+/// Fetch (or create) the warm-start log for an II row. A row visited
+/// before returns its own log; a fresh row seeds from a *clone* of the
+/// nearest smaller II's log — the engine demotes it to a cross-II guide
+/// (`crate::warm`'s module docs) — or starts empty when no smaller row
+/// exists. Cloning (rather than moving) keeps the smaller row warm for
+/// the out-of-numeric-order revisits the cost shells produce.
+fn warm_log_for(logs: &mut BTreeMap<u32, AttemptLog>, ii: u32) -> &mut AttemptLog {
+    if !logs.contains_key(&ii) {
+        let seed = logs
+            .range(..ii)
+            .next_back()
+            .map(|(_, log)| log.clone())
+            .unwrap_or_default();
+        logs.insert(ii, seed);
+    }
+    logs.get_mut(&ii).expect("entry just ensured")
 }
 
 /// Run TMS on a loop.
@@ -495,6 +874,10 @@ pub fn schedule_tms_traced(
     let sms_achieved = crate::metrics::achieved_c_delay(ddg, &sms.schedule, &model.costs);
     let sms_key = model.cost_key(sms.schedule.ii(), sms_achieved);
 
+    // Probe geometry is candidate-invariant: one plan serves every
+    // `(II, C_delay, P_max)` attempt, serial and wavefront alike.
+    let probe_plan = ProbePlan::new(ddg);
+
     // Placement-independent C1 floor on the C_delay threshold. A self
     // register-flow dependence with distance ≥ 1 always forms an
     // inter-iteration dependence whose producer and consumer rows
@@ -565,7 +948,7 @@ pub fn schedule_tms_traced(
             // its node (same outcome, decided without running it).
             return AttemptOutcome::NoSchedule;
         }
-        let policy = TmsPolicy::new(&model.costs, c_delay, p_max);
+        let policy = TmsPolicy::new(&model.costs, &probe_plan, c_delay, p_max);
         let Some(schedule) = trace.time("tms.phase.place", || match log {
             // Warm path (serial search only): replay the previous
             // attempt's validated decision prefix, run cold from the
@@ -700,17 +1083,24 @@ pub fn schedule_tms_traced(
     // across the whole search — including across adjacent II rows the
     // cost shells revisit out of numeric order.
     let mut frames_cache: HashMap<u32, Option<TimeFrames>> = HashMap::new();
-    // Per-II decision logs for the warm-started serial search, plus the
-    // reuse accounting recorded as `tms.reuse.*` after the search. The
-    // wavefront path never touches these (it runs every attempt cold).
-    let mut warm_logs: HashMap<u32, AttemptLog> = HashMap::new();
+    // Per-II decision logs for the warm-started serial search (ordered
+    // so a new II row can seed from the nearest smaller one — see
+    // `warm_log_for`), plus the reuse accounting recorded as
+    // `tms.reuse.*` after the search. The wavefront path keeps
+    // per-worker log maps in `par_map_with_slots` slots instead, and
+    // contributes nothing to the reuse counters: which attempts warmed
+    // a worker's slot is scheduling-dependent, and the counters promise
+    // bit-identity across worker counts.
+    let mut warm_logs: BTreeMap<u32, AttemptLog> = BTreeMap::new();
     let mut warm_attempts = 0u64;
     let mut steps_replayed = 0u64;
     let mut steps_executed = 0u64;
-    // Adaptive-density accounting (serial search only; both stay zero
+    let mut cross_attempts = 0u64;
+    let mut cross_steps = 0u64;
+    // Adaptive-density accounting (serial search only; all stay zero
     // when `TmsConfig::adaptive` is off or in the wavefront).
     let mut sync_rejections = 0u64;
-    let mut coarsened = false;
+    let mut coarsened = 0u64;
 
     let workers = config.parallelism.workers();
     if workers <= 1 || total_indices <= 1 {
@@ -725,12 +1115,26 @@ pub fn schedule_tms_traced(
         // failing to place anything at all, or a built kernel rejected
         // for `sync-exceeded` — and, once a window is dominated by it,
         // latches the stream into a coarser `C_delay` ladder outside a
-        // refinement band near the SMS incumbent's key. One-way and
-        // serial-only: the wavefront search never coarsens.
-        const ADAPT_WINDOW: u32 = 16;
+        // refinement band near the SMS incumbent's key. Serial-only
+        // (the wavefront search never coarsens), and keyed to the
+        // loop's workload family: DOALL-like loops carry few carried
+        // sync edges, so rejection pressure there is weak evidence and
+        // gets a long window with gentle coarsening, while speculative
+        // DOACROSS loops reject for sync reasons structurally and get a
+        // short window with an aggressive ladder. After a latch the
+        // watcher keeps running; sustained pressure escalates by
+        // re-latching at double the factor (capped) — re-latching
+        // composes, see `CandidateStream::coarsen`.
+        let (adapt_window, adapt_factor) = match tms_ddg::classify(ddg).class {
+            tms_ddg::LoopClass::Doall | tms_ddg::LoopClass::DoallWithInductions => (24u32, 2u32),
+            tms_ddg::LoopClass::DoacrossRegister => (16, 4),
+            tms_ddg::LoopClass::DoacrossSpeculativeMemory => (12, 4),
+        };
+        const ADAPT_FACTOR_CAP: u32 = 8;
         let adapt_margin = (sms_key.0 / 8).max(4);
         let mut adapt_seen = 0u32;
         let mut adapt_sync = 0u32;
+        let mut coarsen_factor = 0u32;
         let mut idx = 0usize;
         while idx < total_indices {
             let Some((ii, c_delay, key, p_max, prune)) = classify(&mut stream, idx) else {
@@ -765,13 +1169,14 @@ pub fn schedule_tms_traced(
                 .or_insert_with(|| trace.time("tms.phase.frames", || TimeFrames::compute(ddg, ii)))
                 .as_ref();
             let outcome = if config.warm_start {
-                let log = warm_logs.entry(ii).or_default();
+                let log = warm_log_for(&mut warm_logs, ii);
                 // The floor/no-frames short-circuits in `run_attempt`
                 // return without entering the engine; zeroing here keeps
                 // the reuse accounting from re-counting the previous
                 // attempt's figures on such an early exit.
                 log.replayed = 0;
                 log.executed = 0;
+                log.cross_replayed = 0;
                 let outcome = run_attempt(
                     ii,
                     c_delay,
@@ -786,6 +1191,10 @@ pub fn schedule_tms_traced(
                 }
                 steps_replayed += log.replayed;
                 steps_executed += log.executed;
+                if log.cross_replayed > 0 {
+                    cross_attempts += 1;
+                }
+                cross_steps += log.cross_replayed;
                 outcome
             } else {
                 run_attempt(ii, c_delay, key, p_max, frames, &mut scratch, None)
@@ -820,15 +1229,23 @@ pub fn schedule_tms_traced(
                 if sync_infeasible {
                     sync_rejections += 1;
                 }
-                if !coarsened {
+                if coarsen_factor < ADAPT_FACTOR_CAP {
                     adapt_seen += 1;
                     if sync_infeasible {
                         adapt_sync += 1;
                     }
-                    if adapt_seen >= ADAPT_WINDOW {
+                    if adapt_seen >= adapt_window {
                         if adapt_sync * 2 > adapt_seen {
-                            stream.coarsen(4, sms_key, adapt_margin);
-                            coarsened = true;
+                            let factor = if coarsen_factor == 0 {
+                                adapt_factor
+                            } else {
+                                (coarsen_factor * 2).min(ADAPT_FACTOR_CAP)
+                            };
+                            if factor > coarsen_factor {
+                                stream.coarsen(factor, sms_key, adapt_margin);
+                                coarsen_factor = factor;
+                                coarsened += 1;
+                            }
                         }
                         adapt_seen = 0;
                         adapt_sync = 0;
@@ -850,6 +1267,14 @@ pub fn schedule_tms_traced(
         // wastes little work.
         let mut idx = 0usize;
         let mut chunk = workers;
+        // Persistent per-worker state: the usual scheduling scratch plus
+        // a per-II warm-log map, carried across chunks so each worker
+        // warm-starts from the attempts *it* ran previously. The slot
+        // contents are scheduling-dependent (which worker gets which
+        // spec is a race), but every attempt is warm≡cold byte-identical
+        // (`tests/bnb_equivalence.rs`), so the serial fold below cannot
+        // observe the difference.
+        let mut worker_state: Vec<(SchedScratch, BTreeMap<u32, AttemptLog>)> = Vec::new();
         'wave: while idx < total_indices {
             if past_deadline() {
                 deadline_cut = true;
@@ -923,12 +1348,22 @@ pub fn schedule_tms_traced(
                 });
             }
             let cache = &frames_cache;
-            let outcomes = par_map_with(
+            let outcomes = par_map_with_slots(
                 config.parallelism,
                 &specs,
-                SchedScratch::new,
-                |scratch, _, spec| {
+                &mut worker_state,
+                || (SchedScratch::new(), BTreeMap::new()),
+                |(scratch, logs), _, spec| {
                     let frames = cache.get(&spec.ii).and_then(|f| f.as_ref());
+                    let log = config
+                        .warm_start
+                        .then(|| warm_log_for(logs, spec.ii))
+                        .map(|log| {
+                            log.replayed = 0;
+                            log.executed = 0;
+                            log.cross_replayed = 0;
+                            log
+                        });
                     run_attempt(
                         spec.ii,
                         spec.c_delay,
@@ -936,7 +1371,7 @@ pub fn schedule_tms_traced(
                         spec.p_max,
                         frames,
                         scratch,
-                        None,
+                        log,
                     )
                 },
             );
@@ -977,20 +1412,26 @@ pub fn schedule_tms_traced(
     trace.count("tms.pruned.cost-bound", pruned_cost as u64);
     trace.count("tms.pruned.p-max-dup", pruned_pmax as u64);
     // Warm-start reuse accounting: attempts that replayed ≥ 1 recorded
-    // step, and the step totals replayed vs executed cold. All zero in
-    // the wavefront search (it runs cold) — `tms.reuse.*` describes the
-    // serial engine's work saved, not the search's observable results,
-    // and like wall-clock timers is excluded from the serial≡parallel
+    // step, the step totals replayed vs executed cold, and the cross-II
+    // figures (attempts whose guide rebuilt ≥ 1 window from transferred
+    // facts, and those window-rebuild totals). All zero in the
+    // wavefront search — its workers do warm-start, but which attempts
+    // hit a worker's slot is scheduling-dependent, so `tms.reuse.*`
+    // describes only the serial engine's work saved and, like
+    // wall-clock timers, is excluded from the serial≡parallel
     // metric-identity guarantee.
     trace.count("tms.reuse.warm-attempts", warm_attempts);
+    trace.count("tms.reuse.cross-ii-attempts", cross_attempts);
+    trace.count("tms.reuse.cross-ii-steps-replayed", cross_steps);
     trace.count("tms.reuse.steps-replayed", steps_replayed);
     trace.count("tms.reuse.steps-executed", steps_executed);
     // Adaptive-density accounting: attempts whose outcome evidenced
-    // sync-delay infeasibility, whether the coarsening latch fired, and
-    // the ladder rungs the coarsened stream dropped. All zero on the
-    // default (adaptive-off) path.
+    // sync-delay infeasibility, how many times the coarsening latch
+    // fired (initial latch plus escalating re-latches), and the ladder
+    // rungs the coarsened stream dropped. All zero on the default
+    // (adaptive-off) path.
     trace.count("tms.adaptive.sync-rejections", sync_rejections);
-    trace.count("tms.adaptive.coarsened", coarsened as u64);
+    trace.count("tms.adaptive.coarsened", coarsened);
     trace.count("tms.adaptive.skipped", stream.skipped());
     trace.record("tms.pruned_per_loop", pruned as u64);
     trace.record("tms.attempts_per_loop", attempts as u64);
@@ -1490,10 +1931,11 @@ mod tests {
         let model = model(4);
         let order = sms_order(&g);
         let mut scratch = SchedScratch::new();
+        let plan = ProbePlan::new(&g);
         for ii in [12u32, 16, 24] {
             let frames = TimeFrames::compute(&g, ii).unwrap();
             for c_delay in [costs.min_c_delay(), floor as u32 - 1] {
-                let policy = TmsPolicy::new(&costs, c_delay, 1.0);
+                let policy = TmsPolicy::new(&costs, &plan, c_delay, 1.0);
                 let got = crate::sms::try_schedule_with(
                     &g,
                     &m,

@@ -244,4 +244,39 @@ mod tests {
         assert!(parse_snapshot("{\"counters\": {\"a\": \"x\"}}").is_err());
         assert!(parse_snapshot("{\"counters\": {}, \"values\": {\"h\": {\"count\": 1}}}").is_err());
     }
+
+    #[test]
+    fn parse_snapshot_rejects_inverted_histogram_range() {
+        // A histogram whose min exceeds its max is structurally
+        // impossible for the recorder to produce; a hand-edited or
+        // corrupted snapshot must fail at parse time rather than panic
+        // later inside `percentile`'s clamp.
+        let doc = "{\"counters\": {}, \"values\": {\"h\": \
+                   {\"count\": 1, \"sum\": 7, \"min\": 9, \"max\": 3, \
+                    \"buckets\": [[3, 1]]}}}";
+        let err = parse_snapshot(doc).unwrap_err();
+        assert!(err.contains("min 9 exceeds max 3"), "got: {err}");
+    }
+
+    #[test]
+    fn sparse_and_empty_histograms_round_trip_and_merge() {
+        // Sparse buckets: only the populated indices are serialized, so
+        // a histogram with samples in two distant buckets exercises the
+        // sparse-pair path through to `from_parts`.
+        let t = Trace::enabled();
+        t.record("sparse", 1);
+        t.record("sparse", u64::MAX / 2);
+        let snap = t.metrics();
+        let back = parse_snapshot(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        let h = &back.values["sparse"];
+        assert_eq!((h.p50(), h.count), (1, 2));
+
+        // An empty histogram round-trips and is the merge identity.
+        let empty = Histogram::from_parts(0, 0, 0, 0, &[]).unwrap();
+        assert_eq!((empty.p50(), empty.p95(), empty.p99()), (0, 0, 0));
+        let mut merged = empty;
+        merged.merge(h);
+        assert_eq!(&merged, h);
+    }
 }

@@ -180,7 +180,11 @@ impl Histogram {
 
     /// Rebuild a histogram from serialized parts (the merge tools parse
     /// these back out of metrics JSON). Bucket counts must sum to
-    /// `count`.
+    /// `count`, and a non-empty histogram needs `min ≤ max` — a
+    /// malformed snapshot must be rejected here, because
+    /// [`Histogram::percentile`] clamps to `[min, max]` and an inverted
+    /// range would panic on the first percentile query instead of at
+    /// the parse boundary.
     pub fn from_parts(
         count: u64,
         sum: u64,
@@ -188,6 +192,9 @@ impl Histogram {
         max: u64,
         bucket_pairs: &[(u64, u64)],
     ) -> Result<Histogram, String> {
+        if count > 0 && min > max {
+            return Err(format!("histogram min {min} exceeds max {max}"));
+        }
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
         let mut total = 0u64;
         for &(i, n) in bucket_pairs {
@@ -1160,7 +1167,33 @@ mod tests {
         let mut one = Histogram::default();
         one.record_sample(42);
         assert_eq!((one.p50(), one.p95(), one.p99()), (42, 42, 42));
-        assert_eq!(Histogram::default().p50(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_deterministically_zero() {
+        // An empty histogram has no observed range; every percentile
+        // reports 0, not an arbitrary bucket edge. This also covers the
+        // round-trip of an empty histogram through `from_parts`.
+        let empty = Histogram::default();
+        for pct in [1u8, 50, 95, 99, 100] {
+            assert_eq!(empty.percentile(pct), 0);
+        }
+        assert_eq!((empty.p50(), empty.p95(), empty.p99()), (0, 0, 0));
+        let rebuilt = Histogram::from_parts(0, 0, 0, 0, &[]).unwrap();
+        assert_eq!(rebuilt, empty);
+        assert_eq!((rebuilt.p50(), rebuilt.p95(), rebuilt.p99()), (0, 0, 0));
+    }
+
+    #[test]
+    fn from_parts_rejects_inverted_range() {
+        // A malformed snapshot with min > max must fail at the parse
+        // boundary: `percentile` clamps to [min, max], which panics on
+        // an inverted range.
+        let err = Histogram::from_parts(1, 7, 9, 3, &[(3, 1)]).unwrap_err();
+        assert!(err.contains("min 9 exceeds max 3"), "got: {err}");
+        // count == 0 carries no range, so (0, 0) stays accepted even
+        // though the fields are equal-zero rather than meaningful.
+        assert!(Histogram::from_parts(0, 0, 0, 0, &[]).is_ok());
     }
 
     #[test]

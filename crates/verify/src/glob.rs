@@ -1,0 +1,159 @@
+//! Minimal filename-glob expansion for the CLI entry points.
+//!
+//! `tms-verify merge-metrics results/shard_*.json` is the natural way
+//! to fold a sharded sweep, but when the shell finds no match it passes
+//! the pattern through *verbatim* (POSIX default, and `nullglob` is off
+//! almost everywhere) — and a merge tool that treats the unmatched
+//! pattern as a literal filename either errors confusingly or, worse,
+//! merges nothing and writes an empty snapshot. This module gives the
+//! CLI just enough glob support to expand such patterns itself and
+//! report "matched no files" as the operational error it is.
+//!
+//! Scope is deliberately small (no new dependencies): `*` and `?` are
+//! recognised in the **final path component only** — wildcards in a
+//! directory component are not expanded (the path is then treated as a
+//! literal). Matches are returned sorted by filename so downstream
+//! merge order — and therefore any merge diagnostics — is deterministic
+//! regardless of directory enumeration order.
+
+use std::path::{Path, PathBuf};
+
+/// Whether `arg`'s final path component contains a glob metacharacter
+/// (`*` or `?`) — i.e. whether [`expand`] would treat it as a pattern
+/// rather than a literal path.
+pub fn is_pattern(arg: &str) -> bool {
+    let tail = arg
+        .rsplit(['/', std::path::MAIN_SEPARATOR])
+        .next()
+        .unwrap_or(arg);
+    tail.contains(['*', '?'])
+}
+
+/// Expand a pattern whose final component may contain `*` / `?` into
+/// the sorted list of matching paths. A non-pattern arg (per
+/// [`is_pattern`]) is returned as-is without touching the filesystem.
+/// An unreadable parent directory is an error; a readable directory
+/// with no matching entries yields an empty vector — the caller
+/// decides whether that is fatal (for `merge-metrics` it is).
+pub fn expand(arg: &str) -> Result<Vec<PathBuf>, String> {
+    if !is_pattern(arg) {
+        return Ok(vec![PathBuf::from(arg)]);
+    }
+    let path = Path::new(arg);
+    let pattern = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("pattern '{arg}' has no filename component"))?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory '{}': {e}", dir.display()))?;
+    let mut matched: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read directory '{}': {e}", dir.display()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue; // non-UTF-8 names cannot match a UTF-8 pattern
+        };
+        if matches(pattern, name) {
+            // Reconstruct through the original arg's directory prefix
+            // so relative args stay relative (no "./" injection).
+            matched.push(if arg.contains(['/', std::path::MAIN_SEPARATOR]) {
+                dir.join(name)
+            } else {
+                PathBuf::from(name)
+            });
+        }
+    }
+    matched.sort();
+    Ok(matched)
+}
+
+/// Glob-match `name` against `pattern`: `?` matches any single
+/// character, `*` any (possibly empty) run. Classic two-pointer
+/// backtracking over the last `*` — linear in practice, no recursion.
+fn matches(pattern: &str, name: &str) -> bool {
+    let (p, n) = (pattern.as_bytes(), name.as_bytes());
+    let (mut pi, mut ni) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((sp, sn)) = star {
+            // Backtrack: let the last `*` swallow one more byte.
+            pi = sp + 1;
+            ni = sn + 1;
+            star = Some((sp, sn + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matcher_handles_star_question_and_literals() {
+        assert!(matches("shard_*.json", "shard_0.json"));
+        assert!(matches("shard_*.json", "shard_12.json"));
+        assert!(matches("*", "anything"));
+        assert!(matches("*", ""));
+        assert!(matches("a?c", "abc"));
+        assert!(matches("*.json", ".json"));
+        assert!(matches("a*b*c", "axxbyyc"));
+        assert!(!matches("a?c", "ac"));
+        assert!(!matches("shard_*.json", "shard_0.json.bak"));
+        assert!(!matches("*.json", "snapshot.txt"));
+        assert!(!matches("abc", "abd"));
+    }
+
+    #[test]
+    fn pattern_detection_ignores_directory_components() {
+        assert!(is_pattern("shard_*.json"));
+        assert!(is_pattern("results/shard_?.json"));
+        assert!(!is_pattern("results/plain.json"));
+        // A wildcard in a *directory* component is out of scope: the
+        // final component is literal, so the arg is not a pattern.
+        assert!(!is_pattern("res*/plain.json"));
+    }
+
+    #[test]
+    fn expand_returns_sorted_matches_and_passes_literals_through() {
+        let dir = std::env::temp_dir().join("tms_verify_glob_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["b.json", "a.json", "c.txt"] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        let pat = format!("{}/*.json", dir.display());
+        let got = expand(&pat).unwrap();
+        assert_eq!(got, vec![dir.join("a.json"), dir.join("b.json")]);
+
+        // No match: empty, not an error — the CLI turns this into
+        // exit 2 with the pattern named.
+        let none = expand(&format!("{}/*.ndjson", dir.display())).unwrap();
+        assert!(none.is_empty());
+
+        // Literal (even nonexistent) paths pass through untouched.
+        let lit = expand("results/definitely_missing.json").unwrap();
+        assert_eq!(lit, vec![PathBuf::from("results/definitely_missing.json")]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn expand_reports_unreadable_directories() {
+        let err = expand("no_such_dir_tms_verify/*.json").unwrap_err();
+        assert!(err.contains("no_such_dir_tms_verify"), "got: {err}");
+    }
+}

@@ -28,6 +28,7 @@
 
 pub mod checks;
 pub mod fuzz;
+pub mod glob;
 pub mod report;
 pub mod sweep;
 

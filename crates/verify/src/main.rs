@@ -95,7 +95,9 @@ fn usage() -> String {
                     reported, panics are contained, and the report is\n\
                     still bit-identical at every --jobs.\n\n\
      merge-metrics  fold per-shard snapshot/metrics JSON files into\n\
-                    one snapshot (stdout, or --out PATH)"
+                    one snapshot (stdout, or --out PATH). FILE may be a\n\
+                    filename glob (* / ? in the final component); zero\n\
+                    inputs or a pattern matching nothing exits 2"
         .to_string()
 }
 
@@ -190,14 +192,36 @@ fn cmd_merge_metrics(argv: &[String]) -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("tms-verify merge-metrics [--out PATH] FILE...");
+                println!(
+                    "tms-verify merge-metrics [--out PATH] FILE...\n\
+                     FILE may be a filename glob (* / ? in the final \
+                     component);\nzero inputs or a pattern matching \
+                     nothing exits 2"
+                );
                 return ExitCode::SUCCESS;
             }
+            // Shells pass unmatched globs through verbatim, so expand
+            // `*` / `?` patterns here: a pattern matching nothing is an
+            // operational error (exit 2), never a silent empty merge.
+            _ if tms_verify::glob::is_pattern(a) => match tms_verify::glob::expand(a) {
+                Ok(matched) if matched.is_empty() => {
+                    eprintln!("tms-verify merge-metrics: pattern '{a}' matched no files");
+                    return ExitCode::from(2);
+                }
+                Ok(matched) => files.extend(matched),
+                Err(e) => {
+                    eprintln!("tms-verify merge-metrics: {e}");
+                    return ExitCode::from(2);
+                }
+            },
             _ => files.push(PathBuf::from(a)),
         }
     }
     if files.is_empty() {
-        eprintln!("tms-verify merge-metrics: no input files");
+        eprintln!(
+            "tms-verify merge-metrics: no input files — nothing to merge \
+             (refusing to write an empty snapshot)"
+        );
         return ExitCode::from(2);
     }
     let merged = match tms_trace::merge::merge_snapshot_files(&files) {

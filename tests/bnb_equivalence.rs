@@ -179,10 +179,12 @@ fn full_fingerprint(ddg: &Ddg, r: &TmsResult) -> impl PartialEq + std::fmt::Debu
     )
 }
 
-/// Warm-started attempts (per-II decision-log replay) must be
-/// byte-identical to the cold path — schedules, accounting, and
-/// rejection records alike — at one and four workers (the wavefront
-/// always runs cold, so jobs=4 pins that the flag is inert there).
+/// Warm-started attempts — same-II decision-log replay *and* the
+/// cross-II guide that seeds a new II row from the nearest smaller one
+/// — must be byte-identical to the cold path: schedules, accounting,
+/// and rejection records alike, at one and four workers. jobs=4
+/// exercises the warm *wavefront* (per-worker log slots carried across
+/// chunks); the serial fold must not be able to tell.
 #[test]
 fn warm_start_is_byte_identical_to_cold() {
     for ddg in &population() {
@@ -211,7 +213,9 @@ fn warm_start_is_byte_identical_to_cold() {
 /// Warm replay composes with tight degradation budgets: a `Fail` step
 /// validated under new knobs must reproduce the cold engine's failure
 /// (and its ejection-budget accounting) exactly, so budget cuts land on
-/// the identical attempt.
+/// the identical attempt. The tightest budgets cut mid-II-row, which
+/// makes the next run's first attempt at the following II a pure
+/// cross-II-guided one — the cross-II path is budget-composed too.
 #[test]
 fn warm_start_composes_with_budgets() {
     let machine = MachineModel::icpp2008();
@@ -263,6 +267,45 @@ fn warm_start_replays_steps_somewhere() {
         replayed.is_some_and(|n| n > 0),
         "warm-start replay never fired over the whole population (steps-replayed={replayed:?}) \
          — the cache is dead code"
+    );
+}
+
+/// The cross-II guide must also fire on this population: a fresh II row
+/// seeds from the nearest smaller one and rebuilds ≥ 1 window from the
+/// transferred carried-free facts, observable as
+/// `tms.reuse.cross-ii-steps-replayed`. Equivalence alone would hold
+/// vacuously if every guide died on its first step; this pins the
+/// optimisation as live code.
+#[test]
+fn cross_ii_guide_replays_steps_somewhere() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let trace = tms_trace::Trace::enabled();
+    for ddg in &population() {
+        let _ = tms_core::tms::schedule_tms_traced(
+            ddg,
+            &machine,
+            &model,
+            &TmsConfig::default(),
+            &trace,
+        );
+    }
+    let metrics = trace.metrics();
+    let attempts = metrics.counters.get("tms.reuse.cross-ii-attempts").copied();
+    let steps = metrics
+        .counters
+        .get("tms.reuse.cross-ii-steps-replayed")
+        .copied();
+    assert!(
+        steps.is_some_and(|n| n > 0),
+        "cross-II guide never rebuilt a window over the whole population \
+         (cross-ii-steps-replayed={steps:?}, cross-ii-attempts={attempts:?}) — the carryover \
+         is dead code"
+    );
+    assert!(
+        attempts.is_some_and(|n| n > 0),
+        "cross-ii-attempts counter missing or zero while steps replayed"
     );
 }
 
