@@ -118,6 +118,12 @@ pub struct PhaseStat {
     pub total_s: f64,
     /// Share of the summed per-phase time (0..1).
     pub share: f64,
+    /// Median per-call wall-clock (nanoseconds, from the timer's
+    /// power-of-two histogram — an upper bucket bound, not an exact
+    /// order statistic).
+    pub p50_ns: u64,
+    /// 95th-percentile per-call wall-clock (nanoseconds, same caveat).
+    pub p95_ns: u64,
 }
 
 /// Where scheduling time goes: one dedicated traced pass over the
@@ -265,6 +271,8 @@ fn measure_phase_breakdown(family: &str, ddgs: &[Ddg], exp: &ExperimentConfig) -
             calls: h.count,
             total_s: h.sum as f64 / 1e9,
             share: ratio(h.sum as f64, total_ns as f64),
+            p50_ns: h.p50(),
+            p95_ns: h.p95(),
         })
         .collect();
     phases.sort_by(|a, b| b.total_s.total_cmp(&a.total_s).then(a.phase.cmp(&b.phase)));
@@ -510,11 +518,13 @@ pub fn render(r: &ThroughputReport) -> String {
         .iter()
         .map(|p| {
             format!(
-                "{} {:.1}% ({:.3}s/{})",
+                "{} {:.1}% ({:.3}s/{}, p50 {}ns p95 {}ns)",
                 p.phase,
                 p.share * 100.0,
                 p.total_s,
-                p.calls
+                p.calls,
+                p.p50_ns,
+                p.p95_ns
             )
         })
         .collect::<Vec<_>>()
@@ -596,6 +606,20 @@ mod tests {
             (share_sum - 1.0).abs() < 1e-9,
             "phase shares must partition the total ({share_sum})"
         );
+        for p in &report.phase_breakdown.phases {
+            assert!(
+                p.p50_ns <= p.p95_ns,
+                "{}: p50 {} exceeds p95 {}",
+                p.phase,
+                p.p50_ns,
+                p.p95_ns
+            );
+            assert!(
+                p.calls == 0 || p.p95_ns > 0,
+                "{}: fired but p95 is 0",
+                p.phase
+            );
+        }
         for name in ["order", "ldp", "place", "verify"] {
             assert!(
                 report

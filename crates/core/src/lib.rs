@@ -58,6 +58,7 @@ pub mod mrt;
 pub mod order;
 pub mod par;
 pub mod postpass;
+pub mod profile;
 pub mod schedule;
 pub mod sms;
 pub mod tms;
@@ -73,6 +74,7 @@ pub use ims::{schedule_ims, ImsResult};
 pub use metrics::LoopMetrics;
 pub use par::{par_map, par_map_with, Parallelism};
 pub use postpass::CommPlan;
+pub use profile::{NodeHotspot, PlaceProfile};
 pub use schedule::{PartialSchedule, Schedule};
 pub use sms::{schedule_sms, schedule_sms_with, SchedError, SchedScratch, SmsResult};
 pub use tms::{schedule_tms, schedule_tms_traced, CandidateReject, TmsConfig, TmsResult};

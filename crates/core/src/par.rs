@@ -360,10 +360,15 @@ mod tests {
         let items: Vec<u32> = (0..32).collect();
         let mut slots: Vec<usize> = Vec::new();
         for round in 1..=2usize {
-            let done =
-                par_map_with_slots(Parallelism::Jobs(4), &items, &mut slots, || 0, |seen, _, _| {
+            let done = par_map_with_slots(
+                Parallelism::Jobs(4),
+                &items,
+                &mut slots,
+                || 0,
+                |seen, _, _| {
                     *seen += 1;
-                });
+                },
+            );
             assert_eq!(done.len(), items.len());
             assert_eq!(slots.len(), 4);
             assert_eq!(slots.iter().sum::<usize>(), items.len() * round);

@@ -10,9 +10,11 @@
 //! into" SMS.
 
 use crate::order::sms_order;
+use crate::profile::PlaceProfile;
 use crate::schedule::{PartialSchedule, Schedule};
 use crate::warm::{AttemptLog, FailKind, Probe, Step, StepAction, WinFacts};
 use crate::window::{force_floor_with, window_from_facts, window_into, WindowScratch};
+use std::time::Instant;
 use tms_ddg::analysis::{AcyclicPriorities, TimeFrames};
 use tms_ddg::{Ddg, InstId};
 use tms_machine::{mii, MachineModel};
@@ -105,6 +107,15 @@ pub trait SlotPolicy {
         probes: Option<&mut Vec<Probe>>,
     ) -> Option<i64> {
         generic_scan_forced(self, ddg, ps, v, floor, probes)
+    }
+
+    /// Whether the policy's most recent scan (`scan_window` /
+    /// `scan_forced`) took a specialised fast path rather than the
+    /// generic per-slot reference scan. Purely informational: the
+    /// placement profiler uses it to split probe-outcome attribution.
+    /// Policies without a fast path keep the default.
+    fn scan_was_fast(&self) -> bool {
+        false
     }
 }
 
@@ -294,7 +305,9 @@ pub fn try_schedule_prepared(
     scratch: &mut SchedScratch,
 ) -> Option<Schedule> {
     debug_assert_eq!(frames.ii, ii, "frames computed for a different II");
-    run_prepared(ddg, machine, ii, order, pos, policy, frames, scratch, None)
+    run_prepared(
+        ddg, machine, ii, order, pos, policy, frames, scratch, None, None,
+    )
 }
 
 /// [`try_schedule_prepared`] with warm-start record/replay through an
@@ -330,6 +343,39 @@ pub fn try_schedule_logged(
         frames,
         scratch,
         Some(log),
+        None,
+    )
+}
+
+/// [`try_schedule_prepared`] with the placement profiler attached (see
+/// [`crate::profile`]). The attempt runs cold — no warm-start log — and
+/// fills `prof` with per-node attribution, probe outcomes, eject
+/// accounting and sub-phase wall-clock accumulators. Scheduling results
+/// are byte-identical to [`try_schedule_prepared`]; the profiler only
+/// observes.
+#[allow(clippy::too_many_arguments)]
+pub fn try_schedule_profiled(
+    ddg: &Ddg,
+    machine: &MachineModel,
+    ii: u32,
+    order: &[InstId],
+    pos: &[usize],
+    policy: &dyn SlotPolicy,
+    frames: &TimeFrames,
+    scratch: &mut SchedScratch,
+    prof: &mut PlaceProfile,
+) -> Option<Schedule> {
+    run_prepared(
+        ddg,
+        machine,
+        ii,
+        order,
+        pos,
+        policy,
+        frames,
+        scratch,
+        None,
+        Some(prof),
     )
 }
 
@@ -344,6 +390,7 @@ fn run_prepared(
     frames: &TimeFrames,
     scratch: &mut SchedScratch,
     log: Option<&mut AttemptLog>,
+    mut prof: Option<&mut PlaceProfile>,
 ) -> Option<Schedule> {
     debug_assert_eq!(frames.ii, ii, "frames computed for a different II");
     let mut ps = match scratch.ps.take() {
@@ -353,7 +400,24 @@ fn run_prepared(
         }
         None => PartialSchedule::new(ddg, ii, machine),
     };
-    let complete = schedule_all(ddg, &mut ps, ii, order, pos, policy, frames, scratch, log);
+    if let Some(p) = prof.as_deref_mut() {
+        p.begin_attempt();
+    }
+    let complete = schedule_all(
+        ddg,
+        &mut ps,
+        ii,
+        order,
+        pos,
+        policy,
+        frames,
+        scratch,
+        log,
+        prof.as_deref_mut(),
+    );
+    if let Some(p) = prof {
+        p.end_attempt();
+    }
     let out = complete.then(|| ps.snapshot(ddg));
     scratch.ps = Some(ps);
     out
@@ -367,6 +431,13 @@ fn run_prepared(
 /// prefix (see [`crate::warm`]), then runs the cold loop from the
 /// resulting state, recording every executed step. With `None` it is
 /// the plain cold engine. Both modes take byte-identical decisions.
+///
+/// With `prof = Some(..)` the placement profiler observes the cold
+/// loop: per-node attribution, probe classification, eject accounting
+/// and sub-phase wall clocks (see [`crate::profile`]). Steps applied by
+/// warm replay skip the scans being attributed and are therefore *not*
+/// profiled — the TMS search runs profiled attempts cold so attribution
+/// covers every decision.
 #[allow(clippy::too_many_arguments)]
 fn schedule_all(
     ddg: &Ddg,
@@ -378,6 +449,7 @@ fn schedule_all(
     frames: &TimeFrames,
     scratch: &mut SchedScratch,
     mut log: Option<&mut AttemptLog>,
+    mut prof: Option<&mut PlaceProfile>,
 ) -> bool {
     let mut eject_budget = (ddg.num_insts() * 10).max(100);
     // Topological sweep orders for the window bounds: DDG-static,
@@ -461,7 +533,10 @@ fn schedule_all(
             log.complete = false;
         }
     }
-    let recording = log.is_some();
+    let profiling = prof.is_some();
+    // The profiler reuses the warm-start probe recording to classify
+    // verdicts, so either consumer turns it on.
+    let recording = log.is_some() || profiling;
 
     // Next-unplaced cursor: nodes before it are placed, so the common
     // (ejection-free) path walks `order` once instead of rescanning it
@@ -487,6 +562,7 @@ fn schedule_all(
                 None
             }
         };
+        let t_scan = profiling.then(Instant::now);
         let facts = match guide_facts {
             Some(f) => {
                 window_from_facts(
@@ -504,10 +580,7 @@ fn schedule_all(
                     let regen = std::mem::take(&mut scratch.win.cycles);
                     let kind = window_into(ddg, ps, frames, v, &mut scratch.win);
                     debug_assert_eq!(kind, f.kind, "cross-II window kind diverged");
-                    debug_assert_eq!(
-                        scratch.win.cycles, regen,
-                        "cross-II window cycles diverged"
-                    );
+                    debug_assert_eq!(scratch.win.cycles, regen, "cross-II window cycles diverged");
                     scratch.win.cycles = regen;
                 }
                 if let Some(log) = log.as_deref_mut() {
@@ -526,7 +599,12 @@ fn schedule_all(
                 }
             }
         };
+        if let Some(p) = prof.as_deref_mut() {
+            p.scan_ns += t_scan.unwrap().elapsed().as_nanos() as u64;
+            p.note_scan(v);
+        }
         let mut probes: Vec<Probe> = Vec::new();
+        let t_probe = profiling.then(Instant::now);
         let slot = policy.scan_window(
             ddg,
             ps,
@@ -534,9 +612,17 @@ fn schedule_all(
             &scratch.win.cycles,
             recording.then_some(&mut probes),
         );
+        if let Some(p) = prof.as_deref_mut() {
+            p.probe_ns += t_probe.unwrap().elapsed().as_nanos() as u64;
+            p.classify_probes(&probes, policy.scan_was_fast());
+        }
         match slot {
             Some(c) => {
+                let t_fit = profiling.then(Instant::now);
                 ps.place(ddg, v, c);
+                if let Some(p) = prof.as_deref_mut() {
+                    p.fit_ns += t_fit.unwrap().elapsed().as_nanos() as u64;
+                }
                 cursor += 1;
                 if let Some(log) = log.as_deref_mut() {
                     let action = StepAction::Place { v, cycle: c };
@@ -566,6 +652,7 @@ fn schedule_all(
                 // windows of the nodes in between, which then force in
                 // turn — the cascade terminates because every floor is
                 // monotone and the budget is finite.
+                let t_floor = profiling.then(Instant::now);
                 let lb = match scratch.win.cycles.iter().min().copied() {
                     Some(lb) => lb,
                     None if guide_facts.is_some() => {
@@ -586,8 +673,18 @@ fn schedule_all(
                     None => force_floor_with(ddg, ps, frames, v, &mut scratch.win),
                 };
                 let floor = lb.max(scratch.earliest[v.index()]);
+                if let Some(p) = prof.as_deref_mut() {
+                    // The forced floor's lower sweep is window work.
+                    p.scan_ns += t_floor.unwrap().elapsed().as_nanos() as u64;
+                }
+                let probes_pre_force = probes.len();
+                let t_force = profiling.then(Instant::now);
                 let forced =
                     policy.scan_forced(ddg, ps, v, floor, recording.then_some(&mut probes));
+                if let Some(p) = prof.as_deref_mut() {
+                    p.force_ns += t_force.unwrap().elapsed().as_nanos() as u64;
+                    p.classify_probes(&probes[probes_pre_force..], policy.scan_was_fast());
+                }
                 let Some(c) = forced else {
                     record_fail(log, probes, facts, FailKind::NoForcedSlot);
                     return false;
@@ -595,6 +692,7 @@ fn schedule_all(
                 scratch.earliest[v.index()] = c + 1;
                 let mut eject_before = std::mem::take(&mut scratch.ejected);
                 eject_before.clear();
+                let t_eject = profiling.then(Instant::now);
                 eject_row_conflicts(
                     ddg,
                     ps,
@@ -604,15 +702,34 @@ fn schedule_all(
                     &mut scratch.occupants,
                     &mut eject_before,
                 );
+                if let Some(p) = prof.as_deref_mut() {
+                    p.eject_ns += t_eject.unwrap().elapsed().as_nanos() as u64;
+                    for &n in &eject_before {
+                        p.note_ejected(n);
+                    }
+                }
+                let chain_before = eject_before.len() as u64;
+                let t_fit = profiling.then(Instant::now);
                 if !ps.fits(ddg, v, c) {
                     scratch.ejected = eject_before;
                     record_fail(log, probes, facts, FailKind::ForcedUnfit);
                     return false;
                 }
                 ps.place(ddg, v, c);
+                if let Some(p) = prof.as_deref_mut() {
+                    p.fit_ns += t_fit.unwrap().elapsed().as_nanos() as u64;
+                }
+                let t_eject2 = profiling.then(Instant::now);
                 if let Some(log) = log.as_deref_mut() {
                     let mut eject_after = Vec::new();
                     eject_violated_neighbours(ddg, ps, v, ii, &mut eject_after);
+                    if let Some(p) = prof.as_deref_mut() {
+                        p.eject_ns += t_eject2.unwrap().elapsed().as_nanos() as u64;
+                        for &n in &eject_after {
+                            p.note_ejected(n);
+                        }
+                        p.note_force(chain_before + eject_after.len() as u64);
+                    }
                     let action = StepAction::Force {
                         v,
                         cycle: c,
@@ -628,9 +745,17 @@ fn schedule_all(
                     });
                 } else {
                     // Reuse the scratch buffer for the second eviction
-                    // list too — nothing reads it when not recording.
+                    // list too — nothing reads it when not recording a
+                    // log (the profiler accounts for it right here).
                     eject_before.clear();
                     eject_violated_neighbours(ddg, ps, v, ii, &mut eject_before);
+                    if let Some(p) = prof.as_deref_mut() {
+                        p.eject_ns += t_eject2.unwrap().elapsed().as_nanos() as u64;
+                        for &n in &eject_before {
+                            p.note_ejected(n);
+                        }
+                        p.note_force(chain_before + eject_before.len() as u64);
+                    }
                     scratch.ejected = eject_before;
                 }
                 cursor = 0;
@@ -642,7 +767,6 @@ fn schedule_all(
     }
     true
 }
-
 
 /// Terminal failure step of a recorded attempt.
 fn record_fail(log: Option<&mut AttemptLog>, probes: Vec<Probe>, win: WinFacts, kind: FailKind) {

@@ -16,11 +16,12 @@ use crate::cost::{
 use crate::diagnostics::{verify_schedule, Diagnostic, VerifyLimits};
 use crate::order::sms_order;
 use crate::par::{par_map_with_slots, Parallelism};
+use crate::profile::PlaceProfile;
 use crate::schedule::{PartialSchedule, Schedule};
 use crate::sms::{
     generic_scan_forced, generic_scan_window, ii_search_ceiling_from, order_priorities,
-    schedule_sms_with, try_schedule_logged, try_schedule_prepared, SchedError, SchedScratch,
-    SlotPolicy,
+    schedule_sms_with, try_schedule_logged, try_schedule_prepared, try_schedule_profiled,
+    SchedError, SchedScratch, SlotPolicy,
 };
 use crate::warm::{AttemptLog, Probe};
 use std::collections::{BTreeMap, HashMap};
@@ -137,6 +138,21 @@ pub struct TmsConfig {
     /// the serial≡parallel identity guarantee and off in every default
     /// path.
     pub adaptive: bool,
+    /// In-engine placement profiler (default **off**; see
+    /// [`crate::profile`]). When on, every dispatched attempt runs
+    /// *cold* — warm-start replay is bypassed, because replayed steps
+    /// skip exactly the scans being attributed — and fills a
+    /// per-attempt [`PlaceProfile`] that the search folds serially in
+    /// candidate-index order. Schedules are unchanged (warm ≡ cold per
+    /// attempt); attribution counters and histograms are bit-identical
+    /// at every worker count and recorded under `tms.place.*`, and the
+    /// folded profile is surfaced as [`TmsResult::profile`]. Sub-phase
+    /// wall clocks land in the `tms.place.{scan,probe,fit,eject,force,
+    /// verify}` trace timers, which — like `tms.phase.*` — are excluded
+    /// from the deterministic snapshot. Profiling costs real time (two
+    /// clock reads per engine step plus probe recording), so it is a
+    /// measurement mode, not a default.
+    pub profile: bool,
 }
 
 impl Default for TmsConfig {
@@ -155,6 +171,7 @@ impl Default for TmsConfig {
             parallelism: Parallelism::Serial,
             warm_start: true,
             adaptive: false,
+            profile: false,
         }
     }
 }
@@ -246,6 +263,11 @@ pub struct TmsResult {
     /// [`Diagnostic::DegradedToSms`]). `None` for accepted candidates
     /// *and* for ordinary cost-driven SMS fallbacks.
     pub degraded: Option<Diagnostic>,
+    /// Folded placement profile of every consumed attempt, present iff
+    /// [`TmsConfig::profile`] was on. Attribution fields are
+    /// bit-identical at every worker count; the `*_ns` accumulators are
+    /// wall clock (see [`crate::profile`]).
+    pub profile: Option<PlaceProfile>,
 }
 
 /// One incident edge of the C1 scan, flattened to exactly the fields
@@ -393,6 +415,11 @@ pub struct TmsPolicy<'a> {
     /// Reusable buffer for the scan fast path (policies are built,
     /// used and dropped within one attempt on one thread).
     scan_buf: std::cell::RefCell<Vec<ScanEntry>>,
+    /// Whether the most recent scan took the closed-form fast path
+    /// (see [`SlotPolicy::scan_was_fast`]). The flag is a deterministic
+    /// function of the partial-schedule state, so profiler attribution
+    /// keyed on it stays worker-count-independent.
+    last_scan_fast: std::cell::Cell<bool>,
 }
 
 impl<'a> TmsPolicy<'a> {
@@ -405,6 +432,7 @@ impl<'a> TmsPolicy<'a> {
             c_delay,
             p_max,
             scan_buf: std::cell::RefCell::new(Vec::new()),
+            last_scan_fast: std::cell::Cell::new(false),
         }
     }
 
@@ -542,8 +570,7 @@ impl<'a> TmsPolicy<'a> {
         let mut v_adds_mem_dep = false;
         let mut sync_max = i64::MIN;
         let vi = v.index();
-        let row_range =
-            self.plan.starts[vi] as usize..self.plan.starts[vi + 1] as usize;
+        let row_range = self.plan.starts[vi] as usize..self.plan.starts[vi + 1] as usize;
         for ent in &self.plan.c1[row_range] {
             let (stage_o, row_o) = if ent.other as usize == vi {
                 (stage_v, row_v)
@@ -698,11 +725,14 @@ impl SlotPolicy for TmsPolicy<'_> {
         mut probes: Option<&mut Vec<Probe>>,
     ) -> Option<i64> {
         let Some(lowest) = cycles.iter().copied().min() else {
+            self.last_scan_fast.set(false);
             return None;
         };
         let Some(base) = self.fast_scan_base(ps, v, lowest) else {
+            self.last_scan_fast.set(false);
             return generic_scan_window(self, ddg, ps, v, cycles, probes);
         };
+        self.last_scan_fast.set(true);
         let ii = ps.ii() as i64;
         self.build_scan_entries(ps, v, base, ii);
         let entries = self.scan_buf.borrow();
@@ -751,8 +781,10 @@ impl SlotPolicy for TmsPolicy<'_> {
         mut probes: Option<&mut Vec<Probe>>,
     ) -> Option<i64> {
         let Some(base) = self.fast_scan_base(ps, v, floor) else {
+            self.last_scan_fast.set(false);
             return generic_scan_forced(self, ddg, ps, v, floor, probes);
         };
+        self.last_scan_fast.set(true);
         let ii = ps.ii() as i64;
         self.build_scan_entries(ps, v, base, ii);
         let entries = self.scan_buf.borrow();
@@ -783,6 +815,10 @@ impl SlotPolicy for TmsPolicy<'_> {
             }
         }
         None
+    }
+
+    fn scan_was_fast(&self) -> bool {
+        self.last_scan_fast.get()
     }
 }
 
@@ -933,32 +969,71 @@ pub fn schedule_tms_traced(
                        frames: Option<&TimeFrames>,
                        scratch: &mut SchedScratch,
                        log: Option<&mut AttemptLog>|
-     -> AttemptOutcome {
+     -> (AttemptOutcome, Option<Box<PlaceProfile>>) {
+        // Per-attempt placement profile (`TmsConfig::profile`): a pure
+        // function of the attempt index like the outcome itself, so the
+        // serial fold of consumed attempts' profiles is bit-identical
+        // at every worker count.
+        let mut prof = config
+            .profile
+            .then(|| Box::new(PlaceProfile::new(ddg.num_insts())));
         let mut span = trace.span("tms", "attempt");
         span.arg("loop", ddg.name());
         span.arg("ii", ii);
         span.arg("c_delay", c_delay);
         span.arg("p_max", p_max);
         let Some(frames) = frames else {
-            return AttemptOutcome::NoSchedule;
+            return (AttemptOutcome::NoSchedule, prof);
         };
         if (c_delay as i64) < c_delay_floor {
             // A self reg-flow dependence needs sync ≤ C_delay at every
             // slot; below the floor the engine provably cannot place
             // its node (same outcome, decided without running it).
-            return AttemptOutcome::NoSchedule;
+            return (AttemptOutcome::NoSchedule, prof);
         }
         let policy = TmsPolicy::new(&model.costs, &probe_plan, c_delay, p_max);
-        let Some(schedule) = trace.time("tms.phase.place", || match log {
+        let t_place = prof.as_ref().map(|_| std::time::Instant::now());
+        let prof_ref = prof.as_deref_mut();
+        let placed = trace.time("tms.phase.place", || match (log, prof_ref) {
             // Warm path (serial search only): replay the previous
             // attempt's validated decision prefix, run cold from the
             // first divergence. Byte-identical to the cold call below.
-            Some(log) => {
+            (Some(log), None) => {
                 try_schedule_logged(ddg, machine, ii, order, &pos, &policy, frames, scratch, log)
             }
-            None => try_schedule_prepared(ddg, machine, ii, order, &pos, &policy, frames, scratch),
-        }) else {
-            return AttemptOutcome::NoSchedule;
+            // Profiled attempts run cold (replay skips the scans being
+            // attributed; the callers pass no log when profiling).
+            (_, Some(p)) => {
+                try_schedule_profiled(ddg, machine, ii, order, &pos, &policy, frames, scratch, p)
+            }
+            (None, None) => {
+                try_schedule_prepared(ddg, machine, ii, order, &pos, &policy, frames, scratch)
+            }
+        });
+        if let Some(p) = prof.as_deref() {
+            // Sub-phase timers, one sample per attempt — wall clock,
+            // excluded from the deterministic snapshot like
+            // `tms.phase.*` — plus the Perfetto counter tracks for
+            // per-attempt place time and deepest eject chain.
+            let place_ns = t_place.unwrap().elapsed().as_nanos() as u64;
+            trace.time_ns("tms.place.scan", p.scan_ns);
+            trace.time_ns("tms.place.probe", p.probe_ns);
+            trace.time_ns("tms.place.fit", p.fit_ns);
+            trace.time_ns("tms.place.eject", p.eject_ns);
+            trace.time_ns("tms.place.force", p.force_ns);
+            trace.counter_sample_now(
+                "tms.counter",
+                || "tms.place.attempt_ns".to_string(),
+                place_ns,
+            );
+            trace.counter_sample_now(
+                "tms.counter",
+                || "tms.place.max_eject_chain".to_string(),
+                p.attempt_max_chain(),
+            );
+        }
+        let Some(schedule) = placed else {
+            return (AttemptOutcome::NoSchedule, prof);
         };
         // Post-search verification on the *normalised* kernel: the
         // incremental C1/C2 checks run against provisional stages, so
@@ -971,11 +1046,17 @@ pub fn schedule_tms_traced(
             p_max: Some(p_max),
             max_stages: Some(min_stages + config.max_extra_stages),
         };
+        let t_verify = prof.as_ref().map(|_| std::time::Instant::now());
         let diagnostics = trace.time("tms.phase.verify", || {
             verify_schedule(ddg, &schedule, machine, &model.costs, &limits)
         });
+        if let Some(p) = prof.as_deref_mut() {
+            let verify_ns = t_verify.unwrap().elapsed().as_nanos() as u64;
+            p.verify_ns += verify_ns;
+            trace.time_ns("tms.place.verify", verify_ns);
+        }
         if !diagnostics.is_empty() {
-            return AttemptOutcome::Rejected(diagnostics);
+            return (AttemptOutcome::Rejected(diagnostics), prof);
         }
         let achieved = crate::metrics::achieved_c_delay(ddg, &schedule, &model.costs);
         let tms_key = model.cost_key(ii, achieved);
@@ -986,7 +1067,7 @@ pub fn schedule_tms_traced(
             tms_key <= key,
             "achieved key {tms_key:?} exceeds candidate bound {key:?}"
         );
-        AttemptOutcome::Built { schedule, tms_key }
+        (AttemptOutcome::Built { schedule, tms_key }, prof)
     };
 
     // Fold one outcome into the serial accounting. Mirrors the serial
@@ -1102,6 +1183,13 @@ pub fn schedule_tms_traced(
     let mut sync_rejections = 0u64;
     let mut coarsened = 0u64;
 
+    // Folded placement profile (`TmsConfig::profile`): merged serially,
+    // in candidate-index order, over exactly the consumed attempts —
+    // the same set every worker count consumes — so the attribution
+    // counters are bit-identical at `--jobs 1` and `--jobs N`.
+    let mut search_prof: Option<PlaceProfile> =
+        config.profile.then(|| PlaceProfile::new(ddg.num_insts()));
+
     let workers = config.parallelism.workers();
     if workers <= 1 || total_indices <= 1 {
         // Serial search: lazily generated candidates, lazily computed
@@ -1168,7 +1256,12 @@ pub fn schedule_tms_traced(
                 .entry(ii)
                 .or_insert_with(|| trace.time("tms.phase.frames", || TimeFrames::compute(ddg, ii)))
                 .as_ref();
-            let outcome = if config.warm_start {
+            // Profiled searches run every attempt cold: warm replay
+            // skips the window scans and probes being attributed, so a
+            // warm attempt would under-count exactly the hot paths the
+            // profiler exists to expose. Cold and warm attempts build
+            // byte-identical schedules, so only the timings shift.
+            let (outcome, attempt_prof) = if config.warm_start && !config.profile {
                 let log = warm_log_for(&mut warm_logs, ii);
                 // The floor/no-frames short-circuits in `run_attempt`
                 // return without entering the engine; zeroing here keeps
@@ -1199,6 +1292,9 @@ pub fn schedule_tms_traced(
             } else {
                 run_attempt(ii, c_delay, key, p_max, frames, &mut scratch, None)
             };
+            if let (Some(sp), Some(p)) = (search_prof.as_mut(), attempt_prof.as_deref()) {
+                sp.merge(p);
+            }
             // The fold consumes the outcome, so the adaptive evidence is
             // taken off it first: an engine that placed nothing at all
             // (a knob-independent failure persists across the whole
@@ -1355,15 +1451,16 @@ pub fn schedule_tms_traced(
                 || (SchedScratch::new(), BTreeMap::new()),
                 |(scratch, logs), _, spec| {
                     let frames = cache.get(&spec.ii).and_then(|f| f.as_ref());
-                    let log = config
-                        .warm_start
-                        .then(|| warm_log_for(logs, spec.ii))
-                        .map(|log| {
-                            log.replayed = 0;
-                            log.executed = 0;
-                            log.cross_replayed = 0;
-                            log
-                        });
+                    // Profiled attempts run cold here too — see the
+                    // serial loop; per-attempt profiles come back with
+                    // the outcomes and are folded below in spec order.
+                    let log = (config.warm_start && !config.profile).then(|| {
+                        let log = warm_log_for(logs, spec.ii);
+                        log.replayed = 0;
+                        log.executed = 0;
+                        log.cross_replayed = 0;
+                        log
+                    });
                     run_attempt(
                         spec.ii,
                         spec.c_delay,
@@ -1375,12 +1472,18 @@ pub fn schedule_tms_traced(
                     )
                 },
             );
-            for (spec, outcome) in specs.iter().zip(outcomes) {
+            for (spec, (outcome, attempt_prof)) in specs.iter().zip(outcomes) {
                 pruned_cost += spec.pruned_cost_before;
                 pruned_pmax += spec.pruned_pmax_before;
                 if past_deadline() {
                     deadline_cut = true;
                     break 'wave;
+                }
+                // Merge before the fold so the resolving attempt's own
+                // profile is included — the same set of attempts the
+                // serial search would have consumed.
+                if let (Some(sp), Some(p)) = (search_prof.as_mut(), attempt_prof.as_deref()) {
+                    sp.merge(p);
                 }
                 resolution = fold(
                     spec.ii,
@@ -1443,6 +1546,26 @@ pub fn schedule_tms_traced(
         || "tms.attempts_per_loop".to_string(),
         attempts as u64,
     );
+    // Placement attribution (`TmsConfig::profile`): recorded here, once,
+    // from the serially folded profile, so the counters and value
+    // histograms land in the deterministic snapshot bit-identically at
+    // every worker count. The per-attempt wall-clock timers were flushed
+    // inside `run_attempt` and live only in the (non-deterministic)
+    // timers section.
+    if let Some(p) = &search_prof {
+        trace.count("tms.place.scans", p.scans);
+        trace.count("tms.place.forced", p.forced);
+        trace.count("tms.place.ejected", p.ejected);
+        trace.count("tms.place.probe.accept-fast", p.probe_accept_fast);
+        trace.count("tms.place.probe.accept-generic", p.probe_accept_generic);
+        trace.count("tms.place.probe.c1-reject-fast", p.probe_c1_fast);
+        trace.count("tms.place.probe.c1-reject-generic", p.probe_c1_generic);
+        trace.count("tms.place.probe.c2-reject-fast", p.probe_c2_fast);
+        trace.count("tms.place.probe.c2-reject-generic", p.probe_c2_generic);
+        trace.count("tms.place.probe.opaque", p.probe_opaque);
+        trace.record_histogram("tms.place.eject_chain_depth", &p.eject_chain_depth);
+        trace.record_histogram("tms.place.forced_per_attempt", &p.forced_per_attempt);
+    }
     // The search degraded iff its budget (attempts or deadline) cut it
     // short of a resolution; a full, unresolved sweep of the candidate
     // space is the ordinary fallback/unschedulable path instead.
@@ -1473,6 +1596,7 @@ pub fn schedule_tms_traced(
                 budget_cut: false,
                 deadline_cut: false,
                 degraded: None,
+                profile: search_prof,
             })
         }
         // An unresolved sweep (every built schedule lost to the SMS
@@ -1510,6 +1634,7 @@ pub fn schedule_tms_traced(
                 budget_cut,
                 deadline_cut,
                 degraded,
+                profile: search_prof,
             })
         }
         None => {

@@ -204,8 +204,7 @@ impl WindowScratch {
         };
         self.fwd_edges.clear();
         self.fwd_edges.extend(edges.iter().map(flat));
-        self.fwd_edges
-            .sort_by_key(|se| self.rank[se.src as usize]);
+        self.fwd_edges.sort_by_key(|se| self.rank[se.src as usize]);
         self.bwd_edges.clear();
         self.bwd_edges.extend(edges.iter().map(flat));
         self.bwd_edges

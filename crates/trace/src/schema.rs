@@ -29,6 +29,16 @@ pub const KNOWN_COUNTERS: &[&str] = &[
     "tms.attempts",
     "tms.degraded_to_sms",
     "tms.fallback",
+    "tms.place.ejected",
+    "tms.place.forced",
+    "tms.place.probe.accept-fast",
+    "tms.place.probe.accept-generic",
+    "tms.place.probe.c1-reject-fast",
+    "tms.place.probe.c1-reject-generic",
+    "tms.place.probe.c2-reject-fast",
+    "tms.place.probe.c2-reject-generic",
+    "tms.place.probe.opaque",
+    "tms.place.scans",
     "tms.pruned.cost-bound",
     "tms.pruned.p-max-dup",
     "tms.rejected",
@@ -55,6 +65,8 @@ pub const KNOWN_COUNTER_PREFIXES: &[&str] = &["tms.reject.", "demo."];
 pub const KNOWN_VALUES: &[&str] = &[
     "sim.prune.log_len",
     "tms.attempts_per_loop",
+    "tms.place.eject_chain_depth",
+    "tms.place.forced_per_attempt",
     "tms.pruned_per_loop",
 ];
 
@@ -77,6 +89,48 @@ pub const TMS_REQUIRED_COUNTERS: &[&str] = &[
 
 /// Value histograms every TMS scheduling run records per loop.
 pub const TMS_REQUIRED_VALUES: &[&str] = &["tms.attempts_per_loop", "tms.pruned_per_loop"];
+
+/// Counters a *profiled* scheduling run (`TmsConfig::profile`) records
+/// unconditionally. They are deliberately not in
+/// [`TMS_REQUIRED_COUNTERS`]: default runs leave the profiler off, and
+/// the traced-sweep identity checks assert the required set on exactly
+/// that configuration.
+pub const TMS_PROFILE_COUNTERS: &[&str] = &[
+    "tms.place.ejected",
+    "tms.place.forced",
+    "tms.place.probe.accept-fast",
+    "tms.place.probe.accept-generic",
+    "tms.place.probe.c1-reject-fast",
+    "tms.place.probe.c1-reject-generic",
+    "tms.place.probe.c2-reject-fast",
+    "tms.place.probe.c2-reject-generic",
+    "tms.place.probe.opaque",
+    "tms.place.scans",
+];
+
+/// Value histograms a profiled scheduling run records unconditionally.
+pub const TMS_PROFILE_VALUES: &[&str] = &[
+    "tms.place.eject_chain_depth",
+    "tms.place.forced_per_attempt",
+];
+
+/// Every profiler metric *missing* from `snapshot`, prefixed with its
+/// section. Empty means all placement-profiler recording sites fired —
+/// only meaningful for snapshots taken with `TmsConfig::profile` on.
+pub fn missing_profile_metrics(snapshot: &MetricsSnapshot) -> Vec<String> {
+    let mut missing = Vec::new();
+    for name in TMS_PROFILE_COUNTERS {
+        if !snapshot.counters.contains_key(*name) {
+            missing.push(format!("counter:{name}"));
+        }
+    }
+    for name in TMS_PROFILE_VALUES {
+        if !snapshot.values.contains_key(*name) {
+            missing.push(format!("value:{name}"));
+        }
+    }
+    missing
+}
 
 fn known(name: &str, exact: &[&str], prefixes: &[&str]) -> bool {
     exact.contains(&name) || prefixes.iter().any(|p| name.starts_with(p))
@@ -143,8 +197,29 @@ mod tests {
         assert!(is_known_counter("tms.reuse.cross-ii-steps-replayed"));
         assert!(is_known_counter("tms.adaptive.coarsened"));
         assert!(is_known_value("tms.pruned_per_loop"));
+        assert!(is_known_counter("tms.place.scans"));
+        assert!(is_known_counter("tms.place.probe.c1-reject-fast"));
+        assert!(is_known_value("tms.place.eject_chain_depth"));
         assert!(!is_known_counter("tms.prnued.cost-bound")); // typo
         assert!(!is_known_value("tms.attempts")); // wrong section
+    }
+
+    #[test]
+    fn profile_metrics_are_known_but_not_required_by_default_runs() {
+        for name in TMS_PROFILE_COUNTERS {
+            assert!(is_known_counter(name), "{name}");
+            assert!(!TMS_REQUIRED_COUNTERS.contains(name), "{name}");
+        }
+        for name in TMS_PROFILE_VALUES {
+            assert!(is_known_value(name), "{name}");
+            assert!(!TMS_REQUIRED_VALUES.contains(name), "{name}");
+        }
+        let trace = Trace::enabled();
+        trace.count("tms.place.scans", 3);
+        let missing = missing_profile_metrics(&trace.metrics());
+        assert!(missing.contains(&"counter:tms.place.forced".to_string()));
+        assert!(missing.contains(&"value:tms.place.eject_chain_depth".to_string()));
+        assert!(!missing.contains(&"counter:tms.place.scans".to_string()));
     }
 
     #[test]

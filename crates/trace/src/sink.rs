@@ -740,6 +740,41 @@ impl Trace {
         r
     }
 
+    /// Record an externally measured wall-clock duration (nanoseconds)
+    /// into timer histogram `name` — the explicit-duration counterpart
+    /// of [`Trace::time`] for sub-phases that are accumulated across a
+    /// hot loop and flushed once (the placement profiler times many
+    /// tiny regions per attempt and records one sample per attempt).
+    #[inline]
+    pub fn time_ns(&self, name: &str, ns: u64) {
+        let Some(sink) = &self.inner else { return };
+        let mut st = lock_state(&sink.state);
+        match st.timers.get_mut(name) {
+            Some(h) => h.record_sample(ns),
+            None => {
+                let mut h = Histogram::default();
+                h.record_sample(ns);
+                st.timers.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Merge an externally accumulated histogram into value histogram
+    /// `name`. The key is inserted even when `h` is empty, so schema
+    /// presence checks hold for recording sites that observed nothing.
+    /// Like [`Trace::record`] this feeds the deterministic snapshot:
+    /// callers must fold `h` serially for the identity guarantee.
+    pub fn record_histogram(&self, name: &str, h: &Histogram) {
+        let Some(sink) = &self.inner else { return };
+        let mut st = lock_state(&sink.state);
+        match st.values.get_mut(name) {
+            Some(existing) => existing.merge(h),
+            None => {
+                st.values.insert(name.to_string(), *h);
+            }
+        }
+    }
+
     /// Open a wall-clock span. On drop it emits a Chrome event under
     /// `cat` and records the duration into the timer `{cat}.{name}`.
     #[inline]
@@ -863,8 +898,11 @@ impl Trace {
             .and_then(|s| lock_state(&s.state).timers.get(name).copied())
     }
 
-    /// All timer histograms whose name starts with `prefix`, in name
-    /// order.
+    /// All timer histograms under the dotted namespace `prefix`, in
+    /// name order. Matching is segment-aware: `"tms.phase"` matches
+    /// `"tms.phase"` itself and `"tms.phase.place"`, but not
+    /// `"tms.phases.x"`. A trailing-dot prefix (`"tms.phase."`) keeps
+    /// plain starts-with semantics, and an empty prefix matches all.
     pub fn timers_with_prefix(&self, prefix: &str) -> Vec<(String, Histogram)> {
         match &self.inner {
             None => Vec::new(),
@@ -872,6 +910,12 @@ impl Trace {
                 .timers
                 .range(prefix.to_string()..)
                 .take_while(|(k, _)| k.starts_with(prefix))
+                .filter(|(k, _)| {
+                    prefix.is_empty()
+                        || prefix.ends_with('.')
+                        || k.len() == prefix.len()
+                        || k.as_bytes()[prefix.len()] == b'.'
+                })
                 .map(|(k, h)| (k.clone(), *h))
                 .collect(),
         }
@@ -1137,6 +1181,99 @@ mod tests {
         assert!(json.contains("\"args\":{\"value\":3}"));
         // Counter samples are events, not metrics.
         assert!(t.metrics().is_empty());
+    }
+
+    #[test]
+    fn profiler_counter_tracks_render_in_chrome_export() {
+        // The placement profiler samples one point per attempt on two
+        // counter tracks; both must come out as Perfetto counter events
+        // and leave the deterministic snapshot untouched.
+        let t = Trace::enabled();
+        t.counter_sample_now("tms.counter", || "tms.place.attempt_ns".into(), 1234);
+        t.counter_sample_now("tms.counter", || "tms.place.max_eject_chain".into(), 3);
+        let json = t.chrome_json();
+        assert!(json.contains("\"name\":\"tms.place.attempt_ns\""));
+        assert!(json.contains("\"name\":\"tms.place.max_eject_chain\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":1234}"));
+        assert!(t.metrics().is_empty());
+    }
+
+    #[test]
+    fn timer_stats_handles_missing_names_and_disabled_handles() {
+        let t = Trace::enabled();
+        // Empty trace: no timer has fired yet.
+        assert!(t.timer_stats("tms.phase.place").is_none());
+        assert!(t.timers_with_prefix("tms.phase").is_empty());
+        t.time("tms.phase.place", || ());
+        assert!(t.timer_stats("tms.phase.place").is_some());
+        // A name that never fired stays absent even once others exist.
+        assert!(t.timer_stats("tms.phase.order").is_none());
+        // Disabled handles report nothing and pay nothing.
+        let off = Trace::disabled();
+        off.time("tms.phase.place", || ());
+        off.time_ns("tms.place.scan", 10);
+        assert!(off.timer_stats("tms.phase.place").is_none());
+        assert!(off.timers_with_prefix("").is_empty());
+    }
+
+    #[test]
+    fn timers_with_prefix_respects_segment_boundaries() {
+        let t = Trace::enabled();
+        t.time_ns("tms.phase", 1);
+        t.time_ns("tms.phase.place", 2);
+        t.time_ns("tms.phase.verify", 3);
+        t.time_ns("tms.phases.x", 4);
+        let names = |prefix: &str| -> Vec<String> {
+            t.timers_with_prefix(prefix)
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect()
+        };
+        // "tms.phase" matches itself and its children, not "tms.phases.x".
+        assert_eq!(
+            names("tms.phase"),
+            vec!["tms.phase", "tms.phase.place", "tms.phase.verify"]
+        );
+        // A trailing dot keeps plain starts-with semantics (children only).
+        assert_eq!(
+            names("tms.phase."),
+            vec!["tms.phase.place", "tms.phase.verify"]
+        );
+        assert_eq!(names("tms.phases"), vec!["tms.phases.x"]);
+        assert_eq!(names("").len(), 4);
+        assert!(names("tms.ph").is_empty());
+    }
+
+    #[test]
+    fn time_ns_records_explicit_durations() {
+        let t = Trace::enabled();
+        t.time_ns("tms.place.scan", 100);
+        t.time_ns("tms.place.scan", 300);
+        let h = t.timer_stats("tms.place.scan").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 400);
+        assert_eq!(h.min, 100);
+        assert_eq!(h.max, 300);
+        // Timers stay out of the deterministic snapshot.
+        assert!(t.metrics().is_empty());
+    }
+
+    #[test]
+    fn record_histogram_merges_and_holds_keys_at_zero() {
+        let t = Trace::enabled();
+        // Empty histograms still insert their key: schema presence
+        // checks must hold for sites that observed nothing.
+        t.record_histogram("tms.place.eject_chain_depth", &Histogram::default());
+        let h = t.value_stats("tms.place.eject_chain_depth").unwrap();
+        assert_eq!(h.count, 0);
+        let mut ext = Histogram::default();
+        ext.record_sample(2);
+        ext.record_sample(5);
+        t.record_histogram("tms.place.eject_chain_depth", &ext);
+        t.record("tms.place.eject_chain_depth", 9);
+        let h = t.value_stats("tms.place.eject_chain_depth").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 16, 2, 9));
     }
 
     #[test]

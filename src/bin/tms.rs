@@ -8,6 +8,9 @@
 //! tms dot <loop> [opts]             DOT of the TMS-scheduled kernel
 //! tms trace <loop> [opts]           per-thread SpMT execution timeline
 //! tms trace merge <out> <in>...     spilled .trace.ndjson -> Chrome JSON
+//! tms profile <target> [opts]       placement profiler: hot loops ->
+//!                                   hot nodes -> dominant engine action
+//! tms profile diff <a> <b>          compare two profile reports
 //! tms codegen <loop> [opts]         prologue/kernel/epilogue listing
 //! tms export <loop> <file.json>     write the DDG as JSON
 //! tms import <file.json> <cmd>      run show/schedule/simulate on it
@@ -24,8 +27,16 @@
 //!          --stream PATH (trace) bounded-memory sink: spill events to
 //!                        PATH as ndjson; convert with `tms trace merge`
 //!          --buffer N    (trace --stream) resident event cap (default 4096)
+//!
+//! profile targets: a loop name, or a family — `kernels`, `livermore`,
+//! `doacross`, `figure1`, `specfp` (3 generated loops per SPECfp2000
+//! benchmark), `all` (every named workload).
+//! profile options: --top N        hot nodes per loop (default 5)
+//!                  --json PATH    machine-readable report (tms-profile-v1)
+//!                  --metrics PATH merged deterministic metrics snapshot
 //! ```
 
+use serde_json::Value;
 use std::process::ExitCode;
 use tms_repro::prelude::*;
 use tms_workloads::{doacross_suite, figure1, kernels, livermore};
@@ -244,8 +255,33 @@ fn cmd_trace(g: &Ddg, o: &Opts) {
 /// more spill files as a single Chrome trace_event document, byte-
 /// identical to what an in-memory sink would have written for the
 /// same events.
+///
+/// Inputs may be glob patterns (final component only, like
+/// `tms-verify merge-metrics`): the shell passes an unmatched pattern
+/// through verbatim, and merging a "file" named `shard_*.ndjson` must
+/// fail operationally (exit 2), not produce an empty trace.
 fn cmd_trace_merge(out: &str, inputs: &[String]) -> ExitCode {
-    match tms_trace::merge::chrome_from_spills(inputs) {
+    let mut files: Vec<String> = Vec::new();
+    for arg in inputs {
+        match tms_verify::glob::expand(arg) {
+            Ok(paths) => {
+                if paths.is_empty() {
+                    eprintln!("tms trace merge: pattern '{arg}' matched no files");
+                    return ExitCode::from(2);
+                }
+                files.extend(paths.iter().map(|p| p.display().to_string()));
+            }
+            Err(e) => {
+                eprintln!("tms trace merge: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("tms trace merge: no input files — nothing to merge");
+        return ExitCode::from(2);
+    }
+    match tms_trace::merge::chrome_from_spills(&files) {
         Ok(json) => {
             if let Err(e) = std::fs::write(out, &json) {
                 eprintln!("cannot write {out}: {e}");
@@ -253,7 +289,7 @@ fn cmd_trace_merge(out: &str, inputs: &[String]) -> ExitCode {
             }
             println!(
                 "merged {} file(s) -> {out} (load in chrome://tracing or ui.perfetto.dev)",
-                inputs.len()
+                files.len()
             );
             ExitCode::SUCCESS
         }
@@ -262,6 +298,362 @@ fn cmd_trace_merge(out: &str, inputs: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Resolve a `tms profile` target: a family keyword or a single named
+/// loop. `specfp` generates 3 loops per SPECfp2000 benchmark profile —
+/// enough to expose each benchmark's placement behaviour without
+/// profiling the full ~800-loop population.
+fn profile_targets(target: &str) -> Option<(String, Vec<Ddg>)> {
+    let seed = 0x1CC9_2008u64;
+    let loops = match target {
+        "kernels" => kernels::all_kernels(),
+        "livermore" => livermore::livermore_suite(),
+        "doacross" => doacross_suite(seed).into_iter().map(|l| l.ddg).collect(),
+        "figure1" => vec![figure1()],
+        "specfp" => tms_workloads::specfp::specfp_profiles()
+            .iter()
+            .flat_map(|p| p.generate(seed).into_iter().take(3))
+            .collect(),
+        "all" => named_workloads(),
+        name => vec![find_loop(name)?],
+    };
+    Some((target.to_string(), loops))
+}
+
+/// One `tms profile` report row, ready for both renderings (the ranked
+/// human table and the `tms-profile-v1` JSON document).
+struct ProfRow {
+    name: String,
+    ii: u32,
+    fell_back: bool,
+    attempts: usize,
+    engine_attempts: u64,
+    place_ns: u64,
+    phases: [(&'static str, u64); 6],
+    share: f64,
+    dominant: &'static str,
+    scans: u64,
+    forced: u64,
+    ejected: u64,
+    probe: [(&'static str, u64); 7],
+    max_chain: u64,
+    /// `(node id, node name, attempts, ejections)`, hottest first.
+    hot: Vec<(usize, String, u64, u64)>,
+}
+
+fn jobj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl ProfRow {
+    fn to_value(&self) -> Value {
+        jobj(vec![
+            ("name", Value::Str(self.name.clone())),
+            ("ii", Value::UInt(self.ii as u64)),
+            ("fell_back_to_sms", Value::Bool(self.fell_back)),
+            ("attempts", Value::UInt(self.attempts as u64)),
+            ("engine_attempts", Value::UInt(self.engine_attempts)),
+            ("place_ns", Value::UInt(self.place_ns)),
+            (
+                "phases",
+                jobj(
+                    self.phases
+                        .iter()
+                        .map(|&(k, v)| (k, Value::UInt(v)))
+                        .collect(),
+                ),
+            ),
+            ("eject_force_share", Value::Float(self.share)),
+            ("dominant", Value::Str(self.dominant.to_string())),
+            (
+                "counters",
+                jobj(vec![
+                    ("scans", Value::UInt(self.scans)),
+                    ("forced", Value::UInt(self.forced)),
+                    ("ejected", Value::UInt(self.ejected)),
+                    (
+                        "probe",
+                        jobj(
+                            self.probe
+                                .iter()
+                                .map(|&(k, v)| (k, Value::UInt(v)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("max_eject_chain", Value::UInt(self.max_chain)),
+            (
+                "hot_nodes",
+                Value::Array(
+                    self.hot
+                        .iter()
+                        .map(|(node, name, attempts, ejections)| {
+                            jobj(vec![
+                                ("node", Value::UInt(*node as u64)),
+                                ("name", Value::Str(name.clone())),
+                                ("attempts", Value::UInt(*attempts)),
+                                ("ejections", Value::UInt(*ejections)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// `tms profile <target> [--ncore N] [--top N] [--json PATH]
+/// [--metrics PATH]` — run the TMS search with the in-engine placement
+/// profiler on and report, per loop, where placement time went
+/// (scan/probe/fit/eject/force/verify), the probe-outcome breakdown,
+/// and the hottest nodes. Loops rank by placement wall time; the
+/// attribution counters underneath are deterministic (see DESIGN §10).
+fn cmd_profile(args: &[String]) -> ExitCode {
+    let Some(target) = args.first() else {
+        eprintln!(
+            "usage: tms profile <loop|family> [--ncore N] [--top N] [--json PATH] [--metrics PATH]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut ncore = 4u32;
+    let mut top = 5usize;
+    let mut json_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--ncore" => ncore = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
+            "--top" => top = it.next().and_then(|v| v.parse().ok()).unwrap_or(5),
+            "--json" => json_out = it.next().cloned(),
+            "--metrics" => metrics_out = it.next().cloned(),
+            _ => {}
+        }
+    }
+    let Some((family, loops)) = profile_targets(target) else {
+        eprintln!(
+            "unknown profile target '{target}' — a loop name (see `tms list`) or \
+             kernels|livermore|doacross|figure1|specfp|all"
+        );
+        return ExitCode::FAILURE;
+    };
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::with_ncore(ncore);
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let cfg = TmsConfig {
+        profile: true,
+        ..TmsConfig::default()
+    };
+    let trace = Trace::enabled();
+    let mut rows: Vec<ProfRow> = Vec::new();
+    let mut skipped = 0usize;
+    for g in &loops {
+        let Ok(tms) = schedule_tms_traced(g, &machine, &model, &cfg, &trace) else {
+            skipped += 1;
+            continue;
+        };
+        let p = tms.profile.as_ref().expect("profile on -> Some");
+        rows.push(ProfRow {
+            name: g.name().to_string(),
+            ii: tms.ii,
+            fell_back: tms.fell_back_to_sms,
+            attempts: tms.attempts,
+            engine_attempts: p.engine_attempts,
+            place_ns: p.place_loop_ns(),
+            phases: p.phase_ns(),
+            share: p.eject_force_share(),
+            dominant: p.dominant_phase(),
+            scans: p.scans,
+            forced: p.forced,
+            ejected: p.ejected,
+            probe: [
+                ("accept_fast", p.probe_accept_fast),
+                ("accept_generic", p.probe_accept_generic),
+                ("c1_reject_fast", p.probe_c1_fast),
+                ("c1_reject_generic", p.probe_c1_generic),
+                ("c2_reject_fast", p.probe_c2_fast),
+                ("c2_reject_generic", p.probe_c2_generic),
+                ("opaque", p.probe_opaque),
+            ],
+            max_chain: p.eject_chain_depth.max,
+            hot: p
+                .top_nodes(top)
+                .iter()
+                .map(|h| {
+                    (
+                        h.node,
+                        p.node_name(g, h.node).to_string(),
+                        h.attempts,
+                        h.ejections,
+                    )
+                })
+                .collect(),
+        });
+    }
+    if rows.is_empty() {
+        eprintln!("tms profile: no loop in '{family}' produced a schedule");
+        return ExitCode::FAILURE;
+    }
+    // Hot loops first: rank by placement wall time, ties by name so
+    // the table order is stable.
+    rows.sort_by(|a, b| b.place_ns.cmp(&a.place_ns).then(a.name.cmp(&b.name)));
+    let total_place: u64 = rows.iter().map(|r| r.place_ns).sum();
+    println!(
+        "placement profile: {} loop(s) in '{family}' on {ncore} cores ({skipped} unschedulable skipped)",
+        rows.len()
+    );
+    println!(
+        "{:<22} {:>4} {:>9} {:>10} {:>7} {:>9}  {:<8} hottest node",
+        "loop", "II", "scans", "place(us)", "share", "ej+force", "dominant"
+    );
+    for r in &rows {
+        let hot = r
+            .hot
+            .first()
+            .map(|(_, name, attempts, ejections)| {
+                format!("{name} (x{attempts}, {ejections} ejected)")
+            })
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:<22} {:>4} {:>9} {:>10.1} {:>6.1}% {:>8.1}%  {:<8} {}{}",
+            r.name,
+            r.ii,
+            r.scans,
+            r.place_ns as f64 / 1e3,
+            r.place_ns as f64 / (total_place.max(1)) as f64 * 100.0,
+            r.share * 100.0,
+            r.dominant,
+            hot,
+            if r.fell_back { "  [SMS fallback]" } else { "" }
+        );
+    }
+    let snap = trace.metrics();
+    // The profiler's own schema contract: a profiled run must record
+    // every `tms.place.*` metric and nothing outside the registry.
+    let mut bad = tms_trace::schema::unknown_metrics(&snap);
+    bad.extend(tms_trace::schema::missing_profile_metrics(&snap));
+    if !bad.is_empty() {
+        eprintln!("tms profile: metrics schema violation: {bad:?}");
+        return ExitCode::FAILURE;
+    }
+    let counter = |name: &str| Value::UInt(snap.counters.get(name).copied().unwrap_or(0));
+    let report = jobj(vec![
+        ("schema", Value::Str("tms-profile-v1".to_string())),
+        ("family", Value::Str(family)),
+        ("ncore", Value::UInt(ncore as u64)),
+        (
+            "loops",
+            Value::Array(rows.iter().map(ProfRow::to_value).collect()),
+        ),
+        (
+            "totals",
+            jobj(vec![
+                ("loops", Value::UInt(rows.len() as u64)),
+                ("skipped", Value::UInt(skipped as u64)),
+                ("place_ns", Value::UInt(total_place)),
+                ("scans", counter("tms.place.scans")),
+                ("forced", counter("tms.place.forced")),
+                ("ejected", counter("tms.place.ejected")),
+            ]),
+        ),
+    ]);
+    if let Some(path) = &json_out {
+        let text = serde_json::to_string_pretty(&report).expect("serialise report");
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `tms profile diff <a.json> <b.json>` — compare two `tms-profile-v1`
+/// reports loop-by-loop: placement-time delta, eject+force share
+/// drift, and scan-count delta (the deterministic signal — a nonzero
+/// scan delta means the *search* changed, not just the clock).
+fn cmd_profile_diff(a_path: &str, b_path: &str) -> ExitCode {
+    let load = |path: &str| -> Result<Value, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let v: Value = serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some("tms-profile-v1") => Ok(v),
+            _ => Err(format!("{path}: not a tms-profile-v1 report")),
+        }
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("tms profile diff: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let index = |v: &Value| -> std::collections::BTreeMap<String, Value> {
+        v.get("loops")
+            .and_then(Value::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| Some((r.get("name")?.as_str()?.to_string(), r.clone())))
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let (ia, ib) = (index(&a), index(&b));
+    let field_u64 = |r: &Value, k: &str| r.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let field_f64 = |r: &Value, k: &str| r.get(k).and_then(Value::as_f64).unwrap_or(0.0);
+    let scans = |r: &Value| {
+        r.get("counters")
+            .and_then(|c| c.get("scans"))
+            .and_then(Value::as_i64)
+            .unwrap_or(0)
+    };
+    println!(
+        "{:<22} {:>12} {:>12} {:>8} {:>15} {:>9}",
+        "loop", "place_a(us)", "place_b(us)", "delta", "share a->b", "d(scans)"
+    );
+    for (name, ra) in &ia {
+        let Some(rb) = ib.get(name) else {
+            println!("{name:<22} only in {a_path}");
+            continue;
+        };
+        let (pa, pb) = (field_u64(ra, "place_ns"), field_u64(rb, "place_ns"));
+        let delta = if pa > 0 {
+            format!("{:+.1}%", (pb as f64 - pa as f64) / pa as f64 * 100.0)
+        } else {
+            "n/a".to_string()
+        };
+        let share = format!(
+            "{:.1}%->{:.1}%",
+            field_f64(ra, "eject_force_share") * 100.0,
+            field_f64(rb, "eject_force_share") * 100.0
+        );
+        println!(
+            "{:<22} {:>12.1} {:>12.1} {:>8} {:>15} {:>+9}",
+            name,
+            pa as f64 / 1e3,
+            pb as f64 / 1e3,
+            delta,
+            share,
+            scans(rb) - scans(ra)
+        );
+    }
+    for name in ib.keys().filter(|n| !ia.contains_key(*n)) {
+        println!("{name:<22} only in {b_path}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_codegen(g: &Ddg, o: &Opts) {
@@ -287,8 +679,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: tms <list|show|schedule|simulate|dot|trace|codegen|export|import> [loop] [opts]\n\
+            "usage: tms <list|show|schedule|simulate|dot|trace|profile|codegen|export|import> [loop] [opts]\n\
              \x20      tms trace merge <out.json> <in.trace.ndjson>...\n\
+             \x20      tms profile <loop|family> [--ncore N] [--top N] [--json PATH] [--metrics PATH]\n\
+             \x20      tms profile diff <a.json> <b.json>\n\
              see `tms list` for loop names; options: --ncore N --iters N --unroll F \
              --trace PATH --stream PATH --buffer N"
         );
@@ -302,15 +696,25 @@ fn main() -> ExitCode {
             cmd_list();
             ExitCode::SUCCESS
         }
+        "profile" => {
+            if args.get(1).map(String::as_str) == Some("diff") {
+                let (Some(a), Some(b)) = (args.get(2), args.get(3)) else {
+                    eprintln!("usage: tms profile diff <a.json> <b.json>");
+                    return ExitCode::FAILURE;
+                };
+                return cmd_profile_diff(a, b);
+            }
+            cmd_profile(&args[1..])
+        }
         "show" | "schedule" | "simulate" | "dot" | "trace" | "codegen" => {
             if cmd == "trace" && args.get(1).map(String::as_str) == Some("merge") {
                 let (Some(out), inputs) = (args.get(2), &args[3.min(args.len())..]) else {
                     eprintln!("usage: tms trace merge <out.json> <in.trace.ndjson>...");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(2);
                 };
                 if inputs.is_empty() {
-                    eprintln!("usage: tms trace merge <out.json> <in.trace.ndjson>...");
-                    return ExitCode::FAILURE;
+                    eprintln!("tms trace merge: no input files — nothing to merge");
+                    return ExitCode::from(2);
                 }
                 return cmd_trace_merge(out, inputs);
             }

@@ -1,0 +1,171 @@
+//! Determinism and coverage of the in-engine placement profiler.
+//!
+//! `TmsConfig::profile` turns on per-node attribution inside the
+//! placement loop. The attribution (counters, per-node tallies, value
+//! histograms) is folded serially over the consumed attempts, so it is
+//! contracted to be **bit-identical** at every worker count — only the
+//! `*_ns` wall-clock fields and the `tms.place.*` timers may differ
+//! between runs. These tests pin that contract, and that the profiler
+//! is absent (no metrics, no `TmsResult::profile`) when off.
+
+use tms_core::cost::CostModel;
+use tms_core::par::Parallelism;
+use tms_core::{schedule_tms_traced, PlaceProfile, TmsConfig, TmsResult};
+use tms_ddg::Ddg;
+use tms_machine::{ArchParams, MachineModel};
+use tms_trace::schema::{missing_profile_metrics, unknown_metrics};
+use tms_trace::{Histogram, Trace};
+use tms_verify::fuzz::fuzz_ddgs;
+use tms_workloads::kernels;
+
+fn population() -> Vec<Ddg> {
+    let mut pop = kernels::all_kernels();
+    pop.push(kernels::maybe_aliasing_update(1.0));
+    pop.extend(fuzz_ddgs(20, 0x9F11_2008));
+    pop
+}
+
+fn tms_profiled(ddg: &Ddg, jobs: Parallelism, trace: &Trace) -> Option<TmsResult> {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let cfg = TmsConfig {
+        parallelism: jobs,
+        profile: true,
+        ..TmsConfig::default()
+    };
+    schedule_tms_traced(ddg, &machine, &model, &cfg, trace).ok()
+}
+
+fn hist_key(h: &Histogram) -> (u64, u64, u64, u64) {
+    (h.count, h.sum, h.min, h.max)
+}
+
+/// Every attribution field of the profile — everything except the
+/// wall-clock `*_ns` sums, which are explicitly outside the contract.
+fn attribution(p: &PlaceProfile) -> impl PartialEq + std::fmt::Debug {
+    (
+        (p.node_attempts.clone(), p.node_ejections.clone()),
+        (p.scans, p.forced, p.ejected, p.engine_attempts),
+        (
+            p.probe_accept_fast,
+            p.probe_accept_generic,
+            p.probe_c1_fast,
+            p.probe_c1_generic,
+            p.probe_c2_fast,
+            p.probe_c2_generic,
+            p.probe_opaque,
+        ),
+        (
+            hist_key(&p.eject_chain_depth),
+            hist_key(&p.forced_per_attempt),
+        ),
+        p.top_nodes(8),
+    )
+}
+
+#[test]
+fn profile_attribution_is_identical_at_one_and_four_workers() {
+    for ddg in &population() {
+        let serial_trace = Trace::enabled();
+        let serial = tms_profiled(ddg, Parallelism::Serial, &serial_trace);
+        let par_trace = Trace::enabled();
+        let par = tms_profiled(ddg, Parallelism::Jobs(4), &par_trace);
+        match (&serial, &par) {
+            (Some(s), Some(p)) => {
+                let sp = s.profile.as_ref().expect("profile on -> Some");
+                let pp = p.profile.as_ref().expect("profile on -> Some");
+                assert_eq!(
+                    attribution(sp),
+                    attribution(pp),
+                    "{}: jobs=4 attribution diverged from jobs=1",
+                    ddg.name()
+                );
+            }
+            (None, None) => {}
+            _ => panic!(
+                "{}: schedulability diverged across worker counts",
+                ddg.name()
+            ),
+        }
+        // The deterministic metrics slice (counters + value histograms;
+        // wall-clock timers live outside the snapshot) must agree too.
+        assert_eq!(
+            serial_trace.metrics(),
+            par_trace.metrics(),
+            "{}: jobs=4 metrics snapshot diverged from jobs=1",
+            ddg.name()
+        );
+    }
+}
+
+#[test]
+fn profile_off_leaves_no_trace_of_the_profiler() {
+    let machine = MachineModel::icpp2008();
+    let arch = ArchParams::icpp2008();
+    let model = CostModel::new(arch.costs, arch.ncore);
+    let trace = Trace::enabled();
+    for ddg in kernels::all_kernels() {
+        let Ok(r) = schedule_tms_traced(&ddg, &machine, &model, &TmsConfig::default(), &trace)
+        else {
+            continue;
+        };
+        assert!(
+            r.profile.is_none(),
+            "{}: profile present while off",
+            ddg.name()
+        );
+    }
+    let snap = trace.metrics();
+    assert!(
+        !snap.counters.keys().any(|k| k.starts_with("tms.place.")),
+        "profiler counters recorded on a default run"
+    );
+    assert!(
+        !snap.values.keys().any(|k| k.starts_with("tms.place.")),
+        "profiler histograms recorded on a default run"
+    );
+}
+
+#[test]
+fn profile_on_populates_profile_and_schema_complete_metrics() {
+    let trace = Trace::enabled();
+    let mut scheduled = 0usize;
+    for ddg in &population() {
+        let Some(r) = tms_profiled(ddg, Parallelism::Serial, &trace) else {
+            continue;
+        };
+        scheduled += 1;
+        let p = r.profile.as_ref().expect("profile on -> Some");
+        assert!(p.scans > 0, "{}: no window scans attributed", ddg.name());
+        assert!(p.engine_attempts > 0, "{}: no engine attempts", ddg.name());
+        assert_eq!(
+            p.scans,
+            p.node_attempts.iter().sum::<u64>(),
+            "{}: per-node attempts must tally with the scan total",
+            ddg.name()
+        );
+        // The hotspot ranking is derived from per-node tallies; it can
+        // never name more nodes than the loop has.
+        assert!(p.top_nodes(usize::MAX).len() <= ddg.num_insts());
+    }
+    assert!(scheduled > 0, "population produced no schedules");
+    let snap = trace.metrics();
+    assert_eq!(
+        missing_profile_metrics(&snap),
+        Vec::<String>::new(),
+        "a profiled sweep must populate every tms.place.* metric"
+    );
+    assert_eq!(
+        unknown_metrics(&snap),
+        Vec::<String>::new(),
+        "profiled runs must stay inside the metric-name schema"
+    );
+    assert!(snap.counters["tms.place.scans"] > 0);
+    let accepts = snap.counters["tms.place.probe.accept-fast"]
+        + snap.counters["tms.place.probe.accept-generic"];
+    assert!(
+        accepts > 0,
+        "schedules built without a single accepted probe"
+    );
+}
