@@ -28,9 +28,17 @@ use tms_core::par::Parallelism;
 
 fn main() -> ExitCode {
     let mut cfg = ThroughputConfig {
-        jobs: Parallelism::from_env().unwrap_or(Parallelism::Auto),
+        jobs: Parallelism::Auto,
         ..Default::default()
     };
+    match Parallelism::from_env() {
+        Ok(Some(jobs)) => cfg.jobs = jobs,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("sched-throughput: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let mut out = PathBuf::from("results/bench_sched.json");
     let mut gate: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
@@ -42,7 +50,12 @@ fn main() -> ExitCode {
                 .and_then(|v| v.parse::<u64>().map_err(|e| format!("{name}: {e}")))
         };
         let r = match flag.as_str() {
-            "--jobs" => val("--jobs").map(|n| cfg.jobs = Parallelism::from_jobs(n as usize)),
+            "--jobs" => match it.next() {
+                Some(v) => Parallelism::parse_jobs(&v)
+                    .map(|p| cfg.jobs = p)
+                    .map_err(|e| format!("--jobs: {e}")),
+                None => Err("--jobs needs a value".to_string()),
+            },
             "--fuzz" => val("--fuzz").map(|n| cfg.fuzz = n as usize),
             "--seed" => val("--seed").map(|n| cfg.seed = n),
             "--out" => match it.next() {

@@ -69,14 +69,27 @@ impl Parallelism {
         }
     }
 
-    /// The `TMS_JOBS` environment override, if set and parseable.
-    pub fn from_env() -> Option<Self> {
-        std::env::var("TMS_JOBS")
-            .ok()?
-            .trim()
-            .parse::<usize>()
-            .ok()
-            .map(Self::from_jobs)
+    /// Parse a `--jobs N` / `TMS_JOBS` style value. This is the single
+    /// chokepoint every CLI surface funnels through: an unparseable
+    /// count is a structured error the caller must surface (exit 2),
+    /// never a silent fall-through to a default worker count.
+    pub fn parse_jobs(s: &str) -> Result<Self, String> {
+        let t = s.trim();
+        t.parse::<usize>().map(Self::from_jobs).map_err(|_| {
+            format!("invalid jobs value {t:?}: expected a non-negative integer (0 = auto)")
+        })
+    }
+
+    /// The `TMS_JOBS` environment override. `Ok(None)` when unset;
+    /// `Err` when set to something unparseable, so a typo'd override
+    /// fails loudly instead of quietly running at the default width.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var("TMS_JOBS") {
+            Err(_) => Ok(None),
+            Ok(v) => Self::parse_jobs(&v)
+                .map(Some)
+                .map_err(|e| format!("TMS_JOBS: {e}")),
+        }
     }
 
     /// Concrete worker count this policy resolves to on this machine.
@@ -295,6 +308,17 @@ mod tests {
         assert_eq!(Parallelism::Serial.workers(), 1);
         assert_eq!(Parallelism::Jobs(3).workers(), 3);
         assert!(Parallelism::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_counts_and_rejects_garbage() {
+        assert_eq!(Parallelism::parse_jobs("0"), Ok(Parallelism::Auto));
+        assert_eq!(Parallelism::parse_jobs(" 1 "), Ok(Parallelism::Serial));
+        assert_eq!(Parallelism::parse_jobs("8"), Ok(Parallelism::Jobs(8)));
+        for bad in ["", "auto", "-2", "3.5", "4x"] {
+            let err = Parallelism::parse_jobs(bad).unwrap_err();
+            assert!(err.contains("invalid jobs value"), "{bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Content-addressed schedule cache with crash-safe persistence.
+//!
+//! Entries map a [`crate::proto::cache_key`] to the **rendered result
+//! JSON** of a completed, non-degraded schedule. Storing the rendered
+//! bytes (not the parsed result) is what makes warm replies
+//! byte-identical to cold ones: the daemon replays the stored string
+//! verbatim, it never re-renders.
+//!
+//! # Persistence
+//!
+//! One ndjson line per entry — `{"key":"<16 hex>","result":"<escaped
+//! result JSON>"}` — appended with a single `write_all` per line (the
+//! same line-atomicity discipline as the `tms-trace` spill sink), so a
+//! crash can tear at most the final line. Transient write faults are
+//! retried with bounded backoff; a persistent fault (disk-full, a torn
+//! write) degrades the cache to memory-only for the rest of the run —
+//! the daemon keeps answering, it just stops persisting.
+//!
+//! # Recovery
+//!
+//! [`ScheduleCache::open`] recovers the valid prefix of a torn or
+//! partially corrupted file, mirroring `tms_trace::stream::
+//! parse_spill_lossy`: a torn *final* line is the expected crash
+//! artifact and is silently dropped; malformed lines elsewhere are
+//! dropped too (availability wins over the spill reader's hard-error
+//! stance — a daemon that refuses to start over one bad cache line
+//! would turn a disk hiccup into an outage) but are *counted* so the
+//! operator sees the corruption. The compacted survivors are rewritten
+//! so the file is clean again for the next restart.
+
+use crate::proto::key_hex;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use tms_faults::{FaultPlan, IoFault};
+
+/// Retries per persist line before degrading (matches the spill sink).
+const CACHE_WRITE_RETRIES: u32 = 3;
+/// Base backoff between retries, doubled per attempt.
+const CACHE_BACKOFF_US: u64 = 50;
+
+/// What [`ScheduleCache::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Entries recovered.
+    pub recovered: usize,
+    /// A torn (unterminated or unparseable) final line was dropped.
+    pub dropped_torn_tail: bool,
+    /// Malformed non-final lines dropped (counted corruption).
+    pub dropped_corrupt: usize,
+}
+
+/// Outcome of one [`ScheduleCache::insert`] persist attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteReport {
+    /// Transient faults retried away.
+    pub retries: u64,
+    /// This insert degraded the cache to memory-only.
+    pub degraded_now: bool,
+}
+
+/// In-memory map plus append-only persistence. Not internally
+/// synchronised — the daemon serialises access behind one mutex.
+pub struct ScheduleCache {
+    entries: BTreeMap<u64, String>,
+    path: Option<PathBuf>,
+    file: Option<File>,
+    /// 1-based persist-attempt counter, the key for injected faults.
+    write_index: u64,
+    plan: FaultPlan,
+}
+
+fn parse_entry(line: &str) -> Option<(u64, String)> {
+    let v: Value = serde_json::from_str(line).ok()?;
+    let key = v.get("key")?.as_str()?;
+    if key.len() != 16 {
+        return None;
+    }
+    let key = u64::from_str_radix(key, 16).ok()?;
+    let result = v.get("result")?.as_str()?;
+    // The stored result must itself be a JSON object — anything else
+    // is corruption, not an entry.
+    let parsed: Value = serde_json::from_str(result).ok()?;
+    parsed.as_object()?;
+    Some((key, result.to_string()))
+}
+
+fn render_entry(key: u64, result: &str) -> String {
+    let escaped = serde_json::to_string(&Value::Str(result.to_string()))
+        .unwrap_or_else(|_| "\"\"".to_string());
+    format!("{{\"key\":\"{}\",\"result\":{escaped}}}\n", key_hex(key))
+}
+
+impl ScheduleCache {
+    /// A memory-only cache (no persistence).
+    pub fn in_memory(plan: FaultPlan) -> ScheduleCache {
+        ScheduleCache {
+            entries: BTreeMap::new(),
+            path: None,
+            file: None,
+            write_index: 0,
+            plan,
+        }
+    }
+
+    /// Open (or create) a persisted cache at `path`, recovering the
+    /// valid prefix of whatever is there. I/O errors degrade to a
+    /// memory-only cache — the daemon must come up regardless.
+    pub fn open(path: &Path, plan: FaultPlan) -> (ScheduleCache, LoadReport) {
+        let mut report = LoadReport::default();
+        let mut entries = BTreeMap::new();
+        match std::fs::read_to_string(path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(_) => {
+                // Unreadable file: treat as fully corrupt, start cold.
+                report.dropped_corrupt += 1;
+            }
+            Ok(text) => {
+                let ends_clean = text.is_empty() || text.ends_with('\n');
+                let lines: Vec<&str> = text.lines().collect();
+                for (i, line) in lines.iter().enumerate() {
+                    let last = i + 1 == lines.len();
+                    match parse_entry(line) {
+                        Some((key, result)) => {
+                            entries.insert(key, result);
+                        }
+                        None if last => report.dropped_torn_tail = true,
+                        None => report.dropped_corrupt += 1,
+                    }
+                }
+                if !ends_clean && !report.dropped_torn_tail {
+                    // A final line that parsed but was never terminated
+                    // still counts as torn for reporting purposes; the
+                    // entry itself is kept (its JSON was complete).
+                    report.dropped_torn_tail = true;
+                }
+            }
+        }
+        report.recovered = entries.len();
+
+        // Compact: when anything was dropped the file has garbage in
+        // it; rewrite the survivors so appended lines stay parseable.
+        let needs_compact = report.dropped_torn_tail || report.dropped_corrupt > 0;
+        if needs_compact {
+            let mut out = String::new();
+            for (key, result) in &entries {
+                out.push_str(&render_entry(*key, result));
+            }
+            let _ = std::fs::write(path, out);
+        }
+
+        let file = OpenOptions::new().create(true).append(true).open(path).ok();
+        (
+            ScheduleCache {
+                entries,
+                path: Some(path.to_path_buf()),
+                file,
+                write_index: 0,
+                plan,
+            },
+            report,
+        )
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether inserts still reach the disk.
+    pub fn persisting(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// The stored result for `key`, if any.
+    pub fn get(&self, key: u64) -> Option<&str> {
+        self.entries.get(&key).map(String::as_str)
+    }
+
+    /// Drop `key` (the corruption-bypass path: the entry is rescheduled
+    /// cold and re-inserted).
+    pub fn remove(&mut self, key: u64) {
+        self.entries.remove(&key);
+    }
+
+    /// One faultable write attempt: either the injected fault or the
+    /// real `write_all` outcome.
+    fn write_attempt(&mut self, bytes: &[u8]) -> Result<(), (std::io::Error, bool)> {
+        self.write_index += 1;
+        if let Some(fault) = self.plan.cache_write_fault(self.write_index) {
+            if fault == IoFault::ShortWrite {
+                // A torn write reaches the file for real — that is the
+                // crash artifact restart recovery must cope with.
+                if let Some(f) = &mut self.file {
+                    let _ = f.write_all(&bytes[..bytes.len() / 2]);
+                    let _ = f.flush();
+                }
+            }
+            let persistent = fault != IoFault::Interrupted;
+            return Err((fault.to_io_error(), persistent));
+        }
+        let Some(f) = &mut self.file else {
+            return Ok(()); // memory-only: nothing to do
+        };
+        match f.write_all(bytes) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let transient = e.kind() == std::io::ErrorKind::Interrupted;
+                Err((e, !transient))
+            }
+        }
+    }
+
+    /// Insert `result` under `key`, persisting when a file is attached.
+    /// Transient faults retry with bounded backoff; persistent ones
+    /// (or exhausted retries) degrade the cache to memory-only.
+    pub fn insert(&mut self, key: u64, result: &str) -> WriteReport {
+        self.entries.insert(key, result.to_string());
+        let mut report = WriteReport::default();
+        if self.file.is_none() {
+            return report;
+        }
+        let line = render_entry(key, result);
+        let mut attempt = 0u32;
+        loop {
+            match self.write_attempt(line.as_bytes()) {
+                Ok(()) => return report,
+                Err((_, persistent)) => {
+                    if persistent || attempt >= CACHE_WRITE_RETRIES {
+                        // Degrade: keep answering from memory, stop
+                        // touching the disk. The file's existing prefix
+                        // stays valid for the next restart.
+                        self.file = None;
+                        report.degraded_now = true;
+                        return report;
+                    }
+                    attempt += 1;
+                    report.retries += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        CACHE_BACKOFF_US << attempt,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// The backing path, if persisted.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tms_faults::FaultRates;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tmsd-cache-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_entries_across_reopen() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (mut c, r) = ScheduleCache::open(&path, FaultPlan::disabled());
+        assert_eq!(r, LoadReport::default());
+        c.insert(1, r#"{"ii":4}"#);
+        c.insert(0xdead_beef_0000_0001, r#"{"ii":7,"name":"x"}"#);
+        drop(c);
+        let (c2, r2) = ScheduleCache::open(&path, FaultPlan::disabled());
+        assert_eq!(r2.recovered, 2);
+        assert!(!r2.dropped_torn_tail);
+        assert_eq!(c2.get(1), Some(r#"{"ii":4}"#));
+        assert_eq!(
+            c2.get(0xdead_beef_0000_0001),
+            Some(r#"{"ii":7,"name":"x"}"#)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_compacted() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let (mut c, _) = ScheduleCache::open(&path, FaultPlan::disabled());
+        c.insert(1, r#"{"ii":4}"#);
+        c.insert(2, r#"{"ii":5}"#);
+        drop(c);
+        // Tear the last line mid-way, as a killed process would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap();
+        let (c2, r) = ScheduleCache::open(&path, FaultPlan::disabled());
+        assert_eq!(r.recovered, 1);
+        assert!(r.dropped_torn_tail);
+        assert_eq!(r.dropped_corrupt, 0);
+        assert_eq!(c2.get(1), Some(r#"{"ii":4}"#));
+        assert_eq!(c2.get(2), None);
+        drop(c2);
+        // Compaction left a clean file: reopening drops nothing.
+        let (_, r3) = ScheduleCache::open(&path, FaultPlan::disabled());
+        assert_eq!(r3.recovered, 1);
+        assert!(!r3.dropped_torn_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_counted_and_survivors_kept() {
+        let path = tmp("midfile");
+        let _ = std::fs::remove_file(&path);
+        let good1 = render_entry(10, r#"{"ii":1}"#);
+        let good2 = render_entry(11, r#"{"ii":2}"#);
+        std::fs::write(&path, format!("{good1}garbage not json\n{good2}")).unwrap();
+        let (c, r) = ScheduleCache::open(&path, FaultPlan::disabled());
+        assert_eq!(r.recovered, 2);
+        assert_eq!(r.dropped_corrupt, 1);
+        assert_eq!(c.get(10), Some(r#"{"ii":1}"#));
+        assert_eq!(c.get(11), Some(r#"{"ii":2}"#));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn transient_write_faults_retry_and_clear() {
+        let path = tmp("transient");
+        let _ = std::fs::remove_file(&path);
+        // Write index 1 is transient-faulted (rate 1024 would fault
+        // every attempt and exhaust retries, so pin a single index via
+        // a quiet plan plus torn/fail modes off and rate that hits
+        // sometimes — instead use rate 1024 but observe degradation).
+        let plan = FaultPlan::with_rates(
+            31,
+            FaultRates {
+                cache_write_transient_per_1024: 1024,
+                ..FaultRates::default()
+            },
+        );
+        let (mut c, _) = ScheduleCache::open(&path, plan);
+        let w = c.insert(1, r#"{"ii":4}"#);
+        // Every attempt faults transiently, so retries exhaust and the
+        // cache degrades — but the entry stays resident.
+        assert_eq!(w.retries, CACHE_WRITE_RETRIES as u64);
+        assert!(w.degraded_now);
+        assert!(!c.persisting());
+        assert_eq!(c.get(1), Some(r#"{"ii":4}"#));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_degrades_and_restart_recovers_prefix() {
+        let path = tmp("tornwrite");
+        let _ = std::fs::remove_file(&path);
+        let plan = FaultPlan::with_rates(
+            37,
+            FaultRates {
+                cache_write_transient_per_1024: 0,
+                cache_write_torn_at: Some(2),
+                ..FaultRates::default()
+            },
+        );
+        let (mut c, _) = ScheduleCache::open(&path, plan);
+        assert_eq!(c.insert(1, r#"{"ii":4}"#), WriteReport::default());
+        let w = c.insert(2, r#"{"ii":5}"#);
+        assert!(w.degraded_now, "a torn write must degrade immediately");
+        assert!(!c.persisting());
+        // Memory still serves both entries this run.
+        assert_eq!(c.get(2), Some(r#"{"ii":5}"#));
+        drop(c);
+        // Restart: the intact first line survives, the torn second is
+        // dropped by lossy recovery.
+        let (c2, r) = ScheduleCache::open(&path, FaultPlan::disabled());
+        assert_eq!(c2.get(1), Some(r#"{"ii":4}"#));
+        assert_eq!(c2.get(2), None);
+        assert!(r.dropped_torn_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -15,6 +15,9 @@
 //! | [`SITE_SPILL_WRITE`] | `ErrorKind::Interrupted`, disk-full, or a short (torn) write on a spill line | the streaming sink retries with bounded backoff, then degrades to the in-memory sink and records `trace.spill.degraded` |
 //! | [`SITE_SIM_MISSPEC`] | a forced misspeculation burst on selected `(loop, thread)` pairs | the engine squashes and replays; the committed memory image must still equal the sequential reference |
 //! | [`SITE_SIM_JITTER`] | extra cycles on a thread's inter-core ring-queue arrivals | RECV stalls grow; the run slows but stays correct |
+//! | [`SITE_DAEMON_ACCEPT`] | `ErrorKind::Interrupted` on selected `tmsd` accepts | the accept loop backs off and retries; the connection stays queued in the listen backlog, never dropped |
+//! | [`SITE_DAEMON_CACHE_READ`] | a corrupt schedule-cache entry on first read of selected keys | `tmsd` bypasses the entry (counted), reschedules cold, and overwrites it — never serves a wrong answer |
+//! | [`SITE_DAEMON_CACHE_WRITE`] | `Interrupted`, disk-full, or a torn write on a cache-persist line | bounded retry + backoff, then the cache degrades to memory-only; restart recovers the valid file prefix |
 //!
 //! # Determinism
 //!
@@ -47,6 +50,12 @@ pub const SITE_SPILL_WRITE: &str = "trace.spill.write";
 pub const SITE_SIM_MISSPEC: &str = "sim.misspec";
 /// Engine site: jitter a thread's ring-queue arrival times.
 pub const SITE_SIM_JITTER: &str = "sim.stall_jitter";
+/// Daemon site: transient `Interrupted` errors on `tmsd` accepts.
+pub const SITE_DAEMON_ACCEPT: &str = "daemon.accept";
+/// Daemon site: corrupt a persisted schedule-cache entry on read.
+pub const SITE_DAEMON_CACHE_READ: &str = "daemon.cache.read";
+/// Daemon site: fail schedule-cache persist writes.
+pub const SITE_DAEMON_CACHE_WRITE: &str = "daemon.cache.write";
 
 /// What an injected spill-write fault looks like to the sink.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +118,21 @@ pub struct FaultRates {
     /// Largest injected arrival delay, in cycles (the actual delay is
     /// `1..=jitter_max_cycles`, drawn deterministically per key).
     pub jitter_max_cycles: u64,
+    /// Fraction of `tmsd` accepts (per 1024) hit with a transient
+    /// `Interrupted` error.
+    pub accept_transient_per_1024: u32,
+    /// Fraction of schedule-cache keys (per 1024) whose persisted entry
+    /// reads back corrupt — once per key (the rewrite must stick).
+    pub cache_read_corrupt_per_1024: u32,
+    /// Fraction of cache persist writes (per 1024) hit with a transient
+    /// `Interrupted` error.
+    pub cache_write_transient_per_1024: u32,
+    /// Cache persist write index (1-based) past which every write fails
+    /// with disk-full. `None` disables.
+    pub cache_write_fail_after: Option<u64>,
+    /// Cache persist write index (1-based) at which exactly one torn
+    /// write is injected. `None` disables.
+    pub cache_write_torn_at: Option<u64>,
 }
 
 impl Default for FaultRates {
@@ -126,6 +150,11 @@ impl Default for FaultRates {
             misspec_per_1024: 48,
             jitter_per_1024: 48,
             jitter_max_cycles: 24,
+            accept_transient_per_1024: 64,
+            cache_read_corrupt_per_1024: 32,
+            cache_write_transient_per_1024: 16,
+            cache_write_fail_after: None,
+            cache_write_torn_at: None,
         }
     }
 }
@@ -177,6 +206,26 @@ fn hash(seed: u64, site: &str, key: &str) -> u64 {
     eat(site.as_bytes());
     eat(&[0xff]);
     eat(key.as_bytes());
+    mix(h)
+}
+
+/// Stable content hash: FNV-1a over `parts`, each terminated by a
+/// `0xff` byte (which never occurs in UTF-8, so part boundaries are
+/// unambiguous — including empty and trailing parts), finished with
+/// the [`mix`] splitmix64 finaliser. This is the same construction the
+/// fault sites use for their decisions, exported for callers that need
+/// a deterministic, process-independent key — notably the `tmsd`
+/// content-addressed schedule cache. Not a cryptographic hash;
+/// collisions are astronomically unlikely for the cache's working-set
+/// sizes but an adversary could construct them.
+pub fn stable_hash(seed: u64, parts: &[&str]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ mix(seed);
+    for part in parts {
+        for &b in part.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h = (h ^ 0xff).wrapping_mul(0x0000_0100_0000_01b3);
+    }
     mix(h)
 }
 
@@ -325,6 +374,78 @@ impl FaultPlan {
         Self::note(p, SITE_SIM_JITTER);
         let span = p.rates.jitter_max_cycles.max(1);
         1 + hash(p.seed, SITE_SIM_JITTER, &format!("{key}!amount")) % span
+    }
+
+    /// The fault injected on `tmsd` accept attempt `accept_index`
+    /// (1-based), if any ([`SITE_DAEMON_ACCEPT`]). Always transient
+    /// (`Interrupted`): the accept loop backs off and retries, and the
+    /// pending connection waits in the listen backlog. Pure in the
+    /// index — the loop advances it per attempt, which is what lets a
+    /// transient fault clear.
+    pub fn accept_fault(&self, accept_index: u64) -> Option<IoFault> {
+        let p = self.inner.as_ref()?;
+        let key = accept_index.to_string();
+        if !Self::chance(
+            p,
+            SITE_DAEMON_ACCEPT,
+            &key,
+            p.rates.accept_transient_per_1024,
+        ) {
+            return None;
+        }
+        Self::note(p, SITE_DAEMON_ACCEPT);
+        Some(IoFault::Interrupted)
+    }
+
+    /// True exactly once for each selected cache key: the daemon should
+    /// treat the persisted entry as corrupt, bypass it, and reschedule
+    /// cold ([`SITE_DAEMON_CACHE_READ`]). The once-latch is what lets
+    /// the overwritten entry be trusted afterwards.
+    pub fn cache_read_corrupt(&self, key: &str) -> bool {
+        let Some(p) = &self.inner else { return false };
+        if !Self::chance(
+            p,
+            SITE_DAEMON_CACHE_READ,
+            key,
+            p.rates.cache_read_corrupt_per_1024,
+        ) {
+            return false;
+        }
+        if !Self::latch_once(p, SITE_DAEMON_CACHE_READ, key) {
+            return false;
+        }
+        Self::note(p, SITE_DAEMON_CACHE_READ);
+        true
+    }
+
+    /// The fault injected on cache persist write number `write_index`
+    /// (1-based), if any ([`SITE_DAEMON_CACHE_WRITE`]). Same contract
+    /// as [`FaultPlan::spill_write_fault`]: pure in the index, torn and
+    /// disk-full modes take precedence over the transient rate.
+    pub fn cache_write_fault(&self, write_index: u64) -> Option<IoFault> {
+        let p = self.inner.as_ref()?;
+        let fault = if p.rates.cache_write_torn_at == Some(write_index) {
+            IoFault::ShortWrite
+        } else if p
+            .rates
+            .cache_write_fail_after
+            .is_some_and(|n| write_index > n)
+        {
+            IoFault::DiskFull
+        } else {
+            let key = write_index.to_string();
+            if !Self::chance(
+                p,
+                SITE_DAEMON_CACHE_WRITE,
+                &key,
+                p.rates.cache_write_transient_per_1024,
+            ) {
+                return None;
+            }
+            IoFault::Interrupted
+        };
+        Self::note(p, SITE_DAEMON_CACHE_WRITE);
+        Some(fault)
     }
 
     /// Per-site injection counts so far, for campaign summaries. Keyed
@@ -498,6 +619,88 @@ mod tests {
     }
 
     #[test]
+    fn stable_hash_is_deterministic_and_boundary_sensitive() {
+        let h = stable_hash(7, &["abc", "def"]);
+        assert_eq!(h, stable_hash(7, &["abc", "def"]), "must be pure");
+        assert_ne!(h, stable_hash(8, &["abc", "def"]), "seed must matter");
+        // Part boundaries matter: "ab"+"cdef" must not collide with
+        // "abc"+"def" even though the concatenated bytes agree.
+        assert_ne!(h, stable_hash(7, &["ab", "cdef"]));
+        assert_ne!(h, stable_hash(7, &["abcdef"]));
+        assert_ne!(stable_hash(0, &[]), stable_hash(0, &[""]));
+    }
+
+    #[test]
+    fn accept_faults_are_transient_and_rate_scaled() {
+        let p = FaultPlan::with_rates(
+            19,
+            FaultRates {
+                accept_transient_per_1024: 1024,
+                ..FaultRates::default()
+            },
+        );
+        assert_eq!(p.accept_fault(1), Some(IoFault::Interrupted));
+        // Pure in the index: the same attempt re-queried agrees.
+        assert_eq!(p.accept_fault(1), Some(IoFault::Interrupted));
+        let quiet = FaultPlan::with_rates(
+            19,
+            FaultRates {
+                accept_transient_per_1024: 0,
+                ..FaultRates::default()
+            },
+        );
+        for i in 1..200u64 {
+            assert_eq!(quiet.accept_fault(i), None);
+        }
+    }
+
+    #[test]
+    fn cache_read_corruption_latches_per_key() {
+        let p = FaultPlan::with_rates(
+            23,
+            FaultRates {
+                cache_read_corrupt_per_1024: 1024,
+                ..FaultRates::default()
+            },
+        );
+        assert!(p.cache_read_corrupt("deadbeef"));
+        assert!(
+            !p.cache_read_corrupt("deadbeef"),
+            "rewritten entry must be trusted"
+        );
+        assert!(p.cache_read_corrupt("cafebabe"));
+        assert_eq!(p.injected()[SITE_DAEMON_CACHE_READ], 2);
+    }
+
+    #[test]
+    fn cache_write_faults_cover_all_three_kinds() {
+        let p = FaultPlan::with_rates(
+            29,
+            FaultRates {
+                cache_write_transient_per_1024: 1024,
+                cache_write_fail_after: Some(10),
+                cache_write_torn_at: Some(5),
+                ..FaultRates::default()
+            },
+        );
+        assert_eq!(p.cache_write_fault(5), Some(IoFault::ShortWrite));
+        assert_eq!(p.cache_write_fault(11), Some(IoFault::DiskFull));
+        assert_eq!(p.cache_write_fault(3), Some(IoFault::Interrupted));
+        let quiet = FaultPlan::with_rates(
+            29,
+            FaultRates {
+                cache_write_transient_per_1024: 0,
+                cache_write_fail_after: None,
+                cache_write_torn_at: None,
+                ..FaultRates::default()
+            },
+        );
+        for i in 1..200u64 {
+            assert_eq!(quiet.cache_write_fault(i), None);
+        }
+    }
+
+    #[test]
     fn accounting_tracks_every_site() {
         let p = FaultPlan::with_rates(
             17,
@@ -507,6 +710,9 @@ mod tests {
                 misspec_per_1024: 1024,
                 jitter_per_1024: 1024,
                 spill_transient_per_1024: 1024,
+                accept_transient_per_1024: 1024,
+                cache_read_corrupt_per_1024: 1024,
+                cache_write_transient_per_1024: 1024,
                 ..FaultRates::default()
             },
         );
@@ -515,6 +721,9 @@ mod tests {
         p.forced_misspec("l", 0);
         p.stall_jitter("l", 0);
         p.spill_write_fault(1);
+        p.accept_fault(1);
+        p.cache_read_corrupt("l");
+        p.cache_write_fault(1);
         let counts = p.injected();
         for site in [
             SITE_SCHED_BUDGET,
@@ -522,9 +731,12 @@ mod tests {
             SITE_SIM_MISSPEC,
             SITE_SIM_JITTER,
             SITE_SPILL_WRITE,
+            SITE_DAEMON_ACCEPT,
+            SITE_DAEMON_CACHE_READ,
+            SITE_DAEMON_CACHE_WRITE,
         ] {
             assert_eq!(counts.get(site), Some(&1), "{site}");
         }
-        assert_eq!(p.injected_total(), 5);
+        assert_eq!(p.injected_total(), 8);
     }
 }

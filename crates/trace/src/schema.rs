@@ -10,8 +10,9 @@
 //!
 //! The registry covers *production* metrics only. Scratch names used
 //! by unit tests inside `tms-trace` itself are not listed — validation
-//! is for the instrumented subsystems (`tms.*`, `sim.*`, `verify.*`)
-//! plus the `demo.*` namespace the CLI examples use.
+//! is for the instrumented subsystems (`tms.*`, `sim.*`, `verify.*`,
+//! the `tmsd.*` daemon counters) plus the `demo.*` namespace the CLI
+//! examples use.
 
 use crate::sink::MetricsSnapshot;
 
@@ -48,6 +49,16 @@ pub const KNOWN_COUNTERS: &[&str] = &[
     "tms.reuse.steps-replayed",
     "tms.reuse.warm-attempts",
     "tms.unschedulable",
+    "tmsd.batches",
+    "tmsd.cache.bypassed",
+    "tmsd.cache.hit",
+    "tmsd.cache.miss",
+    "tmsd.degraded",
+    "tmsd.errors",
+    "tmsd.panics",
+    "tmsd.requests",
+    "tmsd.retries",
+    "tmsd.shed",
     "verify.checks",
     "verify.degraded",
     "verify.loops",
@@ -68,6 +79,8 @@ pub const KNOWN_VALUES: &[&str] = &[
     "tms.place.eject_chain_depth",
     "tms.place.forced_per_attempt",
     "tms.pruned_per_loop",
+    "tmsd.batch_size",
+    "tmsd.queue_depth",
 ];
 
 /// Value-name prefixes whose suffix is data-dependent.
@@ -200,7 +213,12 @@ mod tests {
         assert!(is_known_counter("tms.place.scans"));
         assert!(is_known_counter("tms.place.probe.c1-reject-fast"));
         assert!(is_known_value("tms.place.eject_chain_depth"));
+        assert!(is_known_counter("tmsd.requests"));
+        assert!(is_known_counter("tmsd.cache.bypassed"));
+        assert!(is_known_counter("tmsd.shed"));
+        assert!(is_known_value("tmsd.queue_depth"));
         assert!(!is_known_counter("tms.prnued.cost-bound")); // typo
+        assert!(!is_known_counter("tmsd.cache.hits")); // plural typo
         assert!(!is_known_value("tms.attempts")); // wrong section
     }
 

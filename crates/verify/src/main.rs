@@ -41,8 +41,7 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             sweep: SweepConfig {
-                // Flag < TMS_JOBS env < default (all cores).
-                jobs: Parallelism::from_env().unwrap_or(Parallelism::Auto),
+                jobs: Parallelism::Auto,
                 ..Default::default()
             },
             out: PathBuf::from("results/verify.json"),
@@ -126,6 +125,11 @@ fn parse_shard(text: &str) -> Result<(u32, u32), String> {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
+    // Flag < TMS_JOBS env < default (all cores). An unparseable
+    // TMS_JOBS is a hard error, not a silent fall-through.
+    if let Some(jobs) = Parallelism::from_env()? {
+        args.sweep.jobs = jobs;
+    }
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -148,8 +152,8 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--specfp-cap: {e}"))?
             }
             "--jobs" => {
-                let n: usize = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
-                args.sweep.jobs = Parallelism::from_jobs(n);
+                args.sweep.jobs =
+                    Parallelism::parse_jobs(&val("--jobs")?).map_err(|e| format!("--jobs: {e}"))?;
             }
             "--no-sim" => args.sweep.no_sim = true,
             "--quick" => args.sweep.quick = true,

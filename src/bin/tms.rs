@@ -18,6 +18,8 @@
 //! options: --ncore N     cores (default 4)
 //!          --iters N     simulated iterations (default 1000)
 //!          --unroll F    unroll before scheduling
+//!          --machine P   per-core machine model from a JSON config
+//!                        (default: the paper's Table 1 machine)
 //!          --adaptive    (schedule) counter-driven adaptive C_delay
 //!                        grid density: coarsen the candidate ladder
 //!                        when rejections are sync-dominated, refine
@@ -49,6 +51,7 @@ struct Opts {
     trace_out: Option<String>,
     stream_out: Option<String>,
     buffer: usize,
+    machine: Option<String>,
 }
 
 fn named_workloads() -> Vec<Ddg> {
@@ -63,7 +66,23 @@ fn find_loop(name: &str) -> Option<Ddg> {
     named_workloads().into_iter().find(|g| g.name() == name)
 }
 
-fn parse_opts(args: &[String]) -> Opts {
+/// Required flag value, as a string.
+fn flag_str<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a String, String> {
+    it.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Required flag value, parsed. A bad value is a structured error, not
+/// a silent fallback to the default.
+fn flag_num<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let v = flag_str(it, flag)?;
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid value {v:?}"))
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts {
         ncore: 4,
         iters: 1000,
@@ -72,21 +91,48 @@ fn parse_opts(args: &[String]) -> Opts {
         trace_out: None,
         stream_out: None,
         buffer: 4096,
+        machine: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--ncore" => o.ncore = it.next().and_then(|v| v.parse().ok()).unwrap_or(4),
-            "--iters" => o.iters = it.next().and_then(|v| v.parse().ok()).unwrap_or(1000),
-            "--unroll" => o.unroll = it.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--ncore" => o.ncore = flag_num(&mut it, "--ncore")?,
+            "--iters" => o.iters = flag_num(&mut it, "--iters")?,
+            "--unroll" => o.unroll = flag_num(&mut it, "--unroll")?,
             "--adaptive" => o.adaptive = true,
-            "--trace" => o.trace_out = it.next().cloned(),
-            "--stream" => o.stream_out = it.next().cloned(),
-            "--buffer" => o.buffer = it.next().and_then(|v| v.parse().ok()).unwrap_or(4096),
-            _ => {}
+            "--trace" => o.trace_out = Some(flag_str(&mut it, "--trace")?.clone()),
+            "--stream" => o.stream_out = Some(flag_str(&mut it, "--stream")?.clone()),
+            "--buffer" => o.buffer = flag_num(&mut it, "--buffer")?,
+            "--machine" => o.machine = Some(flag_str(&mut it, "--machine")?.clone()),
+            other => return Err(format!("unknown option {other:?}")),
         }
     }
-    o
+    if o.ncore == 0 {
+        return Err("--ncore: must be at least 1".to_string());
+    }
+    if o.unroll == 0 {
+        return Err("--unroll: must be at least 1".to_string());
+    }
+    Ok(o)
+}
+
+/// Load the machine model: the paper's Table 1 machine by default, or
+/// a `--machine PATH` JSON config (the same serialisation `tmsd`
+/// accepts). Malformed configs are structured errors, never panics.
+fn load_machine(o: &Opts) -> Result<MachineModel, String> {
+    let Some(path) = &o.machine else {
+        return Ok(MachineModel::icpp2008());
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read machine config {path}: {e}"))?;
+    let machine: MachineModel =
+        serde_json::from_str(&text).map_err(|e| format!("machine config {path}: {e}"))?;
+    if machine.issue_width == 0 {
+        return Err(format!(
+            "machine config {path}: issue_width must be at least 1"
+        ));
+    }
+    Ok(machine)
 }
 
 fn cmd_list() {
@@ -103,43 +149,41 @@ fn cmd_list() {
     }
 }
 
-fn cmd_show(g: &Ddg) {
+fn cmd_show(g: &Ddg, machine: &MachineModel) {
     print!("{g}");
     let c = tms_ddg::classify(g);
-    let machine = MachineModel::icpp2008();
     let prio = tms_ddg::analysis::AcyclicPriorities::compute(g);
     println!(
         "\nclass {}  RecII {} (register-only {})  ResII {}  MII {}  LDP {}",
         c.class.label(),
         c.rec_ii,
         c.reg_rec_ii,
-        tms_machine::res_ii(g, &machine),
-        tms_machine::mii(g, &machine),
+        tms_machine::res_ii(g, machine),
+        tms_machine::mii(g, machine),
         prio.ldp
     );
 }
 
-fn prepare(g: &Ddg, o: &Opts) -> Ddg {
+fn prepare(g: &Ddg, o: &Opts) -> Result<Ddg, String> {
     if o.unroll > 1 {
-        tms_ddg::unroll(g, o.unroll).expect("unroll failed")
+        tms_ddg::unroll(g, o.unroll).map_err(|e| format!("unroll by {}: {e}", o.unroll))
     } else {
-        g.clone()
+        Ok(g.clone())
     }
 }
 
-fn cmd_schedule(g: &Ddg, o: &Opts) {
-    let g = prepare(g, o);
-    let machine = MachineModel::icpp2008();
+fn cmd_schedule(g: &Ddg, o: &Opts, machine: &MachineModel) -> Result<(), String> {
+    let g = prepare(g, o)?;
     let arch = ArchParams::with_ncore(o.ncore);
     let model = CostModel::new(arch.costs, arch.ncore);
-    let sms = schedule_sms(&g, &machine).expect("SMS failed");
+    let sms = schedule_sms(&g, machine).map_err(|e| format!("SMS: {e}"))?;
     let cfg = TmsConfig {
         adaptive: o.adaptive,
         ..TmsConfig::default()
     };
-    let tms = schedule_tms(&g, &machine, &model, &cfg).expect("TMS failed");
+    let tms = schedule_tms(&g, machine, &model, &cfg).map_err(|e| format!("TMS: {e}"))?;
     for (name, sch) in [("SMS", &sms.schedule), ("TMS", &tms.schedule)] {
-        let m = LoopMetrics::compute(&g, &machine, sch, &arch.costs);
+        let m = LoopMetrics::compute(&g, machine, sch, &arch.costs);
         println!(
             "== {name}: II={} stages={} MaxLive={} C_delay={} pairs/iter={} P_M={:.4}",
             m.ii, m.stage_count, m.max_live, m.c_delay, m.send_recv_pairs, m.misspec_prob
@@ -157,18 +201,19 @@ fn cmd_schedule(g: &Ddg, o: &Opts) {
             ""
         }
     );
+    Ok(())
 }
 
-fn cmd_simulate(g: &Ddg, o: &Opts) {
-    let g = prepare(g, o);
-    let machine = MachineModel::icpp2008();
+fn cmd_simulate(g: &Ddg, o: &Opts, machine: &MachineModel) -> Result<(), String> {
+    let g = prepare(g, o)?;
     let arch = ArchParams::with_ncore(o.ncore);
     let model = CostModel::new(arch.costs, arch.ncore);
-    let sms = schedule_sms(&g, &machine).expect("SMS failed");
-    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    let sms = schedule_sms(&g, machine).map_err(|e| format!("SMS: {e}"))?;
+    let tms = schedule_tms(&g, machine, &model, &TmsConfig::default())
+        .map_err(|e| format!("TMS: {e}"))?;
     let mut cfg = SimConfig::with_ncore(o.iters, o.ncore);
     cfg.seed = 0x1CC9_2008;
-    let seq = simulate_sequential(&g, &machine, &cfg);
+    let seq = simulate_sequential(&g, machine, &cfg);
     println!(
         "single-threaded: {:>10} cycles ({:.2}/iter)",
         seq.total_cycles,
@@ -187,33 +232,29 @@ fn cmd_simulate(g: &Ddg, o: &Opts) {
             s.send_recv_pairs,
             (seq.total_cycles as f64 / s.total_cycles as f64 - 1.0) * 100.0
         );
-        assert_eq!(
-            out.memory_image, seq.memory_image,
-            "committed state diverged from sequential"
-        );
+        if out.memory_image != seq.memory_image {
+            return Err(format!(
+                "{name} committed state diverged from the sequential run"
+            ));
+        }
     }
+    Ok(())
 }
 
-fn cmd_trace(g: &Ddg, o: &Opts) {
-    let g = prepare(g, o);
-    let machine = MachineModel::icpp2008();
+fn cmd_trace(g: &Ddg, o: &Opts, machine: &MachineModel) -> Result<(), String> {
+    let g = prepare(g, o)?;
     let arch = ArchParams::with_ncore(o.ncore);
     let model = CostModel::new(arch.costs, arch.ncore);
     let sink = if let Some(path) = &o.stream_out {
-        match Trace::streaming(std::path::Path::new(path), o.buffer) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot open {path}: {e}");
-                return;
-            }
-        }
+        Trace::streaming(std::path::Path::new(path), o.buffer)
+            .map_err(|e| format!("cannot open {path}: {e}"))?
     } else if o.trace_out.is_some() {
         Trace::enabled()
     } else {
         Trace::disabled()
     };
-    let tms = schedule_tms_traced(&g, &machine, &model, &TmsConfig::default(), &sink)
-        .expect("TMS failed");
+    let tms = schedule_tms_traced(&g, machine, &model, &TmsConfig::default(), &sink)
+        .map_err(|e| format!("TMS: {e}"))?;
     let mut cfg = SimConfig::with_ncore(o.iters.min(48), o.ncore);
     cfg.collect_trace = true;
     let out = simulate_spmt_traced(&g, &tms.schedule, &cfg, &sink);
@@ -237,7 +278,9 @@ fn cmd_trace(g: &Ddg, o: &Opts) {
             Err(e) => eprintln!("cannot flush {path}: {e}"),
         }
     }
-    let trace = out.trace.expect("trace requested");
+    let trace = out
+        .trace
+        .ok_or("simulator returned no trace despite collect_trace")?;
     print!("{}", trace.timeline(72));
     println!(
         "avg thread spacing {:.2} cycles (cost model F = {:.2}); core utilisation {:?}",
@@ -249,6 +292,7 @@ fn cmd_trace(g: &Ddg, o: &Opts) {
             .map(|u| format!("{:.0}%", u * 100.0))
             .collect::<Vec<_>>()
     );
+    Ok(())
 }
 
 /// `tms trace merge <out.json> <in.trace.ndjson>...` — render one or
@@ -564,7 +608,13 @@ fn cmd_profile(args: &[String]) -> ExitCode {
         ),
     ]);
     if let Some(path) = &json_out {
-        let text = serde_json::to_string_pretty(&report).expect("serialise report");
+        let text = match serde_json::to_string_pretty(&report) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("tms profile: serialise report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("cannot write {path}: {e}");
             return ExitCode::FAILURE;
@@ -656,23 +706,25 @@ fn cmd_profile_diff(a_path: &str, b_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_codegen(g: &Ddg, o: &Opts) {
-    let g = prepare(g, o);
-    let machine = MachineModel::icpp2008();
+fn cmd_codegen(g: &Ddg, o: &Opts, machine: &MachineModel) -> Result<(), String> {
+    let g = prepare(g, o)?;
     let arch = ArchParams::with_ncore(o.ncore);
     let model = CostModel::new(arch.costs, arch.ncore);
-    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    let tms = schedule_tms(&g, machine, &model, &TmsConfig::default())
+        .map_err(|e| format!("TMS: {e}"))?;
     let pl = tms_core::PipelinedLoop::generate(&g, &tms.schedule);
     print!("{}", pl.text(&g));
+    Ok(())
 }
 
-fn cmd_dot(g: &Ddg, o: &Opts) {
-    let g = prepare(g, o);
-    let machine = MachineModel::icpp2008();
+fn cmd_dot(g: &Ddg, o: &Opts, machine: &MachineModel) -> Result<(), String> {
+    let g = prepare(g, o)?;
     let arch = ArchParams::with_ncore(o.ncore);
     let model = CostModel::new(arch.costs, arch.ncore);
-    let tms = schedule_tms(&g, &machine, &model, &TmsConfig::default()).expect("TMS failed");
+    let tms = schedule_tms(&g, machine, &model, &TmsConfig::default())
+        .map_err(|e| format!("TMS: {e}"))?;
     print!("{}", tms_core::viz::kernel_dot(&g, &tms.schedule));
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -725,16 +777,7 @@ fn main() -> ExitCode {
                 eprintln!("unknown loop '{name}' — try `tms list`");
                 return ExitCode::FAILURE;
             };
-            let o = parse_opts(&args[2..]);
-            match cmd.as_str() {
-                "show" => cmd_show(&g),
-                "schedule" => cmd_schedule(&g, &o),
-                "simulate" => cmd_simulate(&g, &o),
-                "trace" => cmd_trace(&g, &o),
-                "codegen" => cmd_codegen(&g, &o),
-                _ => cmd_dot(&g, &o),
-            }
-            ExitCode::SUCCESS
+            run_on_loop(cmd, &g, &args[2..])
         }
         "export" => {
             let (Some(name), Some(path)) = (args.get(1), args.get(2)) else {
@@ -744,10 +787,12 @@ fn main() -> ExitCode {
                 eprintln!("unknown loop '{name}'");
                 return ExitCode::FAILURE;
             };
-            let json = serde_json::to_string_pretty(&g).expect("serialise");
+            let json = match serde_json::to_string_pretty(&g) {
+                Ok(json) => json,
+                Err(e) => return operational(&format!("serialise {name}: {e}")),
+            };
             if let Err(e) = std::fs::write(path, json) {
-                eprintln!("write {path}: {e}");
-                return ExitCode::FAILURE;
+                return operational(&format!("write {path}: {e}"));
             }
             println!("wrote {path}");
             ExitCode::SUCCESS
@@ -756,27 +801,58 @@ fn main() -> ExitCode {
             let (Some(path), Some(sub)) = (args.get(1), args.get(2)) else {
                 return usage();
             };
-            let Ok(text) = std::fs::read_to_string(path) else {
-                eprintln!("cannot read {path}");
-                return ExitCode::FAILURE;
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => return operational(&format!("cannot read {path}: {e}")),
             };
             let g: Ddg = match serde_json::from_str(&text) {
                 Ok(g) => g,
-                Err(e) => {
-                    eprintln!("parse {path}: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return operational(&format!("parse {path}: {e}")),
             };
-            let o = parse_opts(&args[3..]);
-            match sub.as_str() {
-                "show" => cmd_show(&g),
-                "schedule" => cmd_schedule(&g, &o),
-                "simulate" => cmd_simulate(&g, &o),
-                "dot" => cmd_dot(&g, &o),
-                _ => return usage(),
+            if g.num_insts() == 0 {
+                return operational(&format!("{path}: empty loop body"));
             }
-            ExitCode::SUCCESS
+            if !matches!(sub.as_str(), "show" | "schedule" | "simulate" | "dot") {
+                return usage();
+            }
+            run_on_loop(sub, &g, &args[3..])
         }
         _ => usage(),
+    }
+}
+
+/// Operational or malformed-input failure: `tms: <why>`, exit 2 — the
+/// same contract as `tms-verify` and `tmsd`. Panics are reserved for
+/// bugs.
+fn operational(msg: &str) -> ExitCode {
+    eprintln!("tms: {msg}");
+    ExitCode::from(2)
+}
+
+/// Parse options, load the machine model and dispatch a per-loop
+/// subcommand; every failure on the way is a structured exit-2 error.
+fn run_on_loop(cmd: &str, g: &Ddg, opt_args: &[String]) -> ExitCode {
+    let o = match parse_opts(opt_args) {
+        Ok(o) => o,
+        Err(e) => return operational(&e),
+    };
+    let machine = match load_machine(&o) {
+        Ok(m) => m,
+        Err(e) => return operational(&e),
+    };
+    let result = match cmd {
+        "show" => {
+            cmd_show(g, &machine);
+            Ok(())
+        }
+        "schedule" => cmd_schedule(g, &o, &machine),
+        "simulate" => cmd_simulate(g, &o, &machine),
+        "trace" => cmd_trace(g, &o, &machine),
+        "codegen" => cmd_codegen(g, &o, &machine),
+        _ => cmd_dot(g, &o, &machine),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => operational(&format!("{cmd}: {e}")),
     }
 }
